@@ -1,0 +1,12 @@
+// Extension A: the paper's primary metric (Eq. 1, interception ratio of
+// the randomly placed eavesdropper) is defined in §IV-B but only its
+// worst case (Fig. 7) is plotted.  This bench reports the mean Ri
+// itself, same sweep.  Expected shape mirrors Fig. 7: MTS lowest.
+#include "bench_common.hpp"
+
+int main() {
+  return mts::bench::run_figure_bench(
+      "Extension A: eavesdropper interception ratio (Eq. 1) vs MAXSPEED",
+      "expected shape (mirrors Fig. 7): MTS lowest", "ratio",
+      [](const mts::harness::RunMetrics& m) { return m.interception_ratio; });
+}

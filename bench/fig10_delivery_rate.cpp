@@ -1,0 +1,13 @@
+// Fig. 10: "Average rate of successful delivery of packets" — data
+// arrivals at the destination over data transmissions at the source.
+// Paper shape: DSR's rate decreases dramatically with speed (stale
+// cached routes); AODV and MTS change little.
+#include "bench_common.hpp"
+
+int main() {
+  return mts::bench::run_figure_bench(
+      "Fig. 10: delivery rate vs MAXSPEED",
+      "paper shape: DSR collapses with speed; AODV/MTS nearly flat",
+      "fraction",
+      [](const mts::harness::RunMetrics& m) { return m.delivery_rate; });
+}

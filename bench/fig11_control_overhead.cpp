@@ -1,0 +1,15 @@
+// Fig. 11: "Average control overhead" — total routing packets
+// transmitted (originated + relayed).  Paper shape: MTS highest (it
+// pays for security with periodic route-checking traffic), DSR lowest
+// (idle once a route is cached).
+#include "bench_common.hpp"
+
+int main() {
+  return mts::bench::run_figure_bench(
+      "Fig. 11: control overhead vs MAXSPEED",
+      "paper shape: MTS highest, DSR lowest", "routing packets",
+      [](const mts::harness::RunMetrics& m) {
+        return static_cast<double>(m.control_packets);
+      },
+      0);
+}

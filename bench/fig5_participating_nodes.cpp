@@ -1,0 +1,14 @@
+// Fig. 5: "The number of participating nodes under different speeds."
+// Paper shape: MTS involves the most relays (it keeps switching among
+// disjoint paths), DSR/AODV concentrate on a single route.
+#include "bench_common.hpp"
+
+int main() {
+  return mts::bench::run_figure_bench(
+      "Fig. 5: participating nodes vs MAXSPEED",
+      "paper shape: MTS highest at every speed", "nodes",
+      [](const mts::harness::RunMetrics& m) {
+        return static_cast<double>(m.participating_nodes);
+      },
+      2);
+}

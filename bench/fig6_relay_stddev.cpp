@@ -1,0 +1,13 @@
+// Fig. 6: "The standard deviation of number of relayed packets" —
+// Eqs. 2-4: per-node relay counts, normalized by the total, sample
+// standard deviation.  Paper shape: MTS lowest (relaying does not rely
+// on any single participating node).
+#include "bench_common.hpp"
+
+int main() {
+  return mts::bench::run_figure_bench(
+      "Fig. 6: normalized std-dev of relayed packets vs MAXSPEED",
+      "paper shape: MTS lowest at every speed", "percent",
+      [](const mts::harness::RunMetrics& m) { return m.relay_stddev * 100.0; },
+      2);
+}

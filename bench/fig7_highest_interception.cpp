@@ -1,0 +1,13 @@
+// Fig. 7: "The highest interception ratio" — the worst case where the
+// most-relied-upon relay is the eavesdropper: max_i beta_i / Pr.
+// Paper shape: MTS lowest.
+#include "bench_common.hpp"
+
+int main() {
+  return mts::bench::run_figure_bench(
+      "Fig. 7: highest interception ratio vs MAXSPEED",
+      "paper shape: MTS lowest at every speed", "ratio",
+      [](const mts::harness::RunMetrics& m) {
+        return m.highest_interception_ratio;
+      });
+}

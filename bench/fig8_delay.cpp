@@ -1,0 +1,12 @@
+// Fig. 8: "Average delay" — effective end-to-end delay of TCP data that
+// actually arrives.  Paper shape: MTS lowest (always on the freshest
+// route); DSR below AODV (route cache vs on-demand discovery latency).
+#include "bench_common.hpp"
+
+int main() {
+  return mts::bench::run_figure_bench(
+      "Fig. 8: average end-to-end delay vs MAXSPEED",
+      "paper shape: MTS < DSR < AODV", "ms",
+      [](const mts::harness::RunMetrics& m) { return m.avg_delay_s * 1e3; },
+      1);
+}

@@ -1,0 +1,12 @@
+// Fig. 9: "Average throughput" — successfully received TCP segments at
+// the destination over the session.  Paper shape: MTS highest (best
+// route always in use), DSR degrades sharply with speed (stale caches
+// cause idle periods).
+#include "bench_common.hpp"
+
+int main() {
+  return mts::bench::run_figure_bench(
+      "Fig. 9: TCP throughput vs MAXSPEED",
+      "paper shape: MTS > AODV > DSR, gap grows with speed", "kb/s",
+      [](const mts::harness::RunMetrics& m) { return m.throughput_kbps; }, 1);
+}

@@ -1,0 +1,40 @@
+// Secure file transfer: the paper's motivating scenario.  A node must
+// push a sensitive bulk TCP transfer across a 50-node ad hoc network
+// while one unknown intermediate node eavesdrops.  We run the identical
+// scenario (same seed => same mobility, same flow, same eavesdropper
+// position) under DSR, AODV and MTS and compare what the attacker got.
+#include <iostream>
+
+#include "harness/scenario.hpp"
+#include "stats/table.hpp"
+
+int main() {
+  using namespace mts;
+  using harness::Protocol;
+
+  std::cout << "Secure transfer demo: one TCP session, one hidden\n"
+               "eavesdropper, identical conditions for each protocol.\n\n";
+
+  stats::Table table({"protocol", "segments delivered", "Pe (captured)",
+                      "interception Ri", "highest Ri", "participating",
+                      "relay stddev %"});
+
+  for (Protocol p : {Protocol::kDsr, Protocol::kAodv, Protocol::kMts}) {
+    harness::ScenarioConfig cfg;
+    cfg.protocol = p;
+    cfg.max_speed = 10.0;
+    cfg.sim_time = sim::Time::sec(100);
+    cfg.seed = 7;  // same seed: paired comparison
+    const harness::RunMetrics m = harness::run_scenario(cfg);
+    table.add_row({harness::protocol_name(p),
+                   std::to_string(m.segments_delivered), std::to_string(m.pe),
+                   stats::Table::fmt(m.interception_ratio, 3),
+                   stats::Table::fmt(m.highest_interception_ratio, 3),
+                   std::to_string(m.participating_nodes),
+                   stats::Table::fmt(m.relay_stddev * 100.0, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nLower interception and lower relay concentration mean the\n"
+               "attacker reconstructs less of the transfer (paper §IV-C).\n";
+  return 0;
+}

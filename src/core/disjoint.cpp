@@ -1,0 +1,34 @@
+#include "core/disjoint.hpp"
+
+#include <algorithm>
+
+namespace mts::core {
+
+bool next_last_hop_disjoint(const PathNodes& a, const PathNodes& b,
+                            net::NodeId src, net::NodeId dst) {
+  return first_hop(a, dst) != first_hop(b, dst) &&
+         last_hop(a, src) != last_hop(b, src);
+}
+
+bool node_disjoint(const PathNodes& a, const PathNodes& b) {
+  for (net::NodeId n : a) {
+    if (std::find(b.begin(), b.end(), n) != b.end()) return false;
+  }
+  return true;
+}
+
+bool admissible(const std::vector<PathNodes>& stored,
+                const PathNodes& candidate, net::NodeId src, net::NodeId dst) {
+  // A path that visits the endpoints or repeats a node is never valid.
+  for (std::size_t i = 0; i < candidate.size(); ++i) {
+    if (candidate[i] == src || candidate[i] == dst) return false;
+    for (std::size_t j = i + 1; j < candidate.size(); ++j) {
+      if (candidate[i] == candidate[j]) return false;
+    }
+  }
+  return std::all_of(stored.begin(), stored.end(), [&](const PathNodes& s) {
+    return next_last_hop_disjoint(s, candidate, src, dst);
+  });
+}
+
+}  // namespace mts::core

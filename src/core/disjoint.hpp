@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "net/node_id.hpp"
+
+namespace mts::core {
+
+/// A candidate or stored path between a fixed (source, destination)
+/// pair, identified by its intermediate nodes only (endpoints implied).
+using PathNodes = std::vector<net::NodeId>;
+
+/// First hop out of the source: the node the source transmits to.
+inline net::NodeId first_hop(const PathNodes& nodes, net::NodeId dst) {
+  return nodes.empty() ? dst : nodes.front();
+}
+
+/// Last hop into the destination: the node the destination hears from.
+inline net::NodeId last_hop(const PathNodes& nodes, net::NodeId src) {
+  return nodes.empty() ? src : nodes.back();
+}
+
+/// The paper's §III-C disjointness test (rule taken from AOMDV [10]):
+/// "if every node on a path ensures that all paths to the destination
+/// from that node differ in their next and last hops, then the two
+/// paths are disjoint."  At the destination this reduces to requiring
+/// distinct source-side first hops AND distinct destination-side last
+/// hops for every stored path.
+///
+/// Under MTS's first-copy-only RREQ forwarding, interior segments can
+/// still share prefixes (Fig. 3: S-a-b-D vs S-a-b-c-D); this test is
+/// exactly what rejects those.
+bool next_last_hop_disjoint(const PathNodes& a, const PathNodes& b,
+                            net::NodeId src, net::NodeId dst);
+
+/// Strict node-disjointness of intermediate node sets (used as a test
+/// oracle and for the ablation comparing the paper's rule with a strict
+/// rule).
+bool node_disjoint(const PathNodes& a, const PathNodes& b);
+
+/// True when `candidate` may join `stored` under the paper's rule.
+bool admissible(const std::vector<PathNodes>& stored,
+                const PathNodes& candidate, net::NodeId src, net::NodeId dst);
+
+}  // namespace mts::core

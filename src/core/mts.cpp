@@ -1,0 +1,672 @@
+#include "core/mts.hpp"
+
+#include <algorithm>
+
+namespace mts::core {
+
+using net::MtsCheckErrorHeader;
+using net::MtsCheckHeader;
+using net::MtsDataTag;
+using net::MtsRerrHeader;
+using net::MtsRreqHeader;
+using net::MtsRrepHeader;
+using net::NodeId;
+using net::Packet;
+using net::PacketKind;
+
+namespace {
+
+/// Position `k` of the destination->source walk along a stored path:
+/// k = 0 is the destination, k = n+1 the source, interior positions
+/// visit the intermediate list back to front.
+NodeId walk_pos(const PathNodes& nodes, NodeId src, NodeId dst,
+                std::size_t k) {
+  const std::size_t n = nodes.size();
+  if (k == 0) return dst;
+  if (k <= n) return nodes[n - k];
+  return src;
+}
+
+}  // namespace
+
+Mts::Mts(routing::RoutingContext ctx, MtsConfig cfg, sim::Rng rng)
+    : RoutingProtocol(std::move(ctx)),
+      cfg_(cfg),
+      rng_(rng),
+      buffer_(cfg.buffer_capacity, cfg.buffer_max_age),
+      check_timer_(*ctx_.sched, [this] { check_tick(); }),
+      purge_timer_(*ctx_.sched, [this] { purge(); }) {
+  sim::require_config(cfg.max_paths >= 1, "MtsConfig: max_paths < 1");
+  sim::require_config(cfg.check_period > sim::Time::zero(),
+                      "MtsConfig: check_period <= 0");
+  sim::require_config(cfg.freshness_periods > 1.0,
+                      "MtsConfig: freshness must exceed one check period");
+}
+
+void Mts::start() {
+  // Stagger the first tick per node so destinations never beat in phase.
+  check_timer_.start(cfg_.check_period,
+                     cfg_.check_period * rng_.uniform(0.5, 1.0));
+  purge_timer_.start(cfg_.purge_period,
+                     cfg_.purge_period + sim::Time::seconds(rng_.uniform(0.0, 0.1)));
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding state.
+// ---------------------------------------------------------------------------
+
+void Mts::install_hop(NodeId final_dst, std::uint16_t path_id,
+                      NodeId next_hop) {
+  hops_[hop_key(final_dst, path_id)] = HopEntry{next_hop, now()};
+}
+
+const Mts::HopEntry* Mts::fresh_hop(NodeId final_dst,
+                                    std::uint16_t path_id) const {
+  auto it = hops_.find(hop_key(final_dst, path_id));
+  if (it == hops_.end()) return nullptr;
+  if (now() - it->second.refreshed > freshness_limit()) return nullptr;
+  return &it->second;
+}
+
+const Mts::HopEntry* Mts::any_hop(NodeId final_dst,
+                                  std::uint16_t path_id) const {
+  auto it = hops_.find(hop_key(final_dst, path_id));
+  return it == hops_.end() ? nullptr : &it->second;
+}
+
+Mts::SourcePath* Mts::fresh_source_path(NodeId dst) {
+  auto it = as_source_.find(dst);
+  if (it == as_source_.end()) return nullptr;
+  SourceState& ss = it->second;
+  auto usable = [&](int id) -> SourcePath* {
+    auto pit = ss.paths.find(static_cast<std::uint16_t>(id));
+    if (pit == ss.paths.end()) return nullptr;
+    SourcePath& sp = pit->second;
+    if (!sp.alive || now() - sp.last_confirmed > freshness_limit())
+      return nullptr;
+    return &sp;
+  };
+  if (ss.current >= 0) {
+    if (SourcePath* sp = usable(ss.current)) return sp;
+  }
+  // The active path lapsed: fall back to the most recently confirmed
+  // live alternative, if any.
+  SourcePath* best = nullptr;
+  int best_id = -1;
+  for (auto& [id, sp] : ss.paths) {
+    if (!sp.alive || now() - sp.last_confirmed > freshness_limit()) continue;
+    if (best == nullptr || sp.last_confirmed > best->last_confirmed) {
+      best = &sp;
+      best_id = id;
+    }
+  }
+  if (best != nullptr && best_id != ss.current) {
+    ss.current = best_id;
+    ++switches_;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Transport-facing.
+// ---------------------------------------------------------------------------
+
+void Mts::send_from_transport(Packet packet) {
+  const NodeId dst = packet.common.dst;
+  if (dst == self()) {
+    ctx_.deliver(std::move(packet), self());
+    return;
+  }
+  // Preferred: we are an MTS source for this destination.
+  if (SourcePath* sp = fresh_source_path(dst)) {
+    const auto pid = static_cast<std::uint16_t>(as_source_[dst].current);
+    packet.routing = MtsDataTag{pid};
+    const HopEntry* hop = any_hop(dst, pid);
+    const NodeId next =
+        hop != nullptr ? hop->next_hop : first_hop(sp->nodes, dst);
+    ctx_.mac->enqueue(std::move(packet), next);
+    return;
+  }
+  // Sink side: route replies back along the path the peer's data last
+  // arrived on (its per-hop reverse state is refreshed by that data).
+  if (auto it = last_rx_path_.find(dst); it != last_rx_path_.end()) {
+    if (const HopEntry* hop = any_hop(dst, it->second)) {
+      packet.routing = MtsDataTag{it->second};
+      ctx_.mac->enqueue(std::move(packet), hop->next_hop);
+      return;
+    }
+  }
+  if (auto evicted = buffer_.push(std::move(packet), now())) {
+    drop(*evicted, net::DropReason::kSendBufferFull);
+  }
+  auto& ss = as_source_[dst];
+  if (!ss.discovering) start_discovery(dst);
+}
+
+void Mts::flush_buffer(NodeId dst) {
+  for (Packet& p : buffer_.take_for(dst)) {
+    send_from_transport(std::move(p));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Route discovery (§III-B).
+// ---------------------------------------------------------------------------
+
+void Mts::start_discovery(NodeId dst) {
+  SourceState& ss = as_source_[dst];
+  // New generation: drop the stale path set (the destination flushes its
+  // side when our higher broadcast id reaches it).
+  ss.paths.clear();
+  ss.current = -1;
+  ss.discovering = true;
+  ss.retries = 0;
+  send_rreq(dst);
+}
+
+void Mts::send_rreq(NodeId dst) {
+  ++bcast_id_;
+  MtsRreqHeader h;
+  h.bcast_id = bcast_id_;
+  h.orig = self();
+  h.dst = dst;
+  Packet p;
+  p.common.kind = PacketKind::kMtsRreq;
+  p.common.src = self();
+  p.common.dst = net::kBroadcastId;
+  p.common.ttl = cfg_.net_diameter_ttl;
+  p.common.uid = ctx_.uids->next();
+  p.common.originated = now();
+  p.routing = h;
+  rreq_seen_.check_and_insert(self(), h.bcast_id);
+  send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/true);
+
+  SourceState& ss = as_source_[dst];
+  ss.rreq_timer = ctx_.sched->schedule_in(
+      cfg_.rrep_wait * (std::int64_t{1} << ss.retries),
+      [this, dst] { discovery_timeout(dst); });
+}
+
+void Mts::discovery_timeout(NodeId dst) {
+  auto it = as_source_.find(dst);
+  if (it == as_source_.end() || !it->second.discovering) return;
+  SourceState& ss = it->second;
+  if (!ss.paths.empty()) {  // an RREP or check got through meanwhile
+    ss.discovering = false;
+    return;
+  }
+  if (ss.retries + 1 >= cfg_.rreq_retries) {
+    ss.discovering = false;
+    for (Packet& p : buffer_.take_for(dst)) {
+      drop(p, net::DropReason::kNoRoute);
+    }
+    return;
+  }
+  ++ss.retries;
+  send_rreq(dst);
+}
+
+void Mts::handle_rreq(Packet&& p, NodeId from) {
+  auto& h = std::get<MtsRreqHeader>(p.routing);
+  if (h.orig == self()) return;
+  if (h.dst == self()) {
+    // The destination consumes *every* copy (§III-B: "the copies of
+    // RREQ are not simply discarded") — dedup applies to relays only.
+    accept_path_at_destination(h.orig, h.nodes, h.bcast_id);
+    return;
+  }
+  if (!rreq_seen_.check_and_insert(h.orig, h.bcast_id)) {
+    drop(p, net::DropReason::kDuplicate);
+    return;
+  }
+  if (std::find(h.nodes.begin(), h.nodes.end(), self()) != h.nodes.end()) {
+    return;  // route record already contains us
+  }
+  if (p.common.ttl <= 1) {
+    drop(p, net::DropReason::kTtlExpired);
+    return;
+  }
+  --p.common.ttl;
+  ++h.hop_count;
+  h.nodes.push_back(self());
+  (void)from;
+  // "Even in the case where an intermediate node has a fresh route to
+  // the destination node, it has to relay the received RREQ" (§III-B).
+  rebroadcast_jittered(std::move(p), rng_);
+}
+
+void Mts::accept_path_at_destination(NodeId src, PathNodes nodes,
+                                     std::uint32_t bcast_id) {
+  DestState& ds = as_dest_[src];
+  if (bcast_id < ds.bcast_id) return;  // copy from an obsolete flood
+  if (bcast_id > ds.bcast_id) {
+    // §III-D: a new RREQ (larger broadcast ID) flushes every stored path.
+    ds.paths.clear();
+    ds.alive.clear();
+    ds.bcast_id = bcast_id;
+  }
+  if (ds.paths.empty()) {
+    // First copy: reply immediately, no disjoint-set computation delay.
+    ds.paths.push_back(nodes);
+    ds.alive.push_back(true);
+    ds.last_activity = now();
+    send_rrep(src, nodes);
+    return;
+  }
+  if (ds.paths.size() >= cfg_.max_paths) return;
+  if (!admissible(ds.paths, nodes, src, self())) return;
+  ds.paths.push_back(std::move(nodes));
+  ds.alive.push_back(true);
+}
+
+void Mts::send_rrep(NodeId src, const PathNodes& nodes) {
+  MtsRrepHeader h;
+  h.rrep_id = ++rrep_id_;
+  h.orig = src;
+  h.dst = self();
+  h.hop_count = static_cast<std::uint8_t>(nodes.size() + 1);
+  h.nodes = nodes;
+  h.hops_done = 1;
+  const NodeId next = walk_pos(nodes, src, self(), 1);
+  Packet p;
+  p.common.kind = PacketKind::kMtsRrep;
+  p.common.src = self();
+  p.common.dst = src;
+  p.common.ttl = cfg_.net_diameter_ttl;
+  p.common.uid = ctx_.uids->next();
+  p.common.originated = now();
+  p.routing = std::move(h);
+  send_to_mac(std::move(p), next, /*originated_here=*/true);
+}
+
+void Mts::handle_rrep(Packet&& p, NodeId from) {
+  auto& h = std::get<MtsRrepHeader>(p.routing);
+  if (walk_pos(h.nodes, h.orig, h.dst, h.hops_done) != self()) {
+    drop(p, net::DropReason::kStaleRoute);
+    return;
+  }
+  // The RREP seeds forward state for path 0, like a check packet would.
+  install_hop(h.dst, /*path_id=*/0, from);
+  if (self() == h.orig) {
+    source_path_confirmed(h.dst, 0, h.nodes, /*round=*/0,
+                          /*switch_allowed=*/false);
+    return;
+  }
+  ++h.hops_done;
+  const NodeId next = walk_pos(h.nodes, h.orig, h.dst, h.hops_done);
+  send_to_mac(std::move(p), next, /*originated_here=*/false);
+}
+
+void Mts::source_path_confirmed(NodeId dst, std::uint16_t path_id,
+                                const PathNodes& nodes, std::uint32_t round,
+                                bool switch_allowed) {
+  SourceState& ss = as_source_[dst];
+  SourcePath& sp = ss.paths[path_id];
+  sp.nodes = nodes;
+  sp.last_confirmed = now();
+  sp.alive = true;
+  if (ss.discovering) {
+    ss.discovering = false;
+    ctx_.sched->cancel(ss.rreq_timer);
+  }
+  if (ss.current < 0) {
+    ss.current = path_id;
+  } else if (switch_allowed && round > ss.last_switch_round) {
+    // §III-E: "the route of the first arrived checking packet used is
+    // considered the best" — first check of each round wins.
+    ss.last_switch_round = round;
+    if (ss.current != path_id) {
+      ++switches_;
+      ss.current = path_id;
+      if (ctx_.trace != nullptr) {
+        Packet dummy;
+        dummy.common.kind = PacketKind::kMtsCheck;
+        dummy.common.src = self();
+        dummy.common.dst = dst;
+        trace(net::TraceOp::kRouteSwitch, dummy,
+              "switched to path " + std::to_string(path_id));
+      }
+    }
+  }
+  flush_buffer(dst);
+}
+
+// ---------------------------------------------------------------------------
+// Route checking (§III-D).
+// ---------------------------------------------------------------------------
+
+void Mts::check_tick() {
+  for (auto& [src, ds] : as_dest_) {
+    if (ds.paths.empty()) continue;
+    ++ds.check_round;
+    // The round's checks go out "concurrently" (§III-D).  Randomising
+    // the emission order (plus a hair of jitter) keeps the round winner
+    // from being decided by queue position: among comparable paths the
+    // first check to *arrive* then varies with the channel, which is
+    // what rotates the source across its disjoint paths.
+    std::vector<std::uint16_t> order;
+    for (std::uint16_t pid = 0; pid < ds.paths.size(); ++pid) {
+      if (ds.alive[pid]) order.push_back(pid);
+    }
+    rng_.shuffle(order.begin(), order.end());
+    const net::NodeId source = src;
+    for (std::uint16_t pid : order) {
+      const sim::Time jitter = cfg_.check_jitter * rng_.uniform();
+      ctx_.sched->schedule_in(jitter, [this, source, pid] {
+        auto it = as_dest_.find(source);
+        if (it == as_dest_.end()) return;
+        DestState& state = it->second;
+        if (pid >= state.paths.size() || !state.alive[pid]) return;
+        send_check(source, state, pid);
+      });
+    }
+  }
+}
+
+void Mts::send_check(NodeId src, DestState& ds, std::uint16_t path_id) {
+  MtsCheckHeader h;
+  h.check_id = ds.check_round;
+  h.path_id = path_id;
+  h.checker = self();
+  h.source = src;
+  h.hop_count = static_cast<std::uint8_t>(ds.paths[path_id].size() + 1);
+  h.nodes = ds.paths[path_id];
+  h.hops_done = 1;
+  const NodeId next = walk_pos(h.nodes, src, self(), 1);
+  Packet p;
+  p.common.kind = PacketKind::kMtsCheck;
+  p.common.src = self();
+  p.common.dst = src;
+  p.common.ttl = cfg_.net_diameter_ttl;
+  p.common.uid = ctx_.uids->next();
+  p.common.originated = now();
+  p.routing = std::move(h);
+  ++checks_sent_;
+  send_to_mac(std::move(p), next, /*originated_here=*/true);
+}
+
+void Mts::handle_check(Packet&& p, NodeId from) {
+  auto& h = std::get<MtsCheckHeader>(p.routing);
+  if (walk_pos(h.nodes, h.source, h.checker, h.hops_done) != self()) {
+    drop(p, net::DropReason::kStaleRoute);
+    return;
+  }
+  // "When the intermediate node receives the checking packets, it caches
+  // the checking packet ID as the entry ID to the destination" — the
+  // forward path toward the checker runs through `from`.
+  install_hop(h.checker, h.path_id, from);
+  if (self() == h.source) {
+    ++checks_recv_;
+    source_path_confirmed(h.checker, h.path_id, h.nodes, h.check_id,
+                          /*switch_allowed=*/true);
+    return;
+  }
+  ++h.hops_done;
+  const NodeId next = walk_pos(h.nodes, h.source, h.checker, h.hops_done);
+  send_to_mac(std::move(p), next, /*originated_here=*/false);
+}
+
+void Mts::send_check_error(const MtsCheckHeader& failed, NodeId broken_to) {
+  // Return route: retrace the walk back toward the checker from our
+  // position (hops_done names us).
+  MtsCheckErrorHeader h;
+  h.path_id = failed.path_id;
+  h.checker = failed.checker;
+  h.flow_source = failed.source;
+  h.reporter = self();
+  h.broken_from = self();
+  h.broken_to = broken_to;
+  for (std::size_t k = failed.hops_done; k-- > 0;) {
+    h.nodes.push_back(walk_pos(failed.nodes, failed.source, failed.checker, k));
+  }
+  h.hops_done = 0;
+  if (h.nodes.empty()) return;
+  const NodeId next = h.nodes[0];
+  Packet p;
+  p.common.kind = PacketKind::kMtsCheckError;
+  p.common.src = self();
+  p.common.dst = failed.checker;
+  p.common.ttl = cfg_.net_diameter_ttl;
+  p.common.uid = ctx_.uids->next();
+  p.common.originated = now();
+  p.routing = std::move(h);
+  send_to_mac(std::move(p), next, /*originated_here=*/true);
+}
+
+void Mts::handle_check_error(Packet&& p, NodeId from) {
+  (void)from;
+  auto& h = std::get<MtsCheckErrorHeader>(p.routing);
+  if (h.hops_done >= h.nodes.size() || h.nodes[h.hops_done] != self()) {
+    drop(p, net::DropReason::kStaleRoute);
+    return;
+  }
+  if (self() == h.checker) {
+    // §III-D: "the destination node deletes the failed path".
+    auto it = as_dest_.find(h.flow_source);
+    if (it != as_dest_.end() && h.path_id < it->second.alive.size()) {
+      it->second.alive[h.path_id] = false;
+    }
+    return;
+  }
+  ++h.hops_done;
+  if (h.hops_done >= h.nodes.size()) {
+    drop(p, net::DropReason::kStaleRoute);
+    return;
+  }
+  const NodeId next = h.nodes[h.hops_done];
+  send_to_mac(std::move(p), next, /*originated_here=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Data plane.
+// ---------------------------------------------------------------------------
+
+void Mts::handle_data(Packet&& p, NodeId from) {
+  const auto* tag = std::get_if<MtsDataTag>(&p.routing);
+  if (tag == nullptr) {
+    drop(p, net::DropReason::kStaleRoute);
+    return;
+  }
+  // Reverse state: packets back to p.src flow through `from`.
+  install_hop(p.common.src, tag->path_id, from);
+  if (p.common.dst == self()) {
+    last_rx_path_[p.common.src] = tag->path_id;
+    if (auto it = as_dest_.find(p.common.src); it != as_dest_.end()) {
+      it->second.last_activity = now();
+    }
+    trace(net::TraceOp::kDeliver, p);
+    ctx_.deliver(std::move(p), from);
+    return;
+  }
+  if (p.common.ttl <= 1) {
+    drop(p, net::DropReason::kTtlExpired);
+    return;
+  }
+  --p.common.ttl;
+  // Forward on any installed state, fresh or not: liveness is the MAC's
+  // call (§III-E), and a link that still ACKs is still a route.  The
+  // freshness window only gates *path choice* at the source.
+  if (const HopEntry* hop = any_hop(p.common.dst, tag->path_id)) {
+    send_to_mac(std::move(p), hop->next_hop, /*originated_here=*/false);
+    return;
+  }
+  // No forwarding state at all mid-path: tell the source, drop the packet.
+  send_rerr_to_source(p.common.src, p.common.dst, tag->path_id, self(),
+                      net::kNoNode);
+  drop(p, net::DropReason::kStaleRoute);
+}
+
+// ---------------------------------------------------------------------------
+// Failure handling (§III-E).
+// ---------------------------------------------------------------------------
+
+void Mts::send_rerr_to_source(NodeId src, NodeId dst, std::uint16_t path_id,
+                              NodeId broken_from, NodeId broken_to) {
+  if (src == self()) {
+    mark_source_path_dead(dst, path_id);
+    return;
+  }
+  const HopEntry* back = any_hop(src, path_id);
+  if (back == nullptr) return;  // cannot route the report; give up
+  MtsRerrHeader h;
+  h.source = src;
+  h.dst = dst;
+  h.path_id = path_id;
+  h.broken_from = broken_from;
+  h.broken_to = broken_to;
+  Packet p;
+  p.common.kind = PacketKind::kMtsRerr;
+  p.common.src = self();
+  p.common.dst = src;
+  p.common.ttl = cfg_.net_diameter_ttl;
+  p.common.uid = ctx_.uids->next();
+  p.common.originated = now();
+  p.routing = h;
+  send_to_mac(std::move(p), back->next_hop, /*originated_here=*/true);
+}
+
+void Mts::handle_rerr(Packet&& p, NodeId from) {
+  (void)from;
+  auto& h = std::get<MtsRerrHeader>(p.routing);
+  if (h.source == self()) {
+    mark_source_path_dead(h.dst, h.path_id);
+    return;
+  }
+  const HopEntry* back = any_hop(h.source, h.path_id);
+  if (back == nullptr) {
+    drop(p, net::DropReason::kStaleRoute);
+    return;
+  }
+  if (p.common.ttl <= 1) {
+    drop(p, net::DropReason::kTtlExpired);
+    return;
+  }
+  --p.common.ttl;
+  send_to_mac(std::move(p), back->next_hop, /*originated_here=*/false);
+}
+
+void Mts::mark_source_path_dead(NodeId dst, std::uint16_t path_id) {
+  auto it = as_source_.find(dst);
+  if (it == as_source_.end()) return;
+  SourceState& ss = it->second;
+  auto pit = ss.paths.find(path_id);
+  if (pit != ss.paths.end()) pit->second.alive = false;
+  if (ss.current == path_id) {
+    ss.current = -1;
+    // fresh_source_path() fails over to the best remaining live path on
+    // the next send; if none, discovery restarts (§III-E: "the source
+    // node then triggers a new route discovery procedure").
+    if (SourcePath* alt = fresh_source_path(dst); alt == nullptr) {
+      if (!ss.discovering) start_discovery(dst);
+    }
+  }
+}
+
+void Mts::on_link_failure(const Packet& packet, NodeId next_hop) {
+  // Any state through the dead neighbour is untrustworthy: erase it so
+  // forwarding falls through to the RERR path instead of re-trying it.
+  for (auto it = hops_.begin(); it != hops_.end();) {
+    it = it->second.next_hop == next_hop ? hops_.erase(it) : ++it;
+  }
+  auto handle_one = [this, next_hop](const Packet& pkt) {
+    switch (pkt.common.kind) {
+      case PacketKind::kMtsCheck: {
+        const auto& h = std::get<MtsCheckHeader>(pkt.routing);
+        // The node named by hops_done never got it; we hold the cursor.
+        MtsCheckHeader at_me = h;
+        send_check_error(at_me, next_hop);
+        return;
+      }
+      case PacketKind::kTcpData:
+      case PacketKind::kTcpAck: {
+        const auto* tag = std::get_if<MtsDataTag>(&pkt.routing);
+        if (tag == nullptr) return;
+        if (pkt.common.src == self()) {
+          mark_source_path_dead(pkt.common.dst, tag->path_id);
+          Packet retry = pkt;
+          retry.routing = std::monostate{};
+          send_from_transport(std::move(retry));
+        } else {
+          send_rerr_to_source(pkt.common.src, pkt.common.dst, tag->path_id,
+                              self(), next_hop);
+          drop(pkt, net::DropReason::kStaleRoute);
+        }
+        return;
+      }
+      default:
+        // RREP / RERR / CHECK_ERROR losses are absorbed: periodic checks
+        // and discovery retries recover the state.
+        return;
+    }
+  };
+  handle_one(packet);
+  for (net::QueueItem& item : ctx_.mac->take_queued_for(next_hop)) {
+    handle_one(item.packet);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Housekeeping.
+// ---------------------------------------------------------------------------
+
+void Mts::purge() {
+  buffer_.expire(now(), [this](const Packet& p) {
+    drop(p, net::DropReason::kSendBufferTimeout);
+  });
+  // Destinations stop probing a source that has been silent a long time.
+  for (auto it = as_dest_.begin(); it != as_dest_.end();) {
+    if (!it->second.paths.empty() &&
+        now() - it->second.last_activity > sim::Time::sec(30)) {
+      it = as_dest_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Hop entries decay; drop anything long past freshness to bound the map.
+  const sim::Time horizon = freshness_limit() * std::int64_t{2};
+  for (auto it = hops_.begin(); it != hops_.end();) {
+    if (now() - it->second.refreshed > horizon) {
+      it = hops_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch and introspection.
+// ---------------------------------------------------------------------------
+
+void Mts::receive_from_mac(Packet packet, NodeId from) {
+  switch (packet.common.kind) {
+    case PacketKind::kMtsRreq: handle_rreq(std::move(packet), from); return;
+    case PacketKind::kMtsRrep: handle_rrep(std::move(packet), from); return;
+    case PacketKind::kMtsCheck: handle_check(std::move(packet), from); return;
+    case PacketKind::kMtsCheckError:
+      handle_check_error(std::move(packet), from);
+      return;
+    case PacketKind::kMtsRerr: handle_rerr(std::move(packet), from); return;
+    case PacketKind::kTcpData:
+    case PacketKind::kTcpAck: handle_data(std::move(packet), from); return;
+    default:
+      drop(packet, net::DropReason::kNoRoute);
+      return;
+  }
+}
+
+std::vector<PathNodes> Mts::stored_paths_for(NodeId src) const {
+  auto it = as_dest_.find(src);
+  if (it == as_dest_.end()) return {};
+  std::vector<PathNodes> out;
+  for (std::size_t i = 0; i < it->second.paths.size(); ++i) {
+    if (it->second.alive[i]) out.push_back(it->second.paths[i]);
+  }
+  return out;
+}
+
+int Mts::current_path_id(NodeId dst) const {
+  auto it = as_source_.find(dst);
+  return it == as_source_.end() ? -1 : it->second.current;
+}
+
+}  // namespace mts::core

@@ -1,0 +1,174 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "core/disjoint.hpp"
+#include "routing/flood_cache.hpp"
+#include "routing/protocol.hpp"
+#include "routing/send_buffer.hpp"
+#include "sim/timer.hpp"
+
+namespace mts::core {
+
+/// MTS tunables.  Defaults follow the paper: at most five disjoint
+/// paths (§III-B), checking every "two to four seconds" (§III-D).
+struct MtsConfig {
+  std::size_t max_paths = 5;
+  sim::Time check_period = sim::Time::sec(3);
+  /// Per-round jitter so the five checks of a round do not collide on
+  /// air (they are sent "concurrently" per the paper — back-to-back
+  /// queueing achieves that without synchronized collisions).
+  sim::Time check_jitter = sim::Time::ms(20);
+  /// A path (or per-hop forwarding entry) is fresh while its last
+  /// confirmation is younger than this many check periods.
+  double freshness_periods = 2.5;
+  std::uint8_t net_diameter_ttl = 32;
+  sim::Time rrep_wait = sim::Time::sec(1);
+  std::uint32_t rreq_retries = 3;
+  std::size_t buffer_capacity = 64;
+  sim::Time buffer_max_age = sim::Time::sec(30);
+  sim::Time purge_period = sim::Time::sec(1);
+};
+
+/// Multipath TCP Security (the paper's contribution).
+///
+/// Mechanism summary (paper §III):
+///  * On-demand RREQ flood; intermediate nodes forward only the first
+///    copy and append themselves to the carried node list, so the paths
+///    reaching the destination differ before the destination (§III-B).
+///  * The destination replies *immediately* to the first RREQ (no
+///    disjoint-computation delay) and silently accumulates up to
+///    `max_paths` disjoint alternatives using the next-hop/last-hop rule
+///    (§III-B, §III-C).
+///  * The destination periodically unicasts checking packets along every
+///    stored path; each hop they traverse refreshes per-(dst, path)
+///    forwarding state ("construction of forward path", Fig. 4).
+///  * The source switches its active path to the one whose check packet
+///    arrives *first* in each round — the freshest route wins (§III-E).
+///  * Check forwarding failures produce checking-error packets back to
+///    the destination, which deletes the failed path (§III-D); data
+///    forwarding failures produce RERRs back to the source, which
+///    triggers a new discovery (§III-E).
+///  * A new RREQ (higher broadcast id) reaching the destination flushes
+///    every stored path (§III-D).
+class Mts final : public routing::RoutingProtocol {
+ public:
+  Mts(routing::RoutingContext ctx, MtsConfig cfg, sim::Rng rng);
+
+  void start() override;
+  void send_from_transport(net::Packet packet) override;
+  void receive_from_mac(net::Packet packet, net::NodeId from) override;
+  void on_link_failure(const net::Packet& packet,
+                       net::NodeId next_hop) override;
+  [[nodiscard]] const char* name() const override { return "MTS"; }
+
+  // --- introspection for tests / examples ------------------------------
+  /// Paths currently stored at this node acting as a *destination* for
+  /// traffic from `src`.
+  [[nodiscard]] std::vector<PathNodes> stored_paths_for(net::NodeId src) const;
+  /// The path id this node (as a *source*) currently uses toward `dst`,
+  /// or -1 when none.
+  [[nodiscard]] int current_path_id(net::NodeId dst) const;
+  /// Number of route switches this source has performed.
+  [[nodiscard]] std::uint64_t route_switches() const { return switches_; }
+  [[nodiscard]] std::uint64_t checks_sent() const { return checks_sent_; }
+  [[nodiscard]] std::uint64_t checks_received() const { return checks_recv_; }
+
+ private:
+  // -- source-side state ------------------------------------------------
+  struct SourcePath {
+    PathNodes nodes;          ///< intermediate nodes, source-side first
+    sim::Time last_confirmed; ///< RREP or check arrival
+    bool alive = true;
+  };
+  struct SourceState {
+    std::map<std::uint16_t, SourcePath> paths;  ///< by path id
+    int current = -1;                           ///< active path id
+    std::uint32_t last_switch_round = 0;        ///< check round already honoured
+    std::uint32_t retries = 0;
+    sim::EventId rreq_timer = sim::kInvalidEvent;
+    bool discovering = false;
+  };
+
+  // -- destination-side state --------------------------------------------
+  struct DestState {
+    std::vector<PathNodes> paths;   ///< stored disjoint paths (id = index)
+    std::vector<bool> alive;
+    std::uint32_t bcast_id = 0;     ///< flood generation the paths belong to
+    std::uint32_t check_round = 0;
+    sim::Time last_activity;        ///< last data from this source
+  };
+
+  // -- per-hop forwarding state (installed by RREP/check/data packets) --
+  struct HopEntry {
+    net::NodeId next_hop = net::kNoNode;
+    sim::Time refreshed;
+  };
+  /// Key: (final packet destination, path id).
+  using HopKey = std::uint64_t;
+  static HopKey hop_key(net::NodeId dst, std::uint16_t path_id) {
+    return (static_cast<std::uint64_t>(dst) << 16) | path_id;
+  }
+
+  void handle_rreq(net::Packet&& p, net::NodeId from);
+  void handle_rrep(net::Packet&& p, net::NodeId from);
+  void handle_check(net::Packet&& p, net::NodeId from);
+  void handle_check_error(net::Packet&& p, net::NodeId from);
+  void handle_rerr(net::Packet&& p, net::NodeId from);
+  void handle_data(net::Packet&& p, net::NodeId from);
+
+  void start_discovery(net::NodeId dst);
+  void send_rreq(net::NodeId dst);
+  void discovery_timeout(net::NodeId dst);
+  void accept_path_at_destination(net::NodeId src, PathNodes nodes,
+                                  std::uint32_t bcast_id);
+  void send_rrep(net::NodeId src, const PathNodes& nodes);
+  void check_tick();
+  void send_check(net::NodeId src, DestState& ds, std::uint16_t path_id);
+  void send_check_error(const net::MtsCheckHeader& failed_check,
+                        net::NodeId broken_to);
+  void send_rerr_to_source(net::NodeId src, net::NodeId dst,
+                           std::uint16_t path_id, net::NodeId broken_from,
+                           net::NodeId broken_to);
+  void flush_buffer(net::NodeId dst);
+  void source_path_confirmed(net::NodeId dst, std::uint16_t path_id,
+                             const PathNodes& nodes, std::uint32_t round,
+                             bool switch_allowed);
+  void mark_source_path_dead(net::NodeId dst, std::uint16_t path_id);
+
+  void install_hop(net::NodeId final_dst, std::uint16_t path_id,
+                   net::NodeId next_hop);
+  [[nodiscard]] const HopEntry* fresh_hop(net::NodeId final_dst,
+                                          std::uint16_t path_id) const;
+  [[nodiscard]] const HopEntry* any_hop(net::NodeId final_dst,
+                                        std::uint16_t path_id) const;
+  [[nodiscard]] sim::Time freshness_limit() const {
+    return cfg_.check_period * cfg_.freshness_periods;
+  }
+  [[nodiscard]] SourcePath* fresh_source_path(net::NodeId dst);
+  void purge();
+
+  MtsConfig cfg_;
+  sim::Rng rng_;
+  std::uint32_t bcast_id_ = 0;   ///< our RREQ generation counter
+  std::uint32_t rrep_id_ = 0;
+
+  std::unordered_map<net::NodeId, SourceState> as_source_;
+  std::unordered_map<net::NodeId, DestState> as_dest_;
+  std::unordered_map<HopKey, HopEntry> hops_;
+  /// Sink side: path id of the most recent data per peer (ACK routing).
+  std::unordered_map<net::NodeId, std::uint16_t> last_rx_path_;
+  routing::FloodCache rreq_seen_;
+  routing::SendBuffer buffer_;
+  sim::PeriodicTimer check_timer_;
+  sim::PeriodicTimer purge_timer_;
+
+  std::uint64_t switches_ = 0;
+  std::uint64_t checks_sent_ = 0;
+  std::uint64_t checks_recv_ = 0;
+};
+
+}  // namespace mts::core

@@ -1,0 +1,144 @@
+#include "harness/campaign.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "sim/error.hpp"
+#include "stats/table.hpp"
+
+namespace mts::harness {
+
+void CampaignResult::add(RunMetrics m) {
+  cells_[{static_cast<int>(m.protocol), speed_key(m.max_speed)}].push_back(
+      std::move(m));
+  ++count_;
+}
+
+const std::vector<RunMetrics>& CampaignResult::runs(Protocol p,
+                                                    double speed) const {
+  static const std::vector<RunMetrics> kEmpty;
+  auto it = cells_.find({static_cast<int>(p), speed_key(speed)});
+  return it == cells_.end() ? kEmpty : it->second;
+}
+
+stats::Summary CampaignResult::summarize(
+    Protocol p, double speed,
+    const std::function<double(const RunMetrics&)>& metric) const {
+  stats::Summary s;
+  for (const RunMetrics& m : runs(p, speed)) s.add(metric(m));
+  return s;
+}
+
+CampaignResult run_campaign(const CampaignConfig& cfg,
+                            std::ostream* progress) {
+  struct Cell {
+    Protocol protocol;
+    double speed;
+    std::uint64_t seed;
+  };
+  std::vector<Cell> work;
+  for (Protocol p : cfg.protocols) {
+    for (double speed : cfg.speeds) {
+      for (std::uint32_t r = 0; r < cfg.repetitions; ++r) {
+        // Same seed across protocols for a given (speed, rep): paired
+        // comparisons see identical mobility and flow placement.
+        work.push_back(Cell{p, speed, cfg.seed_base + r});
+      }
+    }
+  }
+  std::vector<RunMetrics> results(work.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+
+  unsigned n_threads = cfg.threads != 0 ? cfg.threads
+                                        : std::max(1u, std::thread::hardware_concurrency());
+  n_threads = std::min<unsigned>(n_threads, static_cast<unsigned>(work.size()));
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= work.size()) return;
+      ScenarioConfig sc = cfg.base;
+      sc.protocol = work[i].protocol;
+      sc.max_speed = work[i].speed;
+      sc.seed = work[i].seed;
+      results[i] = run_scenario(sc);
+      const std::size_t d = done.fetch_add(1) + 1;
+      if (progress != nullptr) {
+        std::ostringstream os;  // single write keeps lines intact
+        os << "  [" << d << "/" << work.size() << "] "
+           << protocol_name(work[i].protocol) << " speed=" << work[i].speed
+           << " seed=" << work[i].seed << "\n";
+        (*progress) << os.str() << std::flush;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(n_threads);
+  for (unsigned t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+
+  CampaignResult out;
+  for (RunMetrics& m : results) out.add(std::move(m));
+  return out;
+}
+
+void print_figure(std::ostream& os, const CampaignResult& result,
+                  const CampaignConfig& cfg, const std::string& title,
+                  const std::string& unit,
+                  const std::function<double(const RunMetrics&)>& metric,
+                  int precision) {
+  os << "\n=== " << title << " ===\n";
+  if (!unit.empty()) os << "(" << unit << "; mean +/- 95% CI over "
+                        << cfg.repetitions << " runs)\n";
+  std::vector<std::string> header{"MAXSPEED (m/s)"};
+  for (Protocol p : cfg.protocols) header.emplace_back(protocol_name(p));
+  stats::Table table(std::move(header));
+  for (double speed : cfg.speeds) {
+    std::vector<std::string> row{stats::Table::fmt(speed, 0)};
+    for (Protocol p : cfg.protocols) {
+      const stats::Summary s = result.summarize(p, speed, metric);
+      row.push_back(stats::Table::fmt(s.mean(), precision) + " +/- " +
+                    stats::Table::fmt(s.ci95(), precision));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(os);
+}
+
+namespace {
+
+std::vector<double> parse_speeds(const char* s) {
+  std::vector<double> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+}  // namespace
+
+void apply_bench_env(CampaignConfig& cfg) {
+  if (const char* v = std::getenv("MTS_BENCH_REPS")) {
+    cfg.repetitions = static_cast<std::uint32_t>(std::stoul(v));
+  }
+  if (const char* v = std::getenv("MTS_BENCH_SIM_TIME")) {
+    cfg.base.sim_time = sim::Time::seconds(std::stod(v));
+  }
+  if (const char* v = std::getenv("MTS_BENCH_SPEEDS")) {
+    auto speeds = parse_speeds(v);
+    if (!speeds.empty()) cfg.speeds = std::move(speeds);
+  }
+  if (const char* v = std::getenv("MTS_BENCH_THREADS")) {
+    cfg.threads = static_cast<unsigned>(std::stoul(v));
+  }
+  if (const char* v = std::getenv("MTS_BENCH_NODES")) {
+    cfg.base.node_count = static_cast<std::uint32_t>(std::stoul(v));
+  }
+}
+
+}  // namespace mts::harness

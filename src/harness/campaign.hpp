@@ -1,0 +1,68 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "harness/scenario.hpp"
+#include "stats/summary.hpp"
+
+namespace mts::harness {
+
+/// A full sweep: protocol x MAXSPEED x repetitions — the grid every
+/// figure of the paper is drawn from.
+struct CampaignConfig {
+  ScenarioConfig base;  ///< speed/protocol/seed are overwritten per cell
+  std::vector<double> speeds{2, 5, 10, 15, 20};
+  std::vector<Protocol> protocols{Protocol::kDsr, Protocol::kAodv,
+                                  Protocol::kMts};
+  std::uint32_t repetitions = 5;  ///< paper: "repeated for 5 times"
+  std::uint64_t seed_base = 1;
+  unsigned threads = 0;  ///< 0 = hardware concurrency
+};
+
+/// All runs, indexable by (protocol, speed).
+class CampaignResult {
+ public:
+  void add(RunMetrics m);
+
+  [[nodiscard]] const std::vector<RunMetrics>& runs(Protocol p,
+                                                    double speed) const;
+
+  /// Aggregates one metric across the repetitions of a cell.
+  [[nodiscard]] stats::Summary summarize(
+      Protocol p, double speed,
+      const std::function<double(const RunMetrics&)>& metric) const;
+
+  [[nodiscard]] std::size_t total_runs() const { return count_; }
+
+ private:
+  static std::int64_t speed_key(double speed) {
+    return static_cast<std::int64_t>(speed * 1000.0 + 0.5);
+  }
+  std::map<std::pair<int, std::int64_t>, std::vector<RunMetrics>> cells_;
+  std::size_t count_ = 0;
+};
+
+/// Runs the sweep.  Repetitions are embarrassingly parallel: each run
+/// owns an isolated simulator, so the pool shares nothing but the work
+/// queue (an atomic index) and writes results into pre-sized slots.
+CampaignResult run_campaign(const CampaignConfig& cfg,
+                            std::ostream* progress = nullptr);
+
+/// Prints one paper figure: rows = MAXSPEED, one column (mean +/- 95 % CI
+/// half-width) per protocol.
+void print_figure(std::ostream& os, const CampaignResult& result,
+                  const CampaignConfig& cfg, const std::string& title,
+                  const std::string& unit,
+                  const std::function<double(const RunMetrics&)>& metric,
+                  int precision = 3);
+
+/// Reads the standard bench environment overrides
+/// (MTS_BENCH_REPS, MTS_BENCH_SIM_TIME, MTS_BENCH_SPEEDS,
+///  MTS_BENCH_THREADS, MTS_BENCH_NODES) into `cfg`.
+void apply_bench_env(CampaignConfig& cfg);
+
+}  // namespace mts::harness

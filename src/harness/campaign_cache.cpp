@@ -1,0 +1,174 @@
+#include "harness/campaign_cache.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "sim/rng.hpp"
+
+namespace mts::harness {
+
+namespace {
+
+constexpr int kCacheVersion = 4;
+
+bool cache_disabled() {
+  const char* v = std::getenv("MTS_BENCH_NO_CACHE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+std::filesystem::path cache_dir() {
+  if (const char* v = std::getenv("MTS_BENCH_CACHE_DIR")) {
+    return std::filesystem::path(v);
+  }
+  return std::filesystem::path(".mts_bench_cache");
+}
+
+/// The CSV column set: one row per run, order matters.
+constexpr const char* kHeader =
+    "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
+    "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
+    "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
+    "switches,checks,events";
+
+void write_row(std::ostream& os, const RunMetrics& m) {
+  os << static_cast<int>(m.protocol) << ',' << m.max_speed << ',' << m.seed
+     << ',' << m.participating_nodes << ',' << m.relay_stddev << ','
+     << m.alpha << ',' << m.max_beta << ',' << m.highest_interception_ratio
+     << ',' << m.pe << ',' << m.pr << ',' << m.interception_ratio << ','
+     << m.avg_delay_s << ',' << m.throughput_seg_s << ','
+     << m.throughput_kbps << ',' << m.delivery_rate << ','
+     << m.segments_delivered << ',' << m.data_packets_sent << ','
+     << m.retransmits << ',' << m.timeouts << ',' << m.acks_sent << ','
+     << m.acks_received << ',' << m.eavesdropper << ',' << m.control_packets
+     << ',' << m.route_switches << ',' << m.checks_sent << ','
+     << m.events_executed << '\n';
+}
+
+std::optional<RunMetrics> parse_row(const std::string& line) {
+  std::stringstream ss(line);
+  std::string cell;
+  std::vector<std::string> cells;
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (cells.size() != 26) return std::nullopt;
+  try {
+    RunMetrics m;
+    std::size_t i = 0;
+    m.protocol = static_cast<Protocol>(std::stoi(cells[i++]));
+    m.max_speed = std::stod(cells[i++]);
+    m.seed = std::stoull(cells[i++]);
+    m.participating_nodes = std::stoull(cells[i++]);
+    m.relay_stddev = std::stod(cells[i++]);
+    m.alpha = std::stoull(cells[i++]);
+    m.max_beta = std::stoull(cells[i++]);
+    m.highest_interception_ratio = std::stod(cells[i++]);
+    m.pe = std::stoull(cells[i++]);
+    m.pr = std::stoull(cells[i++]);
+    m.interception_ratio = std::stod(cells[i++]);
+    m.avg_delay_s = std::stod(cells[i++]);
+    m.throughput_seg_s = std::stod(cells[i++]);
+    m.throughput_kbps = std::stod(cells[i++]);
+    m.delivery_rate = std::stod(cells[i++]);
+    m.segments_delivered = std::stoull(cells[i++]);
+    m.data_packets_sent = std::stoull(cells[i++]);
+    m.retransmits = std::stoull(cells[i++]);
+    m.timeouts = std::stoull(cells[i++]);
+    m.acks_sent = std::stoull(cells[i++]);
+    m.acks_received = std::stoull(cells[i++]);
+    m.eavesdropper = static_cast<net::NodeId>(std::stoul(cells[i++]));
+    m.control_packets = std::stoull(cells[i++]);
+    m.route_switches = std::stoull(cells[i++]);
+    m.checks_sent = std::stoull(cells[i++]);
+    m.events_executed = std::stoull(cells[i++]);
+    return m;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::string CampaignCache::key_of(const CampaignConfig& cfg) {
+  // Hash every result-affecting input.  Scenario knobs that the
+  // ablation benches vary must be included or they would collide.
+  std::ostringstream os;
+  os << 'v' << kCacheVersion << '|' << cfg.repetitions << '|'
+     << cfg.seed_base << '|' << cfg.base.node_count << '|'
+     << cfg.base.sim_time.nanoseconds() << '|' << cfg.base.field.width << 'x'
+     << cfg.base.field.height << '|' << cfg.base.min_speed << '|'
+     << cfg.base.pause.nanoseconds() << '|' << cfg.base.radio_range << '|'
+     << cfg.base.flow_count << '|' << cfg.base.min_flow_distance << '|'
+     << cfg.base.tcp.segment_bytes << '|' << cfg.base.tcp.max_window << '|'
+     << static_cast<int>(cfg.base.tcp.variant) << '|'
+     << cfg.base.mts.max_paths << '|'
+     << cfg.base.mts.check_period.nanoseconds() << '|'
+     << cfg.base.mts.freshness_periods << '|'
+     << cfg.base.mac.rts_threshold_bytes << '|'
+     << cfg.base.channel.cs_range_factor << '|'
+     << cfg.base.dsr.cache_expiry.nanoseconds() << '|'
+     << cfg.base.aodv.active_route_timeout.nanoseconds() << '|'
+     << cfg.base.aodv.local_repair << '|';
+  for (Protocol p : cfg.protocols) os << static_cast<int>(p) << ';';
+  os << '|';
+  for (double s : cfg.speeds) os << s << ';';
+  const std::uint64_t h = sim::splitmix64(sim::fnv1a(os.str()));
+  std::ostringstream name;
+  name << std::hex << h;
+  return name.str();
+}
+
+std::optional<CampaignResult> CampaignCache::load(const CampaignConfig& cfg) {
+  if (cache_disabled()) return std::nullopt;
+  const auto path = cache_dir() / (key_of(cfg) + ".csv");
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
+  CampaignResult result;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto m = parse_row(line);
+    if (!m.has_value()) return std::nullopt;  // corrupt: full miss
+    result.add(std::move(*m));
+    ++rows;
+  }
+  const std::size_t expected =
+      cfg.protocols.size() * cfg.speeds.size() * cfg.repetitions;
+  if (rows != expected) return std::nullopt;
+  return result;
+}
+
+void CampaignCache::store(const CampaignConfig& cfg,
+                          const CampaignResult& result) {
+  if (cache_disabled()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir(), ec);
+  if (ec) return;
+  const auto path = cache_dir() / (key_of(cfg) + ".csv");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return;
+  out << kHeader << '\n';
+  for (Protocol p : cfg.protocols) {
+    for (double s : cfg.speeds) {
+      for (const RunMetrics& m : result.runs(p, s)) write_row(out, m);
+    }
+  }
+}
+
+CampaignResult CampaignCache::run(const CampaignConfig& cfg,
+                                  std::ostream* progress) {
+  if (auto cached = load(cfg)) {
+    if (progress != nullptr) {
+      (*progress) << "  [campaign cache hit: " << cached->total_runs()
+                  << " runs]\n";
+    }
+    return std::move(*cached);
+  }
+  CampaignResult result = run_campaign(cfg, progress);
+  store(cfg, result);
+  return result;
+}
+
+}  // namespace mts::harness

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "harness/campaign.hpp"
+
+namespace mts::harness {
+
+/// Disk cache for campaign sweeps.
+///
+/// Every per-figure bench projects the *same* protocol x speed x seed
+/// grid onto a different metric; rerunning the grid eight times would
+/// multiply the bench wall time for nothing.  The cache keys on every
+/// input that affects results (grid, repetitions, sim time, node count,
+/// seeds, and the scenario knobs the ablations vary) and stores the
+/// scalar metrics of each run as CSV.
+///
+/// Location: $MTS_BENCH_CACHE_DIR, defaulting to ".mts_bench_cache" in
+/// the working directory.  Delete the directory to force re-runs; set
+/// MTS_BENCH_NO_CACHE=1 to bypass entirely.
+class CampaignCache {
+ public:
+  /// Stable content key for a campaign configuration.
+  static std::string key_of(const CampaignConfig& cfg);
+
+  /// Loads a cached result; nullopt on miss/corruption/disabled cache.
+  static std::optional<CampaignResult> load(const CampaignConfig& cfg);
+
+  /// Persists a result (best effort; failures are silent — the cache is
+  /// an optimization, never a correctness dependency).
+  static void store(const CampaignConfig& cfg, const CampaignResult& result);
+
+  /// Cached run_campaign: load, else run + store.
+  static CampaignResult run(const CampaignConfig& cfg,
+                            std::ostream* progress = nullptr);
+};
+
+}  // namespace mts::harness

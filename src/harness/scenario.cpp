@@ -1,0 +1,359 @@
+#include "harness/scenario.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "phy/channel.hpp"
+#include "phy/propagation.hpp"
+#include "phy/radio.hpp"
+#include "security/eavesdropper.hpp"
+#include "security/relay_census.hpp"
+#include "sim/scheduler.hpp"
+#include "tcp/tcp_sink.hpp"
+#include "tcp/tcp_source.hpp"
+
+namespace mts::harness {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kDsr: return "DSR";
+    case Protocol::kAodv: return "AODV";
+    case Protocol::kMts: return "MTS";
+    case Protocol::kSmr: return "SMR";
+  }
+  return "?";
+}
+
+namespace {
+
+/// One node's full stack.  Construction order matters: radio before MAC,
+/// MAC before routing; destruction (reverse order) cancels all timers
+/// before anything they reference dies.
+struct Node {
+  std::unique_ptr<mobility::MobilityModel> mobility;
+  net::Counters counters;
+  std::unique_ptr<phy::Radio> radio;
+  std::unique_ptr<mac::Mac80211> mac;
+  std::unique_ptr<routing::RoutingProtocol> routing;
+  core::Mts* mts = nullptr;  ///< non-owning view when protocol == kMts
+  std::vector<tcp::TcpSource*> sources;  ///< agents homed here
+  std::vector<tcp::TcpSink*> sinks;
+};
+
+struct Flow {
+  FlowSpec spec;
+  std::uint16_t id;
+  tcp::FlowStats stats;
+  std::unique_ptr<tcp::TcpSource> source;
+  std::unique_ptr<tcp::TcpSink> sink;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(const ScenarioConfig& cfg, net::TraceHub* trace)
+      : cfg_(cfg), master_(cfg.seed), external_trace_(trace) {
+    validate();
+    build_nodes();
+    build_flows();
+    pick_eavesdropper();
+    wire();
+  }
+
+  RunMetrics run() {
+    for (auto& n : nodes_) n.routing->start();
+    for (auto& f : flows_) f->source->start(f->spec.start);
+    sched_.run_until(cfg_.sim_time);
+    return collect();
+  }
+
+ private:
+  void validate() const {
+    sim::require_config(cfg_.node_count >= 2, "Scenario: need >= 2 nodes");
+    sim::require_config(cfg_.sim_time > sim::Time::zero(),
+                        "Scenario: sim_time <= 0");
+    sim::require_config(cfg_.radio_range > 0, "Scenario: radio_range <= 0");
+    sim::require_config(
+        cfg_.static_positions.empty() ||
+            cfg_.static_positions.size() == cfg_.node_count,
+        "Scenario: static_positions size != node_count");
+    sim::require_config(cfg_.flow_count >= 1 || !cfg_.explicit_flows.empty(),
+                        "Scenario: no flows");
+    for (const auto& f : cfg_.explicit_flows) {
+      sim::require_config(
+          f.src < cfg_.node_count && f.dst < cfg_.node_count && f.src != f.dst,
+          "Scenario: bad explicit flow endpoints");
+    }
+  }
+
+  void build_nodes() {
+    if (cfg_.fading_enabled) {
+      phy::FadingConfig fc = cfg_.fading;
+      fc.range_m = cfg_.radio_range;
+      prop_ = std::make_unique<phy::FadingPropagation>(
+          fc, master_.substream("fading").seed());
+    } else {
+      prop_ = std::make_unique<phy::UnitDiskPropagation>(cfg_.radio_range);
+    }
+    channel_ = std::make_unique<phy::Channel>(sched_, *prop_, cfg_.channel);
+    nodes_.resize(cfg_.node_count);
+    sim::Rng mob_rng = master_.substream("mobility");
+    sim::Rng mac_rng = master_.substream("mac");
+    sim::Rng proto_rng = master_.substream("routing");
+    for (net::NodeId i = 0; i < cfg_.node_count; ++i) {
+      Node& n = nodes_[i];
+      if (!cfg_.static_positions.empty()) {
+        n.mobility = std::make_unique<mobility::StaticMobility>(
+            cfg_.static_positions[i]);
+      } else {
+        mobility::RandomWaypointConfig rc;
+        rc.field = cfg_.field;
+        rc.min_speed = cfg_.min_speed;
+        rc.max_speed = cfg_.max_speed;
+        rc.pause = cfg_.pause;
+        n.mobility =
+            std::make_unique<mobility::RandomWaypoint>(rc, mob_rng.substream(i));
+      }
+      n.radio = std::make_unique<phy::Radio>(sched_, i, &n.counters);
+      n.mac = std::make_unique<mac::Mac80211>(sched_, *n.radio, cfg_.mac,
+                                              mac_rng.substream(i), &n.counters);
+      routing::RoutingContext ctx;
+      ctx.self = i;
+      ctx.sched = &sched_;
+      ctx.mac = n.mac.get();
+      ctx.counters = &n.counters;
+      ctx.trace = external_trace_;
+      ctx.uids = &uids_;
+      ctx.deliver = [this, i](net::Packet&& p, net::NodeId from) {
+        deliver_to_transport(i, std::move(p), from);
+      };
+      switch (cfg_.protocol) {
+        case Protocol::kDsr:
+          n.routing = std::make_unique<routing::dsr::Dsr>(
+              std::move(ctx), cfg_.dsr, proto_rng.substream(i));
+          break;
+        case Protocol::kAodv:
+          n.routing = std::make_unique<routing::aodv::Aodv>(
+              std::move(ctx), cfg_.aodv, proto_rng.substream(i));
+          break;
+        case Protocol::kMts: {
+          auto mts = std::make_unique<core::Mts>(std::move(ctx), cfg_.mts,
+                                                 proto_rng.substream(i));
+          n.mts = mts.get();
+          n.routing = std::move(mts);
+          break;
+        }
+        case Protocol::kSmr:
+          n.routing = std::make_unique<routing::smr::Smr>(
+              std::move(ctx), cfg_.smr, proto_rng.substream(i));
+          break;
+      }
+      channel_->attach(n.radio.get(), n.mobility.get());
+    }
+    channel_->finalize();
+  }
+
+  void build_flows() {
+    std::vector<FlowSpec> specs = cfg_.explicit_flows;
+    if (specs.empty()) {
+      sim::Rng frng = master_.substream("flows");
+      std::unordered_set<net::NodeId> used;
+      auto draw_unused = [&]() {
+        net::NodeId n = 0;
+        do {
+          n = static_cast<net::NodeId>(frng.uniform_int(0, cfg_.node_count - 1));
+        } while (used.contains(n));
+        return n;
+      };
+      for (std::uint32_t k = 0; k < cfg_.flow_count; ++k) {
+        // Distinct endpoints across flows keeps the census attribution
+        // clean (every flow endpoint is excluded from "intermediate").
+        const net::NodeId src = draw_unused();
+        used.insert(src);
+        net::NodeId dst = draw_unused();
+        // Rejection-sample for a multihop pair; give up after a bounded
+        // number of tries (tiny fields have no distant pairs).
+        for (int tries = 0; tries < 200; ++tries) {
+          const double d = mobility::distance(
+              nodes_[src].mobility->position_at(sim::Time::zero()),
+              nodes_[dst].mobility->position_at(sim::Time::zero()));
+          if (d >= cfg_.min_flow_distance) break;
+          dst = draw_unused();
+        }
+        used.insert(dst);
+        specs.push_back(FlowSpec{
+            src, dst, sim::Time::sec(1) + sim::Time::seconds(frng.uniform(0.0, 1.0))});
+      }
+    }
+    std::uint16_t next_id = 1;
+    for (const FlowSpec& spec : specs) {
+      auto flow = std::make_unique<Flow>();
+      flow->spec = spec;
+      flow->id = next_id++;
+      Node& src_node = nodes_[spec.src];
+      Node& dst_node = nodes_[spec.dst];
+      flow->source = std::make_unique<tcp::TcpSource>(
+          sched_,
+          [r = src_node.routing.get()](net::Packet&& p) {
+            r->send_from_transport(std::move(p));
+          },
+          spec.src, spec.dst, flow->id, cfg_.tcp, &uids_, &src_node.counters,
+          &flow->stats);
+      flow->sink = std::make_unique<tcp::TcpSink>(
+          sched_,
+          [r = dst_node.routing.get()](net::Packet&& p) {
+            r->send_from_transport(std::move(p));
+          },
+          spec.dst, spec.src, flow->id, &uids_, &dst_node.counters,
+          &flow->stats);
+      src_node.sources.push_back(flow->source.get());
+      dst_node.sinks.push_back(flow->sink.get());
+      flows_.push_back(std::move(flow));
+    }
+  }
+
+  void pick_eavesdropper() {
+    if (!cfg_.eavesdropper_enabled) return;
+    std::unordered_set<net::NodeId> endpoints;
+    for (const auto& f : flows_) {
+      endpoints.insert(f->spec.src);
+      endpoints.insert(f->spec.dst);
+    }
+    if (endpoints.size() >= cfg_.node_count) return;  // no intermediate left
+    sim::Rng erng = master_.substream("eavesdropper");
+    net::NodeId pick = 0;
+    do {
+      pick = static_cast<net::NodeId>(erng.uniform_int(0, cfg_.node_count - 1));
+    } while (endpoints.contains(pick));
+    eavesdropper_ = std::make_unique<security::Eavesdropper>(pick);
+  }
+
+  void wire() {
+    for (net::NodeId i = 0; i < cfg_.node_count; ++i) {
+      Node& n = nodes_[i];
+      mac::Mac80211::Callbacks cb;
+      cb.on_receive = [this, i](net::Packet&& p, net::NodeId from) {
+        nodes_[i].routing->receive_from_mac(std::move(p), from);
+      };
+      cb.on_unicast_failure = [this, i](const net::Packet& p,
+                                        net::NodeId next_hop) {
+        nodes_[i].routing->on_link_failure(p, next_hop);
+      };
+      if (eavesdropper_ != nullptr && eavesdropper_->node() == i) {
+        cb.on_sniff = [e = eavesdropper_.get()](const phy::Frame& f) {
+          e->on_sniff(f);
+        };
+      }
+      n.mac->set_callbacks(std::move(cb));
+    }
+  }
+
+  void deliver_to_transport(net::NodeId node, net::Packet&& p,
+                            net::NodeId /*from*/) {
+    Node& n = nodes_[node];
+    if (p.common.kind == net::PacketKind::kTcpData) {
+      for (tcp::TcpSink* s : n.sinks) s->on_data(p);
+    } else if (p.common.kind == net::PacketKind::kTcpAck) {
+      for (tcp::TcpSource* s : n.sources) s->on_ack(p);
+    }
+  }
+
+  RunMetrics collect() {
+    RunMetrics m;
+    m.protocol = cfg_.protocol;
+    m.max_speed = cfg_.max_speed;
+    m.seed = cfg_.seed;
+    m.events_executed = sched_.executed_count();
+
+    // Relay census over intermediate nodes (flow endpoints excluded —
+    // they originate/terminate, they don't "participate" as relays).
+    std::unordered_set<net::NodeId> endpoints;
+    for (const auto& f : flows_) {
+      endpoints.insert(f->spec.src);
+      endpoints.insert(f->spec.dst);
+    }
+    std::vector<std::pair<net::NodeId, std::uint64_t>> betas;
+    for (net::NodeId i = 0; i < cfg_.node_count; ++i) {
+      if (endpoints.contains(i)) continue;
+      betas.emplace_back(i, nodes_[i].counters.forwarded_data);
+    }
+    const security::RelayReport census = security::analyze_relays(betas);
+    m.participating_nodes = census.participating_nodes();
+    m.relay_stddev = census.normalized_stddev;
+    m.alpha = census.alpha;
+    m.max_beta = census.max_beta;
+    m.betas = census.participants;
+
+    sim::Time earliest_start = sim::Time::max();
+    double delay_sum = 0.0;
+    std::uint64_t delay_n = 0;
+    std::uint64_t arrivals = 0;
+    for (const auto& f : flows_) {
+      m.segments_delivered += f->stats.unique_segments_delivered;
+      m.data_packets_sent += f->stats.data_packets_sent;
+      m.retransmits += f->stats.retransmits;
+      m.timeouts += f->stats.timeouts;
+      m.acks_sent += f->stats.acks_sent;
+      m.acks_received += f->stats.acks_received;
+      if (cfg_.tcp.trace_cwnd) {
+        m.cwnd_traces.push_back(f->source->cwnd_trace());
+      }
+      arrivals += f->stats.data_packets_received;
+      delay_sum += f->stats.delay_sum_s;
+      delay_n += f->stats.delay_samples;
+      earliest_start = std::min(earliest_start, f->spec.start);
+      if (m.deliveries_per_second.size() < f->stats.deliveries_per_second.size())
+        m.deliveries_per_second.resize(f->stats.deliveries_per_second.size(), 0);
+      for (std::size_t s = 0; s < f->stats.deliveries_per_second.size(); ++s)
+        m.deliveries_per_second[s] += f->stats.deliveries_per_second[s];
+    }
+    m.pr = m.segments_delivered;
+    m.avg_delay_s = delay_n == 0 ? 0.0 : delay_sum / static_cast<double>(delay_n);
+    const double duration = (cfg_.sim_time - earliest_start).to_seconds();
+    m.throughput_seg_s =
+        duration > 0 ? static_cast<double>(m.segments_delivered) / duration : 0;
+    m.throughput_kbps = m.throughput_seg_s *
+                        static_cast<double>(cfg_.tcp.segment_bytes) * 8.0 / 1000.0;
+    m.delivery_rate =
+        m.data_packets_sent == 0
+            ? 0.0
+            : static_cast<double>(arrivals) / static_cast<double>(m.data_packets_sent);
+    m.highest_interception_ratio = census.highest_interception_ratio(m.pr);
+
+    if (eavesdropper_ != nullptr) {
+      m.eavesdropper = eavesdropper_->node();
+      m.pe = eavesdropper_->captured_segments();
+      m.interception_ratio = eavesdropper_->interception_ratio(m.pr);
+    }
+    for (const Node& n : nodes_) {
+      m.control_packets += n.counters.control_transmissions();
+      for (std::size_t r = 0; r < m.drops.size(); ++r) {
+        m.drops[r] += n.counters.drops[r];
+      }
+      if (n.mts != nullptr) {
+        m.route_switches += n.mts->route_switches();
+        m.checks_sent += n.mts->checks_sent();
+      }
+    }
+    return m;
+  }
+
+  ScenarioConfig cfg_;
+  sim::Rng master_;
+  net::TraceHub* external_trace_;
+  sim::Scheduler sched_;
+  net::UidSource uids_;
+  std::unique_ptr<phy::PropagationModel> prop_;
+  std::unique_ptr<phy::Channel> channel_;
+  std::vector<Node> nodes_;
+  std::vector<std::unique_ptr<Flow>> flows_;
+  std::unique_ptr<security::Eavesdropper> eavesdropper_;
+};
+
+}  // namespace
+
+RunMetrics run_scenario(const ScenarioConfig& cfg, net::TraceHub* trace) {
+  Simulation sim(cfg, trace);
+  return sim.run();
+}
+
+}  // namespace mts::harness

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "mobility/vec2.hpp"
+#include "sim/time.hpp"
+
+namespace mts::mobility {
+
+/// Per-node trajectory, expressed as position-as-a-function-of-time.
+///
+/// Models are *pure*: position_at(t) is deterministic given the model's
+/// seed, and may be queried for any t >= 0 in any order (the channel
+/// queries at transmit instants; metrics and tests query arbitrarily).
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  [[nodiscard]] virtual Vec2 position_at(sim::Time t) const = 0;
+
+  /// Upper bound on instantaneous speed (m/s); the neighbour cache uses
+  /// it to size its staleness margin.
+  [[nodiscard]] virtual double max_speed() const = 0;
+};
+
+/// A node that never moves (baselines, unit-test topologies).
+class StaticMobility final : public MobilityModel {
+ public:
+  explicit StaticMobility(Vec2 pos) : pos_(pos) {}
+  [[nodiscard]] Vec2 position_at(sim::Time) const override { return pos_; }
+  [[nodiscard]] double max_speed() const override { return 0.0; }
+
+ private:
+  Vec2 pos_;
+};
+
+}  // namespace mts::mobility

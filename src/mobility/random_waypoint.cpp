@@ -1,0 +1,125 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <algorithm>
+
+#include "sim/error.hpp"
+
+namespace mts::mobility {
+
+RandomWaypoint::RandomWaypoint(const RandomWaypointConfig& cfg, sim::Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  sim::require_config(cfg.max_speed > 0, "RandomWaypoint: max_speed must be > 0");
+  sim::require_config(cfg.min_speed > 0, "RandomWaypoint: min_speed must be > 0");
+  sim::require_config(cfg.min_speed <= cfg.max_speed,
+                      "RandomWaypoint: min_speed > max_speed");
+  sim::require_config(cfg.pause >= sim::Time::zero(),
+                      "RandomWaypoint: negative pause");
+  // Initial placement: uniform over the field.  The node starts paused,
+  // then moves — matching the common ns-2 setdest initialization.
+  Vec2 start{rng_.uniform(0.0, cfg_.field.width),
+             rng_.uniform(0.0, cfg_.field.height)};
+  Leg first;
+  first.from = start;
+  first.to = Vec2{rng_.uniform(0.0, cfg_.field.width),
+                  rng_.uniform(0.0, cfg_.field.height)};
+  first.speed = rng_.uniform(cfg_.min_speed, cfg_.max_speed);
+  first.start = cfg_.pause;  // initial pause before first movement
+  const double dist = distance(first.from, first.to);
+  first.arrive = first.start + sim::Time::seconds(dist / first.speed);
+  first.depart = first.arrive + cfg_.pause;
+  legs_.push_back(first);
+}
+
+void RandomWaypoint::extend_until(sim::Time t) const {
+  while (legs_.back().depart < t) {
+    const Leg& prev = legs_.back();
+    Leg next;
+    next.from = prev.to;
+    next.to = Vec2{rng_.uniform(0.0, cfg_.field.width),
+                   rng_.uniform(0.0, cfg_.field.height)};
+    next.speed = rng_.uniform(cfg_.min_speed, cfg_.max_speed);
+    next.start = prev.depart;
+    const double dist = distance(next.from, next.to);
+    next.arrive = next.start + sim::Time::seconds(dist / next.speed);
+    next.depart = next.arrive + cfg_.pause;
+    legs_.push_back(next);
+  }
+}
+
+Vec2 RandomWaypoint::position_at(sim::Time t) const {
+  extend_until(t);
+  // Find the last leg with start <= t (legs are sorted by start).
+  auto it = std::upper_bound(
+      legs_.begin(), legs_.end(), t,
+      [](sim::Time tt, const Leg& leg) { return tt < leg.start; });
+  if (it == legs_.begin()) return legs_.front().from;  // initial pause
+  const Leg& leg = *(it - 1);
+  if (t >= leg.arrive) return leg.to;  // paused at the waypoint
+  const double frac = (t - leg.start) / (leg.arrive - leg.start);
+  return leg.from + (leg.to - leg.from) * frac;
+}
+
+// ---------------------------------------------------------------------------
+
+RandomWalk::RandomWalk(const RandomWalkConfig& cfg, sim::Rng rng)
+    : cfg_(cfg), rng_(rng) {
+  sim::require_config(cfg.max_speed > 0, "RandomWalk: max_speed must be > 0");
+  sim::require_config(cfg.step > sim::Time::zero(), "RandomWalk: step <= 0");
+  Segment s;
+  s.start = sim::Time::zero();
+  s.from = Vec2{rng_.uniform(0.0, cfg_.field.width),
+                rng_.uniform(0.0, cfg_.field.height)};
+  const double speed = rng_.uniform(cfg_.min_speed, cfg_.max_speed);
+  const double theta = rng_.uniform(0.0, 2.0 * 3.141592653589793);
+  s.velocity = Vec2{speed * std::cos(theta), speed * std::sin(theta)};
+  segs_.push_back(s);
+}
+
+namespace {
+
+/// Advances `p` by `v * dt` reflecting off the field walls; `v` is
+/// updated in place when a wall flips a component.
+Vec2 reflect_advance(Vec2 p, Vec2& v, double dt, const Field& f) {
+  double nx = p.x + v.x * dt;
+  double ny = p.y + v.y * dt;
+  // Reflect until inside; each loop handles one bounce per axis.
+  while (nx < 0.0 || nx > f.width) {
+    if (nx < 0.0) nx = -nx;
+    if (nx > f.width) nx = 2.0 * f.width - nx;
+    v.x = -v.x;
+  }
+  while (ny < 0.0 || ny > f.height) {
+    if (ny < 0.0) ny = -ny;
+    if (ny > f.height) ny = 2.0 * f.height - ny;
+    v.y = -v.y;
+  }
+  return {nx, ny};
+}
+
+}  // namespace
+
+void RandomWalk::extend_until(sim::Time t) const {
+  while (segs_.back().start + cfg_.step < t) {
+    const Segment& prev = segs_.back();
+    Segment next;
+    next.start = prev.start + cfg_.step;
+    Vec2 v = prev.velocity;
+    next.from = reflect_advance(prev.from, v, cfg_.step.to_seconds(), cfg_.field);
+    const double speed = rng_.uniform(cfg_.min_speed, cfg_.max_speed);
+    const double theta = rng_.uniform(0.0, 2.0 * 3.141592653589793);
+    next.velocity = Vec2{speed * std::cos(theta), speed * std::sin(theta)};
+    segs_.push_back(next);
+  }
+}
+
+Vec2 RandomWalk::position_at(sim::Time t) const {
+  extend_until(t);
+  auto it = std::upper_bound(
+      segs_.begin(), segs_.end(), t,
+      [](sim::Time tt, const Segment& s) { return tt < s.start; });
+  const Segment& seg = *(it - 1);
+  Vec2 v = seg.velocity;
+  return reflect_advance(seg.from, v, (t - seg.start).to_seconds(), cfg_.field);
+}
+
+}  // namespace mts::mobility

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <vector>
+
+#include "mobility/mobility_model.hpp"
+#include "sim/rng.hpp"
+
+namespace mts::mobility {
+
+/// The paper's mobility model (§IV-A): "random way point model (when the
+/// node reaches its destination, it pauses for several seconds, e.g. 1s,
+/// then randomly chooses another destination point within the field,
+/// with a randomly selected constant velocity)".
+///
+/// Speeds are uniform in [min_speed, max_speed].  The paper draws from
+/// [0, MAXSPEED]; a literal 0 makes a leg infinitely long (the classic
+/// random-waypoint speed-decay pathology), so the default floor is
+/// 0.1 m/s — negligible against MAXSPEED >= 2 but keeps every leg
+/// finite.  Tests cover both floors.
+struct RandomWaypointConfig {
+  Field field;
+  double min_speed = 0.1;  ///< m/s
+  double max_speed = 2.0;  ///< m/s (the paper's MAXSPEED)
+  sim::Time pause = sim::Time::sec(1);
+};
+
+class RandomWaypoint final : public MobilityModel {
+ public:
+  RandomWaypoint(const RandomWaypointConfig& cfg, sim::Rng rng);
+
+  [[nodiscard]] Vec2 position_at(sim::Time t) const override;
+  [[nodiscard]] double max_speed() const override { return cfg_.max_speed; }
+
+  /// Trajectory introspection for tests: one entry per movement leg.
+  struct Leg {
+    sim::Time start;      ///< movement begins (after the previous pause)
+    sim::Time arrive;     ///< reaches `to`
+    sim::Time depart;     ///< arrive + pause: next leg starts
+    Vec2 from;
+    Vec2 to;
+    double speed = 0.0;   ///< m/s
+  };
+
+  /// Legs generated so far (grows lazily as later times are queried).
+  [[nodiscard]] const std::vector<Leg>& legs_generated() const { return legs_; }
+
+ private:
+  void extend_until(sim::Time t) const;
+
+  RandomWaypointConfig cfg_;
+  mutable sim::Rng rng_;
+  mutable std::vector<Leg> legs_;
+};
+
+/// Extension (not in the paper): bounded random walk with reflection,
+/// used by ablation studies to confirm MTS's gains are not an artefact
+/// of waypoint mobility.
+struct RandomWalkConfig {
+  Field field;
+  double min_speed = 0.1;
+  double max_speed = 2.0;
+  sim::Time step = sim::Time::sec(5);  ///< direction change period
+};
+
+class RandomWalk final : public MobilityModel {
+ public:
+  RandomWalk(const RandomWalkConfig& cfg, sim::Rng rng);
+
+  [[nodiscard]] Vec2 position_at(sim::Time t) const override;
+  [[nodiscard]] double max_speed() const override { return cfg_.max_speed; }
+
+ private:
+  struct Segment {
+    sim::Time start;
+    Vec2 from;
+    Vec2 velocity;  ///< m/s components after boundary reflection
+  };
+  void extend_until(sim::Time t) const;
+
+  RandomWalkConfig cfg_;
+  mutable sim::Rng rng_;
+  mutable std::vector<Segment> segs_;
+};
+
+}  // namespace mts::mobility

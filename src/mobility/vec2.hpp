@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace mts::mobility {
+
+/// 2-D position/vector in metres.  The paper's field is planar
+/// (1000 m x 1000 m); altitude never matters for unit-disk propagation.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend constexpr Vec2 operator*(Vec2 a, double k) { return {a.x * k, a.y * k}; }
+  friend constexpr Vec2 operator*(double k, Vec2 a) { return a * k; }
+  friend constexpr bool operator==(Vec2 a, Vec2 b) = default;
+
+  [[nodiscard]] double norm() const { return std::hypot(x, y); }
+
+  friend std::ostream& operator<<(std::ostream& os, Vec2 v) {
+    return os << "(" << v.x << "," << v.y << ")";
+  }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline double distance_sq(Vec2 a, Vec2 b) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Axis-aligned field the nodes roam in.
+struct Field {
+  double width = 1000.0;
+  double height = 1000.0;
+
+  [[nodiscard]] bool contains(Vec2 p) const {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+};
+
+}  // namespace mts::mobility

@@ -1,0 +1,21 @@
+#include "net/counters.hpp"
+
+namespace mts::net {
+
+const char* drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::kQueueFull: return "queue_full";
+    case DropReason::kNoRoute: return "no_route";
+    case DropReason::kMacRetryExceeded: return "mac_retry_exceeded";
+    case DropReason::kTtlExpired: return "ttl_expired";
+    case DropReason::kCollision: return "collision";
+    case DropReason::kSendBufferTimeout: return "send_buffer_timeout";
+    case DropReason::kSendBufferFull: return "send_buffer_full";
+    case DropReason::kStaleRoute: return "stale_route";
+    case DropReason::kDuplicate: return "duplicate";
+    case DropReason::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace mts::net

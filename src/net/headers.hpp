@@ -1,0 +1,231 @@
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace mts::net {
+
+/// Discriminates every packet the network layer can carry.  The kind is
+/// redundant with the header variant for control packets but lets hot
+/// paths (queue priority, overhead counters) switch without visiting the
+/// variant.
+enum class PacketKind : std::uint8_t {
+  kTcpData,
+  kTcpAck,
+  // AODV control
+  kAodvRreq,
+  kAodvRrep,
+  kAodvRerr,
+  // DSR control
+  kDsrRreq,
+  kDsrRrep,
+  kDsrRerr,
+  // MTS control
+  kMtsRreq,
+  kMtsRrep,
+  kMtsCheck,
+  kMtsCheckError,
+  kMtsRerr,
+};
+
+/// True for routing-protocol control packets (the paper's "control
+/// overhead" metric counts transmissions of exactly these).
+constexpr bool is_routing_control(PacketKind k) {
+  switch (k) {
+    case PacketKind::kTcpData:
+    case PacketKind::kTcpAck:
+      return false;
+    default:
+      return true;
+  }
+}
+
+constexpr bool is_transport(PacketKind k) {
+  return k == PacketKind::kTcpData || k == PacketKind::kTcpAck;
+}
+
+const char* packet_kind_name(PacketKind k);
+
+// ---------------------------------------------------------------------------
+// Network-layer common header (IP-ish).
+// ---------------------------------------------------------------------------
+
+struct CommonHeader {
+  PacketKind kind = PacketKind::kTcpData;
+  NodeId src = kNoNode;          ///< originator (end-to-end)
+  NodeId dst = kNoNode;          ///< final destination (end-to-end)
+  std::uint8_t ttl = 32;         ///< decremented per network-layer hop
+  std::uint32_t uid = 0;         ///< unique per simulation, for tracing
+  std::uint32_t payload_bytes = 0;  ///< application payload (0 for control)
+  sim::Time originated;          ///< end-to-end delay measurement
+};
+
+/// On-wire size of the common header, matching IPv4's 20 bytes so that
+/// airtime accounting is comparable to ns-2.
+inline constexpr std::uint32_t kCommonHeaderBytes = 20;
+
+// ---------------------------------------------------------------------------
+// TCP (one-way data + cumulative ACK, as in ns-2's Agent/TCP).
+// ---------------------------------------------------------------------------
+
+struct TcpHeader {
+  std::uint32_t seq = 0;   ///< data: segment sequence number (in segments)
+  std::uint32_t ack = 0;   ///< ack: cumulative — next expected segment
+  std::uint16_t flow_id = 0;
+  sim::Time ts;            ///< data: send timestamp; ack: echoed timestamp
+  bool retransmit = false; ///< data: Karn — echoed back, suppresses RTT sample
+};
+
+inline constexpr std::uint32_t kTcpHeaderBytes = 20;
+
+// ---------------------------------------------------------------------------
+// AODV (RFC 3561 subset, ns-2 flavoured).
+// ---------------------------------------------------------------------------
+
+struct AodvRreqHeader {
+  std::uint32_t rreq_id = 0;    ///< (orig, rreq_id) dedups the flood
+  NodeId orig = kNoNode;
+  NodeId dst = kNoNode;
+  std::uint32_t orig_seq = 0;
+  std::uint32_t dst_seq = 0;    ///< last known; 0 when unknown
+  bool dst_seq_known = false;
+  std::uint8_t hop_count = 0;
+};
+
+struct AodvRrepHeader {
+  NodeId orig = kNoNode;        ///< RREQ originator (RREP travels to it)
+  NodeId dst = kNoNode;         ///< route destination
+  std::uint32_t dst_seq = 0;
+  std::uint8_t hop_count = 0;
+  sim::Time lifetime;           ///< route validity advertised by the dest
+};
+
+struct AodvRerrHeader {
+  struct Unreachable {
+    NodeId dst = kNoNode;
+    std::uint32_t seq = 0;
+    friend bool operator==(const Unreachable&, const Unreachable&) = default;
+  };
+  std::vector<Unreachable> unreachable;
+};
+
+// ---------------------------------------------------------------------------
+// DSR (route record / source route).
+// ---------------------------------------------------------------------------
+
+struct DsrRreqHeader {
+  std::uint32_t rreq_id = 0;
+  NodeId orig = kNoNode;
+  NodeId target = kNoNode;
+  std::vector<NodeId> record;   ///< nodes traversed so far (excl. orig)
+};
+
+struct DsrRrepHeader {
+  NodeId orig = kNoNode;        ///< requester
+  NodeId target = kNoNode;
+  std::vector<NodeId> route;    ///< full path orig..target inclusive
+  std::uint16_t hops_done = 0;  ///< cursor while travelling target -> orig
+};
+
+struct DsrRerrHeader {
+  NodeId notify = kNoNode;      ///< source being informed
+  NodeId from = kNoNode;        ///< broken link tail
+  NodeId to = kNoNode;          ///< broken link head
+  std::vector<NodeId> back_path;  ///< route from reporter to `notify`
+  std::uint16_t hops_done = 0;
+};
+
+/// Source-route option attached to DSR *data* packets.
+struct DsrSourceRoute {
+  std::vector<NodeId> route;    ///< full path src..dst inclusive
+  std::uint16_t index = 0;      ///< position of the current hop in route
+  bool salvaged = false;        ///< set when an intermediate re-routed it
+};
+
+// ---------------------------------------------------------------------------
+// MTS (the paper's protocol).
+// ---------------------------------------------------------------------------
+
+/// §III-B: packet type, source address, destination address, broadcast
+/// ID, hop count from the source, and list of intermediate nodes.
+struct MtsRreqHeader {
+  std::uint32_t bcast_id = 0;
+  NodeId orig = kNoNode;
+  NodeId dst = kNoNode;
+  std::uint8_t hop_count = 0;
+  std::vector<NodeId> nodes;    ///< intermediate nodes traversed (excl. endpoints)
+};
+
+/// §III-B: packet type, source address, destination address, route reply
+/// ID, hop count, and list of intermediate nodes.
+struct MtsRrepHeader {
+  std::uint32_t rrep_id = 0;
+  NodeId orig = kNoNode;        ///< RREQ originator (the TCP source)
+  NodeId dst = kNoNode;         ///< destination that generated this RREP
+  std::uint8_t hop_count = 0;
+  std::vector<NodeId> nodes;    ///< intermediate nodes of the replied path
+  std::uint16_t hops_done = 0;  ///< forwarding cursor along the reverse path
+};
+
+/// §III-D: packet type, checking packet ID, hop count, and list of
+/// intermediate nodes.  Travels destination -> source along one stored
+/// disjoint path, refreshing per-hop forward state as it goes.
+struct MtsCheckHeader {
+  std::uint32_t check_id = 0;   ///< round number; bumps once per period
+  std::uint16_t path_id = 0;    ///< which stored disjoint path
+  NodeId checker = kNoNode;     ///< the destination (sender of checks)
+  NodeId source = kNoNode;      ///< the TCP source (receiver of checks)
+  std::uint8_t hop_count = 0;
+  std::vector<NodeId> nodes;    ///< intermediate nodes, source-side first
+  std::uint16_t hops_done = 0;  ///< forwarding cursor
+};
+
+/// §III-D: "a checking error packet is sent to the destination"; the
+/// destination deletes the failed path.
+struct MtsCheckErrorHeader {
+  std::uint16_t path_id = 0;
+  NodeId checker = kNoNode;     ///< destination to inform
+  NodeId flow_source = kNoNode; ///< identifies which path set at the checker
+  NodeId reporter = kNoNode;    ///< node that observed the failure
+  NodeId broken_from = kNoNode;
+  NodeId broken_to = kNoNode;
+  std::vector<NodeId> nodes;    ///< the failed path (source-side first)
+  std::uint16_t hops_done = 0;  ///< cursor while travelling back to checker
+};
+
+/// §III-E: RERR relayed upstream until it reaches the source, which then
+/// triggers a new route discovery.
+struct MtsRerrHeader {
+  NodeId source = kNoNode;      ///< TCP source being informed
+  NodeId dst = kNoNode;         ///< unreachable destination
+  std::uint16_t path_id = 0;
+  NodeId broken_from = kNoNode;
+  NodeId broken_to = kNoNode;
+};
+
+/// Tag attached to MTS *data* packets: forwarding state at intermediate
+/// nodes is per (destination, path), installed/refreshed by check
+/// packets and the initial RREP.
+struct MtsDataTag {
+  std::uint16_t path_id = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The routing header slot.
+// ---------------------------------------------------------------------------
+
+using RoutingHeader =
+    std::variant<std::monostate, AodvRreqHeader, AodvRrepHeader, AodvRerrHeader,
+                 DsrRreqHeader, DsrRrepHeader, DsrRerrHeader, DsrSourceRoute,
+                 MtsRreqHeader, MtsRrepHeader, MtsCheckHeader,
+                 MtsCheckErrorHeader, MtsRerrHeader, MtsDataTag>;
+
+/// On-wire size contribution of the routing header (bytes).  Sizes follow
+/// the respective drafts: fixed part + 4 bytes per carried address.
+std::uint32_t routing_header_bytes(const RoutingHeader& h);
+
+}  // namespace mts::net

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mts::net {
+
+/// Node address.  The simulator uses dense small integers (array
+/// indices into the node table) rather than IPv4 addresses; nothing in
+/// the protocols depends on address structure.
+using NodeId = std::uint32_t;
+
+/// Link-layer broadcast address (RREQ floods, HELLOs).
+inline constexpr NodeId kBroadcastId = std::numeric_limits<NodeId>::max();
+
+/// "No node" sentinel for optional next-hop fields.
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max() - 1;
+
+}  // namespace mts::net

@@ -1,0 +1,84 @@
+#include "net/packet.hpp"
+
+#include <sstream>
+
+namespace mts::net {
+
+const char* packet_kind_name(PacketKind k) {
+  switch (k) {
+    case PacketKind::kTcpData: return "TCP_DATA";
+    case PacketKind::kTcpAck: return "TCP_ACK";
+    case PacketKind::kAodvRreq: return "AODV_RREQ";
+    case PacketKind::kAodvRrep: return "AODV_RREP";
+    case PacketKind::kAodvRerr: return "AODV_RERR";
+    case PacketKind::kDsrRreq: return "DSR_RREQ";
+    case PacketKind::kDsrRrep: return "DSR_RREP";
+    case PacketKind::kDsrRerr: return "DSR_RERR";
+    case PacketKind::kMtsRreq: return "MTS_RREQ";
+    case PacketKind::kMtsRrep: return "MTS_RREP";
+    case PacketKind::kMtsCheck: return "MTS_CHECK";
+    case PacketKind::kMtsCheckError: return "MTS_CHECK_ERR";
+    case PacketKind::kMtsRerr: return "MTS_RERR";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Fixed header part sizes in bytes; per-address cost is 4 bytes, as in
+/// the AODV/DSR drafts.
+constexpr std::uint32_t kPerAddressBytes = 4;
+
+struct SizeVisitor {
+  std::uint32_t operator()(const std::monostate&) const { return 0; }
+  std::uint32_t operator()(const AodvRreqHeader&) const { return 24; }
+  std::uint32_t operator()(const AodvRrepHeader&) const { return 20; }
+  std::uint32_t operator()(const AodvRerrHeader& h) const {
+    return 4 + static_cast<std::uint32_t>(h.unreachable.size()) * 8;
+  }
+  std::uint32_t operator()(const DsrRreqHeader& h) const {
+    return 8 + static_cast<std::uint32_t>(h.record.size()) * kPerAddressBytes;
+  }
+  std::uint32_t operator()(const DsrRrepHeader& h) const {
+    return 8 + static_cast<std::uint32_t>(h.route.size()) * kPerAddressBytes;
+  }
+  std::uint32_t operator()(const DsrRerrHeader& h) const {
+    return 12 + static_cast<std::uint32_t>(h.back_path.size()) * kPerAddressBytes;
+  }
+  std::uint32_t operator()(const DsrSourceRoute& h) const {
+    return 4 + static_cast<std::uint32_t>(h.route.size()) * kPerAddressBytes;
+  }
+  std::uint32_t operator()(const MtsRreqHeader& h) const {
+    return 16 + static_cast<std::uint32_t>(h.nodes.size()) * kPerAddressBytes;
+  }
+  std::uint32_t operator()(const MtsRrepHeader& h) const {
+    return 16 + static_cast<std::uint32_t>(h.nodes.size()) * kPerAddressBytes;
+  }
+  std::uint32_t operator()(const MtsCheckHeader& h) const {
+    return 16 + static_cast<std::uint32_t>(h.nodes.size()) * kPerAddressBytes;
+  }
+  std::uint32_t operator()(const MtsCheckErrorHeader& h) const {
+    return 16 + static_cast<std::uint32_t>(h.nodes.size()) * kPerAddressBytes;
+  }
+  std::uint32_t operator()(const MtsRerrHeader&) const { return 16; }
+  std::uint32_t operator()(const MtsDataTag&) const { return 4; }
+};
+
+}  // namespace
+
+std::uint32_t routing_header_bytes(const RoutingHeader& h) {
+  return std::visit(SizeVisitor{}, h);
+}
+
+std::string Packet::summary() const {
+  std::ostringstream os;
+  os << packet_kind_name(common.kind) << " uid=" << common.uid << " "
+     << common.src << "->" << common.dst << " ttl=" << int{common.ttl}
+     << " bytes=" << wire_bytes();
+  if (tcp.has_value()) {
+    os << " seq=" << tcp->seq << " ack=" << tcp->ack;
+  }
+  return os.str();
+}
+
+}  // namespace mts::net

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "net/headers.hpp"
+#include "net/node_id.hpp"
+
+namespace mts::net {
+
+/// A network-layer packet: common header + optional TCP header +
+/// at most one routing header/option.
+///
+/// Packets are value types.  A broadcast reaching k receivers is k
+/// copies; header vectors (route records) are short (<= network
+/// diameter), so copies stay cheap and no reference counting is needed.
+struct Packet {
+  CommonHeader common;
+  std::optional<TcpHeader> tcp;
+  RoutingHeader routing;  // std::monostate when absent
+
+  /// Total on-wire bytes above the MAC layer (headers + payload); this is
+  /// what the MAC serializes at the PHY rate.
+  [[nodiscard]] std::uint32_t wire_bytes() const {
+    std::uint32_t n = kCommonHeaderBytes + common.payload_bytes;
+    if (tcp.has_value()) n += kTcpHeaderBytes;
+    n += routing_header_bytes(routing);
+    return n;
+  }
+
+  [[nodiscard]] PacketKind kind() const { return common.kind; }
+  [[nodiscard]] bool is_control() const { return is_routing_control(common.kind); }
+
+  /// One-line rendering for traces and test diagnostics.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Allocates unique packet ids within one simulation.
+class UidSource {
+ public:
+  std::uint32_t next() { return ++last_; }
+  [[nodiscard]] std::uint32_t issued() const { return last_; }
+
+ private:
+  std::uint32_t last_ = 0;
+};
+
+}  // namespace mts::net

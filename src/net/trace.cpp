@@ -1,0 +1,20 @@
+#include "net/trace.hpp"
+
+namespace mts::net {
+
+const char* trace_op_name(TraceOp op) {
+  switch (op) {
+    case TraceOp::kOriginate: return "originate";
+    case TraceOp::kEnqueue: return "enqueue";
+    case TraceOp::kMacTx: return "mac_tx";
+    case TraceOp::kMacRx: return "mac_rx";
+    case TraceOp::kDeliver: return "deliver";
+    case TraceOp::kForward: return "forward";
+    case TraceOp::kDrop: return "drop";
+    case TraceOp::kRouteSwitch: return "route_switch";
+    case TraceOp::kSniff: return "sniff";
+  }
+  return "?";
+}
+
+}  // namespace mts::net

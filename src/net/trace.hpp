@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace mts::net {
+
+/// What happened to a packet at a node.
+enum class TraceOp : std::uint8_t {
+  kOriginate,   ///< created by a transport/routing agent
+  kEnqueue,     ///< entered the interface queue
+  kMacTx,       ///< first bit on air
+  kMacRx,       ///< successfully decoded at a radio
+  kDeliver,     ///< handed to the local transport agent
+  kForward,     ///< re-queued toward the next hop
+  kDrop,        ///< died (reason in note)
+  kRouteSwitch, ///< MTS: source switched its active path (note = detail)
+  kSniff,       ///< overheard by the eavesdropper tap
+};
+
+const char* trace_op_name(TraceOp op);
+
+struct TraceRecord {
+  sim::Time at;
+  NodeId node = kNoNode;
+  TraceOp op = TraceOp::kOriginate;
+  Packet packet;      ///< copy at the time of the event
+  std::string note;   ///< drop reason, chosen path, ...
+};
+
+/// Fan-out point for packet-level traces.  Zero subscribers (the
+/// default) costs one branch per emit.
+class TraceHub {
+ public:
+  using Sink = std::function<void(const TraceRecord&)>;
+
+  void subscribe(Sink sink) { sinks_.push_back(std::move(sink)); }
+  [[nodiscard]] bool active() const { return !sinks_.empty(); }
+
+  void emit(const TraceRecord& rec) const {
+    for (const auto& s : sinks_) s(rec);
+  }
+
+  /// Convenience: emit only when someone listens (callers avoid building
+  /// the record otherwise).
+  template <typename MakeRecord>
+  void emit_lazy(MakeRecord&& make) const {
+    if (active()) emit(make());
+  }
+
+ private:
+  std::vector<Sink> sinks_;
+};
+
+}  // namespace mts::net

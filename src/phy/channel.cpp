@@ -1,0 +1,81 @@
+#include "phy/channel.hpp"
+
+#include <algorithm>
+
+#include "phy/radio.hpp"
+#include "sim/error.hpp"
+
+namespace mts::phy {
+
+Channel::Channel(sim::Scheduler& sched, const PropagationModel& prop,
+                 ChannelConfig cfg)
+    : sched_(&sched), prop_(&prop), cfg_(cfg) {
+  sim::require_config(cfg.cs_range_factor >= 1.0,
+                      "Channel: cs_range_factor < 1");
+}
+
+void Channel::attach(Radio* radio, const mobility::MobilityModel* mobility) {
+  sim::require(radio != nullptr && mobility != nullptr,
+               "Channel: null attach");
+  sim::require(radio->id() == entries_.size(),
+               "Channel: radio ids must be dense and in attach order");
+  entries_.push_back(Entry{radio, mobility});
+  radio->set_channel(this);
+  max_speed_ = std::max(max_speed_, mobility->max_speed());
+}
+
+void Channel::finalize() {
+  if (!cfg_.use_spatial_index || entries_.empty()) return;
+  const double cell = prop_->max_range() * cfg_.cs_range_factor;
+  index_ = std::make_unique<NeighborIndex>(
+      static_cast<std::uint32_t>(entries_.size()), cell, max_speed_,
+      cfg_.index_rebuild_period,
+      [this](std::uint32_t id, sim::Time t) {
+        return entries_[id].mobility->position_at(t);
+      });
+}
+
+void Channel::transmit(net::NodeId sender, const Frame& frame,
+                       sim::Time airtime) {
+  const sim::Time now = sched_->now();
+  const mobility::Vec2 sp = position_of(sender, now);
+  const double decode_r = prop_->max_range();
+  const double cs_r = decode_r * cfg_.cs_range_factor;
+
+  auto offer = [&](net::NodeId id) {
+    if (id == sender) return;
+    const mobility::Vec2 rp = position_of(id, now);
+    const double d2 = mobility::distance_sq(sp, rp);
+    if (d2 > cs_r * cs_r) return;
+    const bool decodable = prop_->link_up(sender, sp, id, rp, now);
+    Radio* rx = entries_[id].radio;
+    const double d = std::sqrt(d2);
+    // Two-ray path-loss surrogate (power ~ d^-4) for the capture rule;
+    // clamped below 1 m to keep it finite.
+    const double p = std::pow(std::max(d, 1.0), -4.0);
+    const sim::Time delay = propagation_delay(d);
+    // Copy the frame per receiver: each radio owns its reception record.
+    sched_->schedule_in(delay, [rx, frame, airtime, decodable, p] {
+      rx->begin_reception(frame, airtime, decodable, p);
+    });
+  };
+
+  if (index_ != nullptr) {
+    for (net::NodeId id : index_->candidates(sp, cs_r, now)) offer(id);
+  } else {
+    for (net::NodeId id = 0; id < entries_.size(); ++id) offer(id);
+  }
+}
+
+std::vector<net::NodeId> Channel::neighbors_of(net::NodeId id,
+                                               sim::Time t) const {
+  std::vector<net::NodeId> out;
+  const mobility::Vec2 p = position_of(id, t);
+  for (net::NodeId other = 0; other < entries_.size(); ++other) {
+    if (other == id) continue;
+    if (prop_->in_range(p, position_of(other, t))) out.push_back(other);
+  }
+  return out;
+}
+
+}  // namespace mts::phy

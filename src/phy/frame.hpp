@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/node_id.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace mts::phy {
+
+/// MAC frame types.  RTS/CTS exist for the optional virtual-carrier-sense
+/// ablation; the paper-default configuration uses basic access.
+enum class FrameType : std::uint8_t { kData, kAck, kRts, kCts };
+
+const char* frame_type_name(FrameType t);
+
+/// The unit the radio transmits: a MAC frame, possibly wrapping a
+/// network-layer packet.  Value type — broadcast fan-out copies it per
+/// receiver.
+struct Frame {
+  FrameType type = FrameType::kData;
+  net::NodeId transmitter = net::kNoNode;
+  net::NodeId receiver = net::kBroadcastId;
+  std::uint32_t bytes = 0;      ///< full frame size incl. MAC header + FCS
+  std::uint16_t seq = 0;        ///< MAC sequence (duplicate detection)
+  bool retry = false;
+  sim::Time nav;                ///< medium reservation beyond frame end
+  bool has_payload = false;
+  net::Packet payload;          ///< valid iff has_payload
+
+  [[nodiscard]] bool is_broadcast() const {
+    return receiver == net::kBroadcastId;
+  }
+};
+
+}  // namespace mts::phy

@@ -1,0 +1,81 @@
+#include "phy/neighbor_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/error.hpp"
+
+namespace mts::phy {
+
+NeighborIndex::NeighborIndex(std::uint32_t node_count, double cell_size,
+                             double max_speed, sim::Time rebuild_period,
+                             PositionFn positions)
+    : n_(node_count),
+      cell_(cell_size),
+      max_speed_(max_speed),
+      rebuild_period_(rebuild_period),
+      positions_(std::move(positions)) {
+  sim::require_config(cell_size > 0, "NeighborIndex: cell_size <= 0");
+  sim::require_config(rebuild_period > sim::Time::zero(),
+                      "NeighborIndex: rebuild_period <= 0");
+  sim::require_config(max_speed >= 0, "NeighborIndex: negative max_speed");
+}
+
+void NeighborIndex::rebuild(sim::Time now) {
+  snapshot_.resize(n_);
+  buckets_.clear();
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    snapshot_[i] = positions_(i, now);
+  }
+  // Bucket by cell; sort-based build keeps memory contiguous.
+  std::vector<std::pair<std::int64_t, std::uint32_t>> keyed;
+  keyed.reserve(n_);
+  for (std::uint32_t i = 0; i < n_; ++i) {
+    keyed.emplace_back(key_of(cell_of(snapshot_[i].x), cell_of(snapshot_[i].y)), i);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  for (const auto& [key, id] : keyed) {
+    if (buckets_.empty() || buckets_.back().key != key) {
+      buckets_.push_back(Bucket{key, {}});
+    }
+    buckets_.back().ids.push_back(id);
+  }
+  snapshot_at_ = now;
+  ++rebuilds_;
+}
+
+const std::vector<std::uint32_t>* NeighborIndex::find_bucket(
+    std::int64_t key) const {
+  auto it = std::lower_bound(
+      buckets_.begin(), buckets_.end(), key,
+      [](const Bucket& b, std::int64_t k) { return b.key < k; });
+  if (it != buckets_.end() && it->key == key) return &it->ids;
+  return nullptr;
+}
+
+std::vector<std::uint32_t> NeighborIndex::candidates(mobility::Vec2 center,
+                                                     double radius,
+                                                     sim::Time now) {
+  if (snapshot_at_ < sim::Time::zero() || now - snapshot_at_ > rebuild_period_) {
+    rebuild(now);
+  }
+  const double r = radius + staleness_margin();
+  const double r2 = r * r;
+  std::vector<std::uint32_t> out;
+  const std::int64_t cx0 = cell_of(center.x - r), cx1 = cell_of(center.x + r);
+  const std::int64_t cy0 = cell_of(center.y - r), cy1 = cell_of(center.y + r);
+  for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
+    for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
+      const auto* ids = find_bucket(key_of(cx, cy));
+      if (ids == nullptr) continue;
+      for (std::uint32_t id : *ids) {
+        if (mobility::distance_sq(snapshot_[id], center) <= r2) {
+          out.push_back(id);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mts::phy

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mobility/vec2.hpp"
+#include "sim/time.hpp"
+
+namespace mts::phy {
+
+/// Uniform-grid spatial index over node positions with bounded staleness.
+///
+/// Rebuilding the grid on every transmission would dominate runtime, so
+/// the index snapshots positions at most every `rebuild_period` and
+/// inflates query radii by `staleness_margin()` — the farthest any two
+/// nodes can have approached since the snapshot (both endpoints moving
+/// at max speed).  Candidates are a superset; callers re-filter with
+/// exact positions.
+class NeighborIndex {
+ public:
+  using PositionFn = std::function<mobility::Vec2(std::uint32_t, sim::Time)>;
+
+  NeighborIndex(std::uint32_t node_count, double cell_size, double max_speed,
+                sim::Time rebuild_period, PositionFn positions);
+
+  /// All node ids whose *snapshot* position lies within
+  /// `radius + staleness_margin()` of `center`.  Refreshes the snapshot
+  /// first if it is older than the rebuild period.
+  [[nodiscard]] std::vector<std::uint32_t> candidates(mobility::Vec2 center,
+                                                      double radius,
+                                                      sim::Time now);
+
+  [[nodiscard]] double staleness_margin() const {
+    return 2.0 * max_speed_ * rebuild_period_.to_seconds();
+  }
+  [[nodiscard]] std::uint32_t rebuild_count() const { return rebuilds_; }
+
+ private:
+  void rebuild(sim::Time now);
+  [[nodiscard]] std::int64_t cell_of(double coord) const {
+    return static_cast<std::int64_t>(coord / cell_);
+  }
+
+  std::uint32_t n_;
+  double cell_;
+  double max_speed_;
+  sim::Time rebuild_period_;
+  PositionFn positions_;
+
+  sim::Time snapshot_at_ = sim::Time::ns(-1);
+  std::vector<mobility::Vec2> snapshot_;
+  // Grid as a sorted bucket list: (cell key -> node ids).  Cell keys are
+  // hashed into a flat hash map rebuilt wholesale each refresh.
+  struct Bucket {
+    std::int64_t key;
+    std::vector<std::uint32_t> ids;
+  };
+  std::vector<Bucket> buckets_;
+  std::uint32_t rebuilds_ = 0;
+
+  [[nodiscard]] static std::int64_t key_of(std::int64_t cx, std::int64_t cy) {
+    return (cx << 32) ^ (cy & 0xffffffff);
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>* find_bucket(
+      std::int64_t key) const;
+};
+
+}  // namespace mts::phy

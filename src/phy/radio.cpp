@@ -1,0 +1,86 @@
+#include "phy/radio.hpp"
+
+#include <algorithm>
+
+#include "phy/channel.hpp"
+#include "sim/error.hpp"
+
+namespace mts::phy {
+
+const char* frame_type_name(FrameType t) {
+  switch (t) {
+    case FrameType::kData: return "DATA";
+    case FrameType::kAck: return "ACK";
+    case FrameType::kRts: return "RTS";
+    case FrameType::kCts: return "CTS";
+  }
+  return "?";
+}
+
+void Radio::start_transmit(const Frame& frame, sim::Time airtime) {
+  sim::require(channel_ != nullptr, "Radio: no channel attached");
+  sim::require(!transmitting(), "Radio: start_transmit while transmitting");
+  const bool was_busy = medium_busy();
+  // Half duplex: anything being received is lost the instant we key up.
+  for (auto& rx : receptions_) rx.corrupt = true;
+  tx_end_ = sched_->now() + airtime;
+  ++sent_;
+  if (counters_ != nullptr) ++counters_->mac_tx_frames;
+  channel_->transmit(id_, frame, airtime);
+  sched_->schedule_at(tx_end_, [this] {
+    if (cb_.on_tx_done) cb_.on_tx_done();
+    medium_edge(/*was_busy=*/true);
+  });
+  if (!was_busy) medium_edge(false);
+}
+
+void Radio::begin_reception(const Frame& frame, sim::Time airtime,
+                            bool decodable, double rx_power) {
+  if (transmitting()) {
+    // Deaf while keyed up; the energy passes unnoticed (it also cannot
+    // corrupt anything: we are not receiving).
+    return;
+  }
+  const bool was_busy = medium_busy();
+  // Capture (ns-2 WirelessPhy): the newcomer is noise to any ongoing
+  // reception that is >= capture_threshold_ stronger; such receptions
+  // survive.  Weaker or comparable ongoing receptions are corrupted.
+  // The newcomer itself is decodable only if the medium was clear.
+  bool corrupt = false;
+  for (auto& rx : receptions_) {
+    corrupt = true;
+    if (rx.power < rx_power * capture_threshold_) rx.corrupt = true;
+  }
+  const std::uint64_t key = next_key_++;
+  receptions_.push_back(Reception{frame, key, sched_->now() + airtime,
+                                  corrupt, decodable, rx_power});
+  sched_->schedule_in(airtime, [this, key] { end_reception(key); });
+  if (!was_busy) medium_edge(false);
+}
+
+void Radio::end_reception(std::uint64_t key) {
+  auto it = std::find_if(receptions_.begin(), receptions_.end(),
+                         [key](const Reception& r) { return r.key == key; });
+  sim::require(it != receptions_.end(), "Radio: reception record lost");
+  const Reception rec = std::move(*it);
+  receptions_.erase(it);
+  if (rec.corrupt) {
+    ++collisions_;
+    if (counters_ != nullptr) counters_->drop(net::DropReason::kCollision);
+    if (cb_.on_rx_garbage) cb_.on_rx_garbage();
+  } else if (rec.decodable && !transmitting()) {
+    ++decoded_;
+    if (counters_ != nullptr) ++counters_->mac_rx_frames;
+    if (cb_.on_frame) cb_.on_frame(rec.frame);
+  } else if (!rec.decodable) {
+    if (cb_.on_rx_garbage) cb_.on_rx_garbage();
+  }
+  medium_edge(/*was_busy=*/true);
+}
+
+void Radio::medium_edge(bool was_busy) {
+  const bool busy = medium_busy();
+  if (busy != was_busy && cb_.on_medium_busy) cb_.on_medium_busy(busy);
+}
+
+}  // namespace mts::phy

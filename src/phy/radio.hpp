@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/counters.hpp"
+#include "phy/frame.hpp"
+#include "sim/scheduler.hpp"
+
+namespace mts::phy {
+
+class Channel;
+
+/// Half-duplex radio transceiver attached to one node.
+///
+/// Reception model (no capture): any temporal overlap of two receptions
+/// corrupts both; transmitting makes the radio deaf; starting to
+/// transmit corrupts anything being received.  Physical carrier sense is
+/// `busy = transmitting || any reception in progress`, reported to the
+/// MAC via edge-triggered callbacks.
+///
+/// The radio delivers *every* cleanly decoded frame to the MAC,
+/// including frames addressed elsewhere — the MAC needs them for NAV,
+/// and the security layer's promiscuous tap hangs off the same path.
+class Radio {
+ public:
+  struct Callbacks {
+    std::function<void(const Frame&)> on_frame;     ///< any decoded frame
+    std::function<void(bool)> on_medium_busy;       ///< physical CS edges
+    std::function<void()> on_tx_done;               ///< our frame finished
+    /// A reception ended that could not be decoded (collision, or energy
+    /// from beyond decode range) — the MAC's EIFS trigger.
+    std::function<void()> on_rx_garbage;
+  };
+
+  Radio(sim::Scheduler& sched, net::NodeId id, net::Counters* counters)
+      : sched_(&sched), id_(id), counters_(counters) {}
+
+  Radio(const Radio&) = delete;
+  Radio& operator=(const Radio&) = delete;
+
+  void set_channel(Channel* ch) { channel_ = ch; }
+  void set_callbacks(Callbacks cb) { cb_ = std::move(cb); }
+
+  [[nodiscard]] net::NodeId id() const { return id_; }
+
+  /// Physical carrier: busy while transmitting or any energy arrives.
+  [[nodiscard]] bool medium_busy() const {
+    return transmitting() || !receptions_.empty();
+  }
+  [[nodiscard]] bool transmitting() const { return sched_->now() < tx_end_; }
+
+  /// MAC-facing: radiate `frame` for `airtime`.  Pre-condition: not
+  /// already transmitting (the MAC's job to ensure).  Ongoing receptions
+  /// are corrupted (half duplex).
+  void start_transmit(const Frame& frame, sim::Time airtime);
+
+  /// Channel-facing: energy begins arriving.  `decodable` is false for
+  /// frames inside carrier-sense range but beyond decode range.
+  /// `rx_power` is a relative received-power figure (the channel's
+  /// path-loss surrogate) used for the capture rule.
+  void begin_reception(const Frame& frame, sim::Time airtime, bool decodable,
+                       double rx_power);
+
+  /// ns-2 `WirelessPhy` capture rule: an ongoing reception survives a
+  /// new arrival iff it is at least this power ratio stronger (10 dB);
+  /// the newcomer is then discarded as noise.  Otherwise both corrupt.
+  void set_capture_threshold(double ratio) { capture_threshold_ = ratio; }
+
+  [[nodiscard]] std::uint64_t collisions() const { return collisions_; }
+  [[nodiscard]] std::uint64_t frames_decoded() const { return decoded_; }
+  [[nodiscard]] std::uint64_t frames_sent() const { return sent_; }
+
+ private:
+  struct Reception {
+    Frame frame;
+    std::uint64_t key;
+    sim::Time end;
+    bool corrupt;
+    bool decodable;
+    double power;
+  };
+
+  void end_reception(std::uint64_t key);
+  void medium_edge(bool was_busy);
+
+  sim::Scheduler* sched_;
+  net::NodeId id_;
+  net::Counters* counters_;
+  Channel* channel_ = nullptr;
+  Callbacks cb_;
+
+  sim::Time tx_end_ = sim::Time::zero();
+  double capture_threshold_ = 10.0;
+  std::vector<Reception> receptions_;
+  std::uint64_t next_key_ = 1;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t decoded_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace mts::phy

@@ -1,0 +1,409 @@
+#include "routing/aodv/aodv.hpp"
+
+#include <algorithm>
+
+namespace mts::routing::aodv {
+
+using net::AodvRerrHeader;
+using net::AodvRreqHeader;
+using net::AodvRrepHeader;
+using net::NodeId;
+using net::Packet;
+using net::PacketKind;
+
+Aodv::Aodv(RoutingContext ctx, AodvConfig cfg, sim::Rng rng)
+    : RoutingProtocol(std::move(ctx)),
+      cfg_(cfg),
+      rng_(rng),
+      buffer_(cfg.buffer_capacity, cfg.buffer_max_age),
+      purge_timer_(*ctx_.sched, [this] { purge_expired(); }) {}
+
+void Aodv::start() {
+  // Small desync so all nodes don't purge on the same tick.
+  purge_timer_.start(cfg_.purge_period,
+                     cfg_.purge_period + sim::Time::seconds(rng_.uniform(0.0, 0.1)));
+}
+
+// ---------------------------------------------------------------------------
+// Route table.
+// ---------------------------------------------------------------------------
+
+Aodv::RouteEntry* Aodv::find_valid(NodeId dst) {
+  auto it = routes_.find(dst);
+  if (it == routes_.end()) return nullptr;
+  RouteEntry& e = it->second;
+  if (!e.valid) return nullptr;
+  if (e.expires < now()) {
+    e.valid = false;
+    return nullptr;
+  }
+  return &e;
+}
+
+const Aodv::RouteEntry* Aodv::route_to(NodeId dst) const {
+  auto it = routes_.find(dst);
+  return it == routes_.end() ? nullptr : &it->second;
+}
+
+bool Aodv::update_route(NodeId dst, NodeId next_hop, std::uint8_t hop_count,
+                        std::uint32_t seq, bool seq_known, sim::Time lifetime) {
+  RouteEntry& e = routes_[dst];
+  const bool stale = !e.valid || e.expires < now();
+  bool accept = stale;
+  if (!accept && seq_known) {
+    if (!e.valid_seq) {
+      accept = true;
+    } else if (seq > e.dst_seq) {
+      accept = true;
+    } else if (seq == e.dst_seq && hop_count < e.hop_count) {
+      accept = true;
+    }
+  }
+  if (!accept && !seq_known && hop_count < e.hop_count) {
+    accept = true;  // unknown-seq update may still shorten (reverse routes)
+  }
+  if (!accept) {
+    // Keep the entry alive: traffic proved the old route still works.
+    e.expires = std::max(e.expires, now() + lifetime);
+    return false;
+  }
+  e.next_hop = next_hop;
+  e.hop_count = hop_count;
+  if (seq_known) {
+    e.dst_seq = std::max(e.valid_seq ? e.dst_seq : 0, seq);
+    e.valid_seq = true;
+  }
+  e.valid = true;
+  e.expires = now() + lifetime;
+  return true;
+}
+
+void Aodv::refresh(NodeId dst) {
+  auto it = routes_.find(dst);
+  if (it != routes_.end() && it->second.valid) {
+    it->second.expires =
+        std::max(it->second.expires, now() + cfg_.active_route_timeout);
+  }
+}
+
+void Aodv::purge_expired() {
+  for (auto& [dst, e] : routes_) {
+    if (e.valid && e.expires < now()) e.valid = false;
+  }
+  buffer_.expire(now(), [this](const Packet& p) {
+    drop(p, net::DropReason::kSendBufferTimeout);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Transport-facing.
+// ---------------------------------------------------------------------------
+
+void Aodv::send_from_transport(Packet packet) {
+  const NodeId dst = packet.common.dst;
+  if (dst == self()) {
+    ctx_.deliver(std::move(packet), self());
+    return;
+  }
+  if (RouteEntry* e = find_valid(dst)) {
+    refresh(dst);
+    ctx_.mac->enqueue(std::move(packet), e->next_hop);
+    return;
+  }
+  if (auto evicted = buffer_.push(std::move(packet), now())) {
+    drop(*evicted, net::DropReason::kSendBufferFull);
+  }
+  if (!pending_.contains(dst)) start_discovery(dst);
+}
+
+void Aodv::start_discovery(NodeId dst) {
+  pending_[dst] = PendingDiscovery{};
+  send_rreq(dst);
+}
+
+void Aodv::send_rreq(NodeId dst) {
+  ++seq_;  // RFC 3561 §6.1: increment own seq before an RREQ
+  ++rreq_id_;
+  AodvRreqHeader h;
+  h.rreq_id = rreq_id_;
+  h.orig = self();
+  h.dst = dst;
+  h.orig_seq = seq_;
+  if (const RouteEntry* e = route_to(dst); e != nullptr && e->valid_seq) {
+    h.dst_seq = e->dst_seq;
+    h.dst_seq_known = true;
+  }
+  Packet p;
+  p.common.kind = PacketKind::kAodvRreq;
+  p.common.src = self();
+  p.common.dst = net::kBroadcastId;
+  p.common.ttl = cfg_.net_diameter_ttl;
+  p.common.uid = ctx_.uids->next();
+  p.common.originated = now();
+  p.routing = h;
+  rreq_seen_.check_and_insert(self(), h.rreq_id);  // don't accept our own flood
+  send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/true);
+
+  auto& pd = pending_[dst];
+  pd.timer = ctx_.sched->schedule_in(cfg_.rrep_wait * (std::int64_t{1} << pd.retries),
+                                     [this, dst] { discovery_timeout(dst); });
+}
+
+void Aodv::discovery_timeout(NodeId dst) {
+  auto it = pending_.find(dst);
+  if (it == pending_.end()) return;
+  if (it->second.retries + 1 >= cfg_.rreq_retries) {
+    pending_.erase(it);
+    for (Packet& p : buffer_.take_for(dst)) {
+      drop(p, net::DropReason::kNoRoute);
+    }
+    return;
+  }
+  ++it->second.retries;
+  send_rreq(dst);
+}
+
+void Aodv::flush_buffer(NodeId dst) {
+  if (auto it = pending_.find(dst); it != pending_.end()) {
+    ctx_.sched->cancel(it->second.timer);
+    pending_.erase(it);
+  }
+  RouteEntry* e = find_valid(dst);
+  if (e == nullptr) return;
+  for (Packet& p : buffer_.take_for(dst)) {
+    refresh(dst);
+    ctx_.mac->enqueue(std::move(p), e->next_hop);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MAC-facing.
+// ---------------------------------------------------------------------------
+
+void Aodv::receive_from_mac(Packet packet, NodeId from) {
+  switch (packet.common.kind) {
+    case PacketKind::kAodvRreq: handle_rreq(std::move(packet), from); return;
+    case PacketKind::kAodvRrep: handle_rrep(std::move(packet), from); return;
+    case PacketKind::kAodvRerr: handle_rerr(std::move(packet), from); return;
+    case PacketKind::kTcpData:
+    case PacketKind::kTcpAck: handle_data(std::move(packet), from); return;
+    default:
+      drop(packet, net::DropReason::kNoRoute);  // foreign protocol packet
+      return;
+  }
+}
+
+void Aodv::handle_rreq(Packet&& p, NodeId from) {
+  auto& h = std::get<AodvRreqHeader>(p.routing);
+  if (h.orig == self()) return;  // our own flood echoed back
+  if (!rreq_seen_.check_and_insert(h.orig, h.rreq_id)) {
+    drop(p, net::DropReason::kDuplicate);
+    return;
+  }
+  ++h.hop_count;
+  // Reverse route toward the originator through `from`.
+  update_route(h.orig, from, h.hop_count, h.orig_seq, /*seq_known=*/true,
+               cfg_.active_route_timeout);
+  if (from != h.orig) {
+    update_route(from, from, 1, 0, /*seq_known=*/false,
+                 cfg_.active_route_timeout);
+  }
+
+  if (h.dst == self()) {
+    send_rrep_as_destination(h);
+    return;
+  }
+  if (cfg_.intermediate_reply) {
+    if (RouteEntry* e = find_valid(h.dst);
+        e != nullptr && e->valid_seq && h.dst_seq_known &&
+        e->dst_seq >= h.dst_seq) {
+      send_rrep_from_route(h, *e);
+      return;
+    }
+  }
+  if (p.common.ttl <= 1) {
+    drop(p, net::DropReason::kTtlExpired);
+    return;
+  }
+  --p.common.ttl;
+  rebroadcast_jittered(std::move(p), rng_);
+}
+
+void Aodv::send_rrep_as_destination(const AodvRreqHeader& req) {
+  // RFC 3561 §6.6.1: bump own seq to max(own, rreq.dst_seq).
+  seq_ = std::max(seq_ + 1, req.dst_seq);
+  AodvRrepHeader h;
+  h.orig = req.orig;
+  h.dst = self();
+  h.dst_seq = seq_;
+  h.hop_count = 0;
+  h.lifetime = cfg_.active_route_timeout;
+  Packet p;
+  p.common.kind = PacketKind::kAodvRrep;
+  p.common.src = self();
+  p.common.dst = req.orig;
+  p.common.ttl = cfg_.net_diameter_ttl;
+  p.common.uid = ctx_.uids->next();
+  p.common.originated = now();
+  p.routing = h;
+  RouteEntry* back = find_valid(req.orig);
+  if (back == nullptr) return;  // reverse route vanished already
+  send_to_mac(std::move(p), back->next_hop, /*originated_here=*/true);
+}
+
+void Aodv::send_rrep_from_route(const AodvRreqHeader& req,
+                                const RouteEntry& route) {
+  AodvRrepHeader h;
+  h.orig = req.orig;
+  h.dst = req.dst;
+  h.dst_seq = route.dst_seq;
+  h.hop_count = route.hop_count;
+  h.lifetime = route.expires - now();
+  Packet p;
+  p.common.kind = PacketKind::kAodvRrep;
+  p.common.src = self();
+  p.common.dst = req.orig;
+  p.common.ttl = cfg_.net_diameter_ttl;
+  p.common.uid = ctx_.uids->next();
+  p.common.originated = now();
+  p.routing = h;
+  RouteEntry* back = find_valid(req.orig);
+  if (back == nullptr) return;
+  send_to_mac(std::move(p), back->next_hop, /*originated_here=*/true);
+}
+
+void Aodv::handle_rrep(Packet&& p, NodeId from) {
+  auto& h = std::get<AodvRrepHeader>(p.routing);
+  ++h.hop_count;
+  // Forward route to the destination through `from`.
+  update_route(h.dst, from, h.hop_count, h.dst_seq, /*seq_known=*/true,
+               h.lifetime);
+  if (from != h.dst) {
+    update_route(from, from, 1, 0, false, cfg_.active_route_timeout);
+  }
+  if (h.orig == self()) {
+    flush_buffer(h.dst);
+    return;
+  }
+  RouteEntry* back = find_valid(h.orig);
+  if (back == nullptr) {
+    drop(p, net::DropReason::kNoRoute);
+    return;
+  }
+  if (p.common.ttl <= 1) {
+    drop(p, net::DropReason::kTtlExpired);
+    return;
+  }
+  --p.common.ttl;
+  refresh(h.orig);
+  send_to_mac(std::move(p), back->next_hop, /*originated_here=*/false);
+}
+
+void Aodv::handle_rerr(Packet&& p, NodeId from) {
+  const auto& h = std::get<AodvRerrHeader>(p.routing);
+  std::vector<AodvRerrHeader::Unreachable> propagate;
+  for (const auto& u : h.unreachable) {
+    auto it = routes_.find(u.dst);
+    if (it == routes_.end() || !it->second.valid) continue;
+    if (it->second.next_hop != from) continue;
+    it->second.valid = false;
+    it->second.dst_seq = std::max(it->second.dst_seq, u.seq);
+    propagate.push_back(u);
+  }
+  if (!propagate.empty()) send_rerr(std::move(propagate));
+}
+
+void Aodv::handle_data(Packet&& p, NodeId from) {
+  refresh(p.common.src);
+  if (from != p.common.src) refresh(from);
+  if (p.common.dst == self()) {
+    trace(net::TraceOp::kDeliver, p);
+    ctx_.deliver(std::move(p), from);
+    return;
+  }
+  if (p.common.ttl <= 1) {
+    drop(p, net::DropReason::kTtlExpired);
+    return;
+  }
+  --p.common.ttl;
+  if (RouteEntry* e = find_valid(p.common.dst)) {
+    refresh(p.common.dst);
+    send_to_mac(std::move(p), e->next_hop, /*originated_here=*/false);
+    return;
+  }
+  // No route at an intermediate node: report upstream, drop the packet.
+  auto it = routes_.find(p.common.dst);
+  const std::uint32_t seq = it != routes_.end() ? it->second.dst_seq + 1 : 1;
+  send_rerr({AodvRerrHeader::Unreachable{p.common.dst, seq}});
+  drop(p, net::DropReason::kNoRoute);
+}
+
+void Aodv::send_rerr(std::vector<AodvRerrHeader::Unreachable> lost) {
+  AodvRerrHeader h;
+  h.unreachable = std::move(lost);
+  Packet p;
+  p.common.kind = PacketKind::kAodvRerr;
+  p.common.src = self();
+  p.common.dst = net::kBroadcastId;
+  p.common.ttl = 1;  // RERRs travel hop by hop, re-issued by each upstream
+  p.common.uid = ctx_.uids->next();
+  p.common.originated = now();
+  p.routing = h;
+  send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/true);
+}
+
+void Aodv::on_link_failure(const Packet& packet, NodeId next_hop) {
+  // Invalidate every route through the dead hop and collect them for the
+  // RERR (RFC 3561 §6.11).
+  std::vector<AodvRerrHeader::Unreachable> lost;
+  for (auto& [dst, e] : routes_) {
+    if (e.valid && e.next_hop == next_hop) {
+      e.valid = false;
+      ++e.dst_seq;  // future info must be strictly fresher
+      lost.push_back({dst, e.dst_seq});
+    }
+  }
+  // Rescue the failed frame and everything queued behind it: buffer the
+  // data and re-discover (RFC 3561 §6.12 local repair at intermediates;
+  // plain rediscovery at the source).  Without this, one MAC-level
+  // failure kills a whole in-flight TCP window and stalls Reno for an
+  // RTO — ns-2's AODV repairs locally for exactly this reason.
+  auto rescue = [this](Packet&& p) {
+    if (p.common.ttl <= 1) {
+      drop(p, net::DropReason::kTtlExpired);
+      return;
+    }
+    if (p.is_control()) {
+      // Control packets are regenerated by their own timers; dropping is
+      // cheaper than repairing a path for them.
+      drop(p, net::DropReason::kNoRoute);
+      return;
+    }
+    const NodeId dst = p.common.dst;
+    if (RouteEntry* e = find_valid(dst)) {
+      refresh(dst);
+      ctx_.mac->enqueue(std::move(p), e->next_hop);
+      return;
+    }
+    if (p.common.src != self() && !cfg_.local_repair) {
+      // Plain RFC behaviour: intermediates drop; the RERR below tells
+      // the source to re-discover.
+      drop(p, net::DropReason::kNoRoute);
+      return;
+    }
+    if (auto evicted = buffer_.push(std::move(p), now())) {
+      drop(*evicted, net::DropReason::kSendBufferFull);
+    }
+    if (!pending_.contains(dst)) start_discovery(dst);
+  };
+  {
+    Packet failed = packet;
+    rescue(std::move(failed));
+  }
+  for (net::QueueItem& item : ctx_.mac->take_queued_for(next_hop)) {
+    rescue(std::move(item.packet));
+  }
+  if (!lost.empty()) send_rerr(std::move(lost));
+}
+
+}  // namespace mts::routing::aodv

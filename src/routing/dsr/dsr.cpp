@@ -1,0 +1,413 @@
+#include "routing/dsr/dsr.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mts::routing::dsr {
+
+using net::DsrRerrHeader;
+using net::DsrRreqHeader;
+using net::DsrRrepHeader;
+using net::DsrSourceRoute;
+using net::NodeId;
+using net::Packet;
+using net::PacketKind;
+
+namespace {
+
+/// True when `path` visits any node twice — reply-from-cache must never
+/// create such a route.
+bool has_loop(const std::vector<NodeId>& path) {
+  std::unordered_set<NodeId> seen;
+  for (NodeId n : path) {
+    if (!seen.insert(n).second) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Dsr::Dsr(RoutingContext ctx, DsrConfig cfg, sim::Rng rng)
+    : RoutingProtocol(std::move(ctx)),
+      cfg_(cfg),
+      rng_(rng),
+      cache_(cfg.cache_capacity, cfg.cache_expiry),
+      buffer_(cfg.buffer_capacity, cfg.buffer_max_age),
+      purge_timer_(*ctx_.sched, [this] { purge(); }) {}
+
+void Dsr::start() {
+  purge_timer_.start(cfg_.purge_period,
+                     cfg_.purge_period + sim::Time::seconds(rng_.uniform(0.0, 0.1)));
+}
+
+void Dsr::purge() {
+  buffer_.expire(now(), [this](const Packet& p) {
+    drop(p, net::DropReason::kSendBufferTimeout);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Sending.
+// ---------------------------------------------------------------------------
+
+bool Dsr::route_and_send(Packet&& p, bool originated_here) {
+  auto route = cache_.find(p.common.dst, now());
+  if (!route.has_value()) return false;
+  DsrSourceRoute sr;
+  sr.route = std::move(*route);
+  sr.index = 0;
+  const NodeId next = sr.route[1];
+  p.routing = std::move(sr);
+  if (originated_here) {
+    ctx_.mac->enqueue(std::move(p), next);
+  } else {
+    send_to_mac(std::move(p), next, /*originated_here=*/false);
+  }
+  return true;
+}
+
+void Dsr::send_from_transport(Packet packet) {
+  const NodeId dst = packet.common.dst;
+  if (dst == self()) {
+    ctx_.deliver(std::move(packet), self());
+    return;
+  }
+  // route_and_send consumes the packet only on success; on failure the
+  // rvalue reference leaves it intact for buffering.
+  if (route_and_send(std::move(packet), /*originated_here=*/true)) return;
+  if (auto evicted = buffer_.push(std::move(packet), now())) {
+    drop(*evicted, net::DropReason::kSendBufferFull);
+  }
+  if (!pending_.contains(dst)) start_discovery(dst);
+}
+
+void Dsr::start_discovery(NodeId dst) {
+  pending_[dst] = PendingDiscovery{};
+  send_rreq(dst);
+}
+
+void Dsr::send_rreq(NodeId dst) {
+  ++rreq_id_;
+  DsrRreqHeader h;
+  h.rreq_id = rreq_id_;
+  h.orig = self();
+  h.target = dst;
+  Packet p;
+  p.common.kind = PacketKind::kDsrRreq;
+  p.common.src = self();
+  p.common.dst = net::kBroadcastId;
+  p.common.ttl = cfg_.max_route_len;
+  p.common.uid = ctx_.uids->next();
+  p.common.originated = now();
+  p.routing = h;
+  rreq_seen_.check_and_insert(self(), h.rreq_id);
+  send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/true);
+
+  auto& pd = pending_[dst];
+  sim::Time wait = cfg_.rreq_initial_wait * (std::int64_t{1} << pd.attempts);
+  wait = std::min(wait, cfg_.rreq_max_wait);
+  pd.timer =
+      ctx_.sched->schedule_in(wait, [this, dst] { discovery_timeout(dst); });
+}
+
+void Dsr::discovery_timeout(NodeId dst) {
+  auto it = pending_.find(dst);
+  if (it == pending_.end()) return;
+  ++it->second.attempts;
+  if (!buffer_.has_packet_for(dst)) {
+    // Nothing waiting any more; stop querying.
+    pending_.erase(it);
+    return;
+  }
+  // DSR keeps retrying with exponential backoff while the send buffer
+  // holds packets (the buffer's own age limit bounds this).
+  send_rreq(dst);
+}
+
+void Dsr::flush_buffer(NodeId dst) {
+  if (auto it = pending_.find(dst); it != pending_.end()) {
+    ctx_.sched->cancel(it->second.timer);
+    pending_.erase(it);
+  }
+  for (Packet& p : buffer_.take_for(dst)) {
+    if (!route_and_send(std::move(p), /*originated_here=*/true)) {
+      drop(p, net::DropReason::kNoRoute);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receiving.
+// ---------------------------------------------------------------------------
+
+void Dsr::receive_from_mac(Packet packet, NodeId from) {
+  switch (packet.common.kind) {
+    case PacketKind::kDsrRreq: handle_rreq(std::move(packet), from); return;
+    case PacketKind::kDsrRrep: handle_rrep(std::move(packet), from); return;
+    case PacketKind::kDsrRerr: handle_rerr(std::move(packet), from); return;
+    case PacketKind::kTcpData:
+    case PacketKind::kTcpAck: handle_data(std::move(packet), from); return;
+    default:
+      drop(packet, net::DropReason::kNoRoute);
+      return;
+  }
+}
+
+void Dsr::handle_rreq(Packet&& p, NodeId from) {
+  auto& h = std::get<DsrRreqHeader>(p.routing);
+  if (h.orig == self()) return;
+  if (!rreq_seen_.check_and_insert(h.orig, h.rreq_id)) {
+    drop(p, net::DropReason::kDuplicate);
+    return;
+  }
+  (void)from;
+  // Cache the reverse route we just learned (links are bidirectional in
+  // the unit-disk world, as they were in the paper's 802.11 setup).
+  {
+    std::vector<NodeId> back{self()};
+    for (auto it = h.record.rbegin(); it != h.record.rend(); ++it)
+      back.push_back(*it);
+    back.push_back(h.orig);
+    cache_.add(std::move(back), now());
+  }
+
+  if (h.target == self()) {
+    reply_as_target(h);
+    return;
+  }
+  if (std::find(h.record.begin(), h.record.end(), self()) != h.record.end()) {
+    return;  // already on this record — forwarding again would loop
+  }
+  if (cfg_.reply_from_cache) {
+    if (auto suffix = cache_.find(h.target, now())) {
+      reply_from_cache(h, *suffix);
+      return;
+    }
+  }
+  if (p.common.ttl <= 1 || h.record.size() >= cfg_.max_route_len) {
+    drop(p, net::DropReason::kTtlExpired);
+    return;
+  }
+  --p.common.ttl;
+  h.record.push_back(self());
+  rebroadcast_jittered(std::move(p), rng_);
+}
+
+void Dsr::reply_as_target(const DsrRreqHeader& h) {
+  std::vector<NodeId> full;
+  full.reserve(h.record.size() + 2);
+  full.push_back(h.orig);
+  full.insert(full.end(), h.record.begin(), h.record.end());
+  full.push_back(self());
+  send_rrep(std::move(full));
+}
+
+void Dsr::reply_from_cache(const DsrRreqHeader& h,
+                           const std::vector<NodeId>& suffix) {
+  // Splice: orig .. record .. self .. cached-suffix(to target).
+  std::vector<NodeId> full;
+  full.push_back(h.orig);
+  full.insert(full.end(), h.record.begin(), h.record.end());
+  // suffix starts at self.
+  full.insert(full.end(), suffix.begin(), suffix.end());
+  if (has_loop(full)) return;  // would be a corrupt route; stay silent
+  send_rrep(std::move(full));
+}
+
+void Dsr::send_rrep(std::vector<NodeId> full_route) {
+  DsrRrepHeader h;
+  h.orig = full_route.front();
+  h.target = full_route.back();
+  h.route = std::move(full_route);
+  // The RREP travels the reverse of the discovered route; `hops_done`
+  // holds the route index of the node currently due to process it.
+  auto me = std::find(h.route.begin(), h.route.end(), self());
+  sim::require(me != h.route.end(), "DSR: replier not on route");
+  const std::size_t my_idx = static_cast<std::size_t>(me - h.route.begin());
+  if (my_idx == 0) return;  // degenerate: we are the orig
+  h.hops_done = static_cast<std::uint16_t>(my_idx - 1);
+  const NodeId next = h.route[my_idx - 1];
+  Packet p;
+  p.common.kind = PacketKind::kDsrRrep;
+  p.common.src = self();
+  p.common.dst = h.orig;
+  p.common.ttl = cfg_.max_route_len;
+  p.common.uid = ctx_.uids->next();
+  p.common.originated = now();
+  p.routing = std::move(h);
+  send_to_mac(std::move(p), next, /*originated_here=*/true);
+}
+
+void Dsr::handle_rrep(Packet&& p, NodeId from) {
+  (void)from;
+  auto& h = std::get<DsrRrepHeader>(p.routing);
+  const std::size_t pos = h.hops_done;
+  if (pos >= h.route.size() || h.route[pos] != self()) {
+    drop(p, net::DropReason::kStaleRoute);
+    return;
+  }
+  // Every node the RREP passes learns the route suffix to the target.
+  cache_.add(std::vector<NodeId>(h.route.begin() + static_cast<std::ptrdiff_t>(pos),
+                                 h.route.end()),
+             now());
+  if (h.orig == self()) {
+    flush_buffer(h.target);
+    return;
+  }
+  if (pos == 0) {
+    drop(p, net::DropReason::kStaleRoute);
+    return;
+  }
+  h.hops_done = static_cast<std::uint16_t>(pos - 1);
+  const NodeId next = h.route[pos - 1];
+  send_to_mac(std::move(p), next, /*originated_here=*/false);
+}
+
+void Dsr::handle_data(Packet&& p, NodeId from) {
+  if (p.common.dst == self()) {
+    // Learn the reverse route for our ACKs.
+    if (auto* sr = std::get_if<DsrSourceRoute>(&p.routing)) {
+      std::vector<NodeId> back(sr->route.rbegin(), sr->route.rend());
+      cache_.add(std::move(back), now());
+    }
+    trace(net::TraceOp::kDeliver, p);
+    ctx_.deliver(std::move(p), from);
+    return;
+  }
+  auto* sr = std::get_if<DsrSourceRoute>(&p.routing);
+  if (sr == nullptr) {
+    drop(p, net::DropReason::kStaleRoute);
+    return;
+  }
+  if (p.common.ttl <= 1) {
+    drop(p, net::DropReason::kTtlExpired);
+    return;
+  }
+  --p.common.ttl;
+  // Advance the cursor to our position.
+  const std::size_t my_idx = static_cast<std::size_t>(sr->index) + 1;
+  if (my_idx >= sr->route.size() || sr->route[my_idx] != self()) {
+    drop(p, net::DropReason::kStaleRoute);
+    return;
+  }
+  if (my_idx + 1 >= sr->route.size()) {
+    drop(p, net::DropReason::kStaleRoute);  // route ends before dst
+    return;
+  }
+  sr->index = static_cast<std::uint16_t>(my_idx);
+  const NodeId next = sr->route[my_idx + 1];
+  send_to_mac(std::move(p), next, /*originated_here=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Errors and salvaging.
+// ---------------------------------------------------------------------------
+
+void Dsr::on_link_failure(const Packet& packet, NodeId next_hop) {
+  cache_.remove_link(self(), next_hop);
+
+  // Tell the source about the broken link (if it is a source-routed data
+  // packet and we are not the source).
+  if (const auto* sr = std::get_if<DsrSourceRoute>(&packet.routing)) {
+    const NodeId src = sr->route.front();
+    if (src != self()) {
+      // Back path: reverse of the traversed prefix, self .. src.
+      std::vector<NodeId> back;
+      for (std::size_t i = sr->index + 1; i-- > 0;) back.push_back(sr->route[i]);
+      std::vector<NodeId> with_self{self()};
+      with_self.insert(with_self.end(), back.begin(), back.end());
+      send_rerr(src, next_hop, std::move(with_self));
+    }
+  }
+
+  // Salvage the failed packet and everything queued behind it.
+  Packet failed = packet;
+  if (!salvage(std::move(failed))) {
+    // salvage() reported the drop
+  }
+  for (net::QueueItem& item : ctx_.mac->take_queued_for(next_hop)) {
+    if (item.packet.is_control()) {
+      drop(item.packet, net::DropReason::kNoRoute);
+      continue;
+    }
+    if (!salvage(std::move(item.packet))) {
+      // reported inside
+    }
+  }
+}
+
+bool Dsr::salvage(Packet&& p) {
+  if (p.common.kind != PacketKind::kTcpData &&
+      p.common.kind != PacketKind::kTcpAck) {
+    drop(p, net::DropReason::kNoRoute);
+    return false;
+  }
+  auto* sr = std::get_if<DsrSourceRoute>(&p.routing);
+  const bool already_salvaged = sr != nullptr && sr->salvaged;
+  if (p.common.src == self()) {
+    // We originated it: re-route or buffer + rediscover.
+    p.routing = std::monostate{};
+    send_from_transport(std::move(p));
+    return true;
+  }
+  if (already_salvaged || cfg_.max_salvage == 0) {
+    drop(p, net::DropReason::kNoRoute);
+    return false;
+  }
+  auto route = cache_.find(p.common.dst, now());
+  if (!route.has_value() || has_loop(*route)) {
+    drop(p, net::DropReason::kNoRoute);
+    return false;
+  }
+  DsrSourceRoute fresh;
+  fresh.route = std::move(*route);
+  fresh.index = 0;
+  fresh.salvaged = true;
+  const NodeId next = fresh.route[1];
+  p.routing = std::move(fresh);
+  send_to_mac(std::move(p), next, /*originated_here=*/false);
+  return true;
+}
+
+void Dsr::send_rerr(NodeId notify, NodeId broken_to,
+                    std::vector<NodeId> back_path) {
+  DsrRerrHeader h;
+  h.notify = notify;
+  h.from = self();
+  h.to = broken_to;
+  h.back_path = std::move(back_path);
+  h.hops_done = 0;
+  if (h.back_path.size() < 2) return;  // nowhere to go
+  const NodeId next = h.back_path[1];
+  Packet p;
+  p.common.kind = PacketKind::kDsrRerr;
+  p.common.src = self();
+  p.common.dst = notify;
+  p.common.ttl = cfg_.max_route_len;
+  p.common.uid = ctx_.uids->next();
+  p.common.originated = now();
+  p.routing = std::move(h);
+  send_to_mac(std::move(p), next, /*originated_here=*/true);
+}
+
+void Dsr::handle_rerr(Packet&& p, NodeId from) {
+  (void)from;
+  auto& h = std::get<DsrRerrHeader>(p.routing);
+  // Everyone who sees the RERR prunes the dead link.
+  cache_.remove_link(h.from, h.to);
+  if (h.notify == self()) return;  // delivered; future sends re-discover
+  const std::size_t my_idx = static_cast<std::size_t>(h.hops_done) + 1;
+  if (my_idx >= h.back_path.size() || h.back_path[my_idx] != self()) {
+    drop(p, net::DropReason::kStaleRoute);
+    return;
+  }
+  if (my_idx + 1 >= h.back_path.size()) {
+    drop(p, net::DropReason::kStaleRoute);
+    return;
+  }
+  h.hops_done = static_cast<std::uint16_t>(my_idx);
+  const NodeId next = h.back_path[my_idx + 1];
+  send_to_mac(std::move(p), next, /*originated_here=*/false);
+}
+
+}  // namespace mts::routing::dsr

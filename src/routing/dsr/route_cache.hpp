@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace mts::routing::dsr {
+
+/// DSR path cache: full source routes rooted at this node.
+///
+/// Deliberately has *no timeout* (the ns-2 DSR default): routes leave
+/// the cache only when a RERR names one of their links.  This is the
+/// property behind the paper's Fig. 10 — at high node speed, cached
+/// routes go stale faster than errors can evict them, and DSR's delivery
+/// rate collapses.  An optional expiry is available for ablations.
+class RouteCache {
+ public:
+  explicit RouteCache(std::size_t capacity = 64,
+                      sim::Time expiry = sim::Time::zero())
+      : capacity_(capacity), expiry_(expiry) {}
+
+  /// Inserts a path (`self .. dst`, endpoints inclusive).  Duplicate
+  /// paths refresh; capacity evicts least-recently-used.
+  void add(std::vector<net::NodeId> path, sim::Time now);
+
+  /// Shortest usable cached path to `dst` (self first, dst last).
+  [[nodiscard]] std::optional<std::vector<net::NodeId>> find(
+      net::NodeId dst, sim::Time now) const;
+
+  /// Removes/truncates every path using directed link `from -> to`.
+  /// Returns how many cached paths were affected.
+  std::size_t remove_link(net::NodeId from, net::NodeId to);
+
+  [[nodiscard]] std::size_t size() const { return paths_.size(); }
+
+  /// All cached paths (tests / diagnostics).
+  [[nodiscard]] const std::vector<std::vector<net::NodeId>> snapshot() const;
+
+ private:
+  struct Entry {
+    std::vector<net::NodeId> path;
+    sim::Time added;
+    sim::Time last_used;
+  };
+  [[nodiscard]] bool expired(const Entry& e, sim::Time now) const {
+    return expiry_ > sim::Time::zero() && now - e.added > expiry_;
+  }
+
+  std::size_t capacity_;
+  sim::Time expiry_;
+  mutable std::vector<Entry> paths_;
+};
+
+}  // namespace mts::routing::dsr

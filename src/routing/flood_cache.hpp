@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+
+#include "net/node_id.hpp"
+
+namespace mts::routing {
+
+/// Remembers which flood packets (RREQs) this node has already seen, so
+/// duplicates are dropped instead of re-broadcast.  Bounded FIFO: old
+/// entries age out by insertion order, which is safe because broadcast
+/// ids are monotonically increasing per originator.
+class FloodCache {
+ public:
+  explicit FloodCache(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// Returns true if (orig, id) was new — and records it.
+  bool check_and_insert(net::NodeId orig, std::uint32_t id) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(orig) << 32) | std::uint64_t{id};
+    if (seen_.contains(key)) return false;
+    seen_.insert(key);
+    order_.push_back(key);
+    if (order_.size() > capacity_) {
+      seen_.erase(order_.front());
+      order_.pop_front();
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool contains(net::NodeId orig, std::uint32_t id) const {
+    return seen_.contains((static_cast<std::uint64_t>(orig) << 32) |
+                          std::uint64_t{id});
+  }
+
+  [[nodiscard]] std::size_t size() const { return seen_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_set<std::uint64_t> seen_;
+  std::deque<std::uint64_t> order_;
+};
+
+}  // namespace mts::routing

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <functional>
+
+#include "mac/mac80211.hpp"
+#include "net/counters.hpp"
+#include "net/packet.hpp"
+#include "net/trace.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace mts::routing {
+
+/// Everything a routing protocol instance needs from its host node.
+/// Plain pointers: the harness guarantees the node outlives its protocol.
+struct RoutingContext {
+  net::NodeId self = net::kNoNode;
+  sim::Scheduler* sched = nullptr;
+  mac::Mac80211* mac = nullptr;
+  net::Counters* counters = nullptr;
+  net::TraceHub* trace = nullptr;
+  net::UidSource* uids = nullptr;
+  /// Hands a packet whose final destination is this node to the local
+  /// transport agent.
+  std::function<void(net::Packet&&, net::NodeId prev_hop)> deliver;
+};
+
+/// The contract between a node and its routing protocol.
+///
+/// A protocol receives: packets the local transport wants routed,
+/// packets arriving from the MAC (control or data, addressed here or to
+/// be forwarded), and link-failure signals from the MAC's retry logic.
+/// It emits packets via `ctx.mac->enqueue(...)` and delivers local
+/// traffic via `ctx.deliver`.
+class RoutingProtocol {
+ public:
+  explicit RoutingProtocol(RoutingContext ctx) : ctx_(std::move(ctx)) {}
+  virtual ~RoutingProtocol() = default;
+  RoutingProtocol(const RoutingProtocol&) = delete;
+  RoutingProtocol& operator=(const RoutingProtocol&) = delete;
+
+  /// Called once when the simulation starts (arm periodic timers here).
+  virtual void start() {}
+
+  /// Transport-originated packet that needs a route.
+  virtual void send_from_transport(net::Packet packet) = 0;
+
+  /// Packet decoded by our MAC (unicast to us or broadcast).
+  virtual void receive_from_mac(net::Packet packet, net::NodeId from) = 0;
+
+  /// The MAC exhausted its retries sending `packet` to `next_hop`:
+  /// the link is considered broken (paper §III-E).
+  virtual void on_link_failure(const net::Packet& packet,
+                               net::NodeId next_hop) = 0;
+
+  [[nodiscard]] virtual const char* name() const = 0;
+
+ protected:
+  [[nodiscard]] net::NodeId self() const { return ctx_.self; }
+  [[nodiscard]] sim::Time now() const { return ctx_.sched->now(); }
+
+  /// Queues a packet at the link layer, maintaining the control/data
+  /// transmission counters the figures are computed from.
+  void send_to_mac(net::Packet packet, net::NodeId next_hop,
+                   bool originated_here) {
+    auto& c = *ctx_.counters;
+    if (packet.is_control()) {
+      originated_here ? ++c.sent_control : ++c.forwarded_control;
+    } else if (!originated_here) {
+      // Transport packets originated here are counted by the agent; the
+      // relay census (β_i of Eq. 2) counts data packets only, mirroring
+      // Pe/Pr which are data-segment counts.
+      packet.common.kind == net::PacketKind::kTcpData ? ++c.forwarded_data
+                                                      : ++c.forwarded_ack;
+    }
+    trace(originated_here ? net::TraceOp::kOriginate : net::TraceOp::kForward,
+          packet);
+    ctx_.mac->enqueue(std::move(packet), next_hop);
+  }
+
+  /// Re-broadcasts a flood packet after a small random delay.  Without
+  /// this, every receiver of a broadcast starts contending in the same
+  /// DIFS window and the rebroadcasts collide — the classic broadcast
+  /// storm that truncates RREQ floods (ns-2's routing agents jitter
+  /// their broadcasts for the same reason).
+  void rebroadcast_jittered(net::Packet packet, sim::Rng& rng,
+                            sim::Time max_jitter = sim::Time::ms(10)) {
+    const sim::Time jitter = max_jitter * rng.uniform();
+    ctx_.sched->schedule_in(
+        jitter, [this, p = std::move(packet)]() mutable {
+          send_to_mac(std::move(p), net::kBroadcastId,
+                      /*originated_here=*/false);
+        });
+  }
+
+  void drop(const net::Packet& packet, net::DropReason reason) {
+    ctx_.counters->drop(reason);
+    if (ctx_.trace != nullptr) {
+      ctx_.trace->emit_lazy([&] {
+        return net::TraceRecord{now(), self(), net::TraceOp::kDrop, packet,
+                                net::drop_reason_name(reason)};
+      });
+    }
+  }
+
+  void trace(net::TraceOp op, const net::Packet& packet,
+             std::string note = {}) {
+    if (ctx_.trace != nullptr) {
+      ctx_.trace->emit_lazy([&] {
+        return net::TraceRecord{now(), self(), op, packet, std::move(note)};
+      });
+    }
+  }
+
+  RoutingContext ctx_;
+};
+
+}  // namespace mts::routing

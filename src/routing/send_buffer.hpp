@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace mts::routing {
+
+/// Holds data packets while route discovery runs.
+///
+/// Mirrors ns-2's DSR "send buffer": bounded capacity, per-packet age
+/// limit, FIFO drop of the oldest when full.  All three on-demand
+/// protocols share it.
+class SendBuffer {
+ public:
+  explicit SendBuffer(std::size_t capacity = 64,
+                      sim::Time max_age = sim::Time::sec(30))
+      : capacity_(capacity), max_age_(max_age) {}
+
+  /// Adds a packet; returns the evicted oldest packet when full.
+  std::optional<net::Packet> push(net::Packet p, sim::Time now) {
+    std::optional<net::Packet> evicted;
+    if (entries_.size() >= capacity_) {
+      evicted = std::move(entries_.front().packet);
+      entries_.pop_front();
+    }
+    entries_.push_back(Entry{std::move(p), now});
+    return evicted;
+  }
+
+  /// Removes and returns every buffered packet destined to `dst`.
+  std::vector<net::Packet> take_for(net::NodeId dst) {
+    std::vector<net::Packet> out;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->packet.common.dst == dst) {
+        out.push_back(std::move(it->packet));
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return out;
+  }
+
+  /// Drops packets older than the age limit, reporting each.
+  void expire(sim::Time now,
+              const std::function<void(const net::Packet&)>& on_expired) {
+    while (!entries_.empty() && now - entries_.front().queued_at > max_age_) {
+      on_expired(entries_.front().packet);
+      entries_.pop_front();
+    }
+  }
+
+  [[nodiscard]] bool has_packet_for(net::NodeId dst) const {
+    for (const auto& e : entries_) {
+      if (e.packet.common.dst == dst) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    net::Packet packet;
+    sim::Time queued_at;
+  };
+  std::size_t capacity_;
+  sim::Time max_age_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace mts::routing

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "net/packet.hpp"
+#include "phy/frame.hpp"
+
+namespace mts::security {
+
+/// The paper's passive attacker (§IV-B): one randomly selected
+/// intermediate node that "performs the same procedures as other
+/// legitimate nodes to relay packets but also collects unauthorized
+/// data within its radio range".
+///
+/// Attach `on_sniff` to the node's MAC promiscuous tap.  `Pe` counts
+/// *distinct TCP data segments* captured — retransmissions of a segment
+/// carry the same information, so they are not double counted, mirroring
+/// how Pr counts distinct deliveries at the destination.
+class Eavesdropper {
+ public:
+  explicit Eavesdropper(net::NodeId node) : node_(node) {}
+
+  void on_sniff(const phy::Frame& frame) {
+    if (!frame.has_payload) return;
+    const net::Packet& p = frame.payload;
+    if (p.common.kind != net::PacketKind::kTcpData || !p.tcp.has_value())
+      return;
+    ++frames_seen_;
+    segments_.insert((std::uint64_t{p.tcp->flow_id} << 32) |
+                     std::uint64_t{p.tcp->seq});
+  }
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  /// Pe of Eq. 1: distinct data segments successfully captured.
+  [[nodiscard]] std::uint64_t captured_segments() const {
+    return segments_.size();
+  }
+  /// Raw overheard data frames (incl. retransmissions).
+  [[nodiscard]] std::uint64_t frames_seen() const { return frames_seen_; }
+
+  /// Eq. 1: Ri = Pe / Pr.
+  [[nodiscard]] double interception_ratio(std::uint64_t pr) const {
+    return pr == 0 ? 0.0
+                   : static_cast<double>(captured_segments()) /
+                         static_cast<double>(pr);
+  }
+
+ private:
+  net::NodeId node_;
+  std::uint64_t frames_seen_ = 0;
+  std::unordered_set<std::uint64_t> segments_;
+};
+
+}  // namespace mts::security

@@ -1,0 +1,34 @@
+#include "security/relay_census.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mts::security {
+
+RelayReport analyze_relays(
+    const std::vector<std::pair<net::NodeId, std::uint64_t>>& betas) {
+  RelayReport r;
+  for (const auto& [node, beta] : betas) {
+    if (beta == 0) continue;
+    r.participants.emplace_back(node, beta);
+    r.alpha += beta;
+    r.max_beta = std::max(r.max_beta, beta);
+  }
+  const std::size_t n = r.participants.size();
+  if (n < 2 || r.alpha == 0) {
+    r.normalized_stddev = 0.0;
+    return r;
+  }
+  // Eq. 3: γ_i = β_i / α.  The γ mean is 1/N by construction.
+  const double mean = 1.0 / static_cast<double>(n);
+  double ss = 0.0;
+  for (const auto& [node, beta] : r.participants) {
+    const double gamma =
+        static_cast<double>(beta) / static_cast<double>(r.alpha);
+    ss += (gamma - mean) * (gamma - mean);
+  }
+  r.normalized_stddev = std::sqrt(ss / static_cast<double>(n - 1));
+  return r;
+}
+
+}  // namespace mts::security

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node_id.hpp"
+
+namespace mts::security {
+
+/// Per-node relay counts (β_i of the paper's Eq. 2) and the statistics
+/// §IV-B derives from them.
+struct RelayReport {
+  /// β_i > 0 rows only — (node, β).
+  std::vector<std::pair<net::NodeId, std::uint64_t>> participants;
+  std::uint64_t alpha = 0;        ///< Eq. 2: Σ β_i
+  double normalized_stddev = 0.0; ///< Eq. 4 over the γ_i of Eq. 3
+  std::uint64_t max_beta = 0;     ///< the most-relied-upon node's count
+
+  [[nodiscard]] std::size_t participating_nodes() const {
+    return participants.size();
+  }
+  /// Fig. 7's "highest interception ratio": the worst case where the
+  /// most dependent relay is the eavesdropper — max β_i / Pr.
+  [[nodiscard]] double highest_interception_ratio(std::uint64_t pr) const {
+    return pr == 0 ? 0.0
+                   : static_cast<double>(max_beta) / static_cast<double>(pr);
+  }
+};
+
+/// Builds the report from per-node relay counts.
+///
+/// Note on Eq. 4: the paper's formula divides by N, but its own worked
+/// example (Table I: σ = 19.60 % from those β values) only reproduces
+/// with the sample form N−1.  We follow the worked example — the unit
+/// test `relay_census_test` pins Table I's numbers to four digits.
+RelayReport analyze_relays(
+    const std::vector<std::pair<net::NodeId, std::uint64_t>>& betas);
+
+}  // namespace mts::security

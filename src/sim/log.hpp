@@ -1,0 +1,81 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace mts::sim {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Minimal structured logger for simulator internals.
+///
+/// Logging is off by default (benchmarks must not pay for I/O); tests
+/// and the trace_explorer example turn it on per component.  Not
+/// thread-safe across simulators by design: each simulator instance owns
+/// its logger, and campaign threads never share one.
+class Logger {
+ public:
+  explicit Logger(std::string component, LogLevel level = LogLevel::kOff,
+                  std::ostream* sink = &std::clog)
+      : component_(std::move(component)), level_(level), sink_(sink) {}
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  void set_sink(std::ostream* sink) { sink_ = sink; }
+
+  [[nodiscard]] bool enabled(LogLevel lvl) const { return lvl >= level_; }
+
+  template <typename... Args>
+  void log(LogLevel lvl, Time now, Args&&... args) const {
+    if (!enabled(lvl) || sink_ == nullptr) return;
+    std::ostringstream os;
+    os << "[" << now.to_seconds() << "s " << component_ << " " << name(lvl) << "] ";
+    (os << ... << std::forward<Args>(args));
+    os << '\n';
+    (*sink_) << os.str();
+  }
+
+  template <typename... Args>
+  void trace(Time now, Args&&... args) const {
+    log(LogLevel::kTrace, now, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void debug(Time now, Args&&... args) const {
+    log(LogLevel::kDebug, now, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void info(Time now, Args&&... args) const {
+    log(LogLevel::kInfo, now, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void warn(Time now, Args&&... args) const {
+    log(LogLevel::kWarn, now, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void error(Time now, Args&&... args) const {
+    log(LogLevel::kError, now, std::forward<Args>(args)...);
+  }
+
+  static std::string_view name(LogLevel lvl) {
+    switch (lvl) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+  }
+
+ private:
+  std::string component_;
+  LogLevel level_;
+  std::ostream* sink_;
+};
+
+}  // namespace mts::sim

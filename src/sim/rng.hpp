@@ -1,0 +1,99 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+#include "sim/error.hpp"
+
+namespace mts::sim {
+
+/// splitmix64: tiny, high-quality 64-bit mixer used to derive substream
+/// seeds.  (Public-domain constants from Vigna's reference.)
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a string, for name-derived substreams.
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Deterministic random source with named substreams.
+///
+/// Every stochastic component takes its own substream, derived from the
+/// master seed and a stable name (or index), so the sequence one
+/// component sees never depends on how often another component draws.
+/// This is what makes protocol A vs protocol B comparisons paired: both
+/// see the same mobility, same placement, same TCP start times.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : gen_(splitmix64(seed)), seed_(seed) {}
+
+  /// Child stream derived from this stream's seed and a name.
+  [[nodiscard]] Rng substream(std::string_view name) const {
+    return Rng(splitmix64(seed_ ^ fnv1a(name)));
+  }
+  /// Child stream derived from this stream's seed and an index.
+  [[nodiscard]] Rng substream(std::uint64_t index) const {
+    return Rng(splitmix64(seed_ ^ splitmix64(index + 0x517CC1B727220A95ULL)));
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+  }
+  /// Uniform double in [a, b).
+  double uniform(double a, double b) {
+    require(b >= a, "Rng::uniform: b < a");
+    return std::uniform_real_distribution<double>(a, b)(gen_);
+  }
+  /// Uniform integer in [a, b] (inclusive).
+  std::int64_t uniform_int(std::int64_t a, std::int64_t b) {
+    require(b >= a, "Rng::uniform_int: b < a");
+    return std::uniform_int_distribution<std::int64_t>(a, b)(gen_);
+  }
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    require(mean > 0, "Rng::exponential: mean <= 0");
+    return std::exponential_distribution<double>(1.0 / mean)(gen_);
+  }
+  double normal(double mu, double sigma) {
+    return std::normal_distribution<double>(mu, sigma)(gen_);
+  }
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(gen_);
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    require(!v.empty(), "Rng::pick: empty vector");
+    return v[static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(v.size()) - 1))];
+  }
+
+  template <typename It>
+  void shuffle(It first, It last) {
+    std::shuffle(first, last, gen_);
+  }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mts::sim

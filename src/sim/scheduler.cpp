@@ -1,0 +1,87 @@
+#include "sim/scheduler.hpp"
+
+namespace mts::sim {
+
+EventId Scheduler::schedule_at(Time t, std::function<void()> fn) {
+  require(t >= now_, "Scheduler: cannot schedule into the past");
+  require(static_cast<bool>(fn), "Scheduler: empty callback");
+  const EventId id = next_id_++;
+  heap_.push(HeapEntry{t, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+
+bool Scheduler::pop_next(HeapEntry& out) {
+  while (!heap_.empty()) {
+    HeapEntry top = heap_.top();
+    heap_.pop();
+    if (callbacks_.contains(top.id)) {
+      out = top;
+      return true;
+    }
+    // Cancelled: lazily discarded.
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  stopped_ = false;
+  HeapEntry e;
+  while (!stopped_ && pop_next(e)) {
+    now_ = e.t;
+    auto node = callbacks_.extract(e.id);
+    ++executed_;
+    node.mapped()();
+  }
+}
+
+void Scheduler::run_until(Time end) {
+  require(end >= now_, "Scheduler: run_until into the past");
+  stopped_ = false;
+  while (!stopped_) {
+    if (heap_.empty()) break;
+    HeapEntry e;
+    // Peek: we must not advance past `end`.
+    if (!pop_next(e)) break;
+    if (e.t > end) {
+      // Put it back; it stays pending for a later run.
+      heap_.push(e);
+      break;
+    }
+    now_ = e.t;
+    auto node = callbacks_.extract(e.id);
+    ++executed_;
+    node.mapped()();
+  }
+  if (now_ < end) now_ = end;
+}
+
+std::size_t Scheduler::run_steps(std::size_t n) {
+  stopped_ = false;
+  std::size_t done = 0;
+  HeapEntry e;
+  while (done < n && !stopped_ && pop_next(e)) {
+    now_ = e.t;
+    auto node = callbacks_.extract(e.id);
+    ++executed_;
+    ++done;
+    node.mapped()();
+  }
+  return done;
+}
+
+Time Scheduler::next_event_time() const {
+  // The heap may have stale (cancelled) entries on top; we cannot pop
+  // from a const method, so scan a copy of the top region only when the
+  // top is stale.  The common case (live top) is O(1).
+  std::priority_queue<HeapEntry> copy = heap_;
+  while (!copy.empty()) {
+    if (callbacks_.contains(copy.top().id)) return copy.top().t;
+    copy.pop();
+  }
+  return Time::max();
+}
+
+}  // namespace mts::sim

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/error.hpp"
+#include "sim/time.hpp"
+
+namespace mts::sim {
+
+/// Identifies a scheduled event; usable to cancel it before it fires.
+using EventId = std::uint64_t;
+
+/// Sentinel returned by schedulers for "no event".
+inline constexpr EventId kInvalidEvent = 0;
+
+/// The discrete-event core: a time-ordered queue of callbacks.
+///
+/// Ordering is total and deterministic: events fire by (time, insertion
+/// sequence).  Two events scheduled for the same tick therefore run in
+/// the order they were scheduled, independent of heap internals.
+///
+/// Cancellation is O(1): the callback is removed from the id map and the
+/// heap entry is lazily skipped when popped.  This keeps the hot path
+/// (schedule/pop) allocation-light and avoids heap surgery.
+class Scheduler {
+ public:
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulation time.  Monotonically non-decreasing during run().
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` (must be >= 0).
+  EventId schedule_in(Time delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event.  Returns false if it already fired, was
+  /// already cancelled, or `id` is invalid.
+  bool cancel(EventId id);
+
+  /// Returns true iff `id` is pending (scheduled and not yet fired).
+  [[nodiscard]] bool is_pending(EventId id) const {
+    return callbacks_.contains(id);
+  }
+
+  /// Runs events until the queue drains or stop() is called.
+  void run();
+
+  /// Runs events with timestamp <= `end`; afterwards now() == end (if the
+  /// queue drained earlier, time still advances to `end`).
+  void run_until(Time end);
+
+  /// Executes at most `n` events; returns the number actually executed.
+  std::size_t run_steps(std::size_t n);
+
+  /// Requests run()/run_until() to return after the current event.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_count() const { return callbacks_.size(); }
+  [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
+
+  /// Timestamp of the earliest pending event, or Time::max() when empty.
+  [[nodiscard]] Time next_event_time() const;
+
+ private:
+  struct HeapEntry {
+    Time t;
+    EventId id;
+    /// Min-heap via std::priority_queue (which is a max-heap), so the
+    /// comparison is reversed; ties break on insertion id for stability.
+    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;
+    }
+  };
+
+  /// Pops skipping cancelled entries; returns false when empty.
+  bool pop_next(HeapEntry& out);
+
+  Time now_ = Time::zero();
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<HeapEntry> heap_;
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+};
+
+}  // namespace mts::sim

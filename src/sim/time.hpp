@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <ostream>
+
+namespace mts::sim {
+
+/// Simulation time, held as a signed 64-bit count of nanoseconds.
+///
+/// An integer representation (rather than `double` seconds, as NS-2 uses)
+/// makes event ordering exact and runs bit-reproducible: two events
+/// scheduled from the same arithmetic land on identical ticks on every
+/// platform.  The range (+/- ~292 years) is far beyond any scenario.
+///
+/// `Time` doubles as a duration type; differences and sums are both
+/// `Time`.  Negative values are legal intermediates (e.g. `a - b`), but
+/// the scheduler rejects scheduling into the past.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  /// Named constructors.  Prefer these over the raw constructor so call
+  /// sites carry their unit.
+  static constexpr Time ns(std::int64_t v) { return Time{v}; }
+  static constexpr Time us(std::int64_t v) { return Time{v * 1'000}; }
+  static constexpr Time ms(std::int64_t v) { return Time{v * 1'000'000}; }
+  static constexpr Time sec(std::int64_t v) { return Time{v * 1'000'000'000}; }
+
+  /// Fractional seconds (for human-facing configuration like "0.003 s
+  /// check jitter").  Rounds to the nearest nanosecond.
+  static constexpr Time seconds(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e9 + (v >= 0 ? 0.5 : -0.5))};
+  }
+  /// Fractional microseconds (MAC slot arithmetic).
+  static constexpr Time micros(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e3 + (v >= 0 ? 0.5 : -0.5))};
+  }
+
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  [[nodiscard]] constexpr std::int64_t nanoseconds() const { return ns_; }
+  [[nodiscard]] constexpr double to_seconds() const {
+    return static_cast<double>(ns_) * 1e-9;
+  }
+  [[nodiscard]] constexpr double to_millis() const {
+    return static_cast<double>(ns_) * 1e-6;
+  }
+  [[nodiscard]] constexpr double to_micros() const {
+    return static_cast<double>(ns_) * 1e-3;
+  }
+  [[nodiscard]] constexpr bool is_zero() const { return ns_ == 0; }
+  [[nodiscard]] constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time{a.ns_ + b.ns_}; }
+  friend constexpr Time operator-(Time a, Time b) { return Time{a.ns_ - b.ns_}; }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time{a.ns_ * k}; }
+  friend constexpr Time operator*(Time a, double k) {
+    return Time{static_cast<std::int64_t>(static_cast<double>(a.ns_) * k + 0.5)};
+  }
+  friend constexpr Time operator/(Time a, std::int64_t k) { return Time{a.ns_ / k}; }
+  /// Ratio of two durations (e.g. elapsed / slot_time).
+  friend constexpr double operator/(Time a, Time b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+  constexpr Time& operator+=(Time b) { ns_ += b.ns_; return *this; }
+  constexpr Time& operator-=(Time b) { ns_ -= b.ns_; return *this; }
+
+  friend constexpr auto operator<=>(Time a, Time b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Time t) {
+    return os << t.to_seconds() << "s";
+  }
+
+ private:
+  explicit constexpr Time(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace mts::sim

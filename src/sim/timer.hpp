@@ -1,0 +1,92 @@
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/scheduler.hpp"
+
+namespace mts::sim {
+
+/// RAII one-shot timer bound to a fixed callback.
+///
+/// Protocol modules own Timers as members; destruction cancels any
+/// pending expiry, so a dying node can never fire a dangling callback.
+/// Re-scheduling an armed timer moves the expiry (the old event is
+/// cancelled), which is the common "restart the timeout" idiom.
+class Timer {
+ public:
+  Timer(Scheduler& sched, std::function<void()> on_expire)
+      : sched_(&sched), on_expire_(std::move(on_expire)) {}
+
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Arms (or re-arms) the timer to fire `delay` from now.
+  void schedule_in(Time delay) {
+    cancel();
+    id_ = sched_->schedule_in(delay, [this] {
+      id_ = kInvalidEvent;
+      on_expire_();
+    });
+  }
+
+  /// Arms (or re-arms) the timer to fire at absolute time `t`.
+  void schedule_at(Time t) {
+    cancel();
+    id_ = sched_->schedule_at(t, [this] {
+      id_ = kInvalidEvent;
+      on_expire_();
+    });
+  }
+
+  /// Disarms; no-op if not pending.
+  void cancel() {
+    if (id_ != kInvalidEvent) {
+      sched_->cancel(id_);
+      id_ = kInvalidEvent;
+    }
+  }
+
+  [[nodiscard]] bool is_pending() const { return id_ != kInvalidEvent; }
+
+ private:
+  Scheduler* sched_;
+  std::function<void()> on_expire_;
+  EventId id_ = kInvalidEvent;
+};
+
+/// Periodic timer: fires every `period` until cancelled.  The first
+/// firing is one period after start() (plus optional initial jitter).
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Scheduler& sched, std::function<void()> on_tick)
+      : timer_(sched, [this] { tick(); }), on_tick_(std::move(on_tick)) {}
+
+  void start(Time period, Time initial_delay) {
+    require(period > Time::zero(), "PeriodicTimer: period must be positive");
+    period_ = period;
+    timer_.schedule_in(initial_delay);
+  }
+  void start(Time period) { start(period, period); }
+
+  void set_period(Time period) {
+    require(period > Time::zero(), "PeriodicTimer: period must be positive");
+    period_ = period;
+  }
+
+  void stop() { timer_.cancel(); }
+  [[nodiscard]] bool is_running() const { return timer_.is_pending(); }
+
+ private:
+  void tick() {
+    timer_.schedule_in(period_);  // re-arm first: on_tick_ may stop()
+    on_tick_();
+  }
+
+  Timer timer_;
+  std::function<void()> on_tick_;
+  Time period_ = Time::sec(1);
+};
+
+}  // namespace mts::sim

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace mts::stats {
+
+/// Streaming mean/variance (Welford) with min/max; mergeable so that
+/// per-thread accumulators combine without locks.
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = x < min_ ? x : min_;
+    max_ = x > max_ ? x : max_;
+  }
+
+  /// Chan et al. parallel merge.
+  void merge(const Summary& o) {
+    if (o.n_ == 0) return;
+    if (n_ == 0) {
+      *this = o;
+      return;
+    }
+    const double d = o.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(o.n_);
+    const double nt = na + nb;
+    m2_ += o.m2_ + d * d * na * nb / nt;
+    mean_ += d * nb / nt;
+    n_ += o.n_;
+    min_ = o.min_ < min_ ? o.min_ : min_;
+    max_ = o.max_ > max_ ? o.max_ : max_;
+  }
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double variance() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  /// Standard error of the mean.
+  [[nodiscard]] double sem() const {
+    return n_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+  }
+  /// Half-width of the ~95 % confidence interval (normal approximation).
+  [[nodiscard]] double ci95() const { return 1.96 * sem(); }
+  [[nodiscard]] double min() const {
+    return n_ == 0 ? 0.0 : min_;
+  }
+  [[nodiscard]] double max() const {
+    return n_ == 0 ? 0.0 : max_;
+  }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace mts::stats

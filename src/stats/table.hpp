@@ -1,0 +1,67 @@
+#pragma once
+
+#include <iomanip>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mts::stats {
+
+/// Minimal fixed-width ASCII table + CSV writer for bench output — the
+/// "same rows/series the paper reports" requirement, without plotting.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  static std::string fmt(double v, int precision = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+  }
+
+  void print(std::ostream& os) const {
+    std::vector<std::size_t> widths(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], cells[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) widen(r);
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        os << "| " << std::setw(static_cast<int>(widths[i]))
+           << (i < cells.size() ? cells[i] : "") << " ";
+      }
+      os << "|\n";
+    };
+    line(header_);
+    os << "|";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "|";
+    os << "\n";
+    for (const auto& r : rows_) line(r);
+  }
+
+  void print_csv(std::ostream& os) const {
+    auto line = [&os](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) os << ",";
+        os << cells[i];
+      }
+      os << "\n";
+    };
+    line(header_);
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mts::stats

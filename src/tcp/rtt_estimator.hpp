@@ -1,0 +1,59 @@
+#pragma once
+
+#include "sim/time.hpp"
+#include "tcp/tcp_config.hpp"
+
+namespace mts::tcp {
+
+/// Jacobson/Karels smoothed RTT estimation with Karn's rule applied by
+/// the caller (no samples from retransmitted segments), per RFC 6298.
+class RttEstimator {
+ public:
+  explicit RttEstimator(const TcpConfig& cfg)
+      : cfg_(&cfg), rto_(cfg.initial_rto) {}
+
+  void sample(sim::Time rtt) {
+    if (!have_sample_) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+      have_sample_ = true;
+    } else {
+      const sim::Time err =
+          srtt_ > rtt ? srtt_ - rtt : rtt - srtt_;  // |srtt - rtt|
+      rttvar_ = rttvar_ * (1.0 - cfg_->rtt_beta) + err * cfg_->rtt_beta;
+      srtt_ = srtt_ * (1.0 - cfg_->rtt_alpha) + rtt * cfg_->rtt_alpha;
+    }
+    sim::Time rto = srtt_ + rttvar_ * std::int64_t{4};
+    rto_ = clamp(rto);
+    backoff_ = 1;
+  }
+
+  /// Exponential backoff after a retransmission timeout.
+  void backoff() {
+    backoff_ = std::min<std::uint32_t>(backoff_ * 2, 64);
+  }
+
+  [[nodiscard]] sim::Time rto() const {
+    return clamp(rto_ * std::int64_t{backoff_});
+  }
+  [[nodiscard]] sim::Time srtt() const { return srtt_; }
+  [[nodiscard]] sim::Time rttvar() const { return rttvar_; }
+  [[nodiscard]] bool has_sample() const { return have_sample_; }
+  [[nodiscard]] std::uint32_t backoff_factor() const { return backoff_; }
+
+ private:
+  [[nodiscard]] sim::Time clamp(sim::Time t) const {
+    if (t < cfg_->min_rto) return cfg_->min_rto;
+    if (t > cfg_->max_rto) return cfg_->max_rto;
+    return t;
+  }
+
+  const TcpConfig* cfg_;
+  bool have_sample_ = false;
+  sim::Time srtt_;
+  sim::Time rttvar_;
+  sim::Time rto_;
+  std::uint32_t backoff_ = 1;
+};
+
+}  // namespace mts::tcp

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "net/counters.hpp"
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/timer.hpp"
+#include "tcp/flow_stats.hpp"
+#include "tcp/rtt_estimator.hpp"
+#include "tcp/tcp_config.hpp"
+
+namespace mts::tcp {
+
+/// One-way TCP sender with an infinite (FTP-style) backlog, in the mould
+/// of ns-2's `Agent/TCP` + `Application/FTP` pair the paper simulates.
+///
+/// Implements slow start, congestion avoidance, fast retransmit, and —
+/// depending on `TcpConfig::variant` — Tahoe restart, Reno fast
+/// recovery, or NewReno partial-ACK recovery.  RTO per RFC 6298 with
+/// Karn's algorithm (timestamps echoed by the sink carry a retransmit
+/// flag that suppresses the sample).
+class TcpSource {
+ public:
+  using SendFn = std::function<void(net::Packet&&)>;
+
+  TcpSource(sim::Scheduler& sched, SendFn send, net::NodeId self,
+            net::NodeId dst, std::uint16_t flow_id, TcpConfig cfg,
+            net::UidSource* uids, net::Counters* counters, FlowStats* stats);
+
+  /// Begins transmitting at absolute time `at`.
+  void start(sim::Time at);
+
+  /// Hands an ACK packet (routed to this node) to the sender.
+  void on_ack(const net::Packet& ack);
+
+  // --- inspection -------------------------------------------------------
+  [[nodiscard]] double cwnd() const { return cwnd_; }
+  [[nodiscard]] std::uint32_t ssthresh() const { return ssthresh_; }
+  [[nodiscard]] std::uint32_t snd_una() const { return snd_una_; }
+  [[nodiscard]] std::uint32_t snd_nxt() const { return snd_nxt_; }
+  [[nodiscard]] bool in_fast_recovery() const { return in_fr_; }
+  [[nodiscard]] const RttEstimator& rtt() const { return rtt_; }
+  [[nodiscard]] const std::vector<std::pair<sim::Time, double>>& cwnd_trace()
+      const {
+    return cwnd_trace_;
+  }
+  [[nodiscard]] net::NodeId destination() const { return dst_; }
+  [[nodiscard]] std::uint16_t flow_id() const { return flow_id_; }
+
+ private:
+  void send_window();
+  /// Sends segment `seq`; whether it is a retransmission is derived from
+  /// the high-water mark of previously sent sequence numbers.
+  void transmit_segment(std::uint32_t seq);
+  void on_new_ack(std::uint32_t ack, const net::TcpHeader& h);
+  void on_dup_ack();
+  void enter_fast_retransmit();
+  void on_rto();
+  void arm_rto();
+  void note_cwnd() {
+    if (cfg_.trace_cwnd) cwnd_trace_.emplace_back(sched_->now(), cwnd_);
+  }
+  [[nodiscard]] std::uint32_t window() const {
+    const auto w = static_cast<std::uint32_t>(cwnd_);
+    return std::min(w, cfg_.max_window);
+  }
+  [[nodiscard]] std::uint32_t flight_size() const {
+    return snd_nxt_ - snd_una_;
+  }
+
+  sim::Scheduler* sched_;
+  SendFn send_;
+  net::NodeId self_;
+  net::NodeId dst_;
+  std::uint16_t flow_id_;
+  TcpConfig cfg_;
+  net::UidSource* uids_;
+  net::Counters* counters_;
+  FlowStats* stats_;
+
+  // Sequence space in segments; 1-based so that ack==1 means "nothing
+  // received yet, expecting segment 1".
+  std::uint32_t snd_una_ = 1;
+  std::uint32_t snd_nxt_ = 1;
+  std::uint32_t max_seq_sent_ = 0;  ///< high-water mark (retx detection)
+  double cwnd_ = 1.0;
+  std::uint32_t ssthresh_;
+  std::uint32_t dupacks_ = 0;
+  bool in_fr_ = false;
+  std::uint32_t recover_ = 0;  ///< NewReno recovery point
+
+  RttEstimator rtt_;
+  sim::Timer rto_timer_;
+  std::vector<std::pair<sim::Time, double>> cwnd_trace_;
+};
+
+}  // namespace mts::tcp

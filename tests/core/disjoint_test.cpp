@@ -1,0 +1,96 @@
+#include "core/disjoint.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mts::core {
+namespace {
+
+constexpr net::NodeId S = 100;
+constexpr net::NodeId D = 200;
+
+TEST(DisjointTest, FirstAndLastHopsExtractedCorrectly) {
+  EXPECT_EQ(first_hop({1, 2, 3}, D), 1u);
+  EXPECT_EQ(last_hop({1, 2, 3}, S), 3u);
+  // Direct path: the destination is the first hop, the source the last.
+  EXPECT_EQ(first_hop({}, D), D);
+  EXPECT_EQ(last_hop({}, S), S);
+}
+
+TEST(DisjointTest, FullyDistinctPathsAreDisjoint) {
+  EXPECT_TRUE(next_last_hop_disjoint({1, 2}, {3, 4}, S, D));
+}
+
+TEST(DisjointTest, SharedFirstHopRejected) {
+  // The paper's Fig. 3: S-a-b-D vs S-a-b-c-D share the source-side first
+  // hop (a) — not disjoint.
+  EXPECT_FALSE(next_last_hop_disjoint({1, 2}, {1, 2, 3}, S, D));
+}
+
+TEST(DisjointTest, SharedLastHopRejected) {
+  EXPECT_FALSE(next_last_hop_disjoint({1, 2, 9}, {3, 4, 9}, S, D));
+}
+
+TEST(DisjointTest, SharedInteriorOnlyPassesTheHopRule) {
+  // The AOMDV-style rule checks only first/last hops: a shared interior
+  // node alone does not trigger rejection (MTS's first-copy forwarding
+  // makes such sharing rare before the destination).
+  EXPECT_TRUE(next_last_hop_disjoint({1, 5, 2}, {3, 5, 4}, S, D));
+}
+
+TEST(DisjointTest, DirectPathVsRelayedPath) {
+  // Direct S-D vs S-a-D: first hops D vs a differ, last hops S vs a
+  // differ => disjoint, as expected.
+  EXPECT_TRUE(next_last_hop_disjoint({}, {7}, S, D));
+}
+
+TEST(DisjointTest, NodeDisjointStrictCheck) {
+  EXPECT_TRUE(node_disjoint({1, 2}, {3, 4}));
+  EXPECT_FALSE(node_disjoint({1, 2}, {2, 3}));
+  EXPECT_TRUE(node_disjoint({}, {1}));
+}
+
+TEST(AdmissibleTest, EmptyStoreAcceptsAnyValidPath) {
+  EXPECT_TRUE(admissible({}, {1, 2, 3}, S, D));
+  EXPECT_TRUE(admissible({}, {}, S, D));
+}
+
+TEST(AdmissibleTest, RejectsPathContainingEndpoints) {
+  EXPECT_FALSE(admissible({}, {1, S, 2}, S, D));
+  EXPECT_FALSE(admissible({}, {D}, S, D));
+}
+
+TEST(AdmissibleTest, RejectsPathWithRepeatedNode) {
+  EXPECT_FALSE(admissible({}, {1, 2, 1}, S, D));
+}
+
+TEST(AdmissibleTest, RejectsAgainstAnyStoredConflict) {
+  const std::vector<PathNodes> stored{{1, 2}, {3, 4}};
+  EXPECT_FALSE(admissible(stored, {1, 9}, S, D));   // first hop clash (1)
+  EXPECT_FALSE(admissible(stored, {9, 4}, S, D));   // last hop clash (4)
+  EXPECT_TRUE(admissible(stored, {5, 6}, S, D));
+}
+
+TEST(AdmissibleTest, PaperFig3Scenario) {
+  // Destination stored S-a-b-D (intermediates {a, b}); the non-disjoint
+  // S-a-b-c-D ({a, b, c}) must be rejected, while S-x-y-D is accepted.
+  const net::NodeId a = 1, bnode = 2, c = 3, x = 8, y = 9;
+  std::vector<PathNodes> stored{{a, bnode}};
+  EXPECT_FALSE(admissible(stored, {a, bnode, c}, S, D));
+  EXPECT_TRUE(admissible(stored, {x, y}, S, D));
+}
+
+TEST(AdmissibleTest, CapIndependence) {
+  // admissible() itself has no cap; storing up to five is the caller's
+  // policy (§III-B).  Five pairwise-disjoint paths coexist fine.
+  std::vector<PathNodes> stored;
+  for (net::NodeId i = 0; i < 5; ++i) {
+    PathNodes p{static_cast<net::NodeId>(10 + i),
+                static_cast<net::NodeId>(20 + i)};
+    EXPECT_TRUE(admissible(stored, p, S, D));
+    stored.push_back(p);
+  }
+  EXPECT_EQ(stored.size(), 5u);
+}
+
+}  // namespace
+}  // namespace mts::core

@@ -1,0 +1,108 @@
+// The sweep cache must be a pure optimization: a cache round-trip has
+// to reproduce the campaign bit-for-bit, and any config change that
+// affects results must change the key.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "harness/campaign_cache.hpp"
+
+namespace mts::harness {
+namespace {
+
+class CampaignCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mts_cache_test_" + std::to_string(::getpid()));
+    setenv("MTS_BENCH_CACHE_DIR", dir_.c_str(), 1);
+    unsetenv("MTS_BENCH_NO_CACHE");
+  }
+  void TearDown() override {
+    unsetenv("MTS_BENCH_CACHE_DIR");
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  static CampaignConfig tiny() {
+    CampaignConfig cfg;
+    cfg.base.node_count = 15;
+    cfg.base.sim_time = sim::Time::sec(3);
+    cfg.speeds = {5};
+    cfg.protocols = {Protocol::kAodv};
+    cfg.repetitions = 2;
+    return cfg;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CampaignCacheTest, MissThenHitRoundTripsAllMetrics) {
+  const CampaignConfig cfg = tiny();
+  EXPECT_FALSE(CampaignCache::load(cfg).has_value());
+  const CampaignResult fresh = CampaignCache::run(cfg);
+  const auto cached = CampaignCache::load(cfg);
+  ASSERT_TRUE(cached.has_value());
+  const auto& a = fresh.runs(Protocol::kAodv, 5);
+  const auto& b = cached->runs(Protocol::kAodv, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].segments_delivered, b[i].segments_delivered);
+    EXPECT_EQ(a[i].control_packets, b[i].control_packets);
+    EXPECT_DOUBLE_EQ(a[i].relay_stddev, b[i].relay_stddev);
+    EXPECT_DOUBLE_EQ(a[i].avg_delay_s, b[i].avg_delay_s);
+    EXPECT_EQ(a[i].events_executed, b[i].events_executed);
+  }
+}
+
+TEST_F(CampaignCacheTest, KeyChangesWithResultAffectingKnobs) {
+  const CampaignConfig base = tiny();
+  CampaignConfig other = base;
+  other.base.mts.check_period = sim::Time::sec(7);
+  EXPECT_NE(CampaignCache::key_of(base), CampaignCache::key_of(other));
+
+  other = base;
+  other.base.tcp.max_window = 16;
+  EXPECT_NE(CampaignCache::key_of(base), CampaignCache::key_of(other));
+
+  other = base;
+  other.repetitions = 3;
+  EXPECT_NE(CampaignCache::key_of(base), CampaignCache::key_of(other));
+
+  other = base;
+  other.speeds = {5, 10};
+  EXPECT_NE(CampaignCache::key_of(base), CampaignCache::key_of(other));
+
+  other = base;
+  other.base.aodv.local_repair = true;
+  EXPECT_NE(CampaignCache::key_of(base), CampaignCache::key_of(other));
+
+  // Thread count must NOT change the key: it cannot affect results.
+  other = base;
+  other.threads = 7;
+  EXPECT_EQ(CampaignCache::key_of(base), CampaignCache::key_of(other));
+}
+
+TEST_F(CampaignCacheTest, CorruptFileIsAFullMiss) {
+  const CampaignConfig cfg = tiny();
+  CampaignCache::run(cfg);
+  // Truncate the cached file: load must reject it.
+  const auto path = dir_ / (CampaignCache::key_of(cfg) + ".csv");
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::filesystem::resize_file(path, 40);
+  EXPECT_FALSE(CampaignCache::load(cfg).has_value());
+}
+
+TEST_F(CampaignCacheTest, NoCacheEnvBypasses) {
+  const CampaignConfig cfg = tiny();
+  CampaignCache::run(cfg);
+  setenv("MTS_BENCH_NO_CACHE", "1", 1);
+  EXPECT_FALSE(CampaignCache::load(cfg).has_value());
+  unsetenv("MTS_BENCH_NO_CACHE");
+  EXPECT_TRUE(CampaignCache::load(cfg).has_value());
+}
+
+}  // namespace
+}  // namespace mts::harness

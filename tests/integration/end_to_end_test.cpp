@@ -1,0 +1,133 @@
+// End-to-end: full node stacks (TCP over routing over 802.11 over the
+// unit-disk channel) on controlled static topologies, for each of the
+// three protocols.
+#include <gtest/gtest.h>
+
+#include "harness/scenario.hpp"
+
+namespace mts::harness {
+namespace {
+
+ScenarioConfig chain_scenario(Protocol p, int hops, double spacing = 200.0) {
+  ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.node_count = static_cast<std::uint32_t>(hops + 1);
+  cfg.sim_time = sim::Time::sec(20);
+  cfg.eavesdropper_enabled = false;
+  for (int i = 0; i <= hops; ++i) {
+    cfg.static_positions.push_back({spacing * i, 0.0});
+  }
+  cfg.explicit_flows.push_back(
+      {0, static_cast<net::NodeId>(hops), sim::Time::sec(1)});
+  return cfg;
+}
+
+class ChainTest
+    : public ::testing::TestWithParam<std::tuple<Protocol, int>> {};
+
+TEST_P(ChainTest, TcpMovesBulkDataOverChain) {
+  const auto [proto, hops] = GetParam();
+  const RunMetrics m = run_scenario(chain_scenario(proto, hops));
+  // Even the 5-hop chain must move hundreds of segments in 19 s.
+  EXPECT_GT(m.segments_delivered, 200u)
+      << protocol_name(proto) << " over " << hops << " hops";
+  EXPECT_GT(m.delivery_rate, 0.9);
+  EXPECT_GT(m.avg_delay_s, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocolsAllLengths, ChainTest,
+    ::testing::Combine(::testing::Values(Protocol::kDsr, Protocol::kAodv,
+                                         Protocol::kMts),
+                       ::testing::Values(1, 2, 3, 5)),
+    [](const auto& info) {
+      return std::string(protocol_name(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param)) + "hop";
+    });
+
+TEST(EndToEndTest, OneHopThroughputNearChannelCapacity) {
+  // 1-hop TCP at 2 Mb/s with 1000 B segments: data 4480 us + overheads
+  // (DIFS/backoff/SIFS/ACK + TCP ack traffic) bounds goodput around
+  // 150-200 segments/s; assert we are in that ballpark, not collapsed.
+  const RunMetrics m =
+      run_scenario(chain_scenario(Protocol::kAodv, 1, 100.0));
+  EXPECT_GT(m.throughput_seg_s, 100.0);
+  EXPECT_LT(m.throughput_seg_s, 230.0);  // cannot beat the channel
+}
+
+TEST(EndToEndTest, MultihopCostsThroughput) {
+  const RunMetrics one = run_scenario(chain_scenario(Protocol::kMts, 1));
+  const RunMetrics three = run_scenario(chain_scenario(Protocol::kMts, 3));
+  EXPECT_LT(three.throughput_seg_s, one.throughput_seg_s);
+}
+
+TEST(EndToEndTest, DelayGrowsWithHops) {
+  const RunMetrics one = run_scenario(chain_scenario(Protocol::kAodv, 1));
+  const RunMetrics five = run_scenario(chain_scenario(Protocol::kAodv, 5));
+  EXPECT_GT(five.avg_delay_s, one.avg_delay_s);
+}
+
+TEST(EndToEndTest, RelaysCountedOnChain) {
+  // On a 3-hop chain the two interior nodes relay every data packet.
+  const RunMetrics m = run_scenario(chain_scenario(Protocol::kAodv, 3));
+  EXPECT_EQ(m.participating_nodes, 2u);
+  EXPECT_GT(m.alpha, 2 * m.segments_delivered * 9 / 10);
+}
+
+TEST(EndToEndTest, EavesdropperOnChainCapturesEverything) {
+  // With one relay and the eavesdropper forced onto the path (2-hop
+  // chain, only node 1 is intermediate), Pe ~ Pr.
+  ScenarioConfig cfg = chain_scenario(Protocol::kAodv, 2);
+  cfg.eavesdropper_enabled = true;  // only candidate is node 1
+  const RunMetrics m = run_scenario(cfg);
+  EXPECT_EQ(m.eavesdropper, 1u);
+  EXPECT_GT(m.interception_ratio, 0.9);
+}
+
+TEST(EndToEndTest, PartitionedNetworkDeliversNothing) {
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kMts;
+  cfg.node_count = 4;
+  cfg.sim_time = sim::Time::sec(10);
+  cfg.eavesdropper_enabled = false;
+  cfg.static_positions = {{0, 0}, {200, 0}, {2000, 0}, {2200, 0}};
+  cfg.explicit_flows.push_back({0, 3, sim::Time::sec(1)});
+  const RunMetrics m = run_scenario(cfg);
+  EXPECT_EQ(m.segments_delivered, 0u);
+  EXPECT_GT(m.dropped(net::DropReason::kNoRoute) +
+                m.dropped(net::DropReason::kSendBufferTimeout),
+            0u);
+}
+
+TEST(EndToEndTest, TwoSimultaneousFlowsShareTheChannel) {
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kMts;
+  cfg.node_count = 6;
+  cfg.sim_time = sim::Time::sec(20);
+  cfg.eavesdropper_enabled = false;
+  cfg.static_positions = {{0, 0},   {200, 0},  {400, 0},
+                          {0, 150}, {200, 150}, {400, 150}};
+  cfg.explicit_flows.push_back({0, 2, sim::Time::sec(1)});
+  cfg.explicit_flows.push_back({3, 5, sim::Time::sec(1)});
+  const RunMetrics m = run_scenario(cfg);
+  EXPECT_GT(m.segments_delivered, 500u);
+}
+
+TEST(EndToEndTest, MtsRouteSwitchingObservableOnDiamond) {
+  ScenarioConfig cfg;
+  cfg.protocol = Protocol::kMts;
+  cfg.node_count = 4;
+  cfg.sim_time = sim::Time::sec(30);
+  cfg.eavesdropper_enabled = false;
+  cfg.mts.check_period = sim::Time::sec(1);
+  cfg.static_positions = {{0, 0}, {200, 150}, {200, -150}, {400, 0}};
+  cfg.explicit_flows.push_back({0, 3, sim::Time::sec(1)});
+  const RunMetrics m = run_scenario(cfg);
+  EXPECT_GT(m.checks_sent, 20u);
+  EXPECT_GE(m.route_switches, 1u);
+  // Both relays participated (the security property).
+  EXPECT_EQ(m.participating_nodes, 2u);
+}
+
+}  // namespace
+}  // namespace mts::harness

@@ -1,0 +1,148 @@
+// Property-style sweeps: invariants that must hold for every protocol,
+// speed, and seed — parameterized over the cross-product.
+#include <gtest/gtest.h>
+
+#include "core/disjoint.hpp"
+#include "harness/scenario.hpp"
+
+namespace mts::harness {
+namespace {
+
+struct Case {
+  Protocol protocol;
+  double speed;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  return std::string(protocol_name(info.param.protocol)) + "_v" +
+         std::to_string(static_cast<int>(info.param.speed)) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class MobileInvariantTest : public ::testing::TestWithParam<Case> {
+ protected:
+  RunMetrics run() {
+    ScenarioConfig cfg;
+    cfg.protocol = GetParam().protocol;
+    cfg.max_speed = GetParam().speed;
+    cfg.seed = GetParam().seed;
+    cfg.node_count = 30;
+    cfg.sim_time = sim::Time::sec(25);
+    return run_scenario(cfg);
+  }
+};
+
+TEST_P(MobileInvariantTest, MetricsStayInPhysicalBounds) {
+  const RunMetrics m = run();
+  // Deliveries cannot exceed transmissions.
+  EXPECT_LE(m.segments_delivered, m.data_packets_sent);
+  // Participating nodes bounded by intermediates.
+  EXPECT_LE(m.participating_nodes, 28u);
+  // Interception of unique segments cannot exceed unique segments sent.
+  EXPECT_LE(m.pe, m.data_packets_sent);
+  // Normalized stddev of shares lies in [0, 1].
+  EXPECT_GE(m.relay_stddev, 0.0);
+  EXPECT_LE(m.relay_stddev, 1.0);
+  // Delay of a delivered packet is positive and below the run length.
+  if (m.segments_delivered > 0) {
+    EXPECT_GT(m.avg_delay_s, 0.0);
+    EXPECT_LT(m.avg_delay_s, 25.0);
+  }
+  // Per-second series sums to the delivered total.
+  std::uint64_t sum = 0;
+  for (auto v : m.deliveries_per_second) sum += v;
+  EXPECT_EQ(sum, m.segments_delivered);
+}
+
+TEST_P(MobileInvariantTest, NoForwardingLoops) {
+  // TTL-expired drops indicate a loop (static TTL 32 >> any real path in
+  // a 30-node field).  Loop freedom is the §III-C claim.
+  const RunMetrics m = run();
+  EXPECT_EQ(m.dropped(net::DropReason::kTtlExpired), 0u);
+}
+
+TEST_P(MobileInvariantTest, ConservationOfDataPackets) {
+  // Every data transmission is eventually delivered, dropped, or still
+  // in flight (queued) at the end: deliveries never exceed sends, and
+  // drops are attributed.
+  const RunMetrics m = run();
+  EXPECT_LE(m.segments_delivered, m.data_packets_sent);
+  if (m.delivery_rate < 0.5 && m.data_packets_sent > 50) {
+    // Poor delivery must be explained by counted drops somewhere.
+    std::uint64_t explained = 0;
+    for (std::size_t r = 0; r < m.drops.size(); ++r) explained += m.drops[r];
+    EXPECT_GT(explained, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MobileInvariantTest,
+    ::testing::Values(Case{Protocol::kDsr, 2, 1}, Case{Protocol::kDsr, 20, 2},
+                      Case{Protocol::kAodv, 2, 1},
+                      Case{Protocol::kAodv, 20, 2},
+                      Case{Protocol::kMts, 2, 1}, Case{Protocol::kMts, 20, 2},
+                      Case{Protocol::kMts, 10, 3}),
+    case_name);
+
+class MtsPathPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MtsPathPropertyTest, StoredPathSetsHonourDisjointnessRule) {
+  // For random static topologies, every pair of concurrently stored MTS
+  // paths at any destination must satisfy the paper's next/last-hop rule
+  // — checked here via the public disjoint:: predicates on the stored
+  // sets of a mobile run's final state (exposed through stored_paths_for
+  // in the routing bench; here we assert the weaker observable: path
+  // tags delivered at the sink map to distinct first/last hops is not
+  // directly visible, so this test uses admissible() directly on random
+  // path sets as a pure property check).
+  sim::Rng rng(GetParam());
+  std::vector<core::PathNodes> stored;
+  const net::NodeId S = 1000, D = 2000;
+  for (int i = 0; i < 100; ++i) {
+    core::PathNodes cand;
+    const int len = static_cast<int>(rng.uniform_int(0, 5));
+    for (int k = 0; k < len; ++k) {
+      cand.push_back(static_cast<net::NodeId>(rng.uniform_int(0, 29)));
+    }
+    if (core::admissible(stored, cand, S, D)) {
+      stored.push_back(cand);
+      // Invariant: all pairs remain mutually hop-disjoint.
+      for (std::size_t a = 0; a < stored.size(); ++a) {
+        for (std::size_t b = a + 1; b < stored.size(); ++b) {
+          EXPECT_TRUE(
+              core::next_last_hop_disjoint(stored[a], stored[b], S, D));
+        }
+      }
+    }
+  }
+  // The rule admits at most one path per distinct first hop: with ids
+  // 0..29 the set stays modest.
+  EXPECT_LE(stored.size(), 31u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MtsPathPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class SpeedSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpeedSweepTest, AllProtocolsSurviveEverySpeed) {
+  for (Protocol p : {Protocol::kDsr, Protocol::kAodv, Protocol::kMts}) {
+    ScenarioConfig cfg;
+    cfg.protocol = p;
+    cfg.max_speed = GetParam();
+    cfg.node_count = 30;
+    cfg.sim_time = sim::Time::sec(15);
+    cfg.seed = 11;
+    const RunMetrics m = run_scenario(cfg);
+    // The run completes and the machinery produced traffic.
+    EXPECT_GT(m.events_executed, 1000u);
+    EXPECT_GT(m.data_packets_sent + m.control_packets, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSpeeds, SpeedSweepTest,
+                         ::testing::Values(2.0, 5.0, 10.0, 15.0, 20.0));
+
+}  // namespace
+}  // namespace mts::harness

@@ -1,0 +1,165 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/error.hpp"
+
+namespace mts::mobility {
+namespace {
+
+RandomWaypointConfig cfg(double max_speed = 10.0) {
+  RandomWaypointConfig c;
+  c.field = Field{1000, 1000};
+  c.min_speed = 0.5;
+  c.max_speed = max_speed;
+  c.pause = sim::Time::sec(1);
+  return c;
+}
+
+TEST(RandomWaypointTest, StaysInsideFieldForever) {
+  RandomWaypoint rwp(cfg(20.0), sim::Rng(1));
+  for (int t = 0; t <= 2000; ++t) {
+    const Vec2 p = rwp.position_at(sim::Time::ms(t * 100));
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 1000.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 1000.0);
+  }
+}
+
+TEST(RandomWaypointTest, DeterministicGivenSeed) {
+  RandomWaypoint a(cfg(), sim::Rng(5));
+  RandomWaypoint b(cfg(), sim::Rng(5));
+  for (int t = 0; t < 100; ++t) {
+    const Vec2 pa = a.position_at(sim::Time::sec(t));
+    const Vec2 pb = b.position_at(sim::Time::sec(t));
+    EXPECT_DOUBLE_EQ(pa.x, pb.x);
+    EXPECT_DOUBLE_EQ(pa.y, pb.y);
+  }
+}
+
+TEST(RandomWaypointTest, SpeedNeverExceedsMax) {
+  const double vmax = 15.0;
+  RandomWaypoint rwp(cfg(vmax), sim::Rng(3));
+  const double dt = 0.1;
+  Vec2 prev = rwp.position_at(sim::Time::zero());
+  for (int i = 1; i < 3000; ++i) {
+    const Vec2 cur = rwp.position_at(sim::Time::seconds(i * dt));
+    const double v = distance(prev, cur) / dt;
+    EXPECT_LE(v, vmax * 1.0001);
+    prev = cur;
+  }
+}
+
+TEST(RandomWaypointTest, PausesAtWaypoints) {
+  RandomWaypoint rwp(cfg(), sim::Rng(7));
+  rwp.position_at(sim::Time::sec(5000));  // force leg generation
+  const auto& legs = rwp.legs_generated();
+  ASSERT_GE(legs.size(), 2u);
+  const auto& leg = legs.front();
+  // During [arrive, depart] the node sits at the waypoint.
+  const Vec2 at_arrive = rwp.position_at(leg.arrive);
+  const Vec2 mid_pause = rwp.position_at(leg.arrive + sim::Time::ms(500));
+  EXPECT_NEAR(distance(at_arrive, leg.to), 0.0, 1e-9);
+  EXPECT_NEAR(distance(mid_pause, leg.to), 0.0, 1e-9);
+}
+
+TEST(RandomWaypointTest, InitialPauseHoldsStartPosition) {
+  RandomWaypoint rwp(cfg(), sim::Rng(9));
+  const Vec2 p0 = rwp.position_at(sim::Time::zero());
+  const Vec2 p_half = rwp.position_at(sim::Time::ms(500));
+  EXPECT_NEAR(distance(p0, p_half), 0.0, 1e-9);  // pause = 1 s
+}
+
+TEST(RandomWaypointTest, MovesLinearlyAlongALeg) {
+  RandomWaypoint rwp(cfg(), sim::Rng(11));
+  rwp.position_at(sim::Time::sec(200));
+  const auto& leg = rwp.legs_generated().front();
+  const sim::Time mid = leg.start + (leg.arrive - leg.start) / std::int64_t{2};
+  const Vec2 expect_mid = leg.from + (leg.to - leg.from) * 0.5;
+  const Vec2 got = rwp.position_at(mid);
+  EXPECT_NEAR(got.x, expect_mid.x, 1e-6);
+  EXPECT_NEAR(got.y, expect_mid.y, 1e-6);
+}
+
+TEST(RandomWaypointTest, LegSpeedsWithinConfiguredBand) {
+  auto c = cfg(12.0);
+  c.min_speed = 2.0;
+  RandomWaypoint rwp(c, sim::Rng(13));
+  rwp.position_at(sim::Time::sec(500));
+  for (const auto& leg : rwp.legs_generated()) {
+    EXPECT_GE(leg.speed, 2.0);
+    EXPECT_LE(leg.speed, 12.0);
+  }
+}
+
+TEST(RandomWaypointTest, OutOfOrderQueriesAgree) {
+  RandomWaypoint a(cfg(), sim::Rng(15));
+  RandomWaypoint b(cfg(), sim::Rng(15));
+  const Vec2 a_late = a.position_at(sim::Time::sec(50));
+  const Vec2 a_early = a.position_at(sim::Time::sec(10));
+  const Vec2 b_early = b.position_at(sim::Time::sec(10));
+  const Vec2 b_late = b.position_at(sim::Time::sec(50));
+  EXPECT_DOUBLE_EQ(a_early.x, b_early.x);
+  EXPECT_DOUBLE_EQ(a_late.x, b_late.x);
+}
+
+TEST(RandomWaypointTest, RejectsBadConfig) {
+  auto c = cfg();
+  c.max_speed = 0.0;
+  EXPECT_THROW(RandomWaypoint(c, sim::Rng(1)), sim::ConfigError);
+  c = cfg();
+  c.min_speed = 0.0;  // literal zero would make a leg infinite
+  EXPECT_THROW(RandomWaypoint(c, sim::Rng(1)), sim::ConfigError);
+  c = cfg();
+  c.min_speed = 5.0;
+  c.max_speed = 2.0;
+  EXPECT_THROW(RandomWaypoint(c, sim::Rng(1)), sim::ConfigError);
+}
+
+TEST(RandomWalkTest, StaysInsideField) {
+  RandomWalkConfig c;
+  c.field = Field{500, 500};
+  c.max_speed = 20.0;
+  RandomWalk rw(c, sim::Rng(21));
+  for (int t = 0; t <= 1000; ++t) {
+    const Vec2 p = rw.position_at(sim::Time::ms(t * 200));
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, 500.0);
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, 500.0);
+  }
+}
+
+TEST(RandomWalkTest, Deterministic) {
+  RandomWalkConfig c;
+  RandomWalk a(c, sim::Rng(2)), b(c, sim::Rng(2));
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_DOUBLE_EQ(a.position_at(sim::Time::sec(t)).x,
+                     b.position_at(sim::Time::sec(t)).x);
+  }
+}
+
+TEST(StaticMobilityTest, NeverMoves) {
+  StaticMobility m(Vec2{3, 4});
+  EXPECT_EQ(m.position_at(sim::Time::zero()), (Vec2{3, 4}));
+  EXPECT_EQ(m.position_at(sim::Time::sec(1000)), (Vec2{3, 4}));
+  EXPECT_EQ(m.max_speed(), 0.0);
+}
+
+TEST(Vec2Test, NormAndDistance) {
+  EXPECT_DOUBLE_EQ((Vec2{3, 4}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(distance(Vec2{0, 0}, Vec2{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq(Vec2{0, 0}, Vec2{3, 4}), 25.0);
+}
+
+TEST(FieldTest, Contains) {
+  Field f{10, 20};
+  EXPECT_TRUE(f.contains({0, 0}));
+  EXPECT_TRUE(f.contains({10, 20}));
+  EXPECT_FALSE(f.contains({-0.1, 5}));
+  EXPECT_FALSE(f.contains({5, 20.1}));
+}
+
+}  // namespace
+}  // namespace mts::mobility

@@ -1,0 +1,52 @@
+#include "net/counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mts::net {
+namespace {
+
+TEST(CountersTest, StartsAtZero) {
+  Counters c;
+  EXPECT_EQ(c.sent_data, 0u);
+  EXPECT_EQ(c.drops_total(), 0u);
+  EXPECT_EQ(c.control_transmissions(), 0u);
+}
+
+TEST(CountersTest, DropAccumulatesPerReason) {
+  Counters c;
+  c.drop(DropReason::kQueueFull);
+  c.drop(DropReason::kQueueFull);
+  c.drop(DropReason::kNoRoute);
+  EXPECT_EQ(c.dropped(DropReason::kQueueFull), 2u);
+  EXPECT_EQ(c.dropped(DropReason::kNoRoute), 1u);
+  EXPECT_EQ(c.dropped(DropReason::kTtlExpired), 0u);
+  EXPECT_EQ(c.drops_total(), 3u);
+}
+
+TEST(CountersTest, ControlTransmissionsSumsOriginatedAndForwarded) {
+  Counters c;
+  c.sent_control = 5;
+  c.forwarded_control = 7;
+  EXPECT_EQ(c.control_transmissions(), 12u);
+}
+
+TEST(CountersTest, EveryDropReasonHasAName) {
+  for (std::size_t r = 0; r < static_cast<std::size_t>(DropReason::kCount);
+       ++r) {
+    const std::string name = drop_reason_name(static_cast<DropReason>(r));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "?");
+  }
+}
+
+TEST(CountersTest, DropReasonNamesDistinct) {
+  EXPECT_STRNE(drop_reason_name(DropReason::kQueueFull),
+               drop_reason_name(DropReason::kNoRoute));
+  EXPECT_STRNE(drop_reason_name(DropReason::kCollision),
+               drop_reason_name(DropReason::kStaleRoute));
+}
+
+}  // namespace
+}  // namespace mts::net

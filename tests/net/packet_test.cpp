@@ -1,0 +1,115 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mts::net {
+namespace {
+
+TEST(PacketTest, DefaultWireSizeIsCommonHeaderOnly) {
+  Packet p;
+  EXPECT_EQ(p.wire_bytes(), kCommonHeaderBytes);
+}
+
+TEST(PacketTest, TcpDataWireSize) {
+  Packet p;
+  p.common.kind = PacketKind::kTcpData;
+  p.common.payload_bytes = 1000;
+  p.tcp = TcpHeader{};
+  EXPECT_EQ(p.wire_bytes(), kCommonHeaderBytes + kTcpHeaderBytes + 1000);
+}
+
+TEST(PacketTest, TcpAckWireSize) {
+  Packet p;
+  p.common.kind = PacketKind::kTcpAck;
+  p.tcp = TcpHeader{};
+  EXPECT_EQ(p.wire_bytes(), kCommonHeaderBytes + kTcpHeaderBytes);  // 40 B
+}
+
+TEST(PacketTest, RoutingHeaderSizesGrowWithCarriedAddresses) {
+  Packet p;
+  DsrSourceRoute sr;
+  sr.route = {0, 1, 2, 3};
+  p.routing = sr;
+  const auto four = p.wire_bytes();
+  std::get<DsrSourceRoute>(p.routing).route.push_back(4);
+  EXPECT_EQ(p.wire_bytes(), four + 4);
+}
+
+TEST(PacketTest, MtsHeaderSizes) {
+  MtsRreqHeader rreq;
+  rreq.nodes = {1, 2, 3};
+  EXPECT_EQ(routing_header_bytes(RoutingHeader{rreq}), 16u + 12u);
+
+  MtsCheckHeader check;
+  check.nodes = {1, 2};
+  EXPECT_EQ(routing_header_bytes(RoutingHeader{check}), 16u + 8u);
+
+  EXPECT_EQ(routing_header_bytes(RoutingHeader{MtsDataTag{}}), 4u);
+  EXPECT_EQ(routing_header_bytes(RoutingHeader{std::monostate{}}), 0u);
+}
+
+TEST(PacketTest, AodvHeaderSizes) {
+  EXPECT_EQ(routing_header_bytes(RoutingHeader{AodvRreqHeader{}}), 24u);
+  EXPECT_EQ(routing_header_bytes(RoutingHeader{AodvRrepHeader{}}), 20u);
+  AodvRerrHeader rerr;
+  rerr.unreachable.push_back({1, 2});
+  rerr.unreachable.push_back({3, 4});
+  EXPECT_EQ(routing_header_bytes(RoutingHeader{rerr}), 4u + 16u);
+}
+
+TEST(PacketTest, ControlClassification) {
+  EXPECT_FALSE(is_routing_control(PacketKind::kTcpData));
+  EXPECT_FALSE(is_routing_control(PacketKind::kTcpAck));
+  EXPECT_TRUE(is_routing_control(PacketKind::kAodvRreq));
+  EXPECT_TRUE(is_routing_control(PacketKind::kDsrRerr));
+  EXPECT_TRUE(is_routing_control(PacketKind::kMtsCheck));
+  EXPECT_TRUE(is_routing_control(PacketKind::kMtsCheckError));
+}
+
+TEST(PacketTest, TransportClassification) {
+  EXPECT_TRUE(is_transport(PacketKind::kTcpData));
+  EXPECT_TRUE(is_transport(PacketKind::kTcpAck));
+  EXPECT_FALSE(is_transport(PacketKind::kMtsRreq));
+}
+
+TEST(PacketTest, KindNamesAreDistinct) {
+  EXPECT_STRNE(packet_kind_name(PacketKind::kTcpData),
+               packet_kind_name(PacketKind::kTcpAck));
+  EXPECT_STRNE(packet_kind_name(PacketKind::kMtsRreq),
+               packet_kind_name(PacketKind::kMtsRrep));
+}
+
+TEST(PacketTest, SummaryMentionsKindAndEndpoints) {
+  Packet p;
+  p.common.kind = PacketKind::kTcpData;
+  p.common.src = 3;
+  p.common.dst = 9;
+  p.common.uid = 77;
+  p.tcp = TcpHeader{.seq = 5};
+  const std::string s = p.summary();
+  EXPECT_NE(s.find("TCP_DATA"), std::string::npos);
+  EXPECT_NE(s.find("3->9"), std::string::npos);
+  EXPECT_NE(s.find("uid=77"), std::string::npos);
+  EXPECT_NE(s.find("seq=5"), std::string::npos);
+}
+
+TEST(PacketTest, CopyIsDeep) {
+  Packet a;
+  DsrSourceRoute sr;
+  sr.route = {1, 2, 3};
+  a.routing = sr;
+  Packet b = a;
+  std::get<DsrSourceRoute>(b.routing).route.push_back(4);
+  EXPECT_EQ(std::get<DsrSourceRoute>(a.routing).route.size(), 3u);
+  EXPECT_EQ(std::get<DsrSourceRoute>(b.routing).route.size(), 4u);
+}
+
+TEST(UidSourceTest, MonotonicAndCounts) {
+  UidSource u;
+  EXPECT_EQ(u.next(), 1u);
+  EXPECT_EQ(u.next(), 2u);
+  EXPECT_EQ(u.issued(), 2u);
+}
+
+}  // namespace
+}  // namespace mts::net

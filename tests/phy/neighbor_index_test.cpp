@@ -1,0 +1,101 @@
+#include "phy/neighbor_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/error.hpp"
+#include "sim/rng.hpp"
+
+namespace mts::phy {
+namespace {
+
+TEST(NeighborIndexTest, FindsAllWithinRadius) {
+  std::vector<mobility::Vec2> pos{{0, 0}, {100, 0}, {300, 0}, {0, 240}, {600, 600}};
+  NeighborIndex idx(5, 250.0, 0.0, sim::Time::ms(500),
+                    [&](std::uint32_t id, sim::Time) { return pos[id]; });
+  auto c = idx.candidates({0, 0}, 250.0, sim::Time::zero());
+  std::sort(c.begin(), c.end());
+  EXPECT_EQ(c, (std::vector<std::uint32_t>{0, 1, 3}));
+}
+
+TEST(NeighborIndexTest, CandidatesAreSupersetNeverMissing) {
+  // Property: with moving nodes and stale snapshots, candidates() must
+  // never miss a node that is truly within the radius.
+  sim::Rng rng(5);
+  const std::uint32_t n = 60;
+  const double vmax = 20.0;
+  std::vector<mobility::Vec2> base(n);
+  for (auto& p : base) p = {rng.uniform(0, 1000), rng.uniform(0, 1000)};
+  // Position drifts linearly with time, bounded by vmax.
+  std::vector<mobility::Vec2> vel(n);
+  for (auto& v : vel) {
+    v = {rng.uniform(-vmax, vmax) / 1.5, rng.uniform(-vmax, vmax) / 1.5};
+  }
+  auto pos = [&](std::uint32_t id, sim::Time t) {
+    return base[id] + vel[id] * t.to_seconds();
+  };
+  NeighborIndex idx(n, 250.0, vmax, sim::Time::ms(400), pos);
+  for (int step = 0; step < 40; ++step) {
+    const sim::Time t = sim::Time::ms(step * 100);
+    const mobility::Vec2 center = pos(step % n, t);
+    auto cand = idx.candidates(center, 250.0, t);
+    for (std::uint32_t id = 0; id < n; ++id) {
+      if (mobility::distance(pos(id, t), center) <= 250.0) {
+        EXPECT_NE(std::find(cand.begin(), cand.end(), id), cand.end())
+            << "node " << id << " missing at step " << step;
+      }
+    }
+  }
+}
+
+TEST(NeighborIndexTest, RebuildsOnlyAfterPeriod) {
+  std::vector<mobility::Vec2> pos{{0, 0}, {10, 10}};
+  NeighborIndex idx(2, 100.0, 0.0, sim::Time::ms(500),
+                    [&](std::uint32_t id, sim::Time) { return pos[id]; });
+  idx.candidates({0, 0}, 50, sim::Time::zero());
+  EXPECT_EQ(idx.rebuild_count(), 1u);
+  idx.candidates({0, 0}, 50, sim::Time::ms(100));
+  EXPECT_EQ(idx.rebuild_count(), 1u);  // still fresh
+  idx.candidates({0, 0}, 50, sim::Time::ms(600));
+  EXPECT_EQ(idx.rebuild_count(), 2u);
+}
+
+TEST(NeighborIndexTest, StalenessMarginScalesWithSpeedAndPeriod) {
+  auto posfn = [](std::uint32_t, sim::Time) { return mobility::Vec2{}; };
+  NeighborIndex slow(1, 250.0, 1.0, sim::Time::ms(500), posfn);
+  NeighborIndex fast(1, 250.0, 20.0, sim::Time::ms(500), posfn);
+  EXPECT_DOUBLE_EQ(slow.staleness_margin(), 2.0 * 1.0 * 0.5);
+  EXPECT_DOUBLE_EQ(fast.staleness_margin(), 2.0 * 20.0 * 0.5);
+}
+
+TEST(NeighborIndexTest, EmptyRegionYieldsNothing) {
+  std::vector<mobility::Vec2> pos{{0, 0}};
+  NeighborIndex idx(1, 100.0, 0.0, sim::Time::ms(500),
+                    [&](std::uint32_t id, sim::Time) { return pos[id]; });
+  EXPECT_TRUE(idx.candidates({900, 900}, 50, sim::Time::zero()).empty());
+}
+
+TEST(NeighborIndexTest, RejectsBadConfig) {
+  auto posfn = [](std::uint32_t, sim::Time) { return mobility::Vec2{}; };
+  EXPECT_THROW(NeighborIndex(1, 0.0, 1.0, sim::Time::ms(1), posfn),
+               sim::ConfigError);
+  EXPECT_THROW(NeighborIndex(1, 10.0, 1.0, sim::Time::zero(), posfn),
+               sim::ConfigError);
+  EXPECT_THROW(NeighborIndex(1, 10.0, -1.0, sim::Time::ms(1), posfn),
+               sim::ConfigError);
+}
+
+TEST(NeighborIndexTest, NegativeCoordinatesSupported) {
+  // Grid cells must handle negative space (nodes can sit at the origin
+  // edge; queries can extend past it).
+  std::vector<mobility::Vec2> pos{{5, 5}, {995, 995}};
+  NeighborIndex idx(2, 250.0, 0.0, sim::Time::ms(500),
+                    [&](std::uint32_t id, sim::Time) { return pos[id]; });
+  auto c = idx.candidates({0, 0}, 100, sim::Time::zero());
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], 0u);
+}
+
+}  // namespace
+}  // namespace mts::phy

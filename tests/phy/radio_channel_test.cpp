@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mobility/mobility_model.hpp"
+#include "phy/channel.hpp"
+#include "phy/radio.hpp"
+
+namespace mts::phy {
+namespace {
+
+/// Three radios on a line; positions chosen per test.
+class RadioChannelTest : public ::testing::Test {
+ protected:
+  void build(std::vector<mobility::Vec2> positions, double range = 250.0,
+             double cs_factor = 1.0) {
+    prop_ = std::make_unique<UnitDiskPropagation>(range);
+    ChannelConfig cc;
+    cc.cs_range_factor = cs_factor;
+    cc.use_spatial_index = false;
+    channel_ = std::make_unique<Channel>(sched_, *prop_, cc);
+    // Callbacks capture element addresses: size the containers up front.
+    received_.reserve(positions.size());
+    busy_log_.reserve(positions.size());
+    for (std::size_t i = 0; i < positions.size(); ++i) {
+      mobility_.push_back(
+          std::make_unique<mobility::StaticMobility>(positions[i]));
+      radios_.push_back(std::make_unique<Radio>(
+          sched_, static_cast<net::NodeId>(i), &counters_[i]));
+      received_.emplace_back();
+      busy_log_.emplace_back();
+      auto* rx = &received_.back();
+      auto* busy = &busy_log_.back();
+      radios_.back()->set_callbacks(Radio::Callbacks{
+          [rx](const Frame& f) { rx->push_back(f); },
+          [busy](bool b) { busy->push_back(b); },
+          nullptr,
+          nullptr,
+      });
+      channel_->attach(radios_.back().get(), mobility_.back().get());
+    }
+    channel_->finalize();
+  }
+
+  Frame frame(net::NodeId tx, net::NodeId rx) {
+    Frame f;
+    f.transmitter = tx;
+    f.receiver = rx;
+    f.bytes = 100;
+    return f;
+  }
+
+  sim::Scheduler sched_;
+  net::Counters counters_[8];
+  std::unique_ptr<UnitDiskPropagation> prop_;
+  std::unique_ptr<Channel> channel_;
+  std::vector<std::unique_ptr<mobility::MobilityModel>> mobility_;
+  std::vector<std::unique_ptr<Radio>> radios_;
+  std::vector<std::vector<Frame>> received_;
+  std::vector<std::vector<bool>> busy_log_;
+};
+
+TEST_F(RadioChannelTest, DeliversWithinRange) {
+  build({{0, 0}, {200, 0}});
+  radios_[0]->start_transmit(frame(0, 1), sim::Time::ms(1));
+  sched_.run();
+  ASSERT_EQ(received_[1].size(), 1u);
+  EXPECT_EQ(received_[1][0].transmitter, 0u);
+  EXPECT_EQ(received_[0].size(), 0u);  // no self-reception
+}
+
+TEST_F(RadioChannelTest, NoDeliveryBeyondRange) {
+  build({{0, 0}, {300, 0}});
+  radios_[0]->start_transmit(frame(0, 1), sim::Time::ms(1));
+  sched_.run();
+  EXPECT_TRUE(received_[1].empty());
+}
+
+TEST_F(RadioChannelTest, BroadcastReachesAllInRange) {
+  build({{0, 0}, {100, 0}, {200, 0}, {600, 0}});
+  radios_[0]->start_transmit(frame(0, net::kBroadcastId), sim::Time::ms(1));
+  sched_.run();
+  EXPECT_EQ(received_[1].size(), 1u);
+  EXPECT_EQ(received_[2].size(), 1u);
+  EXPECT_TRUE(received_[3].empty());  // 600 m away
+}
+
+TEST_F(RadioChannelTest, FramesAddressedElsewhereStillDecoded) {
+  // The radio hands every decodable frame up; filtering is MAC business
+  // (and the eavesdropper depends on it).
+  build({{0, 0}, {100, 0}, {200, 0}});
+  radios_[0]->start_transmit(frame(0, 2), sim::Time::ms(1));
+  sched_.run();
+  EXPECT_EQ(received_[1].size(), 1u);  // overheard
+  EXPECT_EQ(received_[2].size(), 1u);
+}
+
+TEST_F(RadioChannelTest, OverlappingReceptionsCollide) {
+  // 0 and 2 both in range of 1; equidistant -> no capture, both corrupt.
+  build({{0, 0}, {100, 0}, {200, 0}});
+  radios_[0]->start_transmit(frame(0, 1), sim::Time::ms(1));
+  radios_[2]->start_transmit(frame(2, 1), sim::Time::ms(1));
+  sched_.run();
+  EXPECT_TRUE(received_[1].empty());
+  EXPECT_EQ(radios_[1]->collisions(), 2u);
+}
+
+TEST_F(RadioChannelTest, CaptureStrongerFirstFrameSurvives) {
+  // Sender 0 is 50 m away (strong); interferer 2 is 200 m away.  Power
+  // ratio (200/50)^4 = 256 >> 10, so 1 captures 0's frame.
+  build({{0, 0}, {50, 0}, {250, 0}});
+  radios_[0]->start_transmit(frame(0, 1), sim::Time::ms(1));
+  sched_.run_until(sim::Time::us(100));
+  radios_[2]->start_transmit(frame(2, 1), sim::Time::ms(1));
+  sched_.run();
+  ASSERT_EQ(received_[1].size(), 1u);
+  EXPECT_EQ(received_[1][0].transmitter, 0u);
+}
+
+TEST_F(RadioChannelTest, NoCaptureWhenComparablePower) {
+  // Interferer at similar distance: both die.
+  build({{0, 0}, {100, 0}, {210, 0}});
+  radios_[0]->start_transmit(frame(0, 1), sim::Time::ms(1));
+  sched_.run_until(sim::Time::us(100));
+  radios_[2]->start_transmit(frame(2, 1), sim::Time::ms(1));
+  sched_.run();
+  EXPECT_TRUE(received_[1].empty());
+}
+
+TEST_F(RadioChannelTest, LateWeakFrameNeverDecodedEvenAfterStrongEnds) {
+  // The newcomer is always undecodable if the medium was busy at its
+  // start (ns-2 semantics), even though the first frame ends earlier.
+  build({{0, 0}, {50, 0}, {250, 0}});
+  radios_[0]->start_transmit(frame(0, 1), sim::Time::us(200));
+  sched_.run_until(sim::Time::us(100));
+  radios_[2]->start_transmit(frame(2, 1), sim::Time::ms(1));
+  sched_.run();
+  ASSERT_EQ(received_[1].size(), 1u);  // only the strong one
+  EXPECT_EQ(received_[1][0].transmitter, 0u);
+}
+
+TEST_F(RadioChannelTest, DeafWhileTransmitting) {
+  build({{0, 0}, {100, 0}});
+  radios_[1]->start_transmit(frame(1, 0), sim::Time::ms(2));
+  sched_.run_until(sim::Time::us(10));
+  radios_[0]->start_transmit(frame(0, 1), sim::Time::us(50));
+  sched_.run();
+  // Radio 1 was mid-transmission when 0's frame arrived: nothing decoded.
+  EXPECT_TRUE(received_[1].empty());
+  // Radio 0 receives 1's frame corrupted? No: 0 keyed up at t=10us while
+  // receiving 1's frame -> that reception is corrupted.
+  EXPECT_TRUE(received_[0].empty());
+}
+
+TEST_F(RadioChannelTest, HalfDuplexTransmitCorruptsOngoingReception) {
+  build({{0, 0}, {100, 0}, {200, 0}});
+  radios_[0]->start_transmit(frame(0, 1), sim::Time::ms(1));
+  sched_.run_until(sim::Time::us(100));
+  // Radio 1 keys up mid-reception: its ongoing reception dies.
+  radios_[1]->start_transmit(frame(1, 2), sim::Time::us(50));
+  sched_.run();
+  EXPECT_TRUE(received_[1].empty());
+  EXPECT_EQ(radios_[1]->collisions(), 1u);
+}
+
+TEST_F(RadioChannelTest, EnergyBeyondDecodeRangeTriggersCarrierOnly) {
+  // cs_factor 2.2: a node at 400 m senses energy but decodes nothing.
+  build({{0, 0}, {400, 0}}, 250.0, 2.2);
+  radios_[0]->start_transmit(frame(0, net::kBroadcastId), sim::Time::ms(1));
+  sched_.run();
+  EXPECT_TRUE(received_[1].empty());
+  // Carrier went busy then idle.
+  ASSERT_GE(busy_log_[1].size(), 2u);
+  EXPECT_TRUE(busy_log_[1][0]);
+  EXPECT_FALSE(busy_log_[1].back());
+}
+
+TEST_F(RadioChannelTest, MediumBusyEdgesArePaired) {
+  build({{0, 0}, {100, 0}});
+  radios_[0]->start_transmit(frame(0, 1), sim::Time::ms(1));
+  sched_.run();
+  ASSERT_EQ(busy_log_[1].size(), 2u);
+  EXPECT_TRUE(busy_log_[1][0]);
+  EXPECT_FALSE(busy_log_[1][1]);
+  EXPECT_FALSE(radios_[1]->medium_busy());
+}
+
+TEST_F(RadioChannelTest, TransmitterSeesOwnBusyPeriod) {
+  build({{0, 0}, {100, 0}});
+  radios_[0]->start_transmit(frame(0, 1), sim::Time::ms(1));
+  EXPECT_TRUE(radios_[0]->transmitting());
+  EXPECT_TRUE(radios_[0]->medium_busy());
+  sched_.run();
+  EXPECT_FALSE(radios_[0]->transmitting());
+}
+
+TEST_F(RadioChannelTest, NeighborsOfReportsExact) {
+  build({{0, 0}, {100, 0}, {240, 0}, {600, 0}});
+  auto n0 = channel_->neighbors_of(0, sim::Time::zero());
+  EXPECT_EQ(n0, (std::vector<net::NodeId>{1, 2}));
+  auto n3 = channel_->neighbors_of(3, sim::Time::zero());
+  EXPECT_TRUE(n3.empty());
+}
+
+TEST_F(RadioChannelTest, StatsCountDecodes) {
+  build({{0, 0}, {100, 0}});
+  radios_[0]->start_transmit(frame(0, 1), sim::Time::ms(1));
+  sched_.run();
+  EXPECT_EQ(radios_[0]->frames_sent(), 1u);
+  EXPECT_EQ(radios_[1]->frames_decoded(), 1u);
+}
+
+}  // namespace
+}  // namespace mts::phy

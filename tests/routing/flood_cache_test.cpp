@@ -1,0 +1,42 @@
+#include "routing/flood_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mts::routing {
+namespace {
+
+TEST(FloodCacheTest, FirstInsertTrueThenFalse) {
+  FloodCache c;
+  EXPECT_TRUE(c.check_and_insert(1, 100));
+  EXPECT_FALSE(c.check_and_insert(1, 100));
+  EXPECT_TRUE(c.contains(1, 100));
+}
+
+TEST(FloodCacheTest, DistinguishesOriginators) {
+  FloodCache c;
+  EXPECT_TRUE(c.check_and_insert(1, 100));
+  EXPECT_TRUE(c.check_and_insert(2, 100));  // same id, other origin
+  EXPECT_TRUE(c.check_and_insert(1, 101));  // same origin, other id
+}
+
+TEST(FloodCacheTest, CapacityEvictsOldestFirst) {
+  FloodCache c(3);
+  c.check_and_insert(1, 1);
+  c.check_and_insert(1, 2);
+  c.check_and_insert(1, 3);
+  c.check_and_insert(1, 4);  // evicts (1,1)
+  EXPECT_FALSE(c.contains(1, 1));
+  EXPECT_TRUE(c.contains(1, 2));
+  EXPECT_TRUE(c.contains(1, 4));
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(FloodCacheTest, LargeIdsNoCollision) {
+  FloodCache c;
+  EXPECT_TRUE(c.check_and_insert(0xFFFFFFFE, 0xFFFFFFFF));
+  EXPECT_TRUE(c.check_and_insert(0xFFFFFFFF, 0xFFFFFFFE));
+  EXPECT_FALSE(c.check_and_insert(0xFFFFFFFE, 0xFFFFFFFF));
+}
+
+}  // namespace
+}  // namespace mts::routing

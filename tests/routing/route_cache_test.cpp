@@ -1,0 +1,100 @@
+#include "routing/dsr/route_cache.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mts::routing::dsr {
+namespace {
+
+const sim::Time t0 = sim::Time::zero();
+
+TEST(RouteCacheTest, FindReturnsStoredPath) {
+  RouteCache c;
+  c.add({0, 1, 2}, t0);
+  auto r = c.find(2, t0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, (std::vector<net::NodeId>{0, 1, 2}));
+}
+
+TEST(RouteCacheTest, FindMissReturnsNullopt) {
+  RouteCache c;
+  c.add({0, 1, 2}, t0);
+  EXPECT_FALSE(c.find(9, t0).has_value());
+}
+
+TEST(RouteCacheTest, ShortestPathWins) {
+  RouteCache c;
+  c.add({0, 1, 2, 3, 4}, t0);
+  c.add({0, 7, 4}, t0);
+  auto r = c.find(4, t0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(RouteCacheTest, PrefixOfLongerPathReachesInteriorNode) {
+  RouteCache c;
+  c.add({0, 1, 2, 3}, t0);
+  auto r = c.find(2, t0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, (std::vector<net::NodeId>{0, 1, 2}));
+}
+
+TEST(RouteCacheTest, RemoveLinkTruncatesAndPrunes) {
+  RouteCache c;
+  c.add({0, 1, 2, 3}, t0);
+  EXPECT_EQ(c.remove_link(2, 3), 1u);
+  // Prefix 0-1-2 survives as a usable route.
+  EXPECT_TRUE(c.find(2, t0).has_value());
+  EXPECT_FALSE(c.find(3, t0).has_value());
+  // Breaking the first link kills the whole entry.
+  EXPECT_EQ(c.remove_link(0, 1), 1u);
+  EXPECT_FALSE(c.find(1, t0).has_value());
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(RouteCacheTest, RemoveLinkIsDirected) {
+  RouteCache c;
+  c.add({0, 1, 2}, t0);
+  EXPECT_EQ(c.remove_link(2, 1), 0u);  // reverse direction: no match
+  EXPECT_TRUE(c.find(2, t0).has_value());
+}
+
+TEST(RouteCacheTest, NoExpiryByDefault) {
+  RouteCache c;  // expiry = 0 => never stale (the paper's DSR)
+  c.add({0, 1, 2}, t0);
+  EXPECT_TRUE(c.find(2, sim::Time::sec(100000)).has_value());
+}
+
+TEST(RouteCacheTest, OptionalExpiryHidesOldPaths) {
+  RouteCache c(64, sim::Time::sec(30));
+  c.add({0, 1, 2}, t0);
+  EXPECT_TRUE(c.find(2, sim::Time::sec(29)).has_value());
+  EXPECT_FALSE(c.find(2, sim::Time::sec(31)).has_value());
+}
+
+TEST(RouteCacheTest, DuplicateAddRefreshes) {
+  RouteCache c(64, sim::Time::sec(30));
+  c.add({0, 1, 2}, t0);
+  c.add({0, 1, 2}, sim::Time::sec(20));  // refresh
+  EXPECT_TRUE(c.find(2, sim::Time::sec(45)).has_value());
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(RouteCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  RouteCache c(2);
+  c.add({0, 1}, t0);
+  c.add({0, 2}, sim::Time::sec(1));
+  c.find(1, sim::Time::sec(2));       // touch {0,1}
+  c.add({0, 3}, sim::Time::sec(3));   // evicts {0,2}
+  EXPECT_TRUE(c.find(1, sim::Time::sec(4)).has_value());
+  EXPECT_FALSE(c.find(2, sim::Time::sec(4)).has_value());
+  EXPECT_TRUE(c.find(3, sim::Time::sec(4)).has_value());
+}
+
+TEST(RouteCacheTest, RejectsDegeneratePaths) {
+  RouteCache c;
+  c.add({0}, t0);  // single node is not a route
+  EXPECT_EQ(c.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mts::routing::dsr

@@ -1,0 +1,64 @@
+#include "security/eavesdropper.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mts::security {
+namespace {
+
+phy::Frame data_frame(std::uint16_t flow, std::uint32_t seq) {
+  phy::Frame f;
+  f.type = phy::FrameType::kData;
+  f.has_payload = true;
+  f.payload.common.kind = net::PacketKind::kTcpData;
+  f.payload.tcp = net::TcpHeader{.seq = seq, .flow_id = flow};
+  return f;
+}
+
+TEST(EavesdropperTest, CountsDistinctSegments) {
+  Eavesdropper e(7);
+  e.on_sniff(data_frame(1, 10));
+  e.on_sniff(data_frame(1, 11));
+  e.on_sniff(data_frame(1, 12));
+  EXPECT_EQ(e.captured_segments(), 3u);
+  EXPECT_EQ(e.frames_seen(), 3u);
+  EXPECT_EQ(e.node(), 7u);
+}
+
+TEST(EavesdropperTest, RetransmissionsNotDoubleCounted) {
+  Eavesdropper e(7);
+  e.on_sniff(data_frame(1, 10));
+  e.on_sniff(data_frame(1, 10));  // MAC retry or TCP retransmit
+  EXPECT_EQ(e.captured_segments(), 1u);
+  EXPECT_EQ(e.frames_seen(), 2u);
+}
+
+TEST(EavesdropperTest, FlowsAreDistinct) {
+  Eavesdropper e(7);
+  e.on_sniff(data_frame(1, 10));
+  e.on_sniff(data_frame(2, 10));  // same seq, other flow
+  EXPECT_EQ(e.captured_segments(), 2u);
+}
+
+TEST(EavesdropperTest, IgnoresAcksAndControl) {
+  Eavesdropper e(7);
+  phy::Frame ack = data_frame(1, 5);
+  ack.payload.common.kind = net::PacketKind::kTcpAck;
+  e.on_sniff(ack);
+  phy::Frame ctl = data_frame(1, 6);
+  ctl.payload.common.kind = net::PacketKind::kMtsCheck;
+  e.on_sniff(ctl);
+  phy::Frame no_payload;
+  no_payload.type = phy::FrameType::kData;
+  e.on_sniff(no_payload);
+  EXPECT_EQ(e.captured_segments(), 0u);
+}
+
+TEST(EavesdropperTest, InterceptionRatioPerEquationOne) {
+  Eavesdropper e(7);
+  for (std::uint32_t s = 1; s <= 25; ++s) e.on_sniff(data_frame(1, s));
+  EXPECT_DOUBLE_EQ(e.interception_ratio(100), 0.25);  // Pe/Pr
+  EXPECT_DOUBLE_EQ(e.interception_ratio(0), 0.0);
+}
+
+}  // namespace
+}  // namespace mts::security

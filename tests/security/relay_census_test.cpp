@@ -1,0 +1,83 @@
+#include "security/relay_census.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mts::security {
+namespace {
+
+TEST(RelayCensusTest, PaperTableOneReproducesExactly) {
+  // The paper's Table I: eight DSR participating nodes.  Published
+  // results: alpha = 30486, standard deviation = 19.60 %.
+  const std::vector<std::pair<net::NodeId, std::uint64_t>> betas = {
+      {2, 10581}, {3, 283},   {17, 1}, {21, 3886},
+      {23, 1},    {28, 15458}, {36, 275}, {45, 1}};
+  const RelayReport r = analyze_relays(betas);
+  EXPECT_EQ(r.alpha, 30486u);
+  EXPECT_EQ(r.participating_nodes(), 8u);
+  EXPECT_NEAR(r.normalized_stddev, 0.1960, 0.0001);
+  EXPECT_EQ(r.max_beta, 15458u);
+}
+
+TEST(RelayCensusTest, PaperTableOneGammaColumn) {
+  // Spot-check the published gamma percentages.
+  const RelayReport r = analyze_relays({{2, 10581}, {28, 15458}, {21, 3886},
+                                        {3, 283}, {36, 275}, {17, 1},
+                                        {23, 1}, {45, 1}});
+  const double alpha = static_cast<double>(r.alpha);
+  EXPECT_NEAR(10581 / alpha, 0.3470, 0.0002);   // node 2: 34.70 %
+  EXPECT_NEAR(15458 / alpha, 0.5070, 0.0002);   // node 28: 50.70 %
+  EXPECT_NEAR(3886 / alpha, 0.1275, 0.0002);    // node 21: 12.75 %
+  EXPECT_NEAR(283 / alpha, 0.0093, 0.0001);     // node 3: 0.93 %
+}
+
+TEST(RelayCensusTest, ZeroBetaNodesAreNotParticipants) {
+  const RelayReport r =
+      analyze_relays({{0, 0}, {1, 10}, {2, 0}, {3, 20}});
+  EXPECT_EQ(r.participating_nodes(), 2u);
+  EXPECT_EQ(r.alpha, 30u);
+}
+
+TEST(RelayCensusTest, EmptyCensus) {
+  const RelayReport r = analyze_relays({});
+  EXPECT_EQ(r.participating_nodes(), 0u);
+  EXPECT_EQ(r.alpha, 0u);
+  EXPECT_EQ(r.normalized_stddev, 0.0);
+  EXPECT_EQ(r.max_beta, 0u);
+  EXPECT_EQ(r.highest_interception_ratio(100), 0.0);
+}
+
+TEST(RelayCensusTest, SingleParticipantHasZeroStddev) {
+  const RelayReport r = analyze_relays({{5, 42}});
+  EXPECT_EQ(r.participating_nodes(), 1u);
+  EXPECT_EQ(r.normalized_stddev, 0.0);
+}
+
+TEST(RelayCensusTest, PerfectlyBalancedRelaysHaveZeroStddev) {
+  const RelayReport r =
+      analyze_relays({{1, 100}, {2, 100}, {3, 100}, {4, 100}});
+  EXPECT_NEAR(r.normalized_stddev, 0.0, 1e-12);
+}
+
+TEST(RelayCensusTest, ConcentrationRaisesStddev) {
+  const RelayReport balanced =
+      analyze_relays({{1, 100}, {2, 100}, {3, 100}, {4, 100}});
+  const RelayReport skewed =
+      analyze_relays({{1, 370}, {2, 10}, {3, 10}, {4, 10}});
+  EXPECT_GT(skewed.normalized_stddev, balanced.normalized_stddev);
+}
+
+TEST(RelayCensusTest, StddevInvariantUnderScaling) {
+  // The gammas are shares: doubling every beta must not change sigma.
+  const RelayReport a = analyze_relays({{1, 10}, {2, 30}, {3, 60}});
+  const RelayReport b = analyze_relays({{1, 20}, {2, 60}, {3, 120}});
+  EXPECT_NEAR(a.normalized_stddev, b.normalized_stddev, 1e-12);
+}
+
+TEST(RelayCensusTest, HighestInterceptionRatio) {
+  const RelayReport r = analyze_relays({{1, 500}, {2, 100}});
+  EXPECT_DOUBLE_EQ(r.highest_interception_ratio(1000), 0.5);
+  EXPECT_DOUBLE_EQ(r.highest_interception_ratio(0), 0.0);  // no deliveries
+}
+
+}  // namespace
+}  // namespace mts::security

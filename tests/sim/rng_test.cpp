@@ -1,0 +1,149 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mts::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NamedSubstreamsAreIndependentAndStable) {
+  Rng master(7);
+  Rng a1 = master.substream("mobility");
+  Rng a2 = master.substream("mobility");
+  Rng b = master.substream("mac");
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a1.uniform(), a2.uniform());
+  Rng a3 = master.substream("mobility");
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a3.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, IndexedSubstreams) {
+  Rng master(7);
+  Rng n0 = master.substream(std::uint64_t{0});
+  Rng n1 = master.substream(std::uint64_t{1});
+  EXPECT_NE(n0.seed(), n1.seed());
+  Rng n0b = master.substream(std::uint64_t{0});
+  EXPECT_EQ(n0.seed(), n0b.seed());
+}
+
+TEST(RngTest, SubstreamInsulation) {
+  // Drawing from one substream must not affect a sibling: this is the
+  // property that keeps protocol comparisons paired across runs.
+  Rng master(9);
+  Rng a = master.substream("a");
+  Rng b1 = master.substream("b");
+  const double first = b1.uniform();
+  for (int i = 0; i < 1000; ++i) a.uniform();
+  Rng b2 = master.substream("b");
+  EXPECT_DOUBLE_EQ(b2.uniform(), first);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformRejectsInvertedRange) {
+  Rng r(3);
+  EXPECT_THROW(r.uniform(5.0, 2.0), SimError);
+  EXPECT_THROW(r.uniform_int(5, 2), SimError);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng r(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t x = r.uniform_int(0, 3);
+    EXPECT_GE(x, 0);
+    EXPECT_LE(x, 3);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(RngTest, ExponentialMeanApproximately) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialRejectsNonPositiveMean) {
+  Rng r(1);
+  EXPECT_THROW(r.exponential(0.0), SimError);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (r.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.03);
+}
+
+TEST(RngTest, PickCoversAllElements) {
+  Rng r(17);
+  const std::vector<int> v{10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(r.pick(v));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, PickEmptyThrows) {
+  Rng r(1);
+  const std::vector<int> empty;
+  EXPECT_THROW(r.pick(empty), SimError);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng r(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v.begin(), v.end());
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(SplitMix64Test, AdjacentInputsDisperse) {
+  const auto a = splitmix64(1);
+  const auto b = splitmix64(2);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a >> 32, b >> 32);
+}
+
+TEST(Fnv1aTest, DistinctStringsDistinctHashes) {
+  EXPECT_NE(fnv1a("mobility"), fnv1a("mac"));
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+  EXPECT_EQ(fnv1a("x"), fnv1a("x"));
+}
+
+}  // namespace
+}  // namespace mts::sim

@@ -1,0 +1,175 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mts::sim {
+namespace {
+
+TEST(SchedulerTest, StartsAtTimeZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), Time::zero());
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
+TEST(SchedulerTest, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(Time::ms(3), [&] { order.push_back(3); });
+  s.schedule_at(Time::ms(1), [&] { order.push_back(1); });
+  s.schedule_at(Time::ms(2), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), Time::ms(3));
+}
+
+TEST(SchedulerTest, TiesBreakByInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    s.schedule_at(Time::ms(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SchedulerTest, ScheduleInIsRelative) {
+  Scheduler s;
+  Time fired;
+  s.schedule_at(Time::ms(10), [&] {
+    s.schedule_in(Time::ms(5), [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, Time::ms(15));
+}
+
+TEST(SchedulerTest, SchedulingInThePastThrows) {
+  Scheduler s;
+  s.schedule_at(Time::ms(10), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(Time::ms(5), [] {}), SimError);
+}
+
+TEST(SchedulerTest, EmptyCallbackThrows) {
+  Scheduler s;
+  EXPECT_THROW(s.schedule_at(Time::ms(1), std::function<void()>{}), SimError);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule_at(Time::ms(1), [&] { ran = true; });
+  EXPECT_TRUE(s.is_pending(id));
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.is_pending(id));
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, CancelTwiceReturnsFalse) {
+  Scheduler s;
+  const EventId id = s.schedule_at(Time::ms(1), [] {});
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(SchedulerTest, CancelAfterFireReturnsFalse) {
+  Scheduler s;
+  const EventId id = s.schedule_at(Time::ms(1), [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(Time::ms(1), [&] { order.push_back(1); });
+  s.schedule_at(Time::ms(10), [&] { order.push_back(10); });
+  s.run_until(Time::ms(5));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(s.now(), Time::ms(5));  // time advances even with no event
+  EXPECT_EQ(s.pending_count(), 1u);
+  s.run_until(Time::ms(20));
+  EXPECT_EQ(order, (std::vector<int>{1, 10}));
+}
+
+TEST(SchedulerTest, EventAtBoundaryRuns) {
+  Scheduler s;
+  bool ran = false;
+  s.schedule_at(Time::ms(5), [&] { ran = true; });
+  s.run_until(Time::ms(5));
+  EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, StopHaltsRun) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_at(Time::ms(i), [&] {
+      ++count;
+      if (count == 3) s.stop();
+    });
+  }
+  s.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.pending_count(), 7u);
+}
+
+TEST(SchedulerTest, RunStepsExecutesExactly) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 1; i <= 5; ++i) {
+    s.schedule_at(Time::ms(i), [&] { ++count; });
+  }
+  EXPECT_EQ(s.run_steps(3), 3u);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.run_steps(10), 2u);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SchedulerTest, EventsMayScheduleMoreEvents) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) s.schedule_in(Time::us(1), recurse);
+  };
+  s.schedule_at(Time::zero(), recurse);
+  s.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(s.now(), Time::us(99));
+}
+
+TEST(SchedulerTest, ExecutedCountTracksHistory) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.schedule_at(Time::ms(i + 1), [] {});
+  s.run();
+  EXPECT_EQ(s.executed_count(), 7u);
+}
+
+TEST(SchedulerTest, NextEventTimeSkipsCancelled) {
+  Scheduler s;
+  const EventId early = s.schedule_at(Time::ms(1), [] {});
+  s.schedule_at(Time::ms(2), [] {});
+  EXPECT_EQ(s.next_event_time(), Time::ms(1));
+  s.cancel(early);
+  EXPECT_EQ(s.next_event_time(), Time::ms(2));
+}
+
+TEST(SchedulerTest, NextEventTimeOnEmptyIsMax) {
+  Scheduler s;
+  EXPECT_EQ(s.next_event_time(), Time::max());
+}
+
+TEST(SchedulerTest, ZeroDelayEventRunsAtCurrentTime) {
+  Scheduler s;
+  Time fired = Time::max();
+  s.schedule_at(Time::ms(5), [&] {
+    s.schedule_in(Time::zero(), [&] { fired = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired, Time::ms(5));
+}
+
+}  // namespace
+}  // namespace mts::sim

@@ -1,0 +1,84 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mts::sim {
+namespace {
+
+TEST(TimeTest, DefaultIsZero) {
+  EXPECT_EQ(Time{}.nanoseconds(), 0);
+  EXPECT_TRUE(Time{}.is_zero());
+  EXPECT_EQ(Time{}, Time::zero());
+}
+
+TEST(TimeTest, UnitConstructors) {
+  EXPECT_EQ(Time::ns(1).nanoseconds(), 1);
+  EXPECT_EQ(Time::us(1).nanoseconds(), 1'000);
+  EXPECT_EQ(Time::ms(1).nanoseconds(), 1'000'000);
+  EXPECT_EQ(Time::sec(1).nanoseconds(), 1'000'000'000);
+}
+
+TEST(TimeTest, FractionalSecondsRoundToNearestNanosecond) {
+  EXPECT_EQ(Time::seconds(1.5).nanoseconds(), 1'500'000'000);
+  EXPECT_EQ(Time::seconds(1e-9).nanoseconds(), 1);
+  EXPECT_EQ(Time::seconds(0.4e-9).nanoseconds(), 0);
+  EXPECT_EQ(Time::seconds(0.6e-9).nanoseconds(), 1);
+  EXPECT_EQ(Time::seconds(-1.0).nanoseconds(), -1'000'000'000);
+}
+
+TEST(TimeTest, FractionalMicros) {
+  EXPECT_EQ(Time::micros(1.5).nanoseconds(), 1'500);
+  EXPECT_EQ(Time::micros(20.0), Time::us(20));
+}
+
+TEST(TimeTest, ConversionRoundTrip) {
+  const Time t = Time::ms(1234);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 1.234);
+  EXPECT_DOUBLE_EQ(t.to_millis(), 1234.0);
+  EXPECT_DOUBLE_EQ(t.to_micros(), 1'234'000.0);
+}
+
+TEST(TimeTest, Arithmetic) {
+  EXPECT_EQ(Time::ms(1) + Time::us(500), Time::us(1500));
+  EXPECT_EQ(Time::ms(2) - Time::ms(3), Time::ms(-1));
+  EXPECT_TRUE((Time::ms(2) - Time::ms(3)).is_negative());
+  EXPECT_EQ(Time::us(10) * std::int64_t{3}, Time::us(30));
+  EXPECT_EQ(std::int64_t{3} * Time::us(10), Time::us(30));
+  EXPECT_EQ(Time::us(30) / std::int64_t{3}, Time::us(10));
+}
+
+TEST(TimeTest, ScalarMultiplyByDouble) {
+  EXPECT_EQ(Time::sec(10) * 0.5, Time::sec(5));
+  EXPECT_EQ(Time::sec(3) * 2.5, Time::ms(7500));
+}
+
+TEST(TimeTest, DurationRatio) {
+  EXPECT_DOUBLE_EQ(Time::ms(10) / Time::ms(4), 2.5);
+}
+
+TEST(TimeTest, CompoundAssignment) {
+  Time t = Time::ms(1);
+  t += Time::ms(2);
+  EXPECT_EQ(t, Time::ms(3));
+  t -= Time::ms(5);
+  EXPECT_EQ(t, Time::ms(-2));
+}
+
+TEST(TimeTest, ComparisonIsTotal) {
+  EXPECT_LT(Time::us(999), Time::ms(1));
+  EXPECT_LE(Time::ms(1), Time::ms(1));
+  EXPECT_GT(Time::sec(1), Time::ms(999));
+  EXPECT_NE(Time::ns(1), Time::ns(2));
+  EXPECT_LT(Time::zero(), Time::max());
+}
+
+TEST(TimeTest, StreamOutputInSeconds) {
+  std::ostringstream os;
+  os << Time::ms(1500);
+  EXPECT_EQ(os.str(), "1.5s");
+}
+
+}  // namespace
+}  // namespace mts::sim

@@ -1,0 +1,143 @@
+#include "sim/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mts::sim {
+namespace {
+
+TEST(TimerTest, FiresOnce) {
+  Scheduler s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.schedule_in(Time::ms(5));
+  EXPECT_TRUE(t.is_pending());
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.is_pending());
+}
+
+TEST(TimerTest, CancelPreventsFiring) {
+  Scheduler s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.schedule_in(Time::ms(5));
+  t.cancel();
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, RescheduleMovesExpiry) {
+  Scheduler s;
+  Time fired_at;
+  Timer t(s, [&] { fired_at = s.now(); });
+  t.schedule_in(Time::ms(5));
+  t.schedule_in(Time::ms(20));  // re-arm replaces the earlier expiry
+  s.run();
+  EXPECT_EQ(fired_at, Time::ms(20));
+}
+
+TEST(TimerTest, ScheduleAtAbsolute) {
+  Scheduler s;
+  Time fired_at;
+  Timer t(s, [&] { fired_at = s.now(); });
+  s.schedule_at(Time::ms(3), [&] { t.schedule_at(Time::ms(9)); });
+  s.run();
+  EXPECT_EQ(fired_at, Time::ms(9));
+}
+
+TEST(TimerTest, DestructionCancels) {
+  Scheduler s;
+  int fired = 0;
+  {
+    Timer t(s, [&] { ++fired; });
+    t.schedule_in(Time::ms(5));
+  }
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerTest, CanRearmFromItsOwnCallback) {
+  Scheduler s;
+  int fired = 0;
+  Timer* tp = nullptr;
+  Timer t(s, [&] {
+    if (++fired < 3) tp->schedule_in(Time::ms(1));
+  });
+  tp = &t;
+  t.schedule_in(Time::ms(1));
+  s.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTimerTest, FiresEveryPeriod) {
+  Scheduler s;
+  std::vector<Time> fires;
+  PeriodicTimer t(s, [&] { fires.push_back(s.now()); });
+  t.start(Time::ms(10));
+  s.run_until(Time::ms(35));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[0], Time::ms(10));
+  EXPECT_EQ(fires[1], Time::ms(20));
+  EXPECT_EQ(fires[2], Time::ms(30));
+}
+
+TEST(PeriodicTimerTest, InitialDelayIndependentOfPeriod) {
+  Scheduler s;
+  std::vector<Time> fires;
+  PeriodicTimer t(s, [&] { fires.push_back(s.now()); });
+  t.start(Time::ms(10), Time::ms(3));
+  s.run_until(Time::ms(25));
+  ASSERT_EQ(fires.size(), 3u);
+  EXPECT_EQ(fires[0], Time::ms(3));
+  EXPECT_EQ(fires[1], Time::ms(13));
+  EXPECT_EQ(fires[2], Time::ms(23));
+}
+
+TEST(PeriodicTimerTest, StopHalts) {
+  Scheduler s;
+  int fired = 0;
+  PeriodicTimer t(s, [&] { ++fired; });
+  t.start(Time::ms(10));
+  s.schedule_at(Time::ms(25), [&] { t.stop(); });
+  s.run_until(Time::ms(100));
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(t.is_running());
+}
+
+TEST(PeriodicTimerTest, CallbackMayStopItself) {
+  Scheduler s;
+  int fired = 0;
+  PeriodicTimer* tp = nullptr;
+  PeriodicTimer t(s, [&] {
+    if (++fired == 2) tp->stop();
+  });
+  tp = &t;
+  t.start(Time::ms(1));
+  s.run_until(Time::ms(50));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTimerTest, RejectsNonPositivePeriod) {
+  Scheduler s;
+  PeriodicTimer t(s, [] {});
+  EXPECT_THROW(t.start(Time::zero()), SimError);
+}
+
+TEST(PeriodicTimerTest, SetPeriodTakesEffectNextTick) {
+  Scheduler s;
+  std::vector<Time> fires;
+  PeriodicTimer t(s, [&] { fires.push_back(s.now()); });
+  t.start(Time::ms(10));
+  s.schedule_at(Time::ms(15), [&] { t.set_period(Time::ms(2)); });
+  s.run_until(Time::ms(25));
+  // Fires at 10 (old period), 20 (already scheduled), then every 2 ms.
+  ASSERT_GE(fires.size(), 3u);
+  EXPECT_EQ(fires[0], Time::ms(10));
+  EXPECT_EQ(fires[1], Time::ms(20));
+  EXPECT_EQ(fires[2], Time::ms(22));
+}
+
+}  // namespace
+}  // namespace mts::sim

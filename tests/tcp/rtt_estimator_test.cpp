@@ -1,0 +1,89 @@
+#include "tcp/rtt_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mts::tcp {
+namespace {
+
+TcpConfig cfg() {
+  TcpConfig c;
+  c.initial_rto = sim::Time::sec(3);
+  c.min_rto = sim::Time::sec(1);
+  c.max_rto = sim::Time::sec(64);
+  return c;
+}
+
+TEST(RttEstimatorTest, InitialRtoIsConfigured) {
+  const TcpConfig c = cfg();
+  RttEstimator e(c);
+  EXPECT_EQ(e.rto(), sim::Time::sec(3));
+  EXPECT_FALSE(e.has_sample());
+}
+
+TEST(RttEstimatorTest, FirstSampleSetsSrttAndVar) {
+  const TcpConfig c = cfg();
+  RttEstimator e(c);
+  e.sample(sim::Time::ms(200));
+  EXPECT_EQ(e.srtt(), sim::Time::ms(200));
+  EXPECT_EQ(e.rttvar(), sim::Time::ms(100));
+  // RTO = srtt + 4*rttvar = 600 ms, clamped up to min_rto (1 s).
+  EXPECT_EQ(e.rto(), sim::Time::sec(1));
+}
+
+TEST(RttEstimatorTest, LargeRttDominatesFloor) {
+  const TcpConfig c = cfg();
+  RttEstimator e(c);
+  e.sample(sim::Time::ms(800));
+  // 800 + 4*400 = 2400 ms.
+  EXPECT_EQ(e.rto(), sim::Time::ms(2400));
+}
+
+TEST(RttEstimatorTest, SmoothingConvergesOnSteadyRtt) {
+  const TcpConfig c = cfg();
+  RttEstimator e(c);
+  for (int i = 0; i < 100; ++i) e.sample(sim::Time::ms(500));
+  EXPECT_NEAR(e.srtt().to_millis(), 500.0, 1.0);
+  EXPECT_NEAR(e.rttvar().to_millis(), 0.0, 5.0);
+}
+
+TEST(RttEstimatorTest, VarianceGrowsWithJitter) {
+  const TcpConfig c = cfg();
+  RttEstimator steady(c), jittery(c);
+  for (int i = 0; i < 50; ++i) {
+    steady.sample(sim::Time::ms(300));
+    jittery.sample(sim::Time::ms(i % 2 == 0 ? 100 : 500));
+  }
+  EXPECT_GT(jittery.rttvar(), steady.rttvar());
+}
+
+TEST(RttEstimatorTest, BackoffDoublesAndSampleResets) {
+  const TcpConfig c = cfg();
+  RttEstimator e(c);
+  e.sample(sim::Time::ms(800));  // rto 2400 ms
+  const sim::Time base = e.rto();
+  e.backoff();
+  EXPECT_EQ(e.rto(), base * std::int64_t{2});
+  e.backoff();
+  EXPECT_EQ(e.rto(), base * std::int64_t{4});
+  e.sample(sim::Time::ms(800));  // a fresh sample clears the backoff
+  EXPECT_EQ(e.backoff_factor(), 1u);
+  EXPECT_LE(e.rto(), base + sim::Time::ms(200));
+}
+
+TEST(RttEstimatorTest, RtoClampedToMax) {
+  const TcpConfig c = cfg();
+  RttEstimator e(c);
+  e.sample(sim::Time::sec(50));
+  for (int i = 0; i < 10; ++i) e.backoff();
+  EXPECT_EQ(e.rto(), sim::Time::sec(64));
+}
+
+TEST(RttEstimatorTest, BackoffCapStopsOverflow) {
+  const TcpConfig c = cfg();
+  RttEstimator e(c);
+  for (int i = 0; i < 100; ++i) e.backoff();
+  EXPECT_EQ(e.backoff_factor(), 64u);
+}
+
+}  // namespace
+}  // namespace mts::tcp
