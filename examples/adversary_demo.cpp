@@ -1,0 +1,74 @@
+// Adversary subsystem demo: one mobile ad hoc network, three threat
+// models.  Runs the same 30-node scenario under (1) a colluding
+// eavesdropper coalition, (2) mobile external sniffers, and (3) an
+// insider blackhole, for AODV and MTS, and prints what each adversary
+// achieved — the quickest way to see why the paper's multipath argument
+// needs a coalition-aware threat model.
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "harness/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mts;
+
+  harness::ScenarioConfig base;
+  base.node_count = 30;
+  base.field = {800.0, 800.0};
+  base.sim_time = sim::Time::sec(60);
+  base.max_speed = 5.0;
+  // Single-run demo, so the seed shapes the story; pass another one as
+  // argv[1] to see e.g. a coalition that drew unlucky positions.
+  base.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 9;
+
+  const auto run = [&](harness::Protocol proto,
+                       security::AdversarySpec spec) {
+    harness::ScenarioConfig cfg = base;
+    cfg.protocol = proto;
+    cfg.adversary = spec;
+    return harness::run_scenario(cfg);
+  };
+
+  security::AdversarySpec coalition;
+  coalition.kind = security::AdversaryKind::kColluding;
+  coalition.count = 3;
+
+  security::AdversarySpec mobile;
+  mobile.kind = security::AdversaryKind::kMobile;
+  mobile.count = 2;
+  mobile.max_speed = 15.0;
+
+  security::AdversarySpec blackhole;
+  blackhole.kind = security::AdversaryKind::kBlackhole;
+  blackhole.count = 2;
+
+  std::cout << "=== Adversary subsystem demo (30 nodes, 60 s, seed "
+            << base.seed << ") ===\n\n";
+  std::cout << std::left << std::setw(10) << "protocol" << std::setw(14)
+            << "adversary" << std::setw(9) << "members" << std::setw(11)
+            << "delivered" << std::setw(10) << "captured" << std::setw(11)
+            << "intercept" << std::setw(9) << "missing" << "absorbed\n";
+
+  for (harness::Protocol proto :
+       {harness::Protocol::kAodv, harness::Protocol::kMts}) {
+    for (const auto& spec : {coalition, mobile, blackhole}) {
+      const harness::RunMetrics m = run(proto, spec);
+      std::cout << std::left << std::setw(10) << harness::protocol_name(proto)
+                << std::setw(14) << security::adversary_kind_name(spec.kind)
+                << std::setw(9) << m.adversary_count << std::setw(11)
+                << m.segments_delivered << std::setw(10)
+                << m.coalition_captured << std::setw(11) << std::fixed
+                << std::setprecision(3) << m.coalition_interception_ratio
+                << std::setw(9) << m.fragments_missing << m.blackhole_absorbed
+                << "\n";
+    }
+  }
+
+  std::cout << "\ncaptured  = distinct TCP segments pooled by the coalition\n"
+            << "intercept = pooled captures / delivered (union-Pe / Pr)\n"
+            << "missing   = fragments the coalition still needs for the "
+               "full stream\n"
+            << "absorbed  = data packets silently eaten (blackhole only)\n";
+  return 0;
+}

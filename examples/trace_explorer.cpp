@@ -8,7 +8,7 @@
 
 #include "harness/scenario.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char**) {
   using namespace mts;
 
   // Pass any argument to dump the raw event stream too.

@@ -10,24 +10,32 @@
 
 namespace mts::harness {
 
+std::string adversary_label(const security::AdversarySpec& spec) {
+  if (!spec.enabled()) return "none";
+  std::ostringstream os;
+  os << security::adversary_kind_name(spec.kind) << " x" << spec.count;
+  return os.str();
+}
+
 void CampaignResult::add(RunMetrics m) {
-  cells_[{static_cast<int>(m.protocol), speed_key(m.max_speed)}].push_back(
-      std::move(m));
+  cells_[{static_cast<int>(m.protocol), speed_key(m.max_speed),
+          m.adversary_index}]
+      .push_back(std::move(m));
   ++count_;
 }
 
-const std::vector<RunMetrics>& CampaignResult::runs(Protocol p,
-                                                    double speed) const {
+const std::vector<RunMetrics>& CampaignResult::runs(
+    Protocol p, double speed, std::uint32_t adversary) const {
   static const std::vector<RunMetrics> kEmpty;
-  auto it = cells_.find({static_cast<int>(p), speed_key(speed)});
+  auto it = cells_.find({static_cast<int>(p), speed_key(speed), adversary});
   return it == cells_.end() ? kEmpty : it->second;
 }
 
 stats::Summary CampaignResult::summarize(
-    Protocol p, double speed,
+    Protocol p, double speed, std::uint32_t adversary,
     const std::function<double(const RunMetrics&)>& metric) const {
   stats::Summary s;
-  for (const RunMetrics& m : runs(p, speed)) s.add(metric(m));
+  for (const RunMetrics& m : runs(p, speed, adversary)) s.add(metric(m));
   return s;
 }
 
@@ -36,15 +44,23 @@ CampaignResult run_campaign(const CampaignConfig& cfg,
   struct Cell {
     Protocol protocol;
     double speed;
+    std::uint32_t adversary;
     std::uint64_t seed;
   };
+  sim::require_config(!cfg.adversaries.empty(),
+                      "Campaign: adversaries list empty (use a kNone spec)");
   std::vector<Cell> work;
   for (Protocol p : cfg.protocols) {
     for (double speed : cfg.speeds) {
-      for (std::uint32_t r = 0; r < cfg.repetitions; ++r) {
-        // Same seed across protocols for a given (speed, rep): paired
-        // comparisons see identical mobility and flow placement.
-        work.push_back(Cell{p, speed, cfg.seed_base + r});
+      for (std::uint32_t a = 0;
+           a < static_cast<std::uint32_t>(cfg.adversaries.size()); ++a) {
+        for (std::uint32_t r = 0; r < cfg.repetitions; ++r) {
+          // Same seed across protocols and adversaries for a given
+          // (speed, rep): paired comparisons see identical mobility and
+          // flow placement (passive adversaries don't perturb runs at
+          // all, so their cells differ only in what was observed).
+          work.push_back(Cell{p, speed, a, cfg.seed_base + r});
+        }
       }
     }
   }
@@ -64,12 +80,15 @@ CampaignResult run_campaign(const CampaignConfig& cfg,
       sc.protocol = work[i].protocol;
       sc.max_speed = work[i].speed;
       sc.seed = work[i].seed;
+      sc.adversary = cfg.adversaries[work[i].adversary];
       results[i] = run_scenario(sc);
+      results[i].adversary_index = work[i].adversary;
       const std::size_t d = done.fetch_add(1) + 1;
       if (progress != nullptr) {
         std::ostringstream os;  // single write keeps lines intact
         os << "  [" << d << "/" << work.size() << "] "
            << protocol_name(work[i].protocol) << " speed=" << work[i].speed
+           << " adversary=" << adversary_label(cfg.adversaries[work[i].adversary])
            << " seed=" << work[i].seed << "\n";
         (*progress) << os.str() << std::flush;
       }
@@ -106,6 +125,35 @@ void print_figure(std::ostream& os, const CampaignResult& result,
     table.add_row(std::move(row));
   }
   table.print(os);
+}
+
+void print_adversary_figure(
+    std::ostream& os, const CampaignResult& result, const CampaignConfig& cfg,
+    const std::string& title, const std::string& unit,
+    const std::function<double(const RunMetrics&)>& metric, int precision) {
+  os << "\n=== " << title << " ===\n";
+  if (!unit.empty()) {
+    os << "(" << unit << "; mean +/- 95% CI over " << cfg.repetitions
+       << " runs)\n";
+  }
+  for (std::uint32_t a = 0;
+       a < static_cast<std::uint32_t>(cfg.adversaries.size()); ++a) {
+    os << "\n--- adversary: " << adversary_label(cfg.adversaries[a])
+       << " ---\n";
+    std::vector<std::string> header{"MAXSPEED (m/s)"};
+    for (Protocol p : cfg.protocols) header.emplace_back(protocol_name(p));
+    stats::Table table(std::move(header));
+    for (double speed : cfg.speeds) {
+      std::vector<std::string> row{stats::Table::fmt(speed, 0)};
+      for (Protocol p : cfg.protocols) {
+        const stats::Summary s = result.summarize(p, speed, a, metric);
+        row.push_back(stats::Table::fmt(s.mean(), precision) + " +/- " +
+                      stats::Table::fmt(s.ci95(), precision));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(os);
+  }
 }
 
 namespace {

@@ -11,29 +11,45 @@
 
 namespace mts::harness {
 
-/// A full sweep: protocol x MAXSPEED x repetitions — the grid every
-/// figure of the paper is drawn from.
+/// A full sweep: protocol x MAXSPEED x adversary x repetitions — the
+/// paper's grid (protocol x speed) plus the adversary axis the
+/// extension benches sweep.  The default single `AdversarySpec{}`
+/// (kind = kNone) reproduces the paper's grid exactly.
 struct CampaignConfig {
-  ScenarioConfig base;  ///< speed/protocol/seed are overwritten per cell
+  ScenarioConfig base;  ///< speed/protocol/seed/adversary overwritten per cell
   std::vector<double> speeds{2, 5, 10, 15, 20};
   std::vector<Protocol> protocols{Protocol::kDsr, Protocol::kAodv,
                                   Protocol::kMts};
+  std::vector<security::AdversarySpec> adversaries{security::AdversarySpec{}};
   std::uint32_t repetitions = 5;  ///< paper: "repeated for 5 times"
   std::uint64_t seed_base = 1;
   unsigned threads = 0;  ///< 0 = hardware concurrency
 };
 
-/// All runs, indexable by (protocol, speed).
+/// Short human label for an adversary spec ("none", "colluding x4", ...).
+std::string adversary_label(const security::AdversarySpec& spec);
+
+/// All runs, indexable by (protocol, speed[, adversary index]).
 class CampaignResult {
  public:
   void add(RunMetrics m);
 
+  /// Runs of the adversary-free paper grid (adversary index 0).
   [[nodiscard]] const std::vector<RunMetrics>& runs(Protocol p,
-                                                    double speed) const;
+                                                    double speed) const {
+    return runs(p, speed, 0);
+  }
+  [[nodiscard]] const std::vector<RunMetrics>& runs(
+      Protocol p, double speed, std::uint32_t adversary) const;
 
   /// Aggregates one metric across the repetitions of a cell.
   [[nodiscard]] stats::Summary summarize(
       Protocol p, double speed,
+      const std::function<double(const RunMetrics&)>& metric) const {
+    return summarize(p, speed, 0, metric);
+  }
+  [[nodiscard]] stats::Summary summarize(
+      Protocol p, double speed, std::uint32_t adversary,
       const std::function<double(const RunMetrics&)>& metric) const;
 
   [[nodiscard]] std::size_t total_runs() const { return count_; }
@@ -42,7 +58,9 @@ class CampaignResult {
   static std::int64_t speed_key(double speed) {
     return static_cast<std::int64_t>(speed * 1000.0 + 0.5);
   }
-  std::map<std::pair<int, std::int64_t>, std::vector<RunMetrics>> cells_;
+  std::map<std::tuple<int, std::int64_t, std::uint32_t>,
+           std::vector<RunMetrics>>
+      cells_;
   std::size_t count_ = 0;
 };
 
@@ -59,6 +77,14 @@ void print_figure(std::ostream& os, const CampaignResult& result,
                   const std::string& unit,
                   const std::function<double(const RunMetrics&)>& metric,
                   int precision = 3);
+
+/// Prints one table per adversary spec in the sweep: rows = MAXSPEED,
+/// one column per protocol — the adversary-axis analogue of
+/// `print_figure`.
+void print_adversary_figure(
+    std::ostream& os, const CampaignResult& result, const CampaignConfig& cfg,
+    const std::string& title, const std::string& unit,
+    const std::function<double(const RunMetrics&)>& metric, int precision = 3);
 
 /// Reads the standard bench environment overrides
 /// (MTS_BENCH_REPS, MTS_BENCH_SIM_TIME, MTS_BENCH_SPEEDS,

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "sim/rng.hpp"
@@ -11,7 +12,7 @@ namespace mts::harness {
 
 namespace {
 
-constexpr int kCacheVersion = 4;
+constexpr int kCacheVersion = 5;
 
 bool cache_disabled() {
   const char* v = std::getenv("MTS_BENCH_NO_CACHE");
@@ -30,9 +31,13 @@ constexpr const char* kHeader =
     "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
     "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
     "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
-    "switches,checks,events";
+    "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
+    "adv_ri,adv_missing,adv_absorbed,adv_members";
 
 void write_row(std::ostream& os, const RunMetrics& m) {
+  // Round-trip exactly: the cache's contract is bit-for-bit replay, and
+  // the default 6 significant digits would truncate every double.
+  os.precision(std::numeric_limits<double>::max_digits10);
   os << static_cast<int>(m.protocol) << ',' << m.max_speed << ',' << m.seed
      << ',' << m.participating_nodes << ',' << m.relay_stddev << ','
      << m.alpha << ',' << m.max_beta << ',' << m.highest_interception_ratio
@@ -43,7 +48,18 @@ void write_row(std::ostream& os, const RunMetrics& m) {
      << m.retransmits << ',' << m.timeouts << ',' << m.acks_sent << ','
      << m.acks_received << ',' << m.eavesdropper << ',' << m.control_packets
      << ',' << m.route_switches << ',' << m.checks_sent << ','
-     << m.events_executed << '\n';
+     << m.events_executed << ',' << m.adversary_index << ','
+     << static_cast<int>(m.adversary_kind) << ',' << m.adversary_count << ','
+     << m.coalition_captured << ',' << m.coalition_interception_ratio << ','
+     << m.fragments_missing << ',' << m.blackhole_absorbed << ',';
+  // '-' sentinel keeps the empty-members cell from being eaten by the
+  // trailing-delimiter behaviour of getline-based parsing.
+  if (m.adversary_members.empty()) {
+    os << '-';
+  } else {
+    for (net::NodeId id : m.adversary_members) os << id << '.';
+  }
+  os << '\n';
 }
 
 std::optional<RunMetrics> parse_row(const std::string& line) {
@@ -51,7 +67,7 @@ std::optional<RunMetrics> parse_row(const std::string& line) {
   std::string cell;
   std::vector<std::string> cells;
   while (std::getline(ss, cell, ',')) cells.push_back(cell);
-  if (cells.size() != 26) return std::nullopt;
+  if (cells.size() != 34) return std::nullopt;
   try {
     RunMetrics m;
     std::size_t i = 0;
@@ -81,6 +97,25 @@ std::optional<RunMetrics> parse_row(const std::string& line) {
     m.route_switches = std::stoull(cells[i++]);
     m.checks_sent = std::stoull(cells[i++]);
     m.events_executed = std::stoull(cells[i++]);
+    m.adversary_index = static_cast<std::uint32_t>(std::stoul(cells[i++]));
+    m.adversary_kind =
+        static_cast<security::AdversaryKind>(std::stoi(cells[i++]));
+    m.adversary_count = static_cast<std::uint32_t>(std::stoul(cells[i++]));
+    m.coalition_captured = std::stoull(cells[i++]);
+    m.coalition_interception_ratio = std::stod(cells[i++]);
+    m.fragments_missing = std::stoull(cells[i++]);
+    m.blackhole_absorbed = std::stoull(cells[i++]);
+    if (cells[i] != "-") {
+      std::stringstream ms(cells[i]);
+      std::string id;
+      while (std::getline(ms, id, '.')) {
+        if (!id.empty()) {
+          m.adversary_members.push_back(
+              static_cast<net::NodeId>(std::stoul(id)));
+        }
+      }
+    }
+    ++i;
     return m;
   } catch (const std::exception&) {
     return std::nullopt;
@@ -112,6 +147,14 @@ std::string CampaignCache::key_of(const CampaignConfig& cfg) {
   for (Protocol p : cfg.protocols) os << static_cast<int>(p) << ';';
   os << '|';
   for (double s : cfg.speeds) os << s << ';';
+  os << '|';
+  for (const security::AdversarySpec& a : cfg.adversaries) {
+    os << static_cast<int>(a.kind) << ',' << a.count << ',' << a.sniff_range
+       << ',' << a.min_speed << ',' << a.max_speed << ','
+       << a.pause.nanoseconds() << ',';
+    for (net::NodeId m : a.members) os << m << '.';
+    os << ';';
+  }
   const std::uint64_t h = sim::splitmix64(sim::fnv1a(os.str()));
   std::ostringstream name;
   name << std::hex << h;
@@ -134,8 +177,8 @@ std::optional<CampaignResult> CampaignCache::load(const CampaignConfig& cfg) {
     result.add(std::move(*m));
     ++rows;
   }
-  const std::size_t expected =
-      cfg.protocols.size() * cfg.speeds.size() * cfg.repetitions;
+  const std::size_t expected = cfg.protocols.size() * cfg.speeds.size() *
+                               cfg.adversaries.size() * cfg.repetitions;
   if (rows != expected) return std::nullopt;
   return result;
 }
@@ -152,7 +195,10 @@ void CampaignCache::store(const CampaignConfig& cfg,
   out << kHeader << '\n';
   for (Protocol p : cfg.protocols) {
     for (double s : cfg.speeds) {
-      for (const RunMetrics& m : result.runs(p, s)) write_row(out, m);
+      for (std::uint32_t a = 0;
+           a < static_cast<std::uint32_t>(cfg.adversaries.size()); ++a) {
+        for (const RunMetrics& m : result.runs(p, s, a)) write_row(out, m);
+      }
     }
   }
 }

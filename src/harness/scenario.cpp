@@ -56,6 +56,7 @@ class Simulation {
     build_nodes();
     build_flows();
     pick_eavesdropper();
+    build_adversary();
     wire();
   }
 
@@ -227,11 +228,48 @@ class Simulation {
     eavesdropper_ = std::make_unique<security::Eavesdropper>(pick);
   }
 
+  void build_adversary() {
+    if (!cfg_.adversary.enabled()) return;
+    security::AdversaryContext ctx;
+    ctx.node_count = cfg_.node_count;
+    ctx.field = cfg_.field;
+    ctx.radio_range = cfg_.radio_range;
+    for (const auto& f : flows_) {
+      ctx.excluded.insert(f->spec.src);
+      ctx.excluded.insert(f->spec.dst);
+    }
+    ctx.position_of = [this](net::NodeId id, sim::Time t) {
+      return nodes_[id].mobility->position_at(t);
+    };
+    ctx.rng = master_.substream("adversary");
+    adversary_ = security::make_adversary(cfg_.adversary, ctx);
+    if (adversary_ != nullptr) {
+      // Passive models tap the channel at radiation time; the tap is
+      // observational only, so the event stream is unchanged.
+      channel_->set_sniffer([a = adversary_.get()](
+                                net::NodeId sender,
+                                const mobility::Vec2& pos,
+                                const phy::Frame& f, sim::Time now) {
+        a->on_transmission({sender, pos, now}, f);
+      });
+    }
+  }
+
   void wire() {
     for (net::NodeId i = 0; i < cfg_.node_count; ++i) {
       Node& n = nodes_[i];
       mac::Mac80211::Callbacks cb;
-      cb.on_receive = [this, i](net::Packet&& p, net::NodeId from) {
+      const bool insider =
+          adversary_ != nullptr && adversary_->is_member(i);
+      cb.on_receive = [this, i, insider](net::Packet&& p, net::NodeId from) {
+        // Insider attackers sit between the MAC and the routing layer:
+        // the MAC already ACKed the frame (upstream believes the hop
+        // succeeded), then transit data silently dies here.
+        if (insider && adversary_->absorbs(i, p)) {
+          adversary_->on_absorb(i, p);
+          nodes_[i].counters.drop(net::DropReason::kAdversary);
+          return;
+        }
         nodes_[i].routing->receive_from_mac(std::move(p), from);
       };
       cb.on_unicast_failure = [this, i](const net::Packet& p,
@@ -324,6 +362,16 @@ class Simulation {
       m.pe = eavesdropper_->captured_segments();
       m.interception_ratio = eavesdropper_->interception_ratio(m.pr);
     }
+    if (adversary_ != nullptr) {
+      m.adversary_kind = adversary_->kind();
+      m.adversary_count =
+          static_cast<std::uint32_t>(adversary_->member_count());
+      m.coalition_captured = adversary_->captured_segments();
+      m.coalition_interception_ratio = adversary_->interception_ratio(m.pr);
+      m.fragments_missing = adversary_->fragments_missing(m.pr);
+      m.blackhole_absorbed = adversary_->absorbed_packets();
+      m.adversary_members = adversary_->members();
+    }
     for (const Node& n : nodes_) {
       m.control_packets += n.counters.control_transmissions();
       for (std::size_t r = 0; r < m.drops.size(); ++r) {
@@ -347,6 +395,7 @@ class Simulation {
   std::vector<Node> nodes_;
   std::vector<std::unique_ptr<Flow>> flows_;
   std::unique_ptr<security::Eavesdropper> eavesdropper_;
+  std::unique_ptr<security::AdversaryModel> adversary_;
 };
 
 }  // namespace

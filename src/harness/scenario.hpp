@@ -13,6 +13,7 @@
 #include "phy/channel.hpp"
 #include "routing/aodv/aodv.hpp"
 #include "routing/dsr/dsr.hpp"
+#include "security/adversary.hpp"
 #include "tcp/flow_stats.hpp"
 #include "tcp/tcp_config.hpp"
 
@@ -66,6 +67,13 @@ struct ScenarioConfig {
   /// Randomly chosen intermediate node sniffing all decodable frames.
   bool eavesdropper_enabled = true;
 
+  /// Optional adversary model beyond the paper's single eavesdropper:
+  /// colluding coalitions, mobile sniffers, or insider blackholes.
+  /// `kNone` (the default) reproduces the paper's threat model exactly.
+  /// Passive adversaries are pure observers — enabling one changes no
+  /// packet-level behaviour; the blackhole is active by design.
+  security::AdversarySpec adversary;
+
   /// Fixed node placement instead of random waypoint (tests, examples).
   /// Non-empty => static topology; must have node_count entries.
   std::vector<mobility::Vec2> static_positions;
@@ -102,6 +110,19 @@ struct RunMetrics {
   double interception_ratio = 0.0;       ///< Eq. 1 (extension bench)
   net::NodeId eavesdropper = net::kNoNode;
   std::vector<std::pair<net::NodeId, std::uint64_t>> betas;  ///< Table I rows
+
+  // --- adversary (extension: coalition/mobile/blackhole sweeps) ---------
+  /// Index into `CampaignConfig::adversaries` (0 outside campaigns).
+  std::uint32_t adversary_index = 0;
+  security::AdversaryKind adversary_kind = security::AdversaryKind::kNone;
+  std::uint32_t adversary_count = 0;          ///< coalition/attacker size
+  std::uint64_t coalition_captured = 0;       ///< pooled distinct segments
+  double coalition_interception_ratio = 0.0;  ///< pooled Pe / Pr
+  /// Segments the coalition still lacks to reconstruct the delivered
+  /// stream — the "fragments-to-reconstruct" distance.
+  std::uint64_t fragments_missing = 0;
+  std::uint64_t blackhole_absorbed = 0;       ///< data packets eaten
+  std::vector<net::NodeId> adversary_members;
 
   // --- TCP (paper Figs. 8-10) ------------------------------------------
   double avg_delay_s = 0.0;              ///< Fig. 8

@@ -13,6 +13,7 @@ const char* drop_reason_name(DropReason r) {
     case DropReason::kSendBufferFull: return "send_buffer_full";
     case DropReason::kStaleRoute: return "stale_route";
     case DropReason::kDuplicate: return "duplicate";
+    case DropReason::kAdversary: return "adversary";
     case DropReason::kCount: break;
   }
   return "?";

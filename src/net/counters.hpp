@@ -16,6 +16,7 @@ enum class DropReason : std::uint8_t {
   kSendBufferFull,     ///< route-pending buffer overflow
   kStaleRoute,         ///< forwarding state missing/expired mid-path
   kDuplicate,          ///< flood duplicate, intentionally ignored
+  kAdversary,          ///< absorbed by an insider attacker (blackhole)
   kCount
 };
 

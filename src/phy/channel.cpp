@@ -39,6 +39,7 @@ void Channel::transmit(net::NodeId sender, const Frame& frame,
                        sim::Time airtime) {
   const sim::Time now = sched_->now();
   const mobility::Vec2 sp = position_of(sender, now);
+  if (sniffer_) sniffer_(sender, sp, frame, now);
   const double decode_r = prop_->max_range();
   const double cs_r = decode_r * cfg_.cs_range_factor;
 

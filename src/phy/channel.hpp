@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -40,6 +41,15 @@ class Channel {
   /// Must be called once after all attach() calls (builds the index).
   void finalize();
 
+  /// Global promiscuous tap: observes every frame at radiation time with
+  /// the transmitter's position.  Purely observational (no scheduling,
+  /// no RNG draws), so attaching a sniffer never perturbs the
+  /// simulation — the adversary subsystem hangs off this.
+  using Sniffer = std::function<void(net::NodeId sender,
+                                     const mobility::Vec2& sender_pos,
+                                     const Frame& frame, sim::Time now)>;
+  void set_sniffer(Sniffer s) { sniffer_ = std::move(s); }
+
   /// Radiates `frame` from `sender` for `airtime`.  Receivers within
   /// decode range get a decodable reception; receivers inside the CS
   /// range but beyond decode range get energy only.
@@ -64,6 +74,7 @@ class Channel {
   sim::Scheduler* sched_;
   const PropagationModel* prop_;
   ChannelConfig cfg_;
+  Sniffer sniffer_;
   std::vector<Entry> entries_;
   std::unique_ptr<NeighborIndex> index_;
   double max_speed_ = 0.0;

@@ -1,0 +1,175 @@
+#include "security/adversary.hpp"
+
+#include <algorithm>
+
+#include "mobility/random_waypoint.hpp"
+#include "sim/error.hpp"
+
+namespace mts::security {
+
+const char* adversary_kind_name(AdversaryKind k) {
+  switch (k) {
+    case AdversaryKind::kNone: return "none";
+    case AdversaryKind::kColluding: return "colluding";
+    case AdversaryKind::kMobile: return "mobile";
+    case AdversaryKind::kBlackhole: return "blackhole";
+  }
+  return "?";
+}
+
+std::vector<net::NodeId> resolve_members(
+    const AdversarySpec& spec, std::uint32_t node_count,
+    const std::unordered_set<net::NodeId>& excluded, sim::Rng rng) {
+  if (!spec.members.empty()) {
+    for (net::NodeId m : spec.members) {
+      sim::require_config(m < node_count, "Adversary: member id out of range");
+    }
+    return spec.members;
+  }
+  std::vector<net::NodeId> pool;
+  pool.reserve(node_count);
+  for (net::NodeId i = 0; i < node_count; ++i) {
+    if (!excluded.contains(i)) pool.push_back(i);
+  }
+  // One shuffle, then a prefix: coalitions of increasing size are nested
+  // for a fixed seed (see header).
+  rng.shuffle(pool.begin(), pool.end());
+  const std::size_t n = std::min<std::size_t>(spec.count, pool.size());
+  pool.resize(n);
+  return pool;
+}
+
+namespace {
+
+/// Passive models only care about decodable TCP data payloads.
+bool sniffable(const phy::Frame& f) {
+  return f.has_payload && f.payload.common.kind == net::PacketKind::kTcpData;
+}
+
+}  // namespace
+
+// --- ColludingEavesdroppers ------------------------------------------------
+
+ColludingEavesdroppers::ColludingEavesdroppers(
+    std::vector<net::NodeId> members, double sniff_range,
+    std::function<mobility::Vec2(net::NodeId, sim::Time)> position_of)
+    : members_(std::move(members)),
+      member_set_(members_.begin(), members_.end()),
+      sniff_range_(sniff_range),
+      position_of_(std::move(position_of)) {
+  sim::require_config(sniff_range_ > 0, "Adversary: sniff_range <= 0");
+  sim::require_config(static_cast<bool>(position_of_),
+                      "Adversary: colluding model needs a position lookup");
+}
+
+void ColludingEavesdroppers::on_transmission(const Transmission& tx,
+                                             const phy::Frame& f) {
+  if (!sniffable(f)) return;
+  const double r2 = sniff_range_ * sniff_range_;
+  for (net::NodeId m : members_) {
+    if (m == tx.sender) continue;  // own transmission, not an overhear
+    const mobility::Vec2 p = position_of_(m, tx.now);
+    if (mobility::distance_sq(p, tx.sender_pos) > r2) continue;
+    ++frames_seen_[m];
+    pool_.capture(f.payload);
+  }
+}
+
+std::uint64_t ColludingEavesdroppers::frames_seen_by(net::NodeId n) const {
+  auto it = frames_seen_.find(n);
+  return it == frames_seen_.end() ? 0 : it->second;
+}
+
+// --- MobileEavesdroppers ---------------------------------------------------
+
+MobileEavesdroppers::MobileEavesdroppers(std::uint32_t count,
+                                         const mobility::Field& field,
+                                         const AdversarySpec& spec,
+                                         double sniff_range, sim::Rng rng)
+    : sniff_range_(sniff_range) {
+  sim::require_config(count >= 1, "Adversary: mobile count < 1");
+  sim::require_config(sniff_range_ > 0, "Adversary: sniff_range <= 0");
+  mobility::RandomWaypointConfig rc;
+  rc.field = field;
+  rc.min_speed = spec.min_speed;
+  rc.max_speed = spec.max_speed;
+  rc.pause = spec.pause;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    trajectories_.push_back(
+        std::make_unique<mobility::RandomWaypoint>(rc, rng.substream(i)));
+  }
+}
+
+void MobileEavesdroppers::on_transmission(const Transmission& tx,
+                                          const phy::Frame& f) {
+  if (!sniffable(f)) return;
+  const double r2 = sniff_range_ * sniff_range_;
+  for (const auto& traj : trajectories_) {
+    const mobility::Vec2 p = traj->position_at(tx.now);
+    if (mobility::distance_sq(p, tx.sender_pos) > r2) continue;
+    pool_.capture(f.payload);
+  }
+}
+
+mobility::Vec2 MobileEavesdroppers::position_of_member(std::size_t i,
+                                                       sim::Time t) const {
+  sim::require(i < trajectories_.size(), "Adversary: member index");
+  return trajectories_[i]->position_at(t);
+}
+
+// --- BlackholeAttacker -----------------------------------------------------
+
+BlackholeAttacker::BlackholeAttacker(std::vector<net::NodeId> members)
+    : members_(std::move(members)),
+      member_set_(members_.begin(), members_.end()) {}
+
+bool BlackholeAttacker::absorbs(net::NodeId node, const net::Packet& p) const {
+  // Only transit data dies: control packets keep the attacker attractive
+  // to route discovery, and traffic terminating at the attacker is its
+  // own (it may legitimately be a flow endpoint in pathological specs).
+  return member_set_.contains(node) &&
+         p.common.kind == net::PacketKind::kTcpData && p.common.dst != node;
+}
+
+void BlackholeAttacker::on_absorb(net::NodeId node, const net::Packet& p) {
+  ++absorbed_;
+  ++per_member_[node];
+  pool_.capture(p);
+}
+
+std::uint64_t BlackholeAttacker::absorbed_by(net::NodeId n) const {
+  auto it = per_member_.find(n);
+  return it == per_member_.end() ? 0 : it->second;
+}
+
+// --- factory ---------------------------------------------------------------
+
+std::unique_ptr<AdversaryModel> make_adversary(const AdversarySpec& spec,
+                                               const AdversaryContext& ctx) {
+  if (!spec.enabled()) return nullptr;
+  const double range = spec.sniff_range > 0 ? spec.sniff_range : ctx.radio_range;
+  switch (spec.kind) {
+    case AdversaryKind::kColluding: {
+      auto members = resolve_members(spec, ctx.node_count, ctx.excluded,
+                                     ctx.rng.substream("members"));
+      sim::require_config(!members.empty(),
+                          "Adversary: no eligible coalition members");
+      return std::make_unique<ColludingEavesdroppers>(std::move(members), range,
+                                                      ctx.position_of);
+    }
+    case AdversaryKind::kMobile:
+      return std::make_unique<MobileEavesdroppers>(
+          spec.count, ctx.field, spec, range, ctx.rng.substream("mobile"));
+    case AdversaryKind::kBlackhole: {
+      auto members = resolve_members(spec, ctx.node_count, ctx.excluded,
+                                     ctx.rng.substream("members"));
+      sim::require_config(!members.empty(),
+                          "Adversary: no eligible blackhole members");
+      return std::make_unique<BlackholeAttacker>(std::move(members));
+    }
+    case AdversaryKind::kNone: break;
+  }
+  return nullptr;
+}
+
+}  // namespace mts::security

@@ -1,0 +1,259 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "mobility/mobility_model.hpp"
+#include "net/packet.hpp"
+#include "phy/frame.hpp"
+#include "security/segment_pool.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace mts::security {
+
+/// The adversary families the scenario space sweeps (extensions of the
+/// paper's single passive eavesdropper of §IV-B):
+///  - kColluding: a coalition of insider nodes pooling every TCP data
+///    segment any member overhears — the natural attack on multipath
+///    splitting (one eavesdropper sees one path; a coalition stitches
+///    the stream back together).
+///  - kMobile: external sniffers with their own trajectories (random
+///    waypoint over the arena), decoupled from the node population.
+///  - kBlackhole: insider nodes that participate in route discovery
+///    like honest nodes but silently absorb the data packets they are
+///    asked to forward (AODVSEC's threat model, arXiv:1208.1959).
+enum class AdversaryKind : std::uint8_t {
+  kNone = 0,
+  kColluding,
+  kMobile,
+  kBlackhole,
+};
+
+const char* adversary_kind_name(AdversaryKind k);
+
+/// Scenario-level adversary description.  Lives in `ScenarioConfig`;
+/// campaigns sweep vectors of these alongside protocol x speed.
+struct AdversarySpec {
+  AdversaryKind kind = AdversaryKind::kNone;
+  /// Coalition size (kColluding/kBlackhole: insider count; kMobile:
+  /// sniffer count).
+  std::uint32_t count = 1;
+  /// Eavesdropping radius in metres; 0 = use the scenario radio range.
+  double sniff_range = 0.0;
+  /// kMobile trajectory parameters (random waypoint over the arena).
+  double min_speed = 0.1;
+  double max_speed = 10.0;
+  sim::Time pause = sim::Time::sec(1);
+  /// Explicit insider node ids (kColluding/kBlackhole).  Empty = drawn
+  /// uniformly from the intermediate nodes via `resolve_members`.
+  std::vector<net::NodeId> members;
+
+  [[nodiscard]] bool enabled() const { return kind != AdversaryKind::kNone; }
+};
+
+/// Deterministic insider selection: shuffles the candidate pool once
+/// (excluding flow endpoints) and takes the first `count`.  The prefix
+/// property matters: for a fixed seed, a size-k coalition is a subset of
+/// the size-(k+1) coalition, which makes interception monotone in
+/// coalition size by construction — the property the sweep figures rely
+/// on and the unit tests pin.
+std::vector<net::NodeId> resolve_members(
+    const AdversarySpec& spec, std::uint32_t node_count,
+    const std::unordered_set<net::NodeId>& excluded, sim::Rng rng);
+
+/// One transmission as seen by the channel at radiation time.
+struct Transmission {
+  net::NodeId sender = net::kNoNode;
+  mobility::Vec2 sender_pos;
+  sim::Time now;
+};
+
+/// Pluggable adversary.  Two hooks: a passive channel tap (every frame
+/// radiated anywhere, evaluated against each member's position) and an
+/// insider forwarding veto (blackhole-style absorption).  Models are
+/// observers — they never perturb the simulation's RNG streams or event
+/// order, so runs with and without a passive adversary are identical
+/// packet-for-packet (paired comparisons stay paired).
+class AdversaryModel {
+ public:
+  virtual ~AdversaryModel() = default;
+
+  [[nodiscard]] virtual AdversaryKind kind() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+  [[nodiscard]] virtual std::size_t member_count() const = 0;
+
+  /// Passive tap: called for every frame the channel radiates.
+  virtual void on_transmission(const Transmission&, const phy::Frame&) {}
+
+  /// Insider veto: should `node` silently absorb `p` instead of
+  /// forwarding it?  Only consulted for coalition members.
+  [[nodiscard]] virtual bool absorbs(net::NodeId /*node*/,
+                                     const net::Packet& /*p*/) const {
+    return false;
+  }
+  /// Notification that the harness honoured an `absorbs` verdict.
+  virtual void on_absorb(net::NodeId /*node*/, const net::Packet& /*p*/) {}
+
+  /// True if this node is part of the coalition (insider models).
+  [[nodiscard]] virtual bool is_member(net::NodeId) const { return false; }
+
+  // --- metrics --------------------------------------------------------
+  [[nodiscard]] virtual std::uint64_t captured_segments() const { return 0; }
+  [[nodiscard]] virtual double interception_ratio(std::uint64_t /*pr*/) const {
+    return 0.0;
+  }
+  [[nodiscard]] virtual std::uint64_t fragments_missing(std::uint64_t pr) const {
+    return pr;
+  }
+  [[nodiscard]] virtual std::uint64_t absorbed_packets() const { return 0; }
+  /// Insider node ids (empty for external adversaries).
+  [[nodiscard]] virtual std::vector<net::NodeId> members() const { return {}; }
+};
+
+/// Shared base for models whose metrics come from a capture pool — all
+/// three concrete families; they differ only in *how* segments land in
+/// the pool.
+class PooledAdversary : public AdversaryModel {
+ public:
+  [[nodiscard]] std::uint64_t captured_segments() const override {
+    return pool_.captured_segments();
+  }
+  [[nodiscard]] double interception_ratio(std::uint64_t pr) const override {
+    return pool_.interception_ratio(pr);
+  }
+  [[nodiscard]] std::uint64_t fragments_missing(std::uint64_t pr) const override {
+    return pool_.fragments_missing(pr);
+  }
+
+ protected:
+  SegmentPool pool_;
+};
+
+/// (a) Colluding insider eavesdroppers: coalition members are regular
+/// nodes; any data frame radiated within `sniff_range` of a member's
+/// current position lands in the shared pool.
+class ColludingEavesdroppers final : public PooledAdversary {
+ public:
+  /// `position_of` maps a member node id to its position at a time (the
+  /// harness binds it to the node mobility models).
+  ColludingEavesdroppers(
+      std::vector<net::NodeId> members, double sniff_range,
+      std::function<mobility::Vec2(net::NodeId, sim::Time)> position_of);
+
+  [[nodiscard]] AdversaryKind kind() const override {
+    return AdversaryKind::kColluding;
+  }
+  [[nodiscard]] const char* name() const override { return "colluding"; }
+  [[nodiscard]] std::size_t member_count() const override {
+    return members_.size();
+  }
+  [[nodiscard]] bool is_member(net::NodeId n) const override {
+    return member_set_.contains(n);
+  }
+  [[nodiscard]] std::vector<net::NodeId> members() const override {
+    return members_;
+  }
+
+  void on_transmission(const Transmission& tx, const phy::Frame& f) override;
+
+  /// Raw overheard data frames per member (diagnostics).
+  [[nodiscard]] std::uint64_t frames_seen_by(net::NodeId n) const;
+
+ private:
+  std::vector<net::NodeId> members_;
+  std::unordered_set<net::NodeId> member_set_;
+  double sniff_range_;
+  std::function<mobility::Vec2(net::NodeId, sim::Time)> position_of_;
+  std::unordered_map<net::NodeId, std::uint64_t> frames_seen_;
+};
+
+/// (b) Mobile external eavesdroppers: sniffers that are not part of the
+/// node population, each following its own random-waypoint trajectory
+/// over the arena, pooling captures like a coalition.
+class MobileEavesdroppers final : public PooledAdversary {
+ public:
+  MobileEavesdroppers(std::uint32_t count, const mobility::Field& field,
+                      const AdversarySpec& spec, double sniff_range,
+                      sim::Rng rng);
+
+  [[nodiscard]] AdversaryKind kind() const override {
+    return AdversaryKind::kMobile;
+  }
+  [[nodiscard]] const char* name() const override { return "mobile"; }
+  [[nodiscard]] std::size_t member_count() const override {
+    return trajectories_.size();
+  }
+
+  void on_transmission(const Transmission& tx, const phy::Frame& f) override;
+
+  /// Trajectory introspection (tests: the sniffer never leaves the arena).
+  [[nodiscard]] mobility::Vec2 position_of_member(std::size_t i,
+                                                  sim::Time t) const;
+
+ private:
+  std::vector<std::unique_ptr<mobility::MobilityModel>> trajectories_;
+  double sniff_range_;
+};
+
+/// (c) Insider blackhole: members answer route discovery like honest
+/// nodes (control packets pass through untouched), then absorb every
+/// TCP data packet they are asked to relay.  Absorbed segments also land
+/// in the capture pool — a blackhole reads what it eats.
+class BlackholeAttacker final : public PooledAdversary {
+ public:
+  explicit BlackholeAttacker(std::vector<net::NodeId> members);
+
+  [[nodiscard]] AdversaryKind kind() const override {
+    return AdversaryKind::kBlackhole;
+  }
+  [[nodiscard]] const char* name() const override { return "blackhole"; }
+  [[nodiscard]] std::size_t member_count() const override {
+    return members_.size();
+  }
+  [[nodiscard]] bool is_member(net::NodeId n) const override {
+    return member_set_.contains(n);
+  }
+  [[nodiscard]] std::vector<net::NodeId> members() const override {
+    return members_;
+  }
+
+  [[nodiscard]] bool absorbs(net::NodeId node,
+                             const net::Packet& p) const override;
+  void on_absorb(net::NodeId node, const net::Packet& p) override;
+
+  [[nodiscard]] std::uint64_t absorbed_packets() const override {
+    return absorbed_;
+  }
+  [[nodiscard]] std::uint64_t absorbed_by(net::NodeId n) const;
+
+ private:
+  std::vector<net::NodeId> members_;
+  std::unordered_set<net::NodeId> member_set_;
+  std::uint64_t absorbed_ = 0;
+  std::unordered_map<net::NodeId, std::uint64_t> per_member_;
+};
+
+/// Context the factory needs to instantiate a model for one scenario.
+struct AdversaryContext {
+  std::uint32_t node_count = 0;
+  mobility::Field field;
+  double radio_range = 250.0;
+  /// Flow endpoints — never conscripted as insiders (they would trivially
+  /// see their own traffic).
+  std::unordered_set<net::NodeId> excluded;
+  /// Position lookup for insider members (bound to node mobility).
+  std::function<mobility::Vec2(net::NodeId, sim::Time)> position_of;
+  /// Dedicated RNG substream (member draw + mobile trajectories).
+  sim::Rng rng{0};
+};
+
+/// Builds the model described by `spec`, or nullptr for kNone.
+std::unique_ptr<AdversaryModel> make_adversary(const AdversarySpec& spec,
+                                               const AdversaryContext& ctx);
+
+}  // namespace mts::security

@@ -1,10 +1,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 
 #include "net/packet.hpp"
 #include "phy/frame.hpp"
+#include "security/segment_pool.hpp"
 
 namespace mts::security {
 
@@ -27,29 +27,26 @@ class Eavesdropper {
     if (p.common.kind != net::PacketKind::kTcpData || !p.tcp.has_value())
       return;
     ++frames_seen_;
-    segments_.insert((std::uint64_t{p.tcp->flow_id} << 32) |
-                     std::uint64_t{p.tcp->seq});
+    pool_.capture(p);
   }
 
   [[nodiscard]] net::NodeId node() const { return node_; }
   /// Pe of Eq. 1: distinct data segments successfully captured.
   [[nodiscard]] std::uint64_t captured_segments() const {
-    return segments_.size();
+    return pool_.captured_segments();
   }
   /// Raw overheard data frames (incl. retransmissions).
   [[nodiscard]] std::uint64_t frames_seen() const { return frames_seen_; }
 
   /// Eq. 1: Ri = Pe / Pr.
   [[nodiscard]] double interception_ratio(std::uint64_t pr) const {
-    return pr == 0 ? 0.0
-                   : static_cast<double>(captured_segments()) /
-                         static_cast<double>(pr);
+    return pool_.interception_ratio(pr);
   }
 
  private:
   net::NodeId node_;
   std::uint64_t frames_seen_ = 0;
-  std::unordered_set<std::uint64_t> segments_;
+  SegmentPool pool_;
 };
 
 }  // namespace mts::security

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "net/packet.hpp"
+
+namespace mts::security {
+
+/// Distinct-TCP-data-segment accounting shared by the paper's single
+/// eavesdropper (Eq. 1) and the adversary coalition pools: segment
+/// identity is (flow, seq), so retransmissions of a segment are not
+/// double counted, mirroring how Pr counts distinct deliveries.  Keeping
+/// one implementation keeps the coalition's union-Pe comparable to the
+/// paper's single-eavesdropper Pe.
+class SegmentPool {
+ public:
+  /// Returns true if the segment was new to the pool (ignores anything
+  /// that is not a TCP data segment).
+  bool capture(const net::Packet& p) {
+    if (p.common.kind != net::PacketKind::kTcpData || !p.tcp.has_value()) {
+      return false;
+    }
+    return segments_
+        .insert((std::uint64_t{p.tcp->flow_id} << 32) |
+                std::uint64_t{p.tcp->seq})
+        .second;
+  }
+
+  [[nodiscard]] std::uint64_t captured_segments() const {
+    return segments_.size();
+  }
+
+  /// Eq. 1: Pe / Pr (pooled Pe for coalitions).
+  [[nodiscard]] double interception_ratio(std::uint64_t pr) const {
+    return pr == 0 ? 0.0
+                   : static_cast<double>(segments_.size()) /
+                         static_cast<double>(pr);
+  }
+
+  /// Fragments still needed to reconstruct the delivered stream,
+  /// assuming every capture overlaps a delivery (lower bound).
+  [[nodiscard]] std::uint64_t fragments_missing(std::uint64_t pr) const {
+    return pr > segments_.size() ? pr - segments_.size() : 0;
+  }
+
+ private:
+  std::unordered_set<std::uint64_t> segments_;
+};
+
+}  // namespace mts::security

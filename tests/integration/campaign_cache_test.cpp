@@ -85,6 +85,53 @@ TEST_F(CampaignCacheTest, KeyChangesWithResultAffectingKnobs) {
   EXPECT_EQ(CampaignCache::key_of(base), CampaignCache::key_of(other));
 }
 
+TEST_F(CampaignCacheTest, AdversaryAxisRoundTripsAndChangesTheKey) {
+  CampaignConfig cfg = tiny();
+  // Dense enough to actually deliver traffic: a zero-traffic grid would
+  // make every double comparison below pass vacuously at 0.0.
+  cfg.base.field = {400.0, 400.0};
+  cfg.base.sim_time = sim::Time::sec(5);
+  security::AdversarySpec coalition;
+  coalition.kind = security::AdversaryKind::kColluding;
+  coalition.count = 2;
+  cfg.adversaries = {security::AdversarySpec{}, coalition};
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(tiny()));
+
+  const CampaignResult fresh = CampaignCache::run(cfg);
+  const auto cached = CampaignCache::load(cfg);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(cached->total_runs(), fresh.total_runs());
+  const auto& a = fresh.runs(Protocol::kAodv, 5, 1);
+  const auto& b = cached->runs(Protocol::kAodv, 5, 1);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  std::uint64_t delivered = 0;
+  std::uint64_t captured = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    delivered += a[i].segments_delivered;
+    captured += a[i].coalition_captured;
+    EXPECT_EQ(a[i].adversary_kind, security::AdversaryKind::kColluding);
+    EXPECT_EQ(b[i].adversary_kind, a[i].adversary_kind);
+    EXPECT_EQ(b[i].adversary_count, a[i].adversary_count);
+    EXPECT_EQ(b[i].coalition_captured, a[i].coalition_captured);
+    EXPECT_EQ(b[i].fragments_missing, a[i].fragments_missing);
+    EXPECT_EQ(b[i].adversary_members, a[i].adversary_members);
+    EXPECT_FALSE(a[i].adversary_members.empty());
+    // Exact: the CSV stores doubles at max_digits10.
+    EXPECT_DOUBLE_EQ(b[i].coalition_interception_ratio,
+                     a[i].coalition_interception_ratio);
+    EXPECT_DOUBLE_EQ(b[i].delivery_rate, a[i].delivery_rate);
+    EXPECT_DOUBLE_EQ(b[i].avg_delay_s, a[i].avg_delay_s);
+  }
+  EXPECT_GT(delivered, 0u) << "grid produced no traffic; round-trip vacuous";
+  EXPECT_GT(captured, 0u) << "coalition saw nothing; round-trip vacuous";
+
+  // A different coalition size is a different sweep.
+  CampaignConfig other = cfg;
+  other.adversaries[1].count = 3;
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+}
+
 TEST_F(CampaignCacheTest, CorruptFileIsAFullMiss) {
   const CampaignConfig cfg = tiny();
   CampaignCache::run(cfg);

@@ -1,0 +1,257 @@
+#include "security/adversary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace mts::security {
+namespace {
+
+phy::Frame data_frame(std::uint16_t flow, std::uint32_t seq) {
+  phy::Frame f;
+  f.type = phy::FrameType::kData;
+  f.has_payload = true;
+  f.payload.common.kind = net::PacketKind::kTcpData;
+  f.payload.tcp = net::TcpHeader{.seq = seq, .flow_id = flow, .ts = {}};
+  return f;
+}
+
+net::Packet data_packet(net::NodeId src, net::NodeId dst, std::uint32_t seq) {
+  net::Packet p;
+  p.common.kind = net::PacketKind::kTcpData;
+  p.common.src = src;
+  p.common.dst = dst;
+  p.tcp = net::TcpHeader{.seq = seq, .flow_id = 1, .ts = {}};
+  return p;
+}
+
+// --- member resolution -----------------------------------------------------
+
+TEST(ResolveMembersTest, CoalitionsOfIncreasingSizeAreNested) {
+  AdversarySpec small;
+  small.kind = AdversaryKind::kColluding;
+  small.count = 2;
+  AdversarySpec big = small;
+  big.count = 5;
+  const sim::Rng rng(42);
+  const auto two = resolve_members(small, 20, {0, 19}, rng);
+  const auto five = resolve_members(big, 20, {0, 19}, rng);
+  ASSERT_EQ(two.size(), 2u);
+  ASSERT_EQ(five.size(), 5u);
+  // Prefix property: the size-2 coalition is the first 2 of the size-5.
+  EXPECT_EQ(two[0], five[0]);
+  EXPECT_EQ(two[1], five[1]);
+}
+
+TEST(ResolveMembersTest, ExcludedNodesNeverDrawn) {
+  AdversarySpec spec;
+  spec.kind = AdversaryKind::kColluding;
+  spec.count = 8;
+  const auto members = resolve_members(spec, 10, {0, 9}, sim::Rng(7));
+  EXPECT_EQ(members.size(), 8u);
+  for (net::NodeId m : members) {
+    EXPECT_NE(m, 0u);
+    EXPECT_NE(m, 9u);
+  }
+}
+
+TEST(ResolveMembersTest, ExplicitMembersPassThrough) {
+  AdversarySpec spec;
+  spec.kind = AdversaryKind::kBlackhole;
+  spec.members = {3, 5};
+  const auto members = resolve_members(spec, 10, {}, sim::Rng(1));
+  EXPECT_EQ(members, (std::vector<net::NodeId>{3, 5}));
+}
+
+TEST(ResolveMembersTest, CountClampedToPoolSize) {
+  AdversarySpec spec;
+  spec.kind = AdversaryKind::kColluding;
+  spec.count = 100;
+  const auto members = resolve_members(spec, 5, {0}, sim::Rng(1));
+  EXPECT_EQ(members.size(), 4u);
+}
+
+// --- colluding coalition ---------------------------------------------------
+
+class ColludingTest : public ::testing::Test {
+ protected:
+  /// Members 1 @ (0,0) and 2 @ (1000,0); sniff range 250.
+  ColludingEavesdroppers make(std::vector<net::NodeId> members) {
+    return ColludingEavesdroppers(
+        std::move(members), 250.0, [this](net::NodeId id, sim::Time) {
+          return positions_.at(id);
+        });
+  }
+  std::map<net::NodeId, mobility::Vec2> positions_{
+      {1, {0, 0}}, {2, {1000, 0}}};
+};
+
+TEST_F(ColludingTest, PoolsSegmentsAcrossMembers) {
+  auto coalition = make({1, 2});
+  // Segment 10 radiated near member 1 only; segment 20 near member 2.
+  coalition.on_transmission({5, {100, 0}, sim::Time::sec(1)}, data_frame(1, 10));
+  coalition.on_transmission({6, {900, 0}, sim::Time::sec(2)}, data_frame(1, 20));
+  EXPECT_EQ(coalition.captured_segments(), 2u);
+  EXPECT_EQ(coalition.frames_seen_by(1), 1u);
+  EXPECT_EQ(coalition.frames_seen_by(2), 1u);
+}
+
+TEST_F(ColludingTest, OutOfRangeTransmissionsAreMissed) {
+  auto coalition = make({1});
+  coalition.on_transmission({5, {500, 0}, sim::Time::sec(1)}, data_frame(1, 10));
+  EXPECT_EQ(coalition.captured_segments(), 0u);
+}
+
+TEST_F(ColludingTest, LargerCoalitionCapturesSupersetByConstruction) {
+  auto solo = make({1});
+  auto pair = make({1, 2});
+  const std::vector<std::pair<mobility::Vec2, std::uint32_t>> txs{
+      {{100, 0}, 1}, {{900, 0}, 2}, {{500, 0}, 3}, {{50, 0}, 4}};
+  for (const auto& [pos, seq] : txs) {
+    solo.on_transmission({9, pos, sim::Time::sec(1)}, data_frame(1, seq));
+    pair.on_transmission({9, pos, sim::Time::sec(1)}, data_frame(1, seq));
+  }
+  EXPECT_GE(pair.captured_segments(), solo.captured_segments());
+  EXPECT_EQ(solo.captured_segments(), 2u);  // seq 1 and 4 near member 1
+  EXPECT_EQ(pair.captured_segments(), 3u);  // + seq 2 near member 2
+}
+
+TEST_F(ColludingTest, RetransmissionsNotDoubleCounted) {
+  auto coalition = make({1, 2});
+  coalition.on_transmission({5, {100, 0}, sim::Time::sec(1)}, data_frame(1, 10));
+  coalition.on_transmission({5, {100, 0}, sim::Time::sec(2)}, data_frame(1, 10));
+  // Both members overhearing the same segment still pools to one.
+  coalition.on_transmission({5, {100, 0}, sim::Time::sec(3)}, data_frame(1, 10));
+  EXPECT_EQ(coalition.captured_segments(), 1u);
+}
+
+TEST_F(ColludingTest, OwnTransmissionsAndControlIgnored) {
+  auto coalition = make({1});
+  // Member 1 itself is the transmitter: forwarding is not overhearing.
+  coalition.on_transmission({1, {0, 0}, sim::Time::sec(1)}, data_frame(1, 10));
+  phy::Frame ack = data_frame(1, 11);
+  ack.payload.common.kind = net::PacketKind::kTcpAck;
+  coalition.on_transmission({5, {10, 0}, sim::Time::sec(1)}, ack);
+  phy::Frame bare;
+  bare.has_payload = false;
+  coalition.on_transmission({5, {10, 0}, sim::Time::sec(1)}, bare);
+  EXPECT_EQ(coalition.captured_segments(), 0u);
+}
+
+TEST_F(ColludingTest, InterceptionAndFragmentMetrics) {
+  auto coalition = make({1});
+  for (std::uint32_t s = 1; s <= 5; ++s) {
+    coalition.on_transmission({9, {0, 0}, sim::Time::sec(1)}, data_frame(1, s));
+  }
+  EXPECT_DOUBLE_EQ(coalition.interception_ratio(20), 0.25);
+  EXPECT_EQ(coalition.fragments_missing(20), 15u);
+  EXPECT_EQ(coalition.fragments_missing(3), 0u);  // captured >= delivered
+  EXPECT_DOUBLE_EQ(coalition.interception_ratio(0), 0.0);
+}
+
+// --- mobile eavesdroppers --------------------------------------------------
+
+TEST(MobileEavesdropperTest, StaysInsideTheArena) {
+  const mobility::Field field{1000.0, 800.0};
+  AdversarySpec spec;
+  spec.kind = AdversaryKind::kMobile;
+  spec.max_speed = 20.0;
+  MobileEavesdroppers eve(3, field, spec, 250.0, sim::Rng(99));
+  ASSERT_EQ(eve.member_count(), 3u);
+  for (std::size_t m = 0; m < eve.member_count(); ++m) {
+    for (int t = 0; t <= 300; ++t) {
+      const mobility::Vec2 p = eve.position_of_member(m, sim::Time::sec(t));
+      EXPECT_TRUE(field.contains(p))
+          << "member " << m << " left the arena at t=" << t << ": " << p;
+    }
+  }
+}
+
+TEST(MobileEavesdropperTest, CapturesOnlyWithinRange) {
+  const mobility::Field field{100.0, 100.0};
+  AdversarySpec spec;
+  spec.kind = AdversaryKind::kMobile;
+  MobileEavesdroppers eve(1, field, spec, 250.0, sim::Rng(5));
+  const sim::Time t = sim::Time::sec(1);
+  const mobility::Vec2 at = eve.position_of_member(0, t);
+  // Radiated right on top of the sniffer: captured.
+  eve.on_transmission({7, at, t}, data_frame(1, 1));
+  // Radiated 10 km away: missed.
+  eve.on_transmission({7, {at.x + 10000.0, at.y}, t}, data_frame(1, 2));
+  EXPECT_EQ(eve.captured_segments(), 1u);
+}
+
+// --- blackhole -------------------------------------------------------------
+
+TEST(BlackholeTest, AbsorbsOnlyTransitDataAtMembers) {
+  BlackholeAttacker bh({3});
+  EXPECT_TRUE(bh.absorbs(3, data_packet(0, 9, 1)));   // transit data
+  EXPECT_FALSE(bh.absorbs(4, data_packet(0, 9, 1)));  // not a member
+  EXPECT_FALSE(bh.absorbs(3, data_packet(0, 3, 1)));  // terminates here
+  net::Packet ctrl;
+  ctrl.common.kind = net::PacketKind::kAodvRreq;
+  EXPECT_FALSE(bh.absorbs(3, ctrl));  // control passes: stay attractive
+  net::Packet ack = data_packet(9, 0, 1);
+  ack.common.kind = net::PacketKind::kTcpAck;
+  EXPECT_FALSE(bh.absorbs(3, ack));  // data only
+}
+
+TEST(BlackholeTest, CountsAndReadsWhatItEats) {
+  BlackholeAttacker bh({3, 5});
+  bh.on_absorb(3, data_packet(0, 9, 1));
+  bh.on_absorb(3, data_packet(0, 9, 1));  // TCP retransmit of seq 1
+  bh.on_absorb(5, data_packet(0, 9, 2));
+  EXPECT_EQ(bh.absorbed_packets(), 3u);
+  EXPECT_EQ(bh.absorbed_by(3), 2u);
+  EXPECT_EQ(bh.absorbed_by(5), 1u);
+  EXPECT_EQ(bh.absorbed_by(7), 0u);
+  EXPECT_EQ(bh.captured_segments(), 2u);  // distinct segments, not frames
+}
+
+// --- factory ---------------------------------------------------------------
+
+TEST(AdversaryFactoryTest, NoneYieldsNull) {
+  EXPECT_EQ(make_adversary(AdversarySpec{}, AdversaryContext{}), nullptr);
+}
+
+TEST(AdversaryFactoryTest, BuildsEachKind) {
+  AdversaryContext ctx;
+  ctx.node_count = 20;
+  ctx.radio_range = 250.0;
+  ctx.position_of = [](net::NodeId, sim::Time) { return mobility::Vec2{}; };
+  ctx.rng = sim::Rng(3);
+
+  AdversarySpec spec;
+  spec.kind = AdversaryKind::kColluding;
+  spec.count = 4;
+  auto colluding = make_adversary(spec, ctx);
+  ASSERT_NE(colluding, nullptr);
+  EXPECT_EQ(colluding->kind(), AdversaryKind::kColluding);
+  EXPECT_EQ(colluding->member_count(), 4u);
+
+  spec.kind = AdversaryKind::kMobile;
+  spec.count = 2;
+  auto mobile = make_adversary(spec, ctx);
+  ASSERT_NE(mobile, nullptr);
+  EXPECT_EQ(mobile->kind(), AdversaryKind::kMobile);
+  EXPECT_EQ(mobile->member_count(), 2u);
+
+  spec.kind = AdversaryKind::kBlackhole;
+  spec.count = 1;
+  auto blackhole = make_adversary(spec, ctx);
+  ASSERT_NE(blackhole, nullptr);
+  EXPECT_EQ(blackhole->kind(), AdversaryKind::kBlackhole);
+  EXPECT_EQ(blackhole->member_count(), 1u);
+  EXPECT_TRUE(blackhole->absorbs(blackhole->members()[0],
+                                 data_packet(0, 19, 1)));
+}
+
+TEST(AdversaryFactoryTest, KindNamesAreStable) {
+  EXPECT_STREQ(adversary_kind_name(AdversaryKind::kNone), "none");
+  EXPECT_STREQ(adversary_kind_name(AdversaryKind::kColluding), "colluding");
+  EXPECT_STREQ(adversary_kind_name(AdversaryKind::kMobile), "mobile");
+  EXPECT_STREQ(adversary_kind_name(AdversaryKind::kBlackhole), "blackhole");
+}
+
+}  // namespace
+}  // namespace mts::security
