@@ -11,6 +11,7 @@
 #include "security/relay_census.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/timer.hpp"
 
 namespace {
 
@@ -50,8 +51,29 @@ void BM_SchedulerCancelHeavy(benchmark::State& state) {
     sched.run();
     benchmark::DoNotOptimize(sum);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
 }
 BENCHMARK(BM_SchedulerCancelHeavy)->Arg(10000);
+
+void BM_SchedulerTimerRearm(benchmark::State& state) {
+  // The ACK/RTO/backoff idiom: a member timer is re-armed over and over,
+  // firing only rarely relative to how often it is restarted.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::uint64_t fired = 0;
+    sim::Timer timer(sched, [&fired] { ++fired; });
+    for (std::size_t i = 0; i < n; ++i) {
+      timer.schedule_in(sim::Time::us(100));
+    }
+    sched.run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerTimerRearm)->Arg(10000);
 
 void BM_RngUniform(benchmark::State& state) {
   sim::Rng rng(1);

@@ -1,7 +1,11 @@
 #include "harness/campaign.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <iostream>
 #include <sstream>
 #include <thread>
 
@@ -158,12 +162,53 @@ void print_adversary_figure(
 
 namespace {
 
+/// Strict unsigned-integer env parse.  `std::stoul` would throw (and
+/// kill the bench with an unhelpful backtrace) on junk like
+/// `MTS_BENCH_THREADS=max`; instead a malformed or out-of-range value
+/// warns on stderr and reports failure so the caller keeps its default.
+bool parse_env_u64(const char* name, const char* v, std::uint64_t max,
+                   std::uint64_t& out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long n = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || n > max) {
+    std::cerr << "warning: ignoring " << name << "='" << v
+              << "' (expected an integer in [0, " << max << "])\n";
+    return false;
+  }
+  out = n;
+  return true;
+}
+
+/// Strict positive-double env parse with the same warn-and-fall-back
+/// contract.  Rejects non-finite values and anything above 1e9: the
+/// consumers multiply by 1e9 (Time::seconds) or feed mobility speeds,
+/// and an `inf`/1e15 would turn into int64 overflow UB downstream.
+bool parse_env_double(const char* name, const char* v, double& out) {
+  errno = 0;
+  char* end = nullptr;
+  const double d = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE || !std::isfinite(d) ||
+      !(d > 0.0) || d > 1e9) {
+    std::cerr << "warning: ignoring " << name << "='" << v
+              << "' (expected a positive number <= 1e9)\n";
+    return false;
+  }
+  out = d;
+  return true;
+}
+
 std::vector<double> parse_speeds(const char* s) {
   std::vector<double> out;
   std::stringstream ss(s);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::stod(item));
+    if (item.empty()) continue;
+    double speed = 0.0;
+    if (!parse_env_double("MTS_BENCH_SPEEDS", item.c_str(), speed)) {
+      return {};  // one bad element invalidates the list
+    }
+    out.push_back(speed);
   }
   return out;
 }
@@ -171,21 +216,37 @@ std::vector<double> parse_speeds(const char* s) {
 }  // namespace
 
 void apply_bench_env(CampaignConfig& cfg) {
+  std::uint64_t n = 0;
+  double d = 0.0;
   if (const char* v = std::getenv("MTS_BENCH_REPS")) {
-    cfg.repetitions = static_cast<std::uint32_t>(std::stoul(v));
+    if (parse_env_u64("MTS_BENCH_REPS", v, 100000, n) && n > 0) {
+      cfg.repetitions = static_cast<std::uint32_t>(n);
+    }
   }
   if (const char* v = std::getenv("MTS_BENCH_SIM_TIME")) {
-    cfg.base.sim_time = sim::Time::seconds(std::stod(v));
+    if (parse_env_double("MTS_BENCH_SIM_TIME", v, d)) {
+      cfg.base.sim_time = sim::Time::seconds(d);
+    }
   }
   if (const char* v = std::getenv("MTS_BENCH_SPEEDS")) {
     auto speeds = parse_speeds(v);
     if (!speeds.empty()) cfg.speeds = std::move(speeds);
   }
   if (const char* v = std::getenv("MTS_BENCH_THREADS")) {
-    cfg.threads = static_cast<unsigned>(std::stoul(v));
+    if (parse_env_u64("MTS_BENCH_THREADS", v, 4096, n)) {
+      cfg.threads = static_cast<unsigned>(n);  // 0 = hardware concurrency
+    } else {
+      std::cerr << "warning: MTS_BENCH_THREADS falling back to hardware "
+                   "concurrency ("
+                << std::max(1u, std::thread::hardware_concurrency())
+                << " threads)\n";
+      cfg.threads = 0;
+    }
   }
   if (const char* v = std::getenv("MTS_BENCH_NODES")) {
-    cfg.base.node_count = static_cast<std::uint32_t>(std::stoul(v));
+    if (parse_env_u64("MTS_BENCH_NODES", v, 100000, n) && n >= 2) {
+      cfg.base.node_count = static_cast<std::uint32_t>(n);
+    }
   }
 }
 

@@ -301,6 +301,7 @@ class Simulation {
     m.max_speed = cfg_.max_speed;
     m.seed = cfg_.seed;
     m.events_executed = sched_.executed_count();
+    m.heap_fallback_closures = sched_.heap_fallback_count();
 
     // Relay census over intermediate nodes (flow endpoints excluded —
     // they originate/terminate, they don't "participate" as relays).

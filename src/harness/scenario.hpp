@@ -155,6 +155,10 @@ struct RunMetrics {
 
   // --- engine -------------------------------------------------------------
   std::uint64_t events_executed = 0;
+  /// Scheduled closures whose captures overflowed the event core's
+  /// inline storage onto the heap.  The whole stack is written to keep
+  /// this at zero; the integration suite pins that invariant.
+  std::uint64_t heap_fallback_closures = 0;
 };
 
 /// Builds the scenario, runs it to `sim_time`, and reports the metrics.

@@ -22,6 +22,10 @@ Mac80211::Mac80211(sim::Scheduler& sched, phy::Radio& radio, MacConfig cfg,
       response_timer_(sched, [this] {
         if (state_ == State::kWaitAck) ack_timeout();
         else if (state_ == State::kWaitCts) cts_timeout();
+      }),
+      tx_defer_timer_(sched, [this] {
+        if (!current_.has_value() || radio_->transmitting()) return;
+        send_data_frame();
       }) {
   sim::require_config(cfg.cw_min > 0 && cfg.cw_max >= cfg.cw_min,
                       "MacConfig: bad contention window");
@@ -334,11 +338,10 @@ void Mac80211::handle_cts(const Frame& f) {
   if (state_ != State::kWaitCts || !current_.has_value()) return;
   if (f.transmitter != current_->next_hop) return;
   response_timer_.cancel();
-  // DATA follows one SIFS after the CTS.
-  sched_->schedule_in(cfg_.sifs, [this] {
-    if (!current_.has_value() || radio_->transmitting()) return;
-    send_data_frame();
-  });
+  // DATA follows one SIFS after the CTS; the preallocated member timer
+  // replaces a per-exchange closure (only one RTS/CTS exchange can be
+  // outstanding — we are its initiator).
+  tx_defer_timer_.schedule_in(cfg_.sifs);
   state_ = State::kWaitAck;  // send_data_frame keeps kWaitAck
 }
 

@@ -172,6 +172,7 @@ class Mac80211 {
 
   sim::Timer access_timer_;
   sim::Timer response_timer_;  ///< ACK / CTS timeout
+  sim::Timer tx_defer_timer_;  ///< SIFS gap between CTS arrival and DATA
 
   /// Receive-side duplicate filter: last MAC seq per transmitter.
   std::unordered_map<net::NodeId, std::uint16_t> rx_seq_cache_;

@@ -55,10 +55,17 @@ void Channel::transmit(net::NodeId sender, const Frame& frame,
     // clamped below 1 m to keep it finite.
     const double p = std::pow(std::max(d, 1.0), -4.0);
     const sim::Time delay = propagation_delay(d);
-    // Copy the frame per receiver: each radio owns its reception record.
-    sched_->schedule_in(delay, [rx, frame, airtime, decodable, p] {
-      rx->begin_reception(frame, airtime, decodable, p);
-    });
+    // Copy the frame per receiver into a pooled in-flight record: each
+    // radio owns its reception, but the delivery closure stays two
+    // pointers wide (no per-packet allocation).
+    const std::uint32_t slot = acquire_rx_slot();
+    PendingRx& pr = rx_pool_[slot];
+    pr.frame = frame;
+    pr.radio = rx;
+    pr.airtime = airtime;
+    pr.decodable = decodable;
+    pr.power = p;
+    sched_->schedule_in(delay, [this, slot] { deliver_rx(slot); });
   };
 
   if (index_ != nullptr) {
@@ -66,6 +73,31 @@ void Channel::transmit(net::NodeId sender, const Frame& frame,
   } else {
     for (net::NodeId id = 0; id < entries_.size(); ++id) offer(id);
   }
+}
+
+std::uint32_t Channel::acquire_rx_slot() {
+  if (rx_free_ != kNoRxSlot) {
+    const std::uint32_t slot = rx_free_;
+    rx_free_ = rx_pool_[slot].next_free;
+    return slot;
+  }
+  rx_pool_.emplace_back();
+  return static_cast<std::uint32_t>(rx_pool_.size() - 1);
+}
+
+void Channel::deliver_rx(std::uint32_t slot) {
+  // Move the frame out before handing it over: begin_reception may kick
+  // off activity that grows the pool and would invalidate a reference.
+  Frame frame = std::move(rx_pool_[slot].frame);
+  Radio* radio = rx_pool_[slot].radio;
+  const sim::Time airtime = rx_pool_[slot].airtime;
+  const bool decodable = rx_pool_[slot].decodable;
+  const double power = rx_pool_[slot].power;
+  radio->begin_reception(frame, airtime, decodable, power);
+  // Hand the buffers back so the slot's next occupant reuses them.
+  rx_pool_[slot].frame = std::move(frame);
+  rx_pool_[slot].next_free = rx_free_;
+  rx_free_ = slot;
 }
 
 std::vector<net::NodeId> Channel::neighbors_of(net::NodeId id,

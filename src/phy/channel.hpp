@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -71,6 +72,22 @@ class Channel {
     const mobility::MobilityModel* mobility;
   };
 
+  /// An in-flight per-receiver frame copy, pooled so the propagation
+  /// delivery event captures only {this, slot} — the per-packet fan-out
+  /// never builds a Frame-sized closure, and recycled slots reuse the
+  /// payload's header buffers.
+  struct PendingRx {
+    Frame frame;
+    Radio* radio = nullptr;
+    sim::Time airtime;
+    bool decodable = false;
+    double power = 0.0;
+    std::uint32_t next_free = 0;
+  };
+
+  std::uint32_t acquire_rx_slot();
+  void deliver_rx(std::uint32_t slot);
+
   sim::Scheduler* sched_;
   const PropagationModel* prop_;
   ChannelConfig cfg_;
@@ -78,6 +95,10 @@ class Channel {
   std::vector<Entry> entries_;
   std::unique_ptr<NeighborIndex> index_;
   double max_speed_ = 0.0;
+
+  std::vector<PendingRx> rx_pool_;
+  std::uint32_t rx_free_ = kNoRxSlot;
+  static constexpr std::uint32_t kNoRxSlot = 0xffffffffu;
 };
 
 }  // namespace mts::phy

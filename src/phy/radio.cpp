@@ -27,11 +27,13 @@ void Radio::start_transmit(const Frame& frame, sim::Time airtime) {
   ++sent_;
   if (counters_ != nullptr) ++counters_->mac_tx_frames;
   channel_->transmit(id_, frame, airtime);
-  sched_->schedule_at(tx_end_, [this] {
-    if (cb_.on_tx_done) cb_.on_tx_done();
-    medium_edge(/*was_busy=*/true);
-  });
+  tx_done_timer_.schedule_at(tx_end_);
   if (!was_busy) medium_edge(false);
+}
+
+void Radio::tx_done() {
+  if (cb_.on_tx_done) cb_.on_tx_done();
+  medium_edge(/*was_busy=*/true);
 }
 
 void Radio::begin_reception(const Frame& frame, sim::Time airtime,

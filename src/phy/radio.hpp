@@ -7,6 +7,7 @@
 #include "net/counters.hpp"
 #include "phy/frame.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/timer.hpp"
 
 namespace mts::phy {
 
@@ -35,7 +36,10 @@ class Radio {
   };
 
   Radio(sim::Scheduler& sched, net::NodeId id, net::Counters* counters)
-      : sched_(&sched), id_(id), counters_(counters) {}
+      : sched_(&sched),
+        id_(id),
+        counters_(counters),
+        tx_done_timer_(sched, [this] { tx_done(); }) {}
 
   Radio(const Radio&) = delete;
   Radio& operator=(const Radio&) = delete;
@@ -82,6 +86,7 @@ class Radio {
     double power;
   };
 
+  void tx_done();
   void end_reception(std::uint64_t key);
   void medium_edge(bool was_busy);
 
@@ -91,6 +96,9 @@ class Radio {
   Channel* channel_ = nullptr;
   Callbacks cb_;
 
+  /// Preallocated member timer for the end of our own transmission —
+  /// one per radio instead of a fresh closure per frame.
+  sim::Timer tx_done_timer_;
   sim::Time tx_end_ = sim::Time::zero();
   double capture_threshold_ = 10.0;
   std::vector<Reception> receptions_;

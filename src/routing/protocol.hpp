@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "mac/mac80211.hpp"
 #include "net/counters.hpp"
@@ -83,14 +85,27 @@ class RoutingProtocol {
   /// DIFS window and the rebroadcasts collide — the classic broadcast
   /// storm that truncates RREQ floods (ns-2's routing agents jitter
   /// their broadcasts for the same reason).
+  ///
+  /// The packet parks in a pooled slot so the deferred event captures
+  /// only {this, slot}: a Packet-sized closure would overflow the
+  /// scheduler's inline storage and put an allocation on the flood path.
   void rebroadcast_jittered(net::Packet packet, sim::Rng& rng,
                             sim::Time max_jitter = sim::Time::ms(10)) {
     const sim::Time jitter = max_jitter * rng.uniform();
-    ctx_.sched->schedule_in(
-        jitter, [this, p = std::move(packet)]() mutable {
-          send_to_mac(std::move(p), net::kBroadcastId,
-                      /*originated_here=*/false);
-        });
+    std::uint32_t slot;
+    if (rebroadcast_free_.empty()) {
+      slot = static_cast<std::uint32_t>(rebroadcast_pool_.size());
+      rebroadcast_pool_.emplace_back();
+    } else {
+      slot = rebroadcast_free_.back();
+      rebroadcast_free_.pop_back();
+    }
+    rebroadcast_pool_[slot] = std::move(packet);
+    ctx_.sched->schedule_in(jitter, [this, slot] {
+      net::Packet p = std::move(rebroadcast_pool_[slot]);
+      rebroadcast_free_.push_back(slot);
+      send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/false);
+    });
   }
 
   void drop(const net::Packet& packet, net::DropReason reason) {
@@ -113,6 +128,12 @@ class RoutingProtocol {
   }
 
   RoutingContext ctx_;
+
+ private:
+  /// Parking slots for jitter-deferred rebroadcast packets (see
+  /// rebroadcast_jittered); recycled LIFO so header buffers get reused.
+  std::vector<net::Packet> rebroadcast_pool_;
+  std::vector<std::uint32_t> rebroadcast_free_;
 };
 
 }  // namespace mts::routing

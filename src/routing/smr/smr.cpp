@@ -196,13 +196,22 @@ void Smr::handle_rreq(Packet&& p, NodeId from) {
     auto [it, fresh] = pending_.try_emplace(h.orig);
     PendingSelect& sel = it->second;
     if (fresh || sel.rreq_id != h.rreq_id) {
-      if (!fresh) ctx_.sched->cancel(sel.timer);
+      // A still-armed window from the previous discovery round re-arms
+      // in place (the callback's capture is identical); otherwise a
+      // fresh window is scheduled.
+      const sim::EventId old_timer = fresh ? sim::kInvalidEvent : sel.timer;
       sel = PendingSelect{};
       sel.rreq_id = h.rreq_id;
       sel.first = full;
       const NodeId orig = h.orig;
-      sel.timer = ctx_.sched->schedule_in(
-          cfg_.select_window, [this, orig] { select_second_route(orig); });
+      const sim::Time window_end = now() + cfg_.select_window;
+      if (old_timer != sim::kInvalidEvent &&
+          ctx_.sched->reschedule(old_timer, window_end)) {
+        sel.timer = old_timer;
+      } else {
+        sel.timer = ctx_.sched->schedule_at(
+            window_end, [this, orig] { select_second_route(orig); });
+      }
       send_rrep_for(std::move(full));
     } else {
       sel.candidates.push_back(std::move(full));

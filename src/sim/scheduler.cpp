@@ -1,59 +1,299 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <utility>
+
 namespace mts::sim {
 
-EventId Scheduler::schedule_at(Time t, std::function<void()> fn) {
-  require(t >= now_, "Scheduler: cannot schedule into the past");
-  require(static_cast<bool>(fn), "Scheduler: empty callback");
-  const EventId id = next_id_++;
-  heap_.push(HeapEntry{t, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+namespace {
+
+/// An insert that walks past this many list nodes marks the calendar
+/// mis-sized and requests a re-fit.
+constexpr std::size_t kDisplacementLimit = 32;
+
+}  // namespace
+
+Scheduler::Scheduler() : buckets_(kMinBucketCount) {}
+
+// ---------------------------------------------------------------------------
+// Slot pool.
+// ---------------------------------------------------------------------------
+
+std::uint32_t Scheduler::acquire_slot() {
+  if (free_head_ != kNullIndex) {
+    const std::uint32_t s = free_head_;
+    Slot& slot = slot_at(s);
+    free_head_ = slot.next_free;
+    slot.next_free = kNullIndex;
+    return s;
+  }
+  require(slot_count_ < kSlotMask, "Scheduler: slot pool exhausted");
+  if ((slot_count_ & (kChunkSize - 1)) == 0) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  return slot_count_++;
 }
 
-bool Scheduler::cancel(EventId id) { return callbacks_.erase(id) > 0; }
+void Scheduler::release_slot(std::uint32_t s) {
+  Slot& slot = slot_at(s);
+  slot.fn.reset();
+  slot.live_key = kDeadKey;  // any remaining calendar entry tombstones
+  ++slot.gen;                // ids referring to this slot go stale here
+  slot.next_free = free_head_;
+  free_head_ = s;
+}
 
-bool Scheduler::pop_next(HeapEntry& out) {
-  while (!heap_.empty()) {
-    HeapEntry top = heap_.top();
-    heap_.pop();
-    if (callbacks_.contains(top.id)) {
-      out = top;
-      return true;
-    }
-    // Cancelled: lazily discarded.
+// ---------------------------------------------------------------------------
+// Node arena.
+// ---------------------------------------------------------------------------
+
+std::uint32_t Scheduler::node_alloc() {
+  if (node_free_ != kNullIndex) {
+    const std::uint32_t n = node_free_;
+    node_free_ = node_at(n).next;
+    return n;
   }
-  return false;
+  if ((node_count_ & (kChunkSize - 1)) == 0) {
+    node_chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+  }
+  return node_count_++;
+}
+
+void Scheduler::node_free(std::uint32_t n) const {
+  node_at(n).next = node_free_;
+  node_free_ = n;
+}
+
+// ---------------------------------------------------------------------------
+// Calendar.
+// ---------------------------------------------------------------------------
+
+void Scheduler::insert(Entry e) {
+  const std::int64_t vt = vt_of(e.t);
+  Bucket& bk = buckets_[static_cast<std::size_t>(vt) & (buckets_.size() - 1)];
+  const std::uint32_t n = node_alloc();
+  Node& node = node_at(n);
+  node.e = e;
+  node.next = kNullIndex;
+  if (bk.head == kNullIndex) {
+    bk.head = bk.tail = n;
+    bk.tail_e = e;
+  } else if (!e.before(bk.tail_e)) {
+    // Monotone times and same-tick bursts (fresh seq) append here; the
+    // cached tail key means the only touch of the old tail node is a
+    // non-blocking link store.
+    node_at(bk.tail).next = n;
+    bk.tail = n;
+    bk.tail_e = e;
+  } else if (e.before(node_at(bk.head).e)) {
+    node.next = bk.head;
+    bk.head = n;
+  } else {
+    std::uint32_t cur = bk.head;
+    std::size_t walked = 0;
+    while (node_at(cur).next != kNullIndex &&
+           !e.before(node_at(node_at(cur).next).e)) {
+      cur = node_at(cur).next;
+      ++walked;
+    }
+    node.next = node_at(cur).next;
+    node_at(cur).next = n;
+    // A long walk means this bucket mixes many distinct times — the
+    // calendar is mis-sized for the workload; ask for a re-fit.
+    if (walked > kDisplacementLimit) resize_requested_ = true;
+  }
+  ++bucket_entries_;
+  ++ops_since_rebuild_;
+  max_t_ns_ = std::max(max_t_ns_, e.t.nanoseconds());
+  // An event landing behind the drain point re-anchors the walk.
+  if (vt < cur_vt_) cur_vt_ = vt;
+}
+
+void Scheduler::pop_head(Bucket& bk) const {
+  const std::uint32_t n = bk.head;
+  bk.head = node_at(n).next;
+  if (bk.head == kNullIndex) bk.tail = kNullIndex;
+  node_free(n);
+}
+
+bool Scheduler::peek_live() const {
+  if (bucket_entries_ == 0) return false;
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t empty_steps = 0;
+  for (;;) {
+    Bucket& bk = buckets_[static_cast<std::size_t>(cur_vt_) & mask];
+    while (bk.head != kNullIndex) {
+      const Entry& e = node_at(bk.head).e;
+      if (entry_dead(e)) {  // tombstone: cancelled, re-armed, or recycled
+        pop_head(bk);
+        --tombstones_;
+        if (--bucket_entries_ == 0) return false;
+        continue;
+      }
+      if (vt_of(e.t) == cur_vt_) return true;  // the global minimum
+      break;  // bucket's min belongs to a later lap of the calendar
+    }
+    ++cur_vt_;
+    if (++empty_steps > buckets_.size()) {
+      // A whole lap without a hit: jump straight to the minimum.
+      direct_search();
+      empty_steps = 0;
+    }
+  }
+}
+
+void Scheduler::direct_search() const {
+  const Entry* best = nullptr;
+  for (Bucket& bk : buckets_) {
+    while (bk.head != kNullIndex && entry_dead(node_at(bk.head).e)) {
+      pop_head(bk);
+      --tombstones_;
+      --bucket_entries_;
+    }
+    if (bk.head == kNullIndex) continue;
+    const Entry& e = node_at(bk.head).e;
+    if (best == nullptr || e.before(*best)) best = &e;
+  }
+  if (best != nullptr) cur_vt_ = vt_of(best->t);
+}
+
+EventFn Scheduler::take_top() {
+  Bucket& bk = buckets_[static_cast<std::size_t>(cur_vt_) &
+                        (buckets_.size() - 1)];
+  const Entry e = node_at(bk.head).e;
+  pop_head(bk);
+  --bucket_entries_;
+  if (bk.head != kNullIndex) {
+    // Overlap the next event's slot line with this callback's execution.
+    __builtin_prefetch(
+        &slot_at(static_cast<std::uint32_t>(node_at(bk.head).e.key & kSlotMask)),
+        0, 1);
+  }
+  const auto s = static_cast<std::uint32_t>(e.key & kSlotMask);
+  now_ = e.t;
+  EventFn fn = std::move(slot_at(s).fn);
+  release_slot(s);  // the event's id dies before its callback runs
+  --live_count_;
+  ++executed_;
+  ++ops_since_rebuild_;
+  // Width estimator: EWMA of non-zero pop spacing.
+  const std::int64_t gap = e.t.nanoseconds() - last_pop_ns_;
+  last_pop_ns_ = e.t.nanoseconds();
+  if (gap > 0) ewma_gap_ns_ = (ewma_gap_ns_ * 7 + gap) / 8;
+  maybe_resize();
+  return fn;
+}
+
+void Scheduler::rebuild(std::size_t new_bucket_count, int new_shift) {
+  std::vector<Entry>& live = rebuild_scratch_;
+  live.clear();
+  live.reserve(live_count_);
+  for (Bucket& bk : buckets_) {
+    for (std::uint32_t n = bk.head; n != kNullIndex; n = node_at(n).next) {
+      if (!entry_dead(node_at(n).e)) live.push_back(node_at(n).e);
+    }
+  }
+  // Every node sits in some bucket, so the arena resets wholesale.
+  node_free_ = kNullIndex;
+  node_count_ = 0;
+  std::sort(live.begin(), live.end(),
+            [](const Entry& a, const Entry& b) { return a.before(b); });
+  buckets_.assign(new_bucket_count, Bucket{});
+  shift_ = new_shift;
+  tombstones_ = 0;
+  bucket_entries_ = live.size();
+  ops_since_rebuild_ = 0;
+  // Globally sorted input makes every relink a tail append.
+  const std::size_t mask = buckets_.size() - 1;
+  for (const Entry& e : live) {
+    Bucket& bk = buckets_[static_cast<std::size_t>(vt_of(e.t)) & mask];
+    const std::uint32_t n = node_alloc();
+    Node& node = node_at(n);
+    node.e = e;
+    node.next = kNullIndex;
+    if (bk.head == kNullIndex) {
+      bk.head = bk.tail = n;
+    } else {
+      node_at(bk.tail).next = n;
+      bk.tail = n;
+    }
+    bk.tail_e = e;
+  }
+  cur_vt_ = live.empty() ? vt_of(now_) : vt_of(live.front().t);
+}
+
+void Scheduler::rebuild_fit() {
+  // Width targets ~1 event per bucket window, from the smaller of two
+  // estimators: the pop-to-pop spacing EWMA (steady state) and the
+  // pending span divided by occupancy (bulk pre-loading, before any
+  // pops have calibrated the EWMA).
+  const std::int64_t span = max_t_ns_ - now_.nanoseconds();
+  const std::int64_t per_event =
+      live_count_ > 0 ? span / static_cast<std::int64_t>(live_count_) : span;
+  const auto width = static_cast<std::uint64_t>(std::clamp<std::int64_t>(
+      std::min(ewma_gap_ns_, per_event), 1, std::int64_t{1} << 40));
+  const int new_shift = static_cast<int>(std::bit_width(width)) - 1;
+  const std::size_t new_buckets = std::min(
+      std::bit_ceil(std::max(live_count_ * 2, kMinBucketCount)),
+      kMaxBucketCount);
+  // A displacement-triggered re-fit rebuilds even at identical geometry:
+  // the rebuild itself compacts the lists and drops tombstones, which is
+  // often exactly what the long insert walk was tripping over.  The ops
+  // cooldown bounds the amortised cost when the distribution genuinely
+  // can't spread at this width (irreducible ties).
+  const bool forced =
+      resize_requested_ &&
+      ops_since_rebuild_ > std::max<std::size_t>(64, live_count_ / 8);
+  resize_requested_ = false;
+  if (!forced && new_buckets == buckets_.size() && new_shift == shift_) return;
+  rebuild(new_buckets, new_shift);
+}
+
+// ---------------------------------------------------------------------------
+// Public API.
+// ---------------------------------------------------------------------------
+
+bool Scheduler::reschedule(EventId id, Time t) {
+  require(t >= now_, "Scheduler: cannot reschedule into the past");
+  const std::uint32_t s = lookup_index(id);
+  if (s == kNullIndex) return false;
+  Slot& slot = slot_at(s);
+  // Re-keying with a fresh seq orders the re-armed event exactly like a
+  // new schedule; the old calendar entry becomes a tombstone.
+  slot.live_key = next_key(s);
+  insert(Entry{t, slot.live_key});
+  ++tombstones_;
+  maybe_resize();
+  return true;
+}
+
+bool Scheduler::cancel(EventId id) {
+  const std::uint32_t s = lookup_index(id);
+  if (s == kNullIndex) return false;
+  release_slot(s);  // the calendar entry tombstones via the live_key reset
+  ++tombstones_;
+  --live_count_;
+  return true;
+}
+
+Time Scheduler::next_event_time() const {
+  return peek_live() ? top().t : Time::max();
 }
 
 void Scheduler::run() {
   stopped_ = false;
-  HeapEntry e;
-  while (!stopped_ && pop_next(e)) {
-    now_ = e.t;
-    auto node = callbacks_.extract(e.id);
-    ++executed_;
-    node.mapped()();
+  while (!stopped_ && peek_live()) {
+    take_top()();
   }
 }
 
 void Scheduler::run_until(Time end) {
   require(end >= now_, "Scheduler: run_until into the past");
   stopped_ = false;
-  while (!stopped_) {
-    if (heap_.empty()) break;
-    HeapEntry e;
-    // Peek: we must not advance past `end`.
-    if (!pop_next(e)) break;
-    if (e.t > end) {
-      // Put it back; it stays pending for a later run.
-      heap_.push(e);
-      break;
-    }
-    now_ = e.t;
-    auto node = callbacks_.extract(e.id);
-    ++executed_;
-    node.mapped()();
+  while (!stopped_ && peek_live()) {
+    if (top().t > end) break;
+    take_top()();
   }
   if (now_ < end) now_ = end;
 }
@@ -61,27 +301,11 @@ void Scheduler::run_until(Time end) {
 std::size_t Scheduler::run_steps(std::size_t n) {
   stopped_ = false;
   std::size_t done = 0;
-  HeapEntry e;
-  while (done < n && !stopped_ && pop_next(e)) {
-    now_ = e.t;
-    auto node = callbacks_.extract(e.id);
-    ++executed_;
+  while (done < n && !stopped_ && peek_live()) {
     ++done;
-    node.mapped()();
+    take_top()();
   }
   return done;
-}
-
-Time Scheduler::next_event_time() const {
-  // The heap may have stale (cancelled) entries on top; we cannot pop
-  // from a const method, so scan a copy of the top region only when the
-  // top is stale.  The common case (live top) is O(1).
-  std::priority_queue<HeapEntry> copy = heap_;
-  while (!copy.empty()) {
-    if (callbacks_.contains(copy.top().id)) return copy.top().t;
-    copy.pop();
-  }
-  return Time::max();
 }
 
 }  // namespace mts::sim

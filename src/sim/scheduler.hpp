@@ -1,17 +1,20 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "sim/error.hpp"
+#include "sim/event_fn.hpp"
 #include "sim/time.hpp"
 
 namespace mts::sim {
 
 /// Identifies a scheduled event; usable to cancel it before it fires.
+/// Encodes a slot index (low 32 bits, biased by one so 0 stays invalid)
+/// and that slot's generation counter (high 32 bits): ids of fired or
+/// cancelled events go stale the moment their slot is released, so a
+/// stale cancel can never kill a newer event that recycled the slot.
 using EventId = std::uint64_t;
 
 /// Sentinel returned by schedulers for "no event".
@@ -21,27 +24,68 @@ inline constexpr EventId kInvalidEvent = 0;
 ///
 /// Ordering is total and deterministic: events fire by (time, insertion
 /// sequence).  Two events scheduled for the same tick therefore run in
-/// the order they were scheduled, independent of heap internals.
+/// the order they were scheduled, independent of queue internals.
+/// Rescheduling (Timer re-arm) assigns a fresh sequence number, so a
+/// re-armed event orders exactly like a newly scheduled one — bit-for-bit
+/// the behaviour of the old cancel + schedule idiom.
 ///
-/// Cancellation is O(1): the callback is removed from the id map and the
-/// heap entry is lazily skipped when popped.  This keeps the hot path
-/// (schedule/pop) allocation-light and avoids heap surgery.
+/// Two structures back the queue, both allocation-free in steady state:
+///
+/// 1. A slot pool of event records (chunked, recycled via a free list).
+///    Each record stores the callback as a small-buffer-optimised
+///    `EventFn` — for every closure in the stack's hot paths the capture
+///    lives inline in the slot and schedule/cancel allocate nothing.
+///
+/// 2. A calendar queue (Brown 1988; the structure ns-2's scheduler
+///    used): an array of buckets, each covering one width-W window of
+///    simulated time, recycled modulo the bucket count.  Buckets are
+///    sorted intrusive lists over a chunked node arena, so schedule is
+///    a tail append for the common monotone case, pop-min is a head
+///    read, and same-tick bursts (SIFS responses, per-receiver channel
+///    fan-outs) cost O(1) each where a comparison heap pays O(lg n)
+///    sifts through cold cache lines.  Bucket width and count re-adapt
+///    to the observed event spacing; cancel is O(1) — the slot's live
+///    key is reset and the stale calendar node is discarded when the
+///    drain reaches it (the lazy deletion the old core also used, minus
+///    the hash map).
 class Scheduler {
  public:
-  Scheduler() = default;
+  Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
 
   /// Current simulation time.  Monotonically non-decreasing during run().
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (must be >= now()).
-  EventId schedule_at(Time t, std::function<void()> fn);
+  /// Schedules `fn` at absolute time `t` (must be >= now()).  Inline:
+  /// the closure is built straight into its pool slot.
+  EventId schedule_at(Time t, EventFn fn) {
+    require(t >= now_, "Scheduler: cannot schedule into the past");
+    require(static_cast<bool>(fn), "Scheduler: empty callback");
+    if (!fn.is_inline()) ++heap_fallbacks_;
+    const std::uint32_t s = acquire_slot();
+    Slot& slot = slot_at(s);
+    slot.fn = std::move(fn);
+    slot.live_key = next_key(s);
+    insert(Entry{t, slot.live_key});
+    ++live_count_;
+    maybe_resize();
+    return make_id(s, slot.gen);
+  }
 
   /// Schedules `fn` after `delay` (must be >= 0).
-  EventId schedule_in(Time delay, std::function<void()> fn) {
+  EventId schedule_in(Time delay, EventFn fn) {
     return schedule_at(now_ + delay, std::move(fn));
   }
+
+  /// Moves a pending event to absolute time `t` (>= now()), keeping its
+  /// callback and id but ordering it like a fresh schedule (it draws a
+  /// new sequence number).  Returns false if `id` already fired, was
+  /// cancelled, or is invalid — the caller then schedules anew.  This is
+  /// the Timer re-arm fast path: no closure is constructed and no slot
+  /// churns; the event is re-keyed in place and its stale calendar entry
+  /// evaporates lazily.
+  bool reschedule(EventId id, Time t);
 
   /// Cancels a pending event.  Returns false if it already fired, was
   /// already cancelled, or `id` is invalid.
@@ -49,7 +93,7 @@ class Scheduler {
 
   /// Returns true iff `id` is pending (scheduled and not yet fired).
   [[nodiscard]] bool is_pending(EventId id) const {
-    return callbacks_.contains(id);
+    return lookup_index(id) != kNullIndex;
   }
 
   /// Runs events until the queue drains or stop() is called.
@@ -65,33 +109,193 @@ class Scheduler {
   /// Requests run()/run_until() to return after the current event.
   void stop() { stopped_ = true; }
 
-  [[nodiscard]] std::size_t pending_count() const { return callbacks_.size(); }
+  [[nodiscard]] std::size_t pending_count() const { return live_count_; }
   [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
 
   /// Timestamp of the earliest pending event, or Time::max() when empty.
-  [[nodiscard]] Time next_event_time() const;
+  Time next_event_time() const;
+
+  /// Number of scheduled callbacks whose captures overflowed EventFn's
+  /// inline buffer onto the heap.  The simulation data path is expected
+  /// to keep this at zero; tests pin that invariant.
+  [[nodiscard]] std::uint64_t heap_fallback_count() const {
+    return heap_fallbacks_;
+  }
 
  private:
-  struct HeapEntry {
+  static constexpr std::uint32_t kNullIndex = 0xffffffffu;
+  /// Low 24 bits of a queue key name the slot; the high 40 bits are the
+  /// insertion sequence.  Caps: 16.7M concurrently pending events, 1e12
+  /// events per scheduler lifetime — both enforced.
+  static constexpr std::uint64_t kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  /// A live_key value no real key uses ("slot has no pending entry").
+  static constexpr std::uint64_t kDeadKey = ~0ull;
+
+  struct Slot {
+    EventFn fn;
+    /// Key of this slot's live calendar entry; entries whose key no
+    /// longer matches are tombstones discarded at drain time.
+    std::uint64_t live_key = kDeadKey;
+    std::uint32_t gen = 1;   ///< bumped on release; validates EventIds
+    std::uint32_t next_free = kNullIndex;
+  };
+
+  /// Keyed (t, seq): ordering compares are two integer compares.  seq is
+  /// globally unique, so `key` never ties and doubles as the (seq, slot)
+  /// pack.
+  struct Entry {
     Time t;
-    EventId id;
-    /// Min-heap via std::priority_queue (which is a max-heap), so the
-    /// comparison is reversed; ties break on insertion id for stability.
-    friend bool operator<(const HeapEntry& a, const HeapEntry& b) {
-      if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;
+    std::uint64_t key;  ///< (seq << kSlotBits) | slot
+
+    [[nodiscard]] bool before(const Entry& other) const {
+      if (t != other.t) return t < other.t;
+      return key < other.key;
     }
   };
 
-  /// Pops skipping cancelled entries; returns false when empty.
-  bool pop_next(HeapEntry& out);
+  /// Calendar list node, pooled in the node arena.
+  struct Node {
+    Entry e;
+    std::uint32_t next;
+  };
+
+  /// One calendar bucket: a (t, key)-sorted singly linked list.  The
+  /// tail's sort key is cached here so the append fast path compares
+  /// against the (hot) bucket line instead of loading the tail node —
+  /// the link write to that node is a non-blocking store.
+  struct Bucket {
+    std::uint32_t head = kNullIndex;
+    std::uint32_t tail = kNullIndex;
+    Entry tail_e{};
+  };
+
+  [[nodiscard]] static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+
+  /// Resolves an id to its live slot index, or kNullIndex when stale.
+  [[nodiscard]] std::uint32_t lookup_index(EventId id) const {
+    const auto biased = static_cast<std::uint32_t>(id & 0xffffffffu);
+    if (biased == 0 || biased > slot_count_) return kNullIndex;
+    const std::uint32_t s = biased - 1;
+    if (slot_at(s).gen != static_cast<std::uint32_t>(id >> 32)) return kNullIndex;
+    return s;
+  }
+
+  /// Slots live in fixed chunks so the pool grows without relocating
+  /// existing slots (an EventFn move per slot per growth step is pure
+  /// waste) and without invalidating Slot references across reentrant
+  /// schedule calls from inside callbacks.
+  static constexpr std::uint32_t kChunkBits = 12;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;
+
+  [[nodiscard]] Slot& slot_at(std::uint32_t s) {
+    return chunks_[s >> kChunkBits][s & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot_at(std::uint32_t s) const {
+    return chunks_[s >> kChunkBits][s & (kChunkSize - 1)];
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t s);
+
+  /// Mints the queue key for slot `s`: fresh insertion sequence in the
+  /// high bits (the tie-break), slot index packed low.
+  [[nodiscard]] std::uint64_t next_key(std::uint32_t s) {
+    require(next_seq_ < (1ull << 40), "Scheduler: sequence space exhausted");
+    return (next_seq_++ << kSlotBits) | s;
+  }
+
+  [[nodiscard]] bool entry_dead(const Entry& e) const {
+    return slot_at(static_cast<std::uint32_t>(e.key & kSlotMask)).live_key !=
+           e.key;
+  }
+
+  /// Bucket-window index of time `t` at the current width.
+  [[nodiscard]] std::int64_t vt_of(Time t) const {
+    return t.nanoseconds() >> shift_;
+  }
+
+  // --- node arena (chunked like the slots; const calendar walks recycle
+  // tombstone nodes, hence the const free path) ------------------------
+  [[nodiscard]] Node& node_at(std::uint32_t n) const {
+    return node_chunks_[n >> kChunkBits][n & (kChunkSize - 1)];
+  }
+  std::uint32_t node_alloc();
+  void node_free(std::uint32_t n) const;
+
+  void insert(Entry e);
+  /// Positions the drain on the minimum live entry.  Returns false when
+  /// the calendar is empty.  Logically const: only the drain point
+  /// advances and tombstones drop (observable state is unchanged).
+  bool peek_live() const;
+  /// The minimum live entry; valid right after peek_live() == true.
+  [[nodiscard]] const Entry& top() const {
+    const Bucket& bk = buckets_[static_cast<std::size_t>(cur_vt_) &
+                                (buckets_.size() - 1)];
+    return node_at(bk.head).e;
+  }
+  /// Jump the walk to the global minimum (long empty stretches).
+  void direct_search() const;
+  /// Unlinks a bucket's head node and recycles it.
+  void pop_head(Bucket& bk) const;
+  /// Detaches the live top event and hands back its callback; updates
+  /// now_.  Pre-condition: peek_live() returned true.
+  EventFn take_top();
+
+  /// Re-sizes/widths the calendar from live occupancy and the observed
+  /// inter-event spacing, redistributing all live entries.
+  void rebuild(std::size_t new_bucket_count, int new_shift);
+  /// Picks the new geometry and rebuilds; out-of-line slow path.
+  void rebuild_fit();
+  void maybe_resize() {
+    const std::size_t b = buckets_.size();
+    const bool grow = live_count_ > b * kResizeGrowFactor && b < kMaxBucketCount;
+    // Shrinking is pure walk-cost tuning; a cooldown stops a draining
+    // queue from re-fitting the calendar every few hundred pops.
+    const bool shrink = b > kMinBucketCount &&
+                        live_count_ < b / kResizeShrinkFactor &&
+                        ops_since_rebuild_ > b;
+    if (grow || shrink || resize_requested_) rebuild_fit();
+  }
+
+  /// Calendar geometry bounds (also used by the inline resize check).
+  static constexpr std::size_t kMinBucketCount = 16;
+  static constexpr std::size_t kMaxBucketCount = 1u << 16;
+  static constexpr std::size_t kResizeGrowFactor = 4;
+  static constexpr std::size_t kResizeShrinkFactor = 8;
 
   Time now_ = Time::zero();
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t heap_fallbacks_ = 0;
+  std::size_t live_count_ = 0;
   bool stopped_ = false;
-  std::priority_queue<HeapEntry> heap_;
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::uint32_t slot_count_ = 0;
+  std::uint32_t free_head_ = kNullIndex;
+
+  /// Calendar state.  Mutable pieces let const peeks advance the drain
+  /// and drop tombstones (next_event_time()).
+  mutable std::vector<std::unique_ptr<Node[]>> node_chunks_;
+  mutable std::uint32_t node_count_ = 0;
+  mutable std::uint32_t node_free_ = kNullIndex;
+  mutable std::vector<Bucket> buckets_;   ///< size is a power of two
+  int shift_ = 10;                        ///< bucket width = 2^shift_ ns
+  mutable std::int64_t cur_vt_ = 0;       ///< bucket window being drained
+  mutable std::size_t bucket_entries_ = 0;  ///< live + tombstones stored
+  mutable std::size_t tombstones_ = 0;
+  /// EWMA of non-zero pop-to-pop gaps, the width estimator (ns).
+  std::int64_t ewma_gap_ns_ = 1 << 10;
+  std::int64_t last_pop_ns_ = 0;
+  std::int64_t max_t_ns_ = 0;  ///< latest timestamp ever scheduled
+  std::size_t ops_since_rebuild_ = 0;
+  bool resize_requested_ = false;  ///< an insert found its bucket mis-sized
+  /// Scratch for rebuild(): persists so re-fits don't re-allocate.
+  std::vector<Entry> rebuild_scratch_;
 };
 
 }  // namespace mts::sim

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <functional>
 #include <utility>
 
 #include "sim/scheduler.hpp"
@@ -11,11 +10,17 @@ namespace mts::sim {
 ///
 /// Protocol modules own Timers as members; destruction cancels any
 /// pending expiry, so a dying node can never fire a dangling callback.
-/// Re-scheduling an armed timer moves the expiry (the old event is
-/// cancelled), which is the common "restart the timeout" idiom.
+///
+/// The timer is intrusive in the scheduler's event pool: re-arming an
+/// armed timer *moves* its existing heap entry (Scheduler::reschedule)
+/// instead of cancelling and building a fresh closure — the hot
+/// "restart the timeout" idiom in the MAC (backoff freezes, ACK/CTS
+/// timeouts) and TCP (RTO restarts) costs two heap sifts and nothing
+/// else.  The expiry closure itself is a `this` capture, built at most
+/// once per arming cycle and stored inline in the event slot.
 class Timer {
  public:
-  Timer(Scheduler& sched, std::function<void()> on_expire)
+  Timer(Scheduler& sched, EventFn on_expire)
       : sched_(&sched), on_expire_(std::move(on_expire)) {}
 
   ~Timer() { cancel(); }
@@ -23,21 +28,14 @@ class Timer {
   Timer& operator=(const Timer&) = delete;
 
   /// Arms (or re-arms) the timer to fire `delay` from now.
-  void schedule_in(Time delay) {
-    cancel();
-    id_ = sched_->schedule_in(delay, [this] {
-      id_ = kInvalidEvent;
-      on_expire_();
-    });
-  }
+  void schedule_in(Time delay) { schedule_at(sched_->now() + delay); }
 
-  /// Arms (or re-arms) the timer to fire at absolute time `t`.
+  /// Arms (or re-arms) the timer to fire at absolute time `t`.  A
+  /// re-arm orders among same-tick events exactly like a fresh
+  /// schedule (it draws a new sequence number).
   void schedule_at(Time t) {
-    cancel();
-    id_ = sched_->schedule_at(t, [this] {
-      id_ = kInvalidEvent;
-      on_expire_();
-    });
+    if (id_ != kInvalidEvent && sched_->reschedule(id_, t)) return;
+    id_ = sched_->schedule_at(t, [this] { fire(); });
   }
 
   /// Disarms; no-op if not pending.
@@ -51,8 +49,13 @@ class Timer {
   [[nodiscard]] bool is_pending() const { return id_ != kInvalidEvent; }
 
  private:
+  void fire() {
+    id_ = kInvalidEvent;  // not pending inside the callback; re-arm works
+    on_expire_();
+  }
+
   Scheduler* sched_;
-  std::function<void()> on_expire_;
+  EventFn on_expire_;
   EventId id_ = kInvalidEvent;
 };
 
@@ -60,7 +63,7 @@ class Timer {
 /// firing is one period after start() (plus optional initial jitter).
 class PeriodicTimer {
  public:
-  PeriodicTimer(Scheduler& sched, std::function<void()> on_tick)
+  PeriodicTimer(Scheduler& sched, EventFn on_tick)
       : timer_(sched, [this] { tick(); }), on_tick_(std::move(on_tick)) {}
 
   void start(Time period, Time initial_delay) {
@@ -85,7 +88,7 @@ class PeriodicTimer {
   }
 
   Timer timer_;
-  std::function<void()> on_tick_;
+  EventFn on_tick_;
   Time period_ = Time::sec(1);
 };
 

@@ -30,16 +30,15 @@ TcpSource::TcpSource(sim::Scheduler& sched, SendFn send, net::NodeId self,
       stats_(stats),
       ssthresh_(cfg.max_window),
       rtt_(cfg_),
-      rto_timer_(sched, [this] { on_rto(); }) {
+      rto_timer_(sched, [this] { on_rto(); }),
+      start_timer_(sched, [this] { send_window(); }) {
   sim::require_config(cfg.segment_bytes > 0, "TcpConfig: segment_bytes == 0");
   sim::require_config(cfg.max_window >= 2, "TcpConfig: max_window < 2");
   sim::require_config(cfg.dupack_threshold >= 1,
                       "TcpConfig: dupack_threshold < 1");
 }
 
-void TcpSource::start(sim::Time at) {
-  sched_->schedule_at(at, [this] { send_window(); });
-}
+void TcpSource::start(sim::Time at) { start_timer_.schedule_at(at); }
 
 void TcpSource::send_window() {
   while (snd_nxt_ < snd_una_ + window()) {

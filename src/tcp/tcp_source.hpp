@@ -95,6 +95,7 @@ class TcpSource {
 
   RttEstimator rtt_;
   sim::Timer rto_timer_;
+  sim::Timer start_timer_;  ///< defers the first window to `start(at)`
   std::vector<std::pair<sim::Time, double>> cwnd_trace_;
 };
 

@@ -123,7 +123,10 @@ TEST(MtsTest, AcksRouteBackAlongDataPath) {
   ack.common.src = 3;
   ack.common.dst = 0;
   ack.common.uid = b.uids.next();
-  ack.tcp = net::TcpHeader{.ack = 2, .flow_id = 1};
+  net::TcpHeader ackh;
+  ackh.ack = 2;
+  ackh.flow_id = 1;
+  ack.tcp = ackh;
   b.node(3).routing->send_from_transport(std::move(ack));
   b.sched.run_until(sim::Time::sec(3));
   ASSERT_EQ(b.node(0).delivered.size(), 1u);

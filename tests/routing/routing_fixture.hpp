@@ -100,7 +100,10 @@ class RoutingBench {
     p.common.uid = uids.next();
     p.common.payload_bytes = payload;
     p.common.originated = sched.now();
-    p.tcp = net::TcpHeader{.seq = p.common.uid, .flow_id = 1};
+    net::TcpHeader h;
+    h.seq = p.common.uid;
+    h.flow_id = 1;
+    p.tcp = h;
     net::Packet copy = p;
     nodes_[src].routing->send_from_transport(std::move(copy));
     return p;

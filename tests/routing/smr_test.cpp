@@ -66,7 +66,10 @@ class SmrBench {
     p.common.uid = uids.next();
     p.common.payload_bytes = 512;
     p.common.originated = sched.now();
-    p.tcp = net::TcpHeader{.seq = p.common.uid, .flow_id = 1};
+    net::TcpHeader h;
+    h.seq = p.common.uid;
+    h.flow_id = 1;
+    p.tcp = h;
     nodes_[src].smr->send_from_transport(std::move(p));
   }
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
+#include <random>
+#include <utility>
 #include <vector>
 
 namespace mts::sim {
@@ -169,6 +173,243 @@ TEST(SchedulerTest, ZeroDelayEventRunsAtCurrentTime) {
   });
   s.run();
   EXPECT_EQ(fired, Time::ms(5));
+}
+
+// --------------------------------------------------------------------------
+// Semantics the event-core refactor must preserve exactly.  These were
+// written (and green) against the lazy-delete priority_queue core before
+// the slot-pool rewrite landed.
+// --------------------------------------------------------------------------
+
+TEST(SchedulerTest, SameTickFifoSurvivesInterleavedCancels) {
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 32; ++i) {
+    ids.push_back(s.schedule_at(Time::ms(7), [&order, i] { order.push_back(i); }));
+  }
+  // Cancelling every third event must not disturb the relative order of
+  // the survivors.
+  for (std::size_t i = 0; i < ids.size(); i += 3) s.cancel(ids[i]);
+  s.run();
+  std::vector<int> expected;
+  for (int i = 0; i < 32; ++i) {
+    if (i % 3 != 0) expected.push_back(i);
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(SchedulerTest, CancelDuringDispatchOfSameTick) {
+  // An event may cancel a later event scheduled for the very same tick;
+  // the victim must not fire even though dispatch of that tick already
+  // began.
+  Scheduler s;
+  bool victim_ran = false;
+  EventId victim = kInvalidEvent;
+  s.schedule_at(Time::ms(1), [&] { EXPECT_TRUE(s.cancel(victim)); });
+  victim = s.schedule_at(Time::ms(1), [&] { victim_ran = true; });
+  s.schedule_at(Time::ms(1), [] {});  // a survivor behind the victim
+  s.run();
+  EXPECT_FALSE(victim_ran);
+  EXPECT_EQ(s.executed_count(), 2u);
+}
+
+TEST(SchedulerTest, CancelOfSelfDuringDispatchReturnsFalse) {
+  Scheduler s;
+  EventId self = kInvalidEvent;
+  bool cancel_result = true;
+  self = s.schedule_at(Time::ms(1), [&] {
+    cancel_result = s.cancel(self);
+    EXPECT_FALSE(s.is_pending(self));
+  });
+  s.run();
+  EXPECT_FALSE(cancel_result);
+}
+
+TEST(SchedulerTest, StaleIdCancelStaysFalseAfterHeavyReuse) {
+  // After an event fires, its id must never cancel (or report pending
+  // for) any later event — even once internal storage gets reused by
+  // thousands of newer events.
+  Scheduler s;
+  const EventId old_id = s.schedule_at(Time::ms(1), [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(old_id));
+  int ran = 0;
+  std::vector<EventId> fresh;
+  for (int i = 0; i < 4096; ++i) {
+    fresh.push_back(s.schedule_at(Time::ms(2 + i), [&ran] { ++ran; }));
+  }
+  EXPECT_FALSE(s.is_pending(old_id));
+  EXPECT_FALSE(s.cancel(old_id));  // must not kill a recycled slot
+  s.run();
+  EXPECT_EQ(ran, 4096);
+  for (EventId id : fresh) EXPECT_FALSE(s.cancel(id));
+}
+
+TEST(SchedulerTest, CancelledIdStaysDeadAfterReuse) {
+  Scheduler s;
+  const EventId a = s.schedule_at(Time::ms(1), [] {});
+  EXPECT_TRUE(s.cancel(a));
+  bool ran = false;
+  s.schedule_at(Time::ms(1), [&ran] { ran = true; });
+  EXPECT_FALSE(s.cancel(a));  // stale id, possibly recycled storage
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, PendingCountTracksCancels) {
+  Scheduler s;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(s.schedule_at(Time::ms(1), [] {}));
+  EXPECT_EQ(s.pending_count(), 10u);
+  for (int i = 0; i < 10; i += 2) s.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(s.pending_count(), 5u);
+  s.run();
+  EXPECT_EQ(s.pending_count(), 0u);
+  EXPECT_EQ(s.executed_count(), 5u);
+}
+
+TEST(SchedulerTest, RescheduleMovesPendingEvent) {
+  Scheduler s;
+  Time fired = Time::zero();
+  const EventId id = s.schedule_at(Time::ms(5), [&] { fired = s.now(); });
+  EXPECT_TRUE(s.reschedule(id, Time::ms(20)));
+  EXPECT_TRUE(s.is_pending(id));
+  s.run();
+  EXPECT_EQ(fired, Time::ms(20));
+  EXPECT_EQ(s.executed_count(), 1u);
+}
+
+TEST(SchedulerTest, RescheduleEarlierWorks) {
+  Scheduler s;
+  Time fired = Time::zero();
+  const EventId id = s.schedule_at(Time::ms(50), [&] { fired = s.now(); });
+  EXPECT_TRUE(s.reschedule(id, Time::ms(2)));
+  s.run();
+  EXPECT_EQ(fired, Time::ms(2));
+}
+
+TEST(SchedulerTest, RescheduleOrdersLikeFreshSchedule) {
+  // A rescheduled event draws a new insertion sequence: same-tick
+  // events queued before the reschedule run first.
+  Scheduler s;
+  std::vector<int> order;
+  const EventId id = s.schedule_at(Time::ms(1), [&] { order.push_back(2); });
+  s.schedule_at(Time::ms(10), [&] { order.push_back(1); });
+  EXPECT_TRUE(s.reschedule(id, Time::ms(10)));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SchedulerTest, RescheduleStaleIdReturnsFalse) {
+  Scheduler s;
+  const EventId fired = s.schedule_at(Time::ms(1), [] {});
+  const EventId cancelled = s.schedule_at(Time::ms(2), [] {});
+  s.cancel(cancelled);
+  s.run();
+  EXPECT_FALSE(s.reschedule(fired, Time::ms(10)));
+  EXPECT_FALSE(s.reschedule(cancelled, Time::ms(10)));
+  EXPECT_FALSE(s.reschedule(kInvalidEvent, Time::ms(10)));
+}
+
+TEST(SchedulerTest, RescheduleIntoPastThrows) {
+  Scheduler s;
+  s.schedule_at(Time::ms(10), [] {});
+  const EventId id = s.schedule_at(Time::ms(20), [] {});
+  s.run_until(Time::ms(15));
+  EXPECT_THROW(s.reschedule(id, Time::ms(5)), SimError);
+}
+
+TEST(SchedulerTest, WidelySpreadTimersStayOrdered) {
+  // Sparse events across six decades of time exercise the calendar's
+  // empty-stretch walk / direct-search path.
+  Scheduler s;
+  std::vector<std::int64_t> fired_ns;
+  for (std::int64_t ns : {1ll, 900ll, 40000ll, 2000000ll, 700000000ll,
+                          30000000000ll, 31000000000ll}) {
+    s.schedule_at(Time::ns(ns), [&fired_ns, ns] { fired_ns.push_back(ns); });
+  }
+  s.run();
+  EXPECT_EQ(fired_ns.size(), 7u);
+  EXPECT_TRUE(std::is_sorted(fired_ns.begin(), fired_ns.end()));
+}
+
+TEST(SchedulerTest, DifferentialStressAgainstReferenceModel) {
+  // Randomised schedule/cancel/reschedule mix, mirrored into an ordered
+  // std::map reference keyed (time, op-sequence): the scheduler must
+  // fire exactly the reference's order through every internal
+  // grow/shrink/re-fit of the calendar.  Time ties are frequent by
+  // construction (small time range, many events).
+  Scheduler s;
+  std::mt19937_64 rng(0xC0FFEE);
+  using Key = std::pair<std::int64_t, std::uint64_t>;  // (t_ns, seq)
+  std::map<Key, int> ref;                      // pending, in fire order
+  std::map<EventId, std::pair<Key, int>> by_id;  // id -> (key, label)
+  std::vector<int> fired;
+  std::uint64_t seq = 0;
+  int label = 0;
+  const auto rand_in = [&](std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    rng() % static_cast<std::uint64_t>(hi - lo));
+  };
+  for (int round = 0; round < 3000; ++round) {
+    const auto op = rng() % 10;
+    if (op < 6 || by_id.empty()) {
+      // Mixed horizons: mostly near-future (dense ties), sometimes far
+      // (exercises the empty-stretch walk and direct search).
+      const std::int64_t delay =
+          (rng() % 8 == 0) ? rand_in(1000000, 100000000) : rand_in(0, 200);
+      const Time at = s.now() + Time::ns(delay);
+      const int l = label++;
+      const EventId id = s.schedule_at(at, [&fired, l] { fired.push_back(l); });
+      const Key key{at.nanoseconds(), seq++};
+      ref.emplace(key, l);
+      by_id.emplace(id, std::make_pair(key, l));
+    } else if (op < 8) {
+      auto it = by_id.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng() % by_id.size()));
+      EXPECT_TRUE(s.cancel(it->first));
+      ref.erase(it->second.first);
+      by_id.erase(it);
+    } else {
+      auto it = by_id.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng() % by_id.size()));
+      const Time at = s.now() + Time::ns(rand_in(0, 200));
+      EXPECT_TRUE(s.reschedule(it->first, at));
+      ref.erase(it->second.first);
+      const Key key{at.nanoseconds(), seq++};
+      ref.emplace(key, it->second.second);
+      it->second.first = key;
+    }
+  }
+  EXPECT_EQ(s.pending_count(), ref.size());
+  s.run();
+  std::vector<int> expected;
+  expected.reserve(ref.size());
+  for (const auto& [key, l] : ref) expected.push_back(l);
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
+TEST(SchedulerTest, ManyTicksInterleavedScheduleCancelKeepsOrder) {
+  // A torture mix of schedule/cancel across several ticks: execution
+  // order must equal (time, insertion order) over the survivors.
+  Scheduler s;
+  std::vector<std::pair<int, int>> order;  // (tick, serial)
+  std::vector<EventId> cancellable;
+  int serial = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (int tick = 1; tick <= 4; ++tick) {
+      const int id = serial++;
+      const EventId ev = s.schedule_at(
+          Time::ms(tick), [&order, tick, id] { order.emplace_back(tick, id); });
+      if (id % 2 == 1) cancellable.push_back(ev);
+    }
+  }
+  for (EventId ev : cancellable) EXPECT_TRUE(s.cancel(ev));
+  s.run();
+  ASSERT_EQ(order.size(), 16u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
 }
 
 }  // namespace

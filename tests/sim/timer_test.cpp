@@ -125,6 +125,63 @@ TEST(PeriodicTimerTest, RejectsNonPositivePeriod) {
   EXPECT_THROW(t.start(Time::zero()), SimError);
 }
 
+TEST(TimerTest, RearmFromOwnCallbackAdvancesTime) {
+  // The hot MAC/TCP idiom: the expiry handler re-arms the same timer.
+  // Each firing must land exactly one delay after the previous one.
+  Scheduler s;
+  std::vector<Time> fires;
+  Timer* tp = nullptr;
+  Timer t(s, [&] {
+    fires.push_back(s.now());
+    if (fires.size() < 4) tp->schedule_in(Time::ms(3));
+  });
+  tp = &t;
+  t.schedule_in(Time::ms(3));
+  s.run();
+  ASSERT_EQ(fires.size(), 4u);
+  for (std::size_t i = 0; i < fires.size(); ++i) {
+    EXPECT_EQ(fires[i], Time::ms(3) * static_cast<std::int64_t>(i + 1));
+  }
+  EXPECT_FALSE(t.is_pending());
+}
+
+TEST(TimerTest, RearmToEarlierTimeWins) {
+  Scheduler s;
+  Time fired_at;
+  Timer t(s, [&] { fired_at = s.now(); });
+  t.schedule_in(Time::ms(50));
+  t.schedule_in(Time::ms(5));  // moving the expiry *earlier* must work too
+  s.run();
+  EXPECT_EQ(fired_at, Time::ms(5));
+  EXPECT_EQ(s.executed_count(), 1u);
+}
+
+TEST(TimerTest, RearmedTimerOrdersAfterEarlierSameTickEvents) {
+  // Re-arming behaves like a fresh schedule for tie-breaking: an event
+  // already queued for the same tick runs first.
+  Scheduler s;
+  std::vector<int> order;
+  Timer t(s, [&] { order.push_back(2); });
+  t.schedule_in(Time::ms(9));
+  s.schedule_at(Time::ms(10), [&] { order.push_back(1); });
+  t.schedule_at(Time::ms(10));  // re-arm to the same tick, later insertion
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(TimerTest, CancelThenRearmFires) {
+  Scheduler s;
+  int fired = 0;
+  Timer t(s, [&] { ++fired; });
+  t.schedule_in(Time::ms(5));
+  t.cancel();
+  EXPECT_FALSE(t.is_pending());
+  t.schedule_in(Time::ms(7));
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), Time::ms(7));
+}
+
 TEST(PeriodicTimerTest, SetPeriodTakesEffectNextTick) {
   Scheduler s;
   std::vector<Time> fires;

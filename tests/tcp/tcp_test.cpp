@@ -230,7 +230,10 @@ TEST_F(TcpPipeTest, FlowIdMismatchIgnored) {
   build();
   net::Packet alien;
   alien.common.kind = net::PacketKind::kTcpAck;
-  alien.tcp = net::TcpHeader{.ack = 999, .flow_id = 77};
+  net::TcpHeader alienh;
+  alienh.ack = 999;
+  alienh.flow_id = 77;
+  alien.tcp = alienh;
   source_->on_ack(alien);
   EXPECT_EQ(source_->snd_una(), 1u);  // untouched
 }
