@@ -1,0 +1,85 @@
+// Full-scenario macro benchmark for the packet plane: wall-clock
+// events/sec for fixed-seed 50-node runs of each protocol.  Unlike the
+// figure benches this never goes through the campaign cache — the point
+// is the wall clock, not the metrics — but the metrics are printed too:
+// they are the scenario fingerprint that packet-plane refactors must
+// keep bit-identical (see tests/integration/packet_plane_test.cpp and
+// BENCH_packetplane.json).
+//
+// Environment overrides:
+//   MTS_BENCH_SIM_TIME  seconds simulated per run   (default 40)
+//   MTS_BENCH_NODES     node count                  (default 50, as paper)
+//   MTS_BENCH_REPS      wall-clock repetitions      (default 3; median)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "harness/scenario.hpp"
+
+namespace {
+
+using namespace mts;
+
+double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double d = std::strtod(v, &end);
+  if (end == v || *end != '\0' || !(d > 0)) {
+    std::fprintf(stderr, "%s: unparsable '%s', using %g\n", name, v, fallback);
+    return fallback;
+  }
+  return d;
+}
+
+harness::ScenarioConfig scenario(harness::Protocol p, double sim_time,
+                                 std::uint32_t nodes) {
+  harness::ScenarioConfig cfg;
+  cfg.protocol = p;
+  cfg.node_count = nodes;
+  cfg.max_speed = 10.0;
+  cfg.sim_time = sim::Time::seconds(sim_time);
+  cfg.seed = 42;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  const double sim_time = env_double("MTS_BENCH_SIM_TIME", 40.0);
+  const auto nodes =
+      static_cast<std::uint32_t>(env_double("MTS_BENCH_NODES", 50.0));
+  const auto reps = static_cast<int>(env_double("MTS_BENCH_REPS", 3.0));
+
+  std::printf("macro_packetplane: %u nodes, %.0fs simulated, seed 42, "
+              "median of %d reps\n",
+              nodes, sim_time, reps);
+  std::printf("%-5s %12s %10s %12s  fingerprint (delivered/control/pe/pr)\n",
+              "proto", "events", "wall_ms", "events_per_s");
+  for (harness::Protocol p :
+       {harness::Protocol::kDsr, harness::Protocol::kAodv,
+        harness::Protocol::kMts, harness::Protocol::kSmr}) {
+    std::vector<double> wall_ms;
+    harness::RunMetrics m;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = std::chrono::steady_clock::now();
+      m = harness::run_scenario(scenario(p, sim_time, nodes));
+      const auto t1 = std::chrono::steady_clock::now();
+      wall_ms.push_back(
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    std::sort(wall_ms.begin(), wall_ms.end());
+    const double med = wall_ms[wall_ms.size() / 2];
+    std::printf("%-5s %12llu %10.1f %12.0f  %llu/%llu/%llu/%llu\n",
+                harness::protocol_name(p),
+                static_cast<unsigned long long>(m.events_executed), med,
+                static_cast<double>(m.events_executed) / (med / 1000.0),
+                static_cast<unsigned long long>(m.segments_delivered),
+                static_cast<unsigned long long>(m.control_packets),
+                static_cast<unsigned long long>(m.pe),
+                static_cast<unsigned long long>(m.pr));
+  }
+  return 0;
+}

@@ -85,9 +85,9 @@ BENCHMARK(BM_RngUniform);
 
 void BM_PriQueueEnqueueDequeue(benchmark::State& state) {
   net::Packet data;
-  data.common.kind = net::PacketKind::kTcpData;
+  data.mutable_common().kind = net::PacketKind::kTcpData;
   net::Packet ctrl;
-  ctrl.common.kind = net::PacketKind::kAodvRreq;
+  ctrl.mutable_common().kind = net::PacketKind::kAodvRreq;
   for (auto _ : state) {
     net::PriQueue q(50);
     for (int i = 0; i < 40; ++i) q.enqueue({data, 1});

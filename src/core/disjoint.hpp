@@ -2,13 +2,16 @@
 
 #include <vector>
 
+#include "net/headers.hpp"
 #include "net/node_id.hpp"
 
 namespace mts::core {
 
 /// A candidate or stored path between a fixed (source, destination)
 /// pair, identified by its intermediate nodes only (endpoints implied).
-using PathNodes = std::vector<net::NodeId>;
+/// Inline-capacity vector: paths are bounded by the network diameter,
+/// so storing and copying them stays allocation-free.
+using PathNodes = net::RouteVec;
 
 /// First hop out of the source: the node the source transmits to.
 inline net::NodeId first_hop(const PathNodes& nodes, net::NodeId dst) {

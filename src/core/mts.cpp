@@ -112,7 +112,7 @@ Mts::SourcePath* Mts::fresh_source_path(NodeId dst) {
 // ---------------------------------------------------------------------------
 
 void Mts::send_from_transport(Packet packet) {
-  const NodeId dst = packet.common.dst;
+  const NodeId dst = packet.common().dst;
   if (dst == self()) {
     ctx_.deliver(std::move(packet), self());
     return;
@@ -120,7 +120,7 @@ void Mts::send_from_transport(Packet packet) {
   // Preferred: we are an MTS source for this destination.
   if (SourcePath* sp = fresh_source_path(dst)) {
     const auto pid = static_cast<std::uint16_t>(as_source_[dst].current);
-    packet.routing = MtsDataTag{pid};
+    packet.mutable_routing() = MtsDataTag{pid};
     const HopEntry* hop = any_hop(dst, pid);
     const NodeId next =
         hop != nullptr ? hop->next_hop : first_hop(sp->nodes, dst);
@@ -131,7 +131,7 @@ void Mts::send_from_transport(Packet packet) {
   // arrived on (its per-hop reverse state is refreshed by that data).
   if (auto it = last_rx_path_.find(dst); it != last_rx_path_.end()) {
     if (const HopEntry* hop = any_hop(dst, it->second)) {
-      packet.routing = MtsDataTag{it->second};
+      packet.mutable_routing() = MtsDataTag{it->second};
       ctx_.mac->enqueue(std::move(packet), hop->next_hop);
       return;
     }
@@ -171,13 +171,14 @@ void Mts::send_rreq(NodeId dst) {
   h.orig = self();
   h.dst = dst;
   Packet p;
-  p.common.kind = PacketKind::kMtsRreq;
-  p.common.src = self();
-  p.common.dst = net::kBroadcastId;
-  p.common.ttl = cfg_.net_diameter_ttl;
-  p.common.uid = ctx_.uids->next();
-  p.common.originated = now();
-  p.routing = h;
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kMtsRreq;
+  common.src = self();
+  common.dst = net::kBroadcastId;
+  common.ttl = cfg_.net_diameter_ttl;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = h;
   rreq_seen_.check_and_insert(self(), h.bcast_id);
   send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/true);
 
@@ -207,7 +208,7 @@ void Mts::discovery_timeout(NodeId dst) {
 }
 
 void Mts::handle_rreq(Packet&& p, NodeId from) {
-  auto& h = std::get<MtsRreqHeader>(p.routing);
+  const auto& h = std::get<MtsRreqHeader>(p.routing());
   if (h.orig == self()) return;
   if (h.dst == self()) {
     // The destination consumes *every* copy (§III-B: "the copies of
@@ -222,13 +223,16 @@ void Mts::handle_rreq(Packet&& p, NodeId from) {
   if (std::find(h.nodes.begin(), h.nodes.end(), self()) != h.nodes.end()) {
     return;  // route record already contains us
   }
-  if (p.common.ttl <= 1) {
+  if (p.common().ttl <= 1) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  --p.common.ttl;
-  ++h.hop_count;
-  h.nodes.push_back(self());
+  // Mutating tail: TTL first, then one unique-body grab for the header
+  // (`h` refers to the pre-clone body from here on; do not use it).
+  --p.mutable_common().ttl;
+  auto& hm = std::get<MtsRreqHeader>(p.mutable_routing());
+  ++hm.hop_count;
+  hm.nodes.push_back(self());
   (void)from;
   // "Even in the case where an intermediate node has a fresh route to
   // the destination node, it has to relay the received RREQ" (§III-B).
@@ -269,18 +273,19 @@ void Mts::send_rrep(NodeId src, const PathNodes& nodes) {
   h.hops_done = 1;
   const NodeId next = walk_pos(nodes, src, self(), 1);
   Packet p;
-  p.common.kind = PacketKind::kMtsRrep;
-  p.common.src = self();
-  p.common.dst = src;
-  p.common.ttl = cfg_.net_diameter_ttl;
-  p.common.uid = ctx_.uids->next();
-  p.common.originated = now();
-  p.routing = std::move(h);
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kMtsRrep;
+  common.src = self();
+  common.dst = src;
+  common.ttl = cfg_.net_diameter_ttl;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = std::move(h);
   send_to_mac(std::move(p), next, /*originated_here=*/true);
 }
 
 void Mts::handle_rrep(Packet&& p, NodeId from) {
-  auto& h = std::get<MtsRrepHeader>(p.routing);
+  const auto& h = std::get<MtsRrepHeader>(p.routing());
   if (walk_pos(h.nodes, h.orig, h.dst, h.hops_done) != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
@@ -292,8 +297,9 @@ void Mts::handle_rrep(Packet&& p, NodeId from) {
                           /*switch_allowed=*/false);
     return;
   }
-  ++h.hops_done;
-  const NodeId next = walk_pos(h.nodes, h.orig, h.dst, h.hops_done);
+  auto& hm = std::get<MtsRrepHeader>(p.mutable_routing());
+  ++hm.hops_done;
+  const NodeId next = walk_pos(hm.nodes, hm.orig, hm.dst, hm.hops_done);
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
@@ -319,12 +325,17 @@ void Mts::source_path_confirmed(NodeId dst, std::uint16_t path_id,
       ++switches_;
       ss.current = path_id;
       if (ctx_.trace != nullptr) {
-        Packet dummy;
-        dummy.common.kind = PacketKind::kMtsCheck;
-        dummy.common.src = self();
-        dummy.common.dst = dst;
-        trace(net::TraceOp::kRouteSwitch, dummy,
-              "switched to path " + std::to_string(path_id));
+        // Record (and its note string) built only when a sink listens.
+        ctx_.trace->emit_lazy([&] {
+          Packet dummy;
+          auto& c = dummy.mutable_common();
+          c.kind = PacketKind::kMtsCheck;
+          c.src = self();
+          c.dst = dst;
+          return net::TraceRecord{
+              now(), self(), net::TraceOp::kRouteSwitch, std::move(dummy),
+              "switched to path " + std::to_string(path_id)};
+        });
       }
     }
   }
@@ -374,19 +385,20 @@ void Mts::send_check(NodeId src, DestState& ds, std::uint16_t path_id) {
   h.hops_done = 1;
   const NodeId next = walk_pos(h.nodes, src, self(), 1);
   Packet p;
-  p.common.kind = PacketKind::kMtsCheck;
-  p.common.src = self();
-  p.common.dst = src;
-  p.common.ttl = cfg_.net_diameter_ttl;
-  p.common.uid = ctx_.uids->next();
-  p.common.originated = now();
-  p.routing = std::move(h);
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kMtsCheck;
+  common.src = self();
+  common.dst = src;
+  common.ttl = cfg_.net_diameter_ttl;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = std::move(h);
   ++checks_sent_;
   send_to_mac(std::move(p), next, /*originated_here=*/true);
 }
 
 void Mts::handle_check(Packet&& p, NodeId from) {
-  auto& h = std::get<MtsCheckHeader>(p.routing);
+  const auto& h = std::get<MtsCheckHeader>(p.routing());
   if (walk_pos(h.nodes, h.source, h.checker, h.hops_done) != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
@@ -401,8 +413,9 @@ void Mts::handle_check(Packet&& p, NodeId from) {
                           /*switch_allowed=*/true);
     return;
   }
-  ++h.hops_done;
-  const NodeId next = walk_pos(h.nodes, h.source, h.checker, h.hops_done);
+  auto& hm = std::get<MtsCheckHeader>(p.mutable_routing());
+  ++hm.hops_done;
+  const NodeId next = walk_pos(hm.nodes, hm.source, hm.checker, hm.hops_done);
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
@@ -423,19 +436,20 @@ void Mts::send_check_error(const MtsCheckHeader& failed, NodeId broken_to) {
   if (h.nodes.empty()) return;
   const NodeId next = h.nodes[0];
   Packet p;
-  p.common.kind = PacketKind::kMtsCheckError;
-  p.common.src = self();
-  p.common.dst = failed.checker;
-  p.common.ttl = cfg_.net_diameter_ttl;
-  p.common.uid = ctx_.uids->next();
-  p.common.originated = now();
-  p.routing = std::move(h);
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kMtsCheckError;
+  common.src = self();
+  common.dst = failed.checker;
+  common.ttl = cfg_.net_diameter_ttl;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = std::move(h);
   send_to_mac(std::move(p), next, /*originated_here=*/true);
 }
 
 void Mts::handle_check_error(Packet&& p, NodeId from) {
   (void)from;
-  auto& h = std::get<MtsCheckErrorHeader>(p.routing);
+  const auto& h = std::get<MtsCheckErrorHeader>(p.routing());
   if (h.hops_done >= h.nodes.size() || h.nodes[h.hops_done] != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
@@ -448,12 +462,13 @@ void Mts::handle_check_error(Packet&& p, NodeId from) {
     }
     return;
   }
-  ++h.hops_done;
-  if (h.hops_done >= h.nodes.size()) {
+  auto& hm = std::get<MtsCheckErrorHeader>(p.mutable_routing());
+  ++hm.hops_done;
+  if (hm.hops_done >= hm.nodes.size()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  const NodeId next = h.nodes[h.hops_done];
+  const NodeId next = hm.nodes[hm.hops_done];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
@@ -462,36 +477,36 @@ void Mts::handle_check_error(Packet&& p, NodeId from) {
 // ---------------------------------------------------------------------------
 
 void Mts::handle_data(Packet&& p, NodeId from) {
-  const auto* tag = std::get_if<MtsDataTag>(&p.routing);
+  const auto* tag = std::get_if<MtsDataTag>(&p.routing());
   if (tag == nullptr) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
   // Reverse state: packets back to p.src flow through `from`.
-  install_hop(p.common.src, tag->path_id, from);
-  if (p.common.dst == self()) {
-    last_rx_path_[p.common.src] = tag->path_id;
-    if (auto it = as_dest_.find(p.common.src); it != as_dest_.end()) {
+  install_hop(p.common().src, tag->path_id, from);
+  if (p.common().dst == self()) {
+    last_rx_path_[p.common().src] = tag->path_id;
+    if (auto it = as_dest_.find(p.common().src); it != as_dest_.end()) {
       it->second.last_activity = now();
     }
     trace(net::TraceOp::kDeliver, p);
     ctx_.deliver(std::move(p), from);
     return;
   }
-  if (p.common.ttl <= 1) {
+  if (p.common().ttl <= 1) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  --p.common.ttl;
+  --p.mutable_common().ttl;
   // Forward on any installed state, fresh or not: liveness is the MAC's
   // call (§III-E), and a link that still ACKs is still a route.  The
   // freshness window only gates *path choice* at the source.
-  if (const HopEntry* hop = any_hop(p.common.dst, tag->path_id)) {
+  if (const HopEntry* hop = any_hop(p.common().dst, tag->path_id)) {
     send_to_mac(std::move(p), hop->next_hop, /*originated_here=*/false);
     return;
   }
   // No forwarding state at all mid-path: tell the source, drop the packet.
-  send_rerr_to_source(p.common.src, p.common.dst, tag->path_id, self(),
+  send_rerr_to_source(p.common().src, p.common().dst, tag->path_id, self(),
                       net::kNoNode);
   drop(p, net::DropReason::kStaleRoute);
 }
@@ -515,19 +530,20 @@ void Mts::send_rerr_to_source(NodeId src, NodeId dst, std::uint16_t path_id,
   h.broken_from = broken_from;
   h.broken_to = broken_to;
   Packet p;
-  p.common.kind = PacketKind::kMtsRerr;
-  p.common.src = self();
-  p.common.dst = src;
-  p.common.ttl = cfg_.net_diameter_ttl;
-  p.common.uid = ctx_.uids->next();
-  p.common.originated = now();
-  p.routing = h;
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kMtsRerr;
+  common.src = self();
+  common.dst = src;
+  common.ttl = cfg_.net_diameter_ttl;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = h;
   send_to_mac(std::move(p), back->next_hop, /*originated_here=*/true);
 }
 
 void Mts::handle_rerr(Packet&& p, NodeId from) {
   (void)from;
-  auto& h = std::get<MtsRerrHeader>(p.routing);
+  const auto& h = std::get<MtsRerrHeader>(p.routing());
   if (h.source == self()) {
     mark_source_path_dead(h.dst, h.path_id);
     return;
@@ -537,11 +553,11 @@ void Mts::handle_rerr(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  if (p.common.ttl <= 1) {
+  if (p.common().ttl <= 1) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  --p.common.ttl;
+  --p.mutable_common().ttl;
   send_to_mac(std::move(p), back->next_hop, /*originated_here=*/false);
 }
 
@@ -569,9 +585,9 @@ void Mts::on_link_failure(const Packet& packet, NodeId next_hop) {
     it = it->second.next_hop == next_hop ? hops_.erase(it) : ++it;
   }
   auto handle_one = [this, next_hop](const Packet& pkt) {
-    switch (pkt.common.kind) {
+    switch (pkt.common().kind) {
       case PacketKind::kMtsCheck: {
-        const auto& h = std::get<MtsCheckHeader>(pkt.routing);
+        const auto& h = std::get<MtsCheckHeader>(pkt.routing());
         // The node named by hops_done never got it; we hold the cursor.
         MtsCheckHeader at_me = h;
         send_check_error(at_me, next_hop);
@@ -579,15 +595,15 @@ void Mts::on_link_failure(const Packet& packet, NodeId next_hop) {
       }
       case PacketKind::kTcpData:
       case PacketKind::kTcpAck: {
-        const auto* tag = std::get_if<MtsDataTag>(&pkt.routing);
+        const auto* tag = std::get_if<MtsDataTag>(&pkt.routing());
         if (tag == nullptr) return;
-        if (pkt.common.src == self()) {
-          mark_source_path_dead(pkt.common.dst, tag->path_id);
+        if (pkt.common().src == self()) {
+          mark_source_path_dead(pkt.common().dst, tag->path_id);
           Packet retry = pkt;
-          retry.routing = std::monostate{};
+          retry.mutable_routing() = std::monostate{};
           send_from_transport(std::move(retry));
         } else {
-          send_rerr_to_source(pkt.common.src, pkt.common.dst, tag->path_id,
+          send_rerr_to_source(pkt.common().src, pkt.common().dst, tag->path_id,
                               self(), next_hop);
           drop(pkt, net::DropReason::kStaleRoute);
         }
@@ -638,7 +654,7 @@ void Mts::purge() {
 // ---------------------------------------------------------------------------
 
 void Mts::receive_from_mac(Packet packet, NodeId from) {
-  switch (packet.common.kind) {
+  switch (packet.common().kind) {
     case PacketKind::kMtsRreq: handle_rreq(std::move(packet), from); return;
     case PacketKind::kMtsRrep: handle_rrep(std::move(packet), from); return;
     case PacketKind::kMtsCheck: handle_check(std::move(packet), from); return;

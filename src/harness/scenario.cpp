@@ -288,9 +288,9 @@ class Simulation {
   void deliver_to_transport(net::NodeId node, net::Packet&& p,
                             net::NodeId /*from*/) {
     Node& n = nodes_[node];
-    if (p.common.kind == net::PacketKind::kTcpData) {
+    if (p.common().kind == net::PacketKind::kTcpData) {
       for (tcp::TcpSink* s : n.sinks) s->on_data(p);
-    } else if (p.common.kind == net::PacketKind::kTcpAck) {
+    } else if (p.common().kind == net::PacketKind::kTcpAck) {
       for (tcp::TcpSource* s : n.sources) s->on_ack(p);
     }
   }

@@ -197,7 +197,6 @@ void Mac80211::send_data_frame() {
   f.bytes = frame_bytes(current_->packet);
   f.seq = (retries_ > 0) ? tx_seq_ : ++tx_seq_;
   f.retry = retries_ > 0;
-  f.has_payload = true;
   f.payload = current_->packet;
   const double rate = broadcast ? cfg_.basic_rate_bps : cfg_.data_rate_bps;
   if (!broadcast) f.nav = cfg_.sifs + ack_airtime();
@@ -284,7 +283,7 @@ void Mac80211::on_frame(const Frame& f) {
     if (f.nav > sim::Time::zero()) {
       nav_end_ = std::max(nav_end_, sched_->now() + f.nav);
     }
-    if (f.type == FrameType::kData && f.has_payload && cb_.on_sniff) {
+    if (f.type == FrameType::kData && f.has_payload() && cb_.on_sniff) {
       cb_.on_sniff(f);
     }
     return;
@@ -308,8 +307,8 @@ void Mac80211::handle_data(const Frame& f) {
       if (dup) return;
     }
   }
-  if (cb_.on_sniff && f.has_payload) cb_.on_sniff(f);
-  if (cb_.on_receive && f.has_payload) {
+  if (cb_.on_sniff && f.has_payload()) cb_.on_sniff(f);
+  if (cb_.on_receive && f.has_payload()) {
     net::Packet copy = f.payload;
     cb_.on_receive(std::move(copy), f.transmitter);
   }

@@ -2,12 +2,17 @@
 
 #include <cstdint>
 #include <variant>
-#include <vector>
 
+#include "net/small_vec.hpp"
 #include "net/node_id.hpp"
 #include "sim/time.hpp"
 
 namespace mts::net {
+
+/// Route record for headers: node lists are bounded by the network
+/// diameter, and eight inline slots cover the common path length, so
+/// copying (or CoW-cloning) a routing header rarely touches the heap.
+using RouteVec = SmallVec<NodeId, 8>;
 
 /// Discriminates every packet the network layer can carry.  The kind is
 /// redundant with the header variant for control packets but lets hot
@@ -110,7 +115,9 @@ struct AodvRerrHeader {
     std::uint32_t seq = 0;
     friend bool operator==(const Unreachable&, const Unreachable&) = default;
   };
-  std::vector<Unreachable> unreachable;
+  /// One RERR rarely names more than a handful of destinations.
+  using List = SmallVec<Unreachable, 4>;
+  List unreachable;
 };
 
 // ---------------------------------------------------------------------------
@@ -121,13 +128,13 @@ struct DsrRreqHeader {
   std::uint32_t rreq_id = 0;
   NodeId orig = kNoNode;
   NodeId target = kNoNode;
-  std::vector<NodeId> record;   ///< nodes traversed so far (excl. orig)
+  RouteVec record;     ///< nodes traversed so far (excl. orig)
 };
 
 struct DsrRrepHeader {
   NodeId orig = kNoNode;        ///< requester
   NodeId target = kNoNode;
-  std::vector<NodeId> route;    ///< full path orig..target inclusive
+  RouteVec route;       ///< full path orig..target inclusive
   std::uint16_t hops_done = 0;  ///< cursor while travelling target -> orig
 };
 
@@ -135,13 +142,13 @@ struct DsrRerrHeader {
   NodeId notify = kNoNode;      ///< source being informed
   NodeId from = kNoNode;        ///< broken link tail
   NodeId to = kNoNode;          ///< broken link head
-  std::vector<NodeId> back_path;  ///< route from reporter to `notify`
+  RouteVec back_path;  ///< route from reporter to `notify`
   std::uint16_t hops_done = 0;
 };
 
 /// Source-route option attached to DSR *data* packets.
 struct DsrSourceRoute {
-  std::vector<NodeId> route;    ///< full path src..dst inclusive
+  RouteVec route;       ///< full path src..dst inclusive
   std::uint16_t index = 0;      ///< position of the current hop in route
   bool salvaged = false;        ///< set when an intermediate re-routed it
 };
@@ -157,7 +164,7 @@ struct MtsRreqHeader {
   NodeId orig = kNoNode;
   NodeId dst = kNoNode;
   std::uint8_t hop_count = 0;
-  std::vector<NodeId> nodes;    ///< intermediate nodes traversed (excl. endpoints)
+  RouteVec nodes;       ///< intermediate nodes traversed (excl. endpoints)
 };
 
 /// §III-B: packet type, source address, destination address, route reply
@@ -167,7 +174,7 @@ struct MtsRrepHeader {
   NodeId orig = kNoNode;        ///< RREQ originator (the TCP source)
   NodeId dst = kNoNode;         ///< destination that generated this RREP
   std::uint8_t hop_count = 0;
-  std::vector<NodeId> nodes;    ///< intermediate nodes of the replied path
+  RouteVec nodes;       ///< intermediate nodes of the replied path
   std::uint16_t hops_done = 0;  ///< forwarding cursor along the reverse path
 };
 
@@ -180,7 +187,7 @@ struct MtsCheckHeader {
   NodeId checker = kNoNode;     ///< the destination (sender of checks)
   NodeId source = kNoNode;      ///< the TCP source (receiver of checks)
   std::uint8_t hop_count = 0;
-  std::vector<NodeId> nodes;    ///< intermediate nodes, source-side first
+  RouteVec nodes;       ///< intermediate nodes, source-side first
   std::uint16_t hops_done = 0;  ///< forwarding cursor
 };
 
@@ -193,7 +200,7 @@ struct MtsCheckErrorHeader {
   NodeId reporter = kNoNode;    ///< node that observed the failure
   NodeId broken_from = kNoNode;
   NodeId broken_to = kNoNode;
-  std::vector<NodeId> nodes;    ///< the failed path (source-side first)
+  RouteVec nodes;       ///< the failed path (source-side first)
   std::uint16_t hops_done = 0;  ///< cursor while travelling back to checker
 };
 

@@ -1,6 +1,10 @@
 #include "net/packet.hpp"
 
+#include <memory>
 #include <sstream>
+#include <vector>
+
+#include "sim/error.hpp"
 
 namespace mts::net {
 
@@ -64,19 +68,120 @@ struct SizeVisitor {
   std::uint32_t operator()(const MtsDataTag&) const { return 4; }
 };
 
+/// Thread-local pool of packet bodies: chunked storage (stable
+/// addresses) threaded through an intrusive free list, mirroring the
+/// scheduler's event slot pool.  Thread-local because the campaign
+/// harness runs concurrent scenarios on worker threads; within one
+/// scenario every packet lives and dies on the same thread, so refcount
+/// traffic needs no atomics.
+class PacketPool {
+ public:
+  static PacketPool& local() {
+    thread_local PacketPool pool;
+    return pool;
+  }
+
+  PacketBody* acquire() {
+    PacketBody* b = take_slot();
+    b->common = CommonHeader{};
+    b->tcp.reset();
+    b->routing = std::monostate{};
+    b->refcount = 1;
+    ++stats_.acquired;
+    return b;
+  }
+
+  /// Deep copy for copy-on-write: called when a handle must mutate a
+  /// body other handles still reference.
+  PacketBody* clone(const PacketBody& src) {
+    PacketBody* b = take_slot();
+    b->common = src.common;
+    b->tcp = src.tcp;
+    b->routing = src.routing;
+    b->refcount = 1;
+    ++stats_.acquired;
+    ++stats_.cow_clones;
+    return b;
+  }
+
+  void release(PacketBody* b) {
+    ++b->generation;  // invalidate any stale handle deterministically
+    b->next_free = free_;
+    free_ = b;
+    ++stats_.released;
+  }
+
+  [[nodiscard]] const PacketPoolStats& stats() const { return stats_; }
+
+ private:
+  static constexpr std::size_t kChunkSize = 64;
+
+  PacketBody* take_slot() {
+    if (free_ != nullptr) {
+      PacketBody* b = free_;
+      free_ = b->next_free;
+      return b;
+    }
+    chunks_.push_back(std::make_unique<PacketBody[]>(kChunkSize));
+    PacketBody* chunk = chunks_.back().get();
+    // Thread all but the first fresh slot onto the free list.
+    for (std::size_t i = kChunkSize - 1; i > 0; --i) {
+      chunk[i].next_free = free_;
+      free_ = &chunk[i];
+    }
+    stats_.slots += kChunkSize;
+    return &chunk[0];
+  }
+
+  std::vector<std::unique_ptr<PacketBody[]>> chunks_;
+  PacketBody* free_ = nullptr;
+  PacketPoolStats stats_;
+};
+
 }  // namespace
+
+PacketPoolStats packet_pool_stats() { return PacketPool::local().stats(); }
 
 std::uint32_t routing_header_bytes(const RoutingHeader& h) {
   return std::visit(SizeVisitor{}, h);
 }
 
+void Packet::reset() {
+  if (body_ == nullptr) return;
+  // A stale handle must trip here too: decrementing a recycled body's
+  // refcount would prematurely release its new owner's allocation and
+  // corrupt the pool far from the actual bug.  (From a destructor this
+  // terminates — still deterministic, unlike the corruption.)
+  sim::require(body_->generation == gen_,
+               "Packet: releasing a stale handle (body was recycled)");
+  if (--body_->refcount == 0) PacketPool::local().release(body_);
+  body_ = nullptr;
+}
+
+PacketBody& Packet::own() {
+  if (body_ == nullptr) {
+    body_ = PacketPool::local().acquire();
+  } else {
+    sim::require(body_->generation == gen_,
+                 "Packet: stale handle (body was recycled)");
+    if (body_->refcount > 1) {
+      PacketBody* fresh = PacketPool::local().clone(*body_);
+      --body_->refcount;
+      body_ = fresh;
+    }
+  }
+  gen_ = body_->generation;
+  return *body_;
+}
+
 std::string Packet::summary() const {
+  const PacketBody& b = checked();
   std::ostringstream os;
-  os << packet_kind_name(common.kind) << " uid=" << common.uid << " "
-     << common.src << "->" << common.dst << " ttl=" << int{common.ttl}
+  os << packet_kind_name(b.common.kind) << " uid=" << b.common.uid << " "
+     << b.common.src << "->" << b.common.dst << " ttl=" << int{b.common.ttl}
      << " bytes=" << wire_bytes();
-  if (tcp.has_value()) {
-    os << " seq=" << tcp->seq << " ack=" << tcp->ack;
+  if (b.tcp.has_value()) {
+    os << " seq=" << b.tcp->seq << " ack=" << b.tcp->ack;
   }
   return os.str();
 }

@@ -6,34 +6,156 @@
 
 #include "net/headers.hpp"
 #include "net/node_id.hpp"
+#include "sim/error.hpp"
 
 namespace mts::net {
 
-/// A network-layer packet: common header + optional TCP header +
-/// at most one routing header/option.
+/// The heap-side contents of a packet: common header + optional TCP
+/// header + at most one routing header/option, plus the intrusive
+/// bookkeeping of the body pool (refcount, generation, free link).
 ///
-/// Packets are value types.  A broadcast reaching k receivers is k
-/// copies; header vectors (route records) are short (<= network
-/// diameter), so copies stay cheap and no reference counting is needed.
-struct Packet {
+/// Bodies are immutable through shared `Packet` handles: every mutation
+/// goes through a `mutable_*` accessor that clones the body first when
+/// other handles still reference it (copy-on-write).
+struct PacketBody {
   CommonHeader common;
   std::optional<TcpHeader> tcp;
   RoutingHeader routing;  // std::monostate when absent
 
+  std::uint32_t refcount = 0;
+  /// Bumped every time the body returns to the pool; live handles carry
+  /// the generation they bound to, so a use-after-release trips a
+  /// deterministic check instead of reading a recycled packet.
+  std::uint32_t generation = 0;
+  PacketBody* next_free = nullptr;
+};
+
+/// Allocation stats of the thread-local body pool (tests, benches, and
+/// the zero-clone assertions of the packet-plane integration tests).
+struct PacketPoolStats {
+  std::uint64_t acquired = 0;   ///< fresh bodies handed out (incl. clones)
+  std::uint64_t released = 0;   ///< bodies returned on last handle release
+  std::uint64_t cow_clones = 0; ///< deep copies forced by mutating a shared body
+  std::uint64_t slots = 0;      ///< bodies ever carved from chunk storage
+  [[nodiscard]] std::uint64_t live() const { return acquired - released; }
+};
+
+/// Snapshot of the calling thread's pool counters.
+PacketPoolStats packet_pool_stats();
+
+/// A network-layer packet: a cheap handle onto a pooled, intrusively
+/// refcounted `PacketBody`.
+///
+/// Copying a Packet is a refcount bump — broadcast fan-out to k
+/// receivers, interface-queue inserts, MAC retry buffers, in-flight
+/// channel records, and trace records all share one body.  Reads go
+/// through the const accessors; writes go through the `mutable_*`
+/// accessors, which clone the body first iff other handles still
+/// reference it.  The common forwarding chain therefore deep-copies at
+/// most once per mutating hop and never on delivery.
+///
+/// The body pool is thread-local: a packet must be created, used, and
+/// released on one thread.  The harness runs each scenario on a single
+/// thread, so this costs nothing and needs no atomics.
+class Packet {
+ public:
+  Packet() = default;  ///< empty handle; a body is acquired on first write
+
+  Packet(const Packet& other) : body_(other.body_), gen_(other.gen_) {
+    if (body_ != nullptr) ++body_->refcount;
+  }
+
+  Packet(Packet&& other) noexcept : body_(other.body_), gen_(other.gen_) {
+    other.body_ = nullptr;
+  }
+
+  Packet& operator=(const Packet& other) {
+    if (this != &other) {
+      reset();
+      body_ = other.body_;
+      gen_ = other.gen_;
+      if (body_ != nullptr) ++body_->refcount;
+    }
+    return *this;
+  }
+
+  Packet& operator=(Packet&& other) noexcept {
+    if (this != &other) {
+      reset();
+      body_ = other.body_;
+      gen_ = other.gen_;
+      other.body_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~Packet() { reset(); }
+
+  /// Drops this handle's reference; the body returns to the pool when
+  /// the last handle lets go.
+  void reset();
+
+  [[nodiscard]] bool has_body() const { return body_ != nullptr; }
+
+  // --- read access (shared body, never copies) -------------------------
+  [[nodiscard]] const CommonHeader& common() const {
+    return checked().common;
+  }
+  [[nodiscard]] bool has_tcp() const {
+    return body_ != nullptr && checked().tcp.has_value();
+  }
+  [[nodiscard]] const TcpHeader& tcp() const { return *checked().tcp; }
+  [[nodiscard]] const RoutingHeader& routing() const {
+    return checked().routing;
+  }
+
+  // --- write access (copy-on-write) ------------------------------------
+  [[nodiscard]] CommonHeader& mutable_common() { return own().common; }
+  /// Creates the TCP header if absent.
+  [[nodiscard]] TcpHeader& mutable_tcp() {
+    PacketBody& b = own();
+    if (!b.tcp.has_value()) b.tcp.emplace();
+    return *b.tcp;
+  }
+  [[nodiscard]] RoutingHeader& mutable_routing() { return own().routing; }
+
   /// Total on-wire bytes above the MAC layer (headers + payload); this is
   /// what the MAC serializes at the PHY rate.
   [[nodiscard]] std::uint32_t wire_bytes() const {
-    std::uint32_t n = kCommonHeaderBytes + common.payload_bytes;
-    if (tcp.has_value()) n += kTcpHeaderBytes;
-    n += routing_header_bytes(routing);
+    const PacketBody& b = checked();
+    std::uint32_t n = kCommonHeaderBytes + b.common.payload_bytes;
+    if (b.tcp.has_value()) n += kTcpHeaderBytes;
+    n += routing_header_bytes(b.routing);
     return n;
   }
 
-  [[nodiscard]] PacketKind kind() const { return common.kind; }
-  [[nodiscard]] bool is_control() const { return is_routing_control(common.kind); }
+  [[nodiscard]] PacketKind kind() const { return checked().common.kind; }
+  [[nodiscard]] bool is_control() const {
+    return is_routing_control(kind());
+  }
 
   /// One-line rendering for traces and test diagnostics.
   [[nodiscard]] std::string summary() const;
+
+  // --- introspection (tests) -------------------------------------------
+  [[nodiscard]] std::uint32_t ref_count() const {
+    return body_ == nullptr ? 0 : checked().refcount;
+  }
+  [[nodiscard]] bool unique() const { return ref_count() == 1; }
+
+ private:
+  [[nodiscard]] const PacketBody& checked() const {
+    sim::require(body_ != nullptr, "Packet: read through an empty handle");
+    sim::require(body_->generation == gen_,
+                 "Packet: stale handle (body was recycled)");
+    return *body_;
+  }
+  /// Returns a body this handle exclusively owns: acquires a fresh one
+  /// when empty, clones first when shared.
+  PacketBody& own();
+
+  PacketBody* body_ = nullptr;
+  std::uint32_t gen_ = 0;
 };
 
 /// Allocates unique packet ids within one simulation.

@@ -65,7 +65,7 @@ std::size_t PriQueue::drain_next_hop(
 std::size_t PriQueue::drain_dst(NodeId dst,
                                 const std::function<void(QueueItem&&)>& sink) {
   auto pred = [dst](const QueueItem& i) {
-    return !i.packet.is_control() && i.packet.common.dst == dst;
+    return !i.packet.is_control() && i.packet.common().dst == dst;
   };
   return drain_if(data_, pred, sink);
 }

@@ -1,0 +1,236 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <iterator>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace mts::net {
+
+/// Vector with inline storage for the first `N` elements, falling back
+/// to the heap only beyond that.
+///
+/// Route records (DSR source routes, MTS node lists, AODV RERR entries)
+/// are bounded by the network diameter and almost always fit a handful
+/// of entries, yet as `std::vector`s every header copy was a heap
+/// round-trip.  With inline capacity sized to the common path length,
+/// copying a routing header — including the copy-on-write clones of the
+/// packet plane — touches no allocator at all.
+///
+/// Restricted to trivially copyable element types: relocation and copy
+/// are `memcpy`, which is what makes the inline buffer free.
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec requires trivially copyable elements");
+  static_assert(N > 0, "SmallVec needs nonzero inline capacity");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using reverse_iterator = std::reverse_iterator<iterator>;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  SmallVec() = default;
+
+  SmallVec(std::initializer_list<T> init) {
+    copy_from(init.begin(), init.size());
+  }
+
+  template <typename It>
+  SmallVec(It first, It last) {
+    assign(first, last);
+  }
+
+  SmallVec(const SmallVec& other) { copy_from(other.data_, other.size_); }
+
+  SmallVec(SmallVec&& other) noexcept { steal(other); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) copy_from(other.data_, other.size_);
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      release_heap();
+      steal(other);
+    }
+    return *this;
+  }
+
+  SmallVec& operator=(std::initializer_list<T> init) {
+    copy_from(init.begin(), init.size());
+    return *this;
+  }
+
+  ~SmallVec() { release_heap(); }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+  static constexpr std::size_t inline_capacity() { return N; }
+  /// True when the elements spilled to the heap (tests / diagnostics).
+  [[nodiscard]] bool on_heap() const { return data_ != inline_data(); }
+
+  [[nodiscard]] T* data() { return data_; }
+  [[nodiscard]] const T* data() const { return data_; }
+  [[nodiscard]] iterator begin() { return data_; }
+  [[nodiscard]] iterator end() { return data_ + size_; }
+  [[nodiscard]] const_iterator begin() const { return data_; }
+  [[nodiscard]] const_iterator end() const { return data_ + size_; }
+  [[nodiscard]] const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  [[nodiscard]] const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  /// Trivial elements: shrink drops the tail, growth value-initializes.
+  void resize(std::size_t n) {
+    if (n > size_) {
+      reserve(n);
+      std::memset(static_cast<void*>(data_ + size_), 0,
+                  (n - size_) * sizeof(T));
+    }
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  void push_back(const T& v) {
+    // Copy before any reallocation: like std::vector, `v` may alias an
+    // element of this container (v.push_back(v.front())).
+    const T copy = v;
+    if (size_ == cap_) grow(cap_ * 2);
+    data_[size_++] = copy;
+  }
+
+  void pop_back() { --size_; }
+
+  /// Inserts `v` before `pos`; returns an iterator to the new element.
+  /// As with push_back, `v` may alias an element of this container.
+  iterator insert(const_iterator pos, const T& v) {
+    const T copy = v;
+    const std::size_t at = static_cast<std::size_t>(pos - data_);
+    if (size_ == cap_) grow(cap_ * 2);
+    std::memmove(static_cast<void*>(data_ + at + 1),
+                 static_cast<const void*>(data_ + at),
+                 (size_ - at) * sizeof(T));
+    data_[at] = copy;
+    ++size_;
+    return data_ + at;
+  }
+
+  /// Inserts `[first, last)` before `pos` (any forward iterator).  Like
+  /// std::vector's range insert, the range must not point into *this*.
+  template <typename It>
+  iterator insert(const_iterator pos, It first, It last) {
+    const std::size_t at = static_cast<std::size_t>(pos - data_);
+    const std::size_t n = static_cast<std::size_t>(std::distance(first, last));
+    if (size_ + n > cap_) grow(size_ + n);
+    std::memmove(static_cast<void*>(data_ + at + n),
+                 static_cast<const void*>(data_ + at),
+                 (size_ - at) * sizeof(T));
+    std::copy(first, last, data_ + at);
+    size_ += static_cast<std::uint32_t>(n);
+    return data_ + at;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  [[nodiscard]] T* inline_data() {
+    return reinterpret_cast<T*>(inline_storage_);
+  }
+  [[nodiscard]] const T* inline_data() const {
+    return reinterpret_cast<const T*>(inline_storage_);
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    for (It it = first; it != last; ++it) push_back(*it);
+  }
+
+  /// Bulk replace from a contiguous source (copy ctor/assign, init
+  /// lists): one capacity check + one memcpy, no per-element branches.
+  void copy_from(const T* src, std::size_t n) {
+    if (n > cap_) grow(n);
+    if (n != 0) {
+      std::memcpy(static_cast<void*>(data_), static_cast<const void*>(src),
+                  n * sizeof(T));
+    }
+    size_ = static_cast<std::uint32_t>(n);
+  }
+
+  void steal(SmallVec& other) noexcept {
+    if (other.on_heap()) {
+      data_ = other.data_;
+      cap_ = other.cap_;
+      size_ = other.size_;
+      other.data_ = other.inline_data();
+      other.cap_ = N;
+      other.size_ = 0;
+    } else {
+      data_ = inline_data();
+      cap_ = N;
+      size_ = other.size_;
+      std::memcpy(static_cast<void*>(data_),
+                  static_cast<const void*>(other.data_),
+                  size_ * sizeof(T));
+      other.size_ = 0;
+    }
+  }
+
+  void grow(std::size_t want) {
+    const std::size_t cap = std::max<std::size_t>(want, cap_ * 2);
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T)));
+    std::memcpy(static_cast<void*>(fresh), static_cast<const void*>(data_),
+                size_ * sizeof(T));
+    release_heap();
+    data_ = fresh;
+    cap_ = static_cast<std::uint32_t>(cap);
+  }
+
+  void release_heap() {
+    if (on_heap()) ::operator delete(data_);
+  }
+
+  alignas(T) unsigned char inline_storage_[N * sizeof(T)];
+  T* data_ = inline_data();
+  std::uint32_t size_ = 0;
+  std::uint32_t cap_ = N;
+};
+
+/// Cross-container equality, so tests and callers can compare route
+/// records against plain vectors without conversions.
+template <typename T, std::size_t N>
+bool operator==(const SmallVec<T, N>& a, const std::vector<T>& b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+template <typename T, std::size_t N>
+bool operator==(const std::vector<T>& a, const SmallVec<T, N>& b) {
+  return b == a;
+}
+
+}  // namespace mts::net

@@ -29,7 +29,10 @@ struct TraceRecord {
   sim::Time at;
   NodeId node = kNoNode;
   TraceOp op = TraceOp::kOriginate;
-  Packet packet;      ///< copy at the time of the event
+  /// Shared handle onto the packet at the time of the event: emission is
+  /// a refcount bump, and copy-on-write guarantees the body a sink sees
+  /// (or stores) is never perturbed by later forwarding mutations.
+  Packet packet;
   std::string note;   ///< drop reason, chosen path, ...
 };
 
@@ -46,8 +49,10 @@ class TraceHub {
     for (const auto& s : sinks_) s(rec);
   }
 
-  /// Convenience: emit only when someone listens (callers avoid building
-  /// the record otherwise).
+  /// Convenience: emit only when someone listens.  Build the whole
+  /// record inside `make` — packet handle, note string, any
+  /// `summary()` rendering — so an unsubscribed hub costs one branch
+  /// and zero allocations per call site.
   template <typename MakeRecord>
   void emit_lazy(MakeRecord&& make) const {
     if (active()) emit(make());

@@ -55,8 +55,9 @@ void Channel::transmit(net::NodeId sender, const Frame& frame,
     // clamped below 1 m to keep it finite.
     const double p = std::pow(std::max(d, 1.0), -4.0);
     const sim::Time delay = propagation_delay(d);
-    // Copy the frame per receiver into a pooled in-flight record: each
-    // radio owns its reception, but the delivery closure stays two
+    // Park the frame per receiver in a pooled in-flight record: the
+    // payload body is shared (refcount bump, no deep copy even for a
+    // k-receiver broadcast), and the delivery closure stays two
     // pointers wide (no per-packet allocation).
     const std::uint32_t slot = acquire_rx_slot();
     PendingRx& pr = rx_pool_[slot];
@@ -88,14 +89,15 @@ std::uint32_t Channel::acquire_rx_slot() {
 void Channel::deliver_rx(std::uint32_t slot) {
   // Move the frame out before handing it over: begin_reception may kick
   // off activity that grows the pool and would invalidate a reference.
+  // The moved-from slot holds no payload reference, so a recycled slot
+  // never pins a packet body (which would both delay its return to the
+  // body pool and force spurious CoW clones downstream).
   Frame frame = std::move(rx_pool_[slot].frame);
   Radio* radio = rx_pool_[slot].radio;
   const sim::Time airtime = rx_pool_[slot].airtime;
   const bool decodable = rx_pool_[slot].decodable;
   const double power = rx_pool_[slot].power;
   radio->begin_reception(frame, airtime, decodable, power);
-  // Hand the buffers back so the slot's next occupant reuses them.
-  rx_pool_[slot].frame = std::move(frame);
   rx_pool_[slot].next_free = rx_free_;
   rx_free_ = slot;
 }
@@ -104,9 +106,22 @@ std::vector<net::NodeId> Channel::neighbors_of(net::NodeId id,
                                                sim::Time t) const {
   std::vector<net::NodeId> out;
   const mobility::Vec2 p = position_of(id, t);
-  for (net::NodeId other = 0; other < entries_.size(); ++other) {
-    if (other == id) continue;
+  const auto consider = [&](net::NodeId other) {
+    if (other == id) return;
     if (prop_->in_range(p, position_of(other, t))) out.push_back(other);
+  };
+  if (index_ != nullptr) {
+    // The grid returns a superset (snapshot positions + staleness
+    // margin) in bucket order; re-filter with exact positions and sort
+    // so callers see the same ascending ids as the O(N) scan.
+    for (net::NodeId other : index_->candidates(p, prop_->max_range(), t)) {
+      consider(other);
+    }
+    std::sort(out.begin(), out.end());
+  } else {
+    for (net::NodeId other = 0; other < entries_.size(); ++other) {
+      consider(other);
+    }
   }
   return out;
 }

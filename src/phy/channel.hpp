@@ -62,7 +62,9 @@ class Channel {
   [[nodiscard]] std::size_t node_count() const { return entries_.size(); }
   [[nodiscard]] double decode_range() const { return prop_->max_range(); }
 
-  /// Nodes within decode range of `id` at time `t` (exact, not cached).
+  /// Nodes within decode range of `id` at time `t`, ascending.  Exact:
+  /// the spatial index (when built) only pre-filters candidates, which
+  /// are then re-checked against live positions.
   [[nodiscard]] std::vector<net::NodeId> neighbors_of(net::NodeId id,
                                                       sim::Time t) const;
 
@@ -72,10 +74,11 @@ class Channel {
     const mobility::MobilityModel* mobility;
   };
 
-  /// An in-flight per-receiver frame copy, pooled so the propagation
+  /// An in-flight per-receiver frame record, pooled so the propagation
   /// delivery event captures only {this, slot} — the per-packet fan-out
-  /// never builds a Frame-sized closure, and recycled slots reuse the
-  /// payload's header buffers.
+  /// never builds a Frame-sized closure.  The frame's payload handle
+  /// shares the transmitted packet body; delivery clears it so recycled
+  /// slots never pin a body in the packet pool.
   struct PendingRx {
     Frame frame;
     Radio* radio = nullptr;

@@ -15,8 +15,9 @@ enum class FrameType : std::uint8_t { kData, kAck, kRts, kCts };
 const char* frame_type_name(FrameType t);
 
 /// The unit the radio transmits: a MAC frame, possibly wrapping a
-/// network-layer packet.  Value type — broadcast fan-out copies it per
-/// receiver.
+/// network-layer packet.  Copying a Frame copies a few plain fields and
+/// bumps the payload body's refcount — broadcast fan-out to k receivers
+/// shares one packet body instead of deep-copying it k times.
 struct Frame {
   FrameType type = FrameType::kData;
   net::NodeId transmitter = net::kNoNode;
@@ -25,9 +26,9 @@ struct Frame {
   std::uint16_t seq = 0;        ///< MAC sequence (duplicate detection)
   bool retry = false;
   sim::Time nav;                ///< medium reservation beyond frame end
-  bool has_payload = false;
-  net::Packet payload;          ///< valid iff has_payload
+  net::Packet payload;          ///< shared handle; empty for ACK/RTS/CTS
 
+  [[nodiscard]] bool has_payload() const { return payload.has_body(); }
   [[nodiscard]] bool is_broadcast() const {
     return receiver == net::kBroadcastId;
   }

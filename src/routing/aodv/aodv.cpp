@@ -100,7 +100,7 @@ void Aodv::purge_expired() {
 // ---------------------------------------------------------------------------
 
 void Aodv::send_from_transport(Packet packet) {
-  const NodeId dst = packet.common.dst;
+  const NodeId dst = packet.common().dst;
   if (dst == self()) {
     ctx_.deliver(std::move(packet), self());
     return;
@@ -134,13 +134,14 @@ void Aodv::send_rreq(NodeId dst) {
     h.dst_seq_known = true;
   }
   Packet p;
-  p.common.kind = PacketKind::kAodvRreq;
-  p.common.src = self();
-  p.common.dst = net::kBroadcastId;
-  p.common.ttl = cfg_.net_diameter_ttl;
-  p.common.uid = ctx_.uids->next();
-  p.common.originated = now();
-  p.routing = h;
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kAodvRreq;
+  common.src = self();
+  common.dst = net::kBroadcastId;
+  common.ttl = cfg_.net_diameter_ttl;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = h;
   rreq_seen_.check_and_insert(self(), h.rreq_id);  // don't accept our own flood
   send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/true);
 
@@ -181,7 +182,7 @@ void Aodv::flush_buffer(NodeId dst) {
 // ---------------------------------------------------------------------------
 
 void Aodv::receive_from_mac(Packet packet, NodeId from) {
-  switch (packet.common.kind) {
+  switch (packet.common().kind) {
     case PacketKind::kAodvRreq: handle_rreq(std::move(packet), from); return;
     case PacketKind::kAodvRrep: handle_rrep(std::move(packet), from); return;
     case PacketKind::kAodvRerr: handle_rerr(std::move(packet), from); return;
@@ -194,15 +195,18 @@ void Aodv::receive_from_mac(Packet packet, NodeId from) {
 }
 
 void Aodv::handle_rreq(Packet&& p, NodeId from) {
-  auto& h = std::get<AodvRreqHeader>(p.routing);
+  const auto& h = std::get<AodvRreqHeader>(p.routing());
   if (h.orig == self()) return;  // our own flood echoed back
   if (!rreq_seen_.check_and_insert(h.orig, h.rreq_id)) {
     drop(p, net::DropReason::kDuplicate);
     return;
   }
-  ++h.hop_count;
+  // One hop further from the originator; written back to the header only
+  // on the forwarding tail, so terminal handling never mutates (and the
+  // shared packet body never clones) here.
+  const auto hop_count = static_cast<std::uint8_t>(h.hop_count + 1);
   // Reverse route toward the originator through `from`.
-  update_route(h.orig, from, h.hop_count, h.orig_seq, /*seq_known=*/true,
+  update_route(h.orig, from, hop_count, h.orig_seq, /*seq_known=*/true,
                cfg_.active_route_timeout);
   if (from != h.orig) {
     update_route(from, from, 1, 0, /*seq_known=*/false,
@@ -221,11 +225,12 @@ void Aodv::handle_rreq(Packet&& p, NodeId from) {
       return;
     }
   }
-  if (p.common.ttl <= 1) {
+  if (p.common().ttl <= 1) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  --p.common.ttl;
+  --p.mutable_common().ttl;
+  std::get<AodvRreqHeader>(p.mutable_routing()).hop_count = hop_count;
   rebroadcast_jittered(std::move(p), rng_);
 }
 
@@ -239,13 +244,14 @@ void Aodv::send_rrep_as_destination(const AodvRreqHeader& req) {
   h.hop_count = 0;
   h.lifetime = cfg_.active_route_timeout;
   Packet p;
-  p.common.kind = PacketKind::kAodvRrep;
-  p.common.src = self();
-  p.common.dst = req.orig;
-  p.common.ttl = cfg_.net_diameter_ttl;
-  p.common.uid = ctx_.uids->next();
-  p.common.originated = now();
-  p.routing = h;
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kAodvRrep;
+  common.src = self();
+  common.dst = req.orig;
+  common.ttl = cfg_.net_diameter_ttl;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = h;
   RouteEntry* back = find_valid(req.orig);
   if (back == nullptr) return;  // reverse route vanished already
   send_to_mac(std::move(p), back->next_hop, /*originated_here=*/true);
@@ -260,23 +266,24 @@ void Aodv::send_rrep_from_route(const AodvRreqHeader& req,
   h.hop_count = route.hop_count;
   h.lifetime = route.expires - now();
   Packet p;
-  p.common.kind = PacketKind::kAodvRrep;
-  p.common.src = self();
-  p.common.dst = req.orig;
-  p.common.ttl = cfg_.net_diameter_ttl;
-  p.common.uid = ctx_.uids->next();
-  p.common.originated = now();
-  p.routing = h;
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kAodvRrep;
+  common.src = self();
+  common.dst = req.orig;
+  common.ttl = cfg_.net_diameter_ttl;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = h;
   RouteEntry* back = find_valid(req.orig);
   if (back == nullptr) return;
   send_to_mac(std::move(p), back->next_hop, /*originated_here=*/true);
 }
 
 void Aodv::handle_rrep(Packet&& p, NodeId from) {
-  auto& h = std::get<AodvRrepHeader>(p.routing);
-  ++h.hop_count;
+  const auto& h = std::get<AodvRrepHeader>(p.routing());
+  const auto hop_count = static_cast<std::uint8_t>(h.hop_count + 1);
   // Forward route to the destination through `from`.
-  update_route(h.dst, from, h.hop_count, h.dst_seq, /*seq_known=*/true,
+  update_route(h.dst, from, hop_count, h.dst_seq, /*seq_known=*/true,
                h.lifetime);
   if (from != h.dst) {
     update_route(from, from, 1, 0, false, cfg_.active_route_timeout);
@@ -285,23 +292,26 @@ void Aodv::handle_rrep(Packet&& p, NodeId from) {
     flush_buffer(h.dst);
     return;
   }
-  RouteEntry* back = find_valid(h.orig);
+  const NodeId orig = h.orig;
+  RouteEntry* back = find_valid(orig);
   if (back == nullptr) {
     drop(p, net::DropReason::kNoRoute);
     return;
   }
-  if (p.common.ttl <= 1) {
+  if (p.common().ttl <= 1) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  --p.common.ttl;
-  refresh(h.orig);
+  // Mutating tail (`h` refers to the pre-clone body; do not use it).
+  --p.mutable_common().ttl;
+  std::get<AodvRrepHeader>(p.mutable_routing()).hop_count = hop_count;
+  refresh(orig);
   send_to_mac(std::move(p), back->next_hop, /*originated_here=*/false);
 }
 
 void Aodv::handle_rerr(Packet&& p, NodeId from) {
-  const auto& h = std::get<AodvRerrHeader>(p.routing);
-  std::vector<AodvRerrHeader::Unreachable> propagate;
+  const auto& h = std::get<AodvRerrHeader>(p.routing());
+  AodvRerrHeader::List propagate;
   for (const auto& u : h.unreachable) {
     auto it = routes_.find(u.dst);
     if (it == routes_.end() || !it->second.valid) continue;
@@ -314,48 +324,49 @@ void Aodv::handle_rerr(Packet&& p, NodeId from) {
 }
 
 void Aodv::handle_data(Packet&& p, NodeId from) {
-  refresh(p.common.src);
-  if (from != p.common.src) refresh(from);
-  if (p.common.dst == self()) {
+  refresh(p.common().src);
+  if (from != p.common().src) refresh(from);
+  if (p.common().dst == self()) {
     trace(net::TraceOp::kDeliver, p);
     ctx_.deliver(std::move(p), from);
     return;
   }
-  if (p.common.ttl <= 1) {
+  if (p.common().ttl <= 1) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  --p.common.ttl;
-  if (RouteEntry* e = find_valid(p.common.dst)) {
-    refresh(p.common.dst);
+  if (RouteEntry* e = find_valid(p.common().dst)) {
+    refresh(p.common().dst);
+    --p.mutable_common().ttl;
     send_to_mac(std::move(p), e->next_hop, /*originated_here=*/false);
     return;
   }
   // No route at an intermediate node: report upstream, drop the packet.
-  auto it = routes_.find(p.common.dst);
+  auto it = routes_.find(p.common().dst);
   const std::uint32_t seq = it != routes_.end() ? it->second.dst_seq + 1 : 1;
-  send_rerr({AodvRerrHeader::Unreachable{p.common.dst, seq}});
+  send_rerr({AodvRerrHeader::Unreachable{p.common().dst, seq}});
   drop(p, net::DropReason::kNoRoute);
 }
 
-void Aodv::send_rerr(std::vector<AodvRerrHeader::Unreachable> lost) {
+void Aodv::send_rerr(AodvRerrHeader::List lost) {
   AodvRerrHeader h;
   h.unreachable = std::move(lost);
   Packet p;
-  p.common.kind = PacketKind::kAodvRerr;
-  p.common.src = self();
-  p.common.dst = net::kBroadcastId;
-  p.common.ttl = 1;  // RERRs travel hop by hop, re-issued by each upstream
-  p.common.uid = ctx_.uids->next();
-  p.common.originated = now();
-  p.routing = h;
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kAodvRerr;
+  common.src = self();
+  common.dst = net::kBroadcastId;
+  common.ttl = 1;  // RERRs travel hop by hop, re-issued by each upstream
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = std::move(h);
   send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/true);
 }
 
 void Aodv::on_link_failure(const Packet& packet, NodeId next_hop) {
   // Invalidate every route through the dead hop and collect them for the
   // RERR (RFC 3561 §6.11).
-  std::vector<AodvRerrHeader::Unreachable> lost;
+  AodvRerrHeader::List lost;
   for (auto& [dst, e] : routes_) {
     if (e.valid && e.next_hop == next_hop) {
       e.valid = false;
@@ -369,7 +380,7 @@ void Aodv::on_link_failure(const Packet& packet, NodeId next_hop) {
   // failure kills a whole in-flight TCP window and stalls Reno for an
   // RTO — ns-2's AODV repairs locally for exactly this reason.
   auto rescue = [this](Packet&& p) {
-    if (p.common.ttl <= 1) {
+    if (p.common().ttl <= 1) {
       drop(p, net::DropReason::kTtlExpired);
       return;
     }
@@ -379,13 +390,13 @@ void Aodv::on_link_failure(const Packet& packet, NodeId next_hop) {
       drop(p, net::DropReason::kNoRoute);
       return;
     }
-    const NodeId dst = p.common.dst;
+    const NodeId dst = p.common().dst;
     if (RouteEntry* e = find_valid(dst)) {
       refresh(dst);
       ctx_.mac->enqueue(std::move(p), e->next_hop);
       return;
     }
-    if (p.common.src != self() && !cfg_.local_repair) {
+    if (p.common().src != self() && !cfg_.local_repair) {
       // Plain RFC behaviour: intermediates drop; the RERR below tells
       // the source to re-discover.
       drop(p, net::DropReason::kNoRoute);

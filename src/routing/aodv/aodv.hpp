@@ -78,7 +78,7 @@ class Aodv final : public RoutingProtocol {
   void send_rrep_as_destination(const net::AodvRreqHeader& req);
   void send_rrep_from_route(const net::AodvRreqHeader& req,
                             const RouteEntry& route);
-  void send_rerr(std::vector<net::AodvRerrHeader::Unreachable> lost);
+  void send_rerr(net::AodvRerrHeader::List lost);
   void flush_buffer(net::NodeId dst);
 
   /// Installs/updates a route if the new information is fresher (higher

@@ -17,7 +17,7 @@ namespace {
 
 /// True when `path` visits any node twice — reply-from-cache must never
 /// create such a route.
-bool has_loop(const std::vector<NodeId>& path) {
+bool has_loop(const net::RouteVec& path) {
   std::unordered_set<NodeId> seen;
   for (NodeId n : path) {
     if (!seen.insert(n).second) return true;
@@ -51,13 +51,13 @@ void Dsr::purge() {
 // ---------------------------------------------------------------------------
 
 bool Dsr::route_and_send(Packet&& p, bool originated_here) {
-  auto route = cache_.find(p.common.dst, now());
+  auto route = cache_.find(p.common().dst, now());
   if (!route.has_value()) return false;
   DsrSourceRoute sr;
   sr.route = std::move(*route);
   sr.index = 0;
   const NodeId next = sr.route[1];
-  p.routing = std::move(sr);
+  p.mutable_routing() = std::move(sr);
   if (originated_here) {
     ctx_.mac->enqueue(std::move(p), next);
   } else {
@@ -67,7 +67,7 @@ bool Dsr::route_and_send(Packet&& p, bool originated_here) {
 }
 
 void Dsr::send_from_transport(Packet packet) {
-  const NodeId dst = packet.common.dst;
+  const NodeId dst = packet.common().dst;
   if (dst == self()) {
     ctx_.deliver(std::move(packet), self());
     return;
@@ -93,13 +93,14 @@ void Dsr::send_rreq(NodeId dst) {
   h.orig = self();
   h.target = dst;
   Packet p;
-  p.common.kind = PacketKind::kDsrRreq;
-  p.common.src = self();
-  p.common.dst = net::kBroadcastId;
-  p.common.ttl = cfg_.max_route_len;
-  p.common.uid = ctx_.uids->next();
-  p.common.originated = now();
-  p.routing = h;
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kDsrRreq;
+  common.src = self();
+  common.dst = net::kBroadcastId;
+  common.ttl = cfg_.max_route_len;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = h;
   rreq_seen_.check_and_insert(self(), h.rreq_id);
   send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/true);
 
@@ -141,7 +142,7 @@ void Dsr::flush_buffer(NodeId dst) {
 // ---------------------------------------------------------------------------
 
 void Dsr::receive_from_mac(Packet packet, NodeId from) {
-  switch (packet.common.kind) {
+  switch (packet.common().kind) {
     case PacketKind::kDsrRreq: handle_rreq(std::move(packet), from); return;
     case PacketKind::kDsrRrep: handle_rrep(std::move(packet), from); return;
     case PacketKind::kDsrRerr: handle_rerr(std::move(packet), from); return;
@@ -154,7 +155,7 @@ void Dsr::receive_from_mac(Packet packet, NodeId from) {
 }
 
 void Dsr::handle_rreq(Packet&& p, NodeId from) {
-  auto& h = std::get<DsrRreqHeader>(p.routing);
+  const auto& h = std::get<DsrRreqHeader>(p.routing());
   if (h.orig == self()) return;
   if (!rreq_seen_.check_and_insert(h.orig, h.rreq_id)) {
     drop(p, net::DropReason::kDuplicate);
@@ -164,7 +165,7 @@ void Dsr::handle_rreq(Packet&& p, NodeId from) {
   // Cache the reverse route we just learned (links are bidirectional in
   // the unit-disk world, as they were in the paper's 802.11 setup).
   {
-    std::vector<NodeId> back{self()};
+    net::RouteVec back{self()};
     for (auto it = h.record.rbegin(); it != h.record.rend(); ++it)
       back.push_back(*it);
     back.push_back(h.orig);
@@ -184,17 +185,19 @@ void Dsr::handle_rreq(Packet&& p, NodeId from) {
       return;
     }
   }
-  if (p.common.ttl <= 1 || h.record.size() >= cfg_.max_route_len) {
+  if (p.common().ttl <= 1 || h.record.size() >= cfg_.max_route_len) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  --p.common.ttl;
-  h.record.push_back(self());
+  // Mutating tail: TTL first, then one unique-body grab for the record
+  // append (`h` refers to the pre-clone body from here on; do not use it).
+  --p.mutable_common().ttl;
+  std::get<DsrRreqHeader>(p.mutable_routing()).record.push_back(self());
   rebroadcast_jittered(std::move(p), rng_);
 }
 
 void Dsr::reply_as_target(const DsrRreqHeader& h) {
-  std::vector<NodeId> full;
+  net::RouteVec full;
   full.reserve(h.record.size() + 2);
   full.push_back(h.orig);
   full.insert(full.end(), h.record.begin(), h.record.end());
@@ -203,9 +206,9 @@ void Dsr::reply_as_target(const DsrRreqHeader& h) {
 }
 
 void Dsr::reply_from_cache(const DsrRreqHeader& h,
-                           const std::vector<NodeId>& suffix) {
+                           const net::RouteVec& suffix) {
   // Splice: orig .. record .. self .. cached-suffix(to target).
-  std::vector<NodeId> full;
+  net::RouteVec full;
   full.push_back(h.orig);
   full.insert(full.end(), h.record.begin(), h.record.end());
   // suffix starts at self.
@@ -214,7 +217,7 @@ void Dsr::reply_from_cache(const DsrRreqHeader& h,
   send_rrep(std::move(full));
 }
 
-void Dsr::send_rrep(std::vector<NodeId> full_route) {
+void Dsr::send_rrep(net::RouteVec full_route) {
   DsrRrepHeader h;
   h.orig = full_route.front();
   h.target = full_route.back();
@@ -228,27 +231,28 @@ void Dsr::send_rrep(std::vector<NodeId> full_route) {
   h.hops_done = static_cast<std::uint16_t>(my_idx - 1);
   const NodeId next = h.route[my_idx - 1];
   Packet p;
-  p.common.kind = PacketKind::kDsrRrep;
-  p.common.src = self();
-  p.common.dst = h.orig;
-  p.common.ttl = cfg_.max_route_len;
-  p.common.uid = ctx_.uids->next();
-  p.common.originated = now();
-  p.routing = std::move(h);
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kDsrRrep;
+  common.src = self();
+  common.dst = h.orig;
+  common.ttl = cfg_.max_route_len;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = std::move(h);
   send_to_mac(std::move(p), next, /*originated_here=*/true);
 }
 
 void Dsr::handle_rrep(Packet&& p, NodeId from) {
   (void)from;
-  auto& h = std::get<DsrRrepHeader>(p.routing);
+  const auto& h = std::get<DsrRrepHeader>(p.routing());
   const std::size_t pos = h.hops_done;
   if (pos >= h.route.size() || h.route[pos] != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
   // Every node the RREP passes learns the route suffix to the target.
-  cache_.add(std::vector<NodeId>(h.route.begin() + static_cast<std::ptrdiff_t>(pos),
-                                 h.route.end()),
+  cache_.add(net::RouteVec(h.route.begin() + static_cast<std::ptrdiff_t>(pos),
+                           h.route.end()),
              now());
   if (h.orig == self()) {
     flush_buffer(h.target);
@@ -258,32 +262,32 @@ void Dsr::handle_rrep(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  h.hops_done = static_cast<std::uint16_t>(pos - 1);
-  const NodeId next = h.route[pos - 1];
+  auto& hm = std::get<DsrRrepHeader>(p.mutable_routing());
+  hm.hops_done = static_cast<std::uint16_t>(pos - 1);
+  const NodeId next = hm.route[pos - 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
 void Dsr::handle_data(Packet&& p, NodeId from) {
-  if (p.common.dst == self()) {
+  if (p.common().dst == self()) {
     // Learn the reverse route for our ACKs.
-    if (auto* sr = std::get_if<DsrSourceRoute>(&p.routing)) {
-      std::vector<NodeId> back(sr->route.rbegin(), sr->route.rend());
+    if (const auto* sr = std::get_if<DsrSourceRoute>(&p.routing())) {
+      net::RouteVec back(sr->route.rbegin(), sr->route.rend());
       cache_.add(std::move(back), now());
     }
     trace(net::TraceOp::kDeliver, p);
     ctx_.deliver(std::move(p), from);
     return;
   }
-  auto* sr = std::get_if<DsrSourceRoute>(&p.routing);
+  const auto* sr = std::get_if<DsrSourceRoute>(&p.routing());
   if (sr == nullptr) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  if (p.common.ttl <= 1) {
+  if (p.common().ttl <= 1) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  --p.common.ttl;
   // Advance the cursor to our position.
   const std::size_t my_idx = static_cast<std::size_t>(sr->index) + 1;
   if (my_idx >= sr->route.size() || sr->route[my_idx] != self()) {
@@ -294,8 +298,11 @@ void Dsr::handle_data(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);  // route ends before dst
     return;
   }
-  sr->index = static_cast<std::uint16_t>(my_idx);
-  const NodeId next = sr->route[my_idx + 1];
+  // Mutating tail (`sr` refers to the pre-clone body; do not use it).
+  --p.mutable_common().ttl;
+  auto& srm = std::get<DsrSourceRoute>(p.mutable_routing());
+  srm.index = static_cast<std::uint16_t>(my_idx);
+  const NodeId next = srm.route[my_idx + 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
@@ -308,15 +315,13 @@ void Dsr::on_link_failure(const Packet& packet, NodeId next_hop) {
 
   // Tell the source about the broken link (if it is a source-routed data
   // packet and we are not the source).
-  if (const auto* sr = std::get_if<DsrSourceRoute>(&packet.routing)) {
+  if (const auto* sr = std::get_if<DsrSourceRoute>(&packet.routing())) {
     const NodeId src = sr->route.front();
     if (src != self()) {
       // Back path: reverse of the traversed prefix, self .. src.
-      std::vector<NodeId> back;
+      net::RouteVec back{self()};
       for (std::size_t i = sr->index + 1; i-- > 0;) back.push_back(sr->route[i]);
-      std::vector<NodeId> with_self{self()};
-      with_self.insert(with_self.end(), back.begin(), back.end());
-      send_rerr(src, next_hop, std::move(with_self));
+      send_rerr(src, next_hop, std::move(back));
     }
   }
 
@@ -337,16 +342,16 @@ void Dsr::on_link_failure(const Packet& packet, NodeId next_hop) {
 }
 
 bool Dsr::salvage(Packet&& p) {
-  if (p.common.kind != PacketKind::kTcpData &&
-      p.common.kind != PacketKind::kTcpAck) {
+  if (p.common().kind != PacketKind::kTcpData &&
+      p.common().kind != PacketKind::kTcpAck) {
     drop(p, net::DropReason::kNoRoute);
     return false;
   }
-  auto* sr = std::get_if<DsrSourceRoute>(&p.routing);
+  const auto* sr = std::get_if<DsrSourceRoute>(&p.routing());
   const bool already_salvaged = sr != nullptr && sr->salvaged;
-  if (p.common.src == self()) {
+  if (p.common().src == self()) {
     // We originated it: re-route or buffer + rediscover.
-    p.routing = std::monostate{};
+    p.mutable_routing() = std::monostate{};
     send_from_transport(std::move(p));
     return true;
   }
@@ -354,7 +359,7 @@ bool Dsr::salvage(Packet&& p) {
     drop(p, net::DropReason::kNoRoute);
     return false;
   }
-  auto route = cache_.find(p.common.dst, now());
+  auto route = cache_.find(p.common().dst, now());
   if (!route.has_value() || has_loop(*route)) {
     drop(p, net::DropReason::kNoRoute);
     return false;
@@ -364,13 +369,13 @@ bool Dsr::salvage(Packet&& p) {
   fresh.index = 0;
   fresh.salvaged = true;
   const NodeId next = fresh.route[1];
-  p.routing = std::move(fresh);
+  p.mutable_routing() = std::move(fresh);
   send_to_mac(std::move(p), next, /*originated_here=*/false);
   return true;
 }
 
 void Dsr::send_rerr(NodeId notify, NodeId broken_to,
-                    std::vector<NodeId> back_path) {
+                    net::RouteVec back_path) {
   DsrRerrHeader h;
   h.notify = notify;
   h.from = self();
@@ -380,19 +385,20 @@ void Dsr::send_rerr(NodeId notify, NodeId broken_to,
   if (h.back_path.size() < 2) return;  // nowhere to go
   const NodeId next = h.back_path[1];
   Packet p;
-  p.common.kind = PacketKind::kDsrRerr;
-  p.common.src = self();
-  p.common.dst = notify;
-  p.common.ttl = cfg_.max_route_len;
-  p.common.uid = ctx_.uids->next();
-  p.common.originated = now();
-  p.routing = std::move(h);
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kDsrRerr;
+  common.src = self();
+  common.dst = notify;
+  common.ttl = cfg_.max_route_len;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = std::move(h);
   send_to_mac(std::move(p), next, /*originated_here=*/true);
 }
 
 void Dsr::handle_rerr(Packet&& p, NodeId from) {
   (void)from;
-  auto& h = std::get<DsrRerrHeader>(p.routing);
+  const auto& h = std::get<DsrRerrHeader>(p.routing());
   // Everyone who sees the RERR prunes the dead link.
   cache_.remove_link(h.from, h.to);
   if (h.notify == self()) return;  // delivered; future sends re-discover
@@ -405,8 +411,9 @@ void Dsr::handle_rerr(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  h.hops_done = static_cast<std::uint16_t>(my_idx);
-  const NodeId next = h.back_path[my_idx + 1];
+  auto& hm = std::get<DsrRerrHeader>(p.mutable_routing());
+  hm.hops_done = static_cast<std::uint16_t>(my_idx);
+  const NodeId next = hm.back_path[my_idx + 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 

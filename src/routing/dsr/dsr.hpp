@@ -63,11 +63,11 @@ class Dsr final : public RoutingProtocol {
   void discovery_timeout(net::NodeId dst);
   void reply_as_target(const net::DsrRreqHeader& h);
   void reply_from_cache(const net::DsrRreqHeader& h,
-                        const std::vector<net::NodeId>& suffix);
-  void send_rrep(std::vector<net::NodeId> full_route);
+                        const net::RouteVec& suffix);
+  void send_rrep(net::RouteVec full_route);
   void forward_rrep(net::Packet&& p);
   void send_rerr(net::NodeId notify, net::NodeId broken_to,
-                 std::vector<net::NodeId> back_path);
+                 net::RouteVec back_path);
   void forward_rerr(net::Packet&& p);
   void flush_buffer(net::NodeId dst);
   /// Attaches a source route and queues the packet; false if no route.

@@ -4,7 +4,7 @@
 
 namespace mts::routing::dsr {
 
-void RouteCache::add(std::vector<net::NodeId> path, sim::Time now) {
+void RouteCache::add(net::RouteVec path, sim::Time now) {
   if (path.size() < 2) return;
   for (auto& e : paths_) {
     if (e.path == path) {
@@ -23,7 +23,7 @@ void RouteCache::add(std::vector<net::NodeId> path, sim::Time now) {
   paths_.push_back(Entry{std::move(path), now, now});
 }
 
-std::optional<std::vector<net::NodeId>> RouteCache::find(net::NodeId dst,
+std::optional<net::RouteVec> RouteCache::find(net::NodeId dst,
                                                          sim::Time now) const {
   const Entry* best = nullptr;
   for (auto& e : paths_) {
@@ -39,7 +39,7 @@ std::optional<std::vector<net::NodeId>> RouteCache::find(net::NodeId dst,
   const_cast<Entry*>(best)->last_used = now;
   // Trim to the requested destination if it is interior.
   auto it = std::find(best->path.begin(), best->path.end(), dst);
-  return std::vector<net::NodeId>(best->path.begin(), it + 1);
+  return net::RouteVec(best->path.begin(), it + 1);
 }
 
 std::size_t RouteCache::remove_link(net::NodeId from, net::NodeId to) {
@@ -67,8 +67,8 @@ std::size_t RouteCache::remove_link(net::NodeId from, net::NodeId to) {
   return affected;
 }
 
-const std::vector<std::vector<net::NodeId>> RouteCache::snapshot() const {
-  std::vector<std::vector<net::NodeId>> out;
+const std::vector<net::RouteVec> RouteCache::snapshot() const {
+  std::vector<net::RouteVec> out;
   out.reserve(paths_.size());
   for (const auto& e : paths_) out.push_back(e.path);
   return out;

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "net/headers.hpp"
 #include "net/node_id.hpp"
 #include "sim/time.hpp"
 
@@ -24,10 +25,10 @@ class RouteCache {
 
   /// Inserts a path (`self .. dst`, endpoints inclusive).  Duplicate
   /// paths refresh; capacity evicts least-recently-used.
-  void add(std::vector<net::NodeId> path, sim::Time now);
+  void add(net::RouteVec path, sim::Time now);
 
   /// Shortest usable cached path to `dst` (self first, dst last).
-  [[nodiscard]] std::optional<std::vector<net::NodeId>> find(
+  [[nodiscard]] std::optional<net::RouteVec> find(
       net::NodeId dst, sim::Time now) const;
 
   /// Removes/truncates every path using directed link `from -> to`.
@@ -37,11 +38,11 @@ class RouteCache {
   [[nodiscard]] std::size_t size() const { return paths_.size(); }
 
   /// All cached paths (tests / diagnostics).
-  [[nodiscard]] const std::vector<std::vector<net::NodeId>> snapshot() const;
+  [[nodiscard]] const std::vector<net::RouteVec> snapshot() const;
 
  private:
   struct Entry {
-    std::vector<net::NodeId> path;
+    net::RouteVec path;
     sim::Time added;
     sim::Time last_used;
   };

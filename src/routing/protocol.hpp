@@ -72,7 +72,7 @@ class RoutingProtocol {
       // Transport packets originated here are counted by the agent; the
       // relay census (β_i of Eq. 2) counts data packets only, mirroring
       // Pe/Pr which are data-segment counts.
-      packet.common.kind == net::PacketKind::kTcpData ? ++c.forwarded_data
+      packet.common().kind == net::PacketKind::kTcpData ? ++c.forwarded_data
                                                       : ++c.forwarded_ack;
     }
     trace(originated_here ? net::TraceOp::kOriginate : net::TraceOp::kForward,

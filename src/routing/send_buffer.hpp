@@ -36,7 +36,7 @@ class SendBuffer {
   std::vector<net::Packet> take_for(net::NodeId dst) {
     std::vector<net::Packet> out;
     for (auto it = entries_.begin(); it != entries_.end();) {
-      if (it->packet.common.dst == dst) {
+      if (it->packet.common().dst == dst) {
         out.push_back(std::move(it->packet));
         it = entries_.erase(it);
       } else {
@@ -57,7 +57,7 @@ class SendBuffer {
 
   [[nodiscard]] bool has_packet_for(net::NodeId dst) const {
     for (const auto& e : entries_) {
-      if (e.packet.common.dst == dst) return true;
+      if (e.packet.common().dst == dst) return true;
     }
     return false;
   }

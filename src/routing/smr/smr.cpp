@@ -21,8 +21,7 @@ std::uint64_t flood_key(NodeId orig, std::uint32_t id) {
 
 /// Number of shared intermediate nodes — the "maximally disjoint"
 /// selection minimizes this against the first route.
-std::size_t overlap(const std::vector<NodeId>& a,
-                    const std::vector<NodeId>& b) {
+std::size_t overlap(const net::RouteVec& a, const net::RouteVec& b) {
   std::unordered_set<NodeId> interior(a.begin() + 1, a.end() - 1);
   std::size_t n = 0;
   for (std::size_t i = 1; i + 1 < b.size(); ++i) {
@@ -31,7 +30,7 @@ std::size_t overlap(const std::vector<NodeId>& a,
   return n;
 }
 
-bool has_loop(const std::vector<NodeId>& path) {
+bool has_loop(const net::RouteVec& path) {
   std::unordered_set<NodeId> seen;
   for (NodeId n : path) {
     if (!seen.insert(n).second) return true;
@@ -64,7 +63,7 @@ void Smr::start() {
 // ---------------------------------------------------------------------------
 
 bool Smr::stripe_and_send(Packet&& p) {
-  auto it = flows_.find(p.common.dst);
+  auto it = flows_.find(p.common().dst);
   if (it == flows_.end() || it->second.routes.empty()) return false;
   FlowRoutes& fr = it->second;
   const auto& route = fr.routes[fr.next % fr.routes.size()];
@@ -73,13 +72,13 @@ bool Smr::stripe_and_send(Packet&& p) {
   sr.route = route;
   sr.index = 0;
   const NodeId next_hop = route[1];
-  p.routing = std::move(sr);
+  p.mutable_routing() = std::move(sr);
   ctx_.mac->enqueue(std::move(p), next_hop);
   return true;
 }
 
 void Smr::send_from_transport(Packet packet) {
-  const NodeId dst = packet.common.dst;
+  const NodeId dst = packet.common().dst;
   if (dst == self()) {
     ctx_.deliver(std::move(packet), self());
     return;
@@ -91,7 +90,7 @@ void Smr::send_from_transport(Packet packet) {
     sr.route = std::move(*back);
     sr.index = 0;
     const NodeId next_hop = sr.route[1];
-    packet.routing = std::move(sr);
+    packet.mutable_routing() = std::move(sr);
     ctx_.mac->enqueue(std::move(packet), next_hop);
     return;
   }
@@ -117,13 +116,14 @@ void Smr::send_rreq(NodeId dst) {
   h.orig = self();
   h.target = dst;
   Packet p;
-  p.common.kind = PacketKind::kDsrRreq;
-  p.common.src = self();
-  p.common.dst = net::kBroadcastId;
-  p.common.ttl = cfg_.max_route_len;
-  p.common.uid = ctx_.uids->next();
-  p.common.originated = now();
-  p.routing = h;
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kDsrRreq;
+  common.src = self();
+  common.dst = net::kBroadcastId;
+  common.ttl = cfg_.max_route_len;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = h;
   dup_forwards_[flood_key(self(), h.rreq_id)] = cfg_.max_dup_forwards;
   send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/true);
 
@@ -168,7 +168,7 @@ void Smr::flush_buffer(NodeId dst) {
 // ---------------------------------------------------------------------------
 
 void Smr::receive_from_mac(Packet packet, NodeId from) {
-  switch (packet.common.kind) {
+  switch (packet.common().kind) {
     case PacketKind::kDsrRreq: handle_rreq(std::move(packet), from); return;
     case PacketKind::kDsrRrep: handle_rrep(std::move(packet), from); return;
     case PacketKind::kDsrRerr: handle_rerr(std::move(packet), from); return;
@@ -181,14 +181,14 @@ void Smr::receive_from_mac(Packet packet, NodeId from) {
 }
 
 void Smr::handle_rreq(Packet&& p, NodeId from) {
-  auto& h = std::get<DsrRreqHeader>(p.routing);
+  const auto& h = std::get<DsrRreqHeader>(p.routing());
   if (h.orig == self()) return;
   const std::uint64_t key = flood_key(h.orig, h.rreq_id);
 
   if (h.target == self()) {
     // Destination: first copy replies immediately; later copies are
     // collected until the selection window closes (SMR's split step).
-    std::vector<NodeId> full;
+    net::RouteVec full;
     full.push_back(h.orig);
     full.insert(full.end(), h.record.begin(), h.record.end());
     full.push_back(self());
@@ -237,12 +237,14 @@ void Smr::handle_rreq(Packet&& p, NodeId from) {
   if (std::find(h.record.begin(), h.record.end(), self()) != h.record.end()) {
     return;  // already on this record
   }
-  if (p.common.ttl <= 1 || h.record.size() >= cfg_.max_route_len) {
+  if (p.common().ttl <= 1 || h.record.size() >= cfg_.max_route_len) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  --p.common.ttl;
-  h.record.push_back(self());
+  // Mutating tail: TTL first, then one unique-body grab for the record
+  // append (`h` refers to the pre-clone body from here on; do not use it).
+  --p.mutable_common().ttl;
+  std::get<DsrRreqHeader>(p.mutable_routing()).record.push_back(self());
   rebroadcast_jittered(std::move(p), rng_);
 }
 
@@ -265,7 +267,7 @@ void Smr::select_second_route(NodeId orig) {
   send_rrep_for(*best);
 }
 
-void Smr::send_rrep_for(std::vector<NodeId> full_route) {
+void Smr::send_rrep_for(net::RouteVec full_route) {
   DsrRrepHeader h;
   h.orig = full_route.front();
   h.target = full_route.back();
@@ -274,19 +276,20 @@ void Smr::send_rrep_for(std::vector<NodeId> full_route) {
   h.hops_done = static_cast<std::uint16_t>(my_idx - 1);
   const NodeId next = h.route[my_idx - 1];
   Packet p;
-  p.common.kind = PacketKind::kDsrRrep;
-  p.common.src = self();
-  p.common.dst = h.orig;
-  p.common.ttl = cfg_.max_route_len;
-  p.common.uid = ctx_.uids->next();
-  p.common.originated = now();
-  p.routing = std::move(h);
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kDsrRrep;
+  common.src = self();
+  common.dst = h.orig;
+  common.ttl = cfg_.max_route_len;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = std::move(h);
   send_to_mac(std::move(p), next, /*originated_here=*/true);
 }
 
 void Smr::handle_rrep(Packet&& p, NodeId from) {
   (void)from;
-  auto& h = std::get<DsrRrepHeader>(p.routing);
+  const auto& h = std::get<DsrRrepHeader>(p.routing());
   const std::size_t pos = h.hops_done;
   if (pos >= h.route.size() || h.route[pos] != self()) {
     drop(p, net::DropReason::kStaleRoute);
@@ -307,57 +310,60 @@ void Smr::handle_rrep(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  h.hops_done = static_cast<std::uint16_t>(pos - 1);
-  const NodeId next = h.route[pos - 1];
+  auto& hm = std::get<DsrRrepHeader>(p.mutable_routing());
+  hm.hops_done = static_cast<std::uint16_t>(pos - 1);
+  const NodeId next = hm.route[pos - 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
 void Smr::handle_data(Packet&& p, NodeId from) {
-  if (p.common.dst == self()) {
-    if (auto* sr = std::get_if<DsrSourceRoute>(&p.routing)) {
-      std::vector<NodeId> back(sr->route.rbegin(), sr->route.rend());
+  if (p.common().dst == self()) {
+    if (const auto* sr = std::get_if<DsrSourceRoute>(&p.routing())) {
+      net::RouteVec back(sr->route.rbegin(), sr->route.rend());
       reverse_cache_.add(std::move(back), now());
     }
     trace(net::TraceOp::kDeliver, p);
     ctx_.deliver(std::move(p), from);
     return;
   }
-  auto* sr = std::get_if<DsrSourceRoute>(&p.routing);
-  if (sr == nullptr || p.common.ttl <= 1) {
+  const auto* sr = std::get_if<DsrSourceRoute>(&p.routing());
+  if (sr == nullptr || p.common().ttl <= 1) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  --p.common.ttl;
   const std::size_t my_idx = static_cast<std::size_t>(sr->index) + 1;
   if (my_idx + 1 >= sr->route.size() || sr->route[my_idx] != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  sr->index = static_cast<std::uint16_t>(my_idx);
-  const NodeId next = sr->route[my_idx + 1];
+  // Mutating tail (`sr` refers to the pre-clone body; do not use it).
+  --p.mutable_common().ttl;
+  auto& srm = std::get<DsrSourceRoute>(p.mutable_routing());
+  srm.index = static_cast<std::uint16_t>(my_idx);
+  const NodeId next = srm.route[my_idx + 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
 void Smr::on_link_failure(const Packet& packet, NodeId next_hop) {
   reverse_cache_.remove_link(self(), next_hop);
-  const auto* sr = std::get_if<DsrSourceRoute>(&packet.routing);
+  const auto* sr = std::get_if<DsrSourceRoute>(&packet.routing());
   if (sr != nullptr && !sr->route.empty()) {
     const NodeId src = sr->route.front();
     if (src == self()) {
       // Prune every active route using the dead link; fall back to the
       // survivors (or re-discover when none remain).
-      auto it = flows_.find(packet.common.dst);
+      auto it = flows_.find(packet.common().dst);
       if (it != flows_.end()) {
         auto& routes = it->second.routes;
         routes.erase(
             std::remove_if(routes.begin(), routes.end(),
-                           [next_hop](const std::vector<NodeId>& r) {
+                           [next_hop](const net::RouteVec& r) {
                              return r.size() > 1 && r[1] == next_hop;
                            }),
             routes.end());
       }
       Packet retry = packet;
-      retry.routing = std::monostate{};
+      retry.mutable_routing() = std::monostate{};
       send_from_transport(std::move(retry));
     } else {
       // DSR-style RERR back to the source along the traversed prefix.
@@ -372,13 +378,14 @@ void Smr::on_link_failure(const Packet& packet, NodeId next_hop) {
       if (h.back_path.size() >= 2) {
         const NodeId next = h.back_path[1];
         Packet rerr;
-        rerr.common.kind = PacketKind::kDsrRerr;
-        rerr.common.src = self();
-        rerr.common.dst = src;
-        rerr.common.ttl = cfg_.max_route_len;
-        rerr.common.uid = ctx_.uids->next();
-        rerr.common.originated = now();
-        rerr.routing = std::move(h);
+        auto& common = rerr.mutable_common();
+        common.kind = PacketKind::kDsrRerr;
+        common.src = self();
+        common.dst = src;
+        common.ttl = cfg_.max_route_len;
+        common.uid = ctx_.uids->next();
+        common.originated = now();
+        rerr.mutable_routing() = std::move(h);
         send_to_mac(std::move(rerr), next, /*originated_here=*/true);
       }
       drop(packet, net::DropReason::kStaleRoute);
@@ -387,9 +394,9 @@ void Smr::on_link_failure(const Packet& packet, NodeId next_hop) {
   for (net::QueueItem& item : ctx_.mac->take_queued_for(next_hop)) {
     if (item.packet.is_control()) {
       drop(item.packet, net::DropReason::kNoRoute);
-    } else if (item.packet.common.src == self()) {
+    } else if (item.packet.common().src == self()) {
       Packet retry = std::move(item.packet);
-      retry.routing = std::monostate{};
+      retry.mutable_routing() = std::monostate{};
       send_from_transport(std::move(retry));
     } else {
       drop(item.packet, net::DropReason::kNoRoute);
@@ -399,13 +406,13 @@ void Smr::on_link_failure(const Packet& packet, NodeId next_hop) {
 
 void Smr::handle_rerr(Packet&& p, NodeId from) {
   (void)from;
-  auto& h = std::get<DsrRerrHeader>(p.routing);
+  const auto& h = std::get<DsrRerrHeader>(p.routing());
   if (h.notify == self()) {
     // Drop every striped route that contains the dead link.
     for (auto& [dst, fr] : flows_) {
       auto& routes = fr.routes;
       routes.erase(std::remove_if(routes.begin(), routes.end(),
-                                  [&h](const std::vector<NodeId>& r) {
+                                  [&h](const net::RouteVec& r) {
                                     for (std::size_t i = 0; i + 1 < r.size();
                                          ++i) {
                                       if (r[i] == h.from && r[i + 1] == h.to)
@@ -422,14 +429,15 @@ void Smr::handle_rerr(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  h.hops_done = static_cast<std::uint16_t>(my_idx);
-  const NodeId next = h.back_path[my_idx + 1];
+  auto& hm = std::get<DsrRerrHeader>(p.mutable_routing());
+  hm.hops_done = static_cast<std::uint16_t>(my_idx);
+  const NodeId next = hm.back_path[my_idx + 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
-std::vector<std::vector<NodeId>> Smr::active_routes(NodeId dst) const {
+std::vector<net::RouteVec> Smr::active_routes(NodeId dst) const {
   auto it = flows_.find(dst);
-  return it == flows_.end() ? std::vector<std::vector<NodeId>>{}
+  return it == flows_.end() ? std::vector<net::RouteVec>{}
                             : it->second.routes;
 }
 

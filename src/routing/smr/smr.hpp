@@ -59,20 +59,20 @@ class Smr final : public RoutingProtocol {
   [[nodiscard]] const char* name() const override { return "SMR"; }
 
   /// Routes the source currently stripes over (for tests).
-  [[nodiscard]] std::vector<std::vector<net::NodeId>> active_routes(
+  [[nodiscard]] std::vector<net::RouteVec> active_routes(
       net::NodeId dst) const;
 
  private:
   struct FlowRoutes {
-    std::vector<std::vector<net::NodeId>> routes;  ///< full src..dst paths
+    std::vector<net::RouteVec> routes;             ///< full src..dst paths
     std::uint32_t next = 0;                        ///< round-robin cursor
     std::uint32_t attempts = 0;
     sim::EventId rreq_timer = sim::kInvalidEvent;
     bool discovering = false;
   };
   struct PendingSelect {
-    std::vector<net::NodeId> first;      ///< route answered immediately
-    std::vector<std::vector<net::NodeId>> candidates;
+    net::RouteVec first;                 ///< route answered immediately
+    std::vector<net::RouteVec> candidates;
     sim::EventId timer = sim::kInvalidEvent;
     std::uint32_t rreq_id = 0;
   };
@@ -86,7 +86,7 @@ class Smr final : public RoutingProtocol {
   void send_rreq(net::NodeId dst);
   void discovery_timeout(net::NodeId dst);
   void select_second_route(net::NodeId orig);
-  void send_rrep_for(std::vector<net::NodeId> full_route);
+  void send_rrep_for(net::RouteVec full_route);
   void flush_buffer(net::NodeId dst);
   bool stripe_and_send(net::Packet&& p);
 

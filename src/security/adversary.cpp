@@ -43,7 +43,7 @@ namespace {
 
 /// Passive models only care about decodable TCP data payloads.
 bool sniffable(const phy::Frame& f) {
-  return f.has_payload && f.payload.common.kind == net::PacketKind::kTcpData;
+  return f.has_payload() && f.payload.common().kind == net::PacketKind::kTcpData;
 }
 
 }  // namespace
@@ -128,7 +128,7 @@ bool BlackholeAttacker::absorbs(net::NodeId node, const net::Packet& p) const {
   // to route discovery, and traffic terminating at the attacker is its
   // own (it may legitimately be a flow endpoint in pathological specs).
   return member_set_.contains(node) &&
-         p.common.kind == net::PacketKind::kTcpData && p.common.dst != node;
+         p.common().kind == net::PacketKind::kTcpData && p.common().dst != node;
 }
 
 void BlackholeAttacker::on_absorb(net::NodeId node, const net::Packet& p) {

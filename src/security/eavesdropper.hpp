@@ -22,9 +22,9 @@ class Eavesdropper {
   explicit Eavesdropper(net::NodeId node) : node_(node) {}
 
   void on_sniff(const phy::Frame& frame) {
-    if (!frame.has_payload) return;
+    if (!frame.has_payload()) return;
     const net::Packet& p = frame.payload;
-    if (p.common.kind != net::PacketKind::kTcpData || !p.tcp.has_value())
+    if (p.common().kind != net::PacketKind::kTcpData || !p.has_tcp())
       return;
     ++frames_seen_;
     pool_.capture(p);

@@ -18,12 +18,12 @@ class SegmentPool {
   /// Returns true if the segment was new to the pool (ignores anything
   /// that is not a TCP data segment).
   bool capture(const net::Packet& p) {
-    if (p.common.kind != net::PacketKind::kTcpData || !p.tcp.has_value()) {
+    if (p.common().kind != net::PacketKind::kTcpData || !p.has_tcp()) {
       return false;
     }
     return segments_
-        .insert((std::uint64_t{p.tcp->flow_id} << 32) |
-                std::uint64_t{p.tcp->seq})
+        .insert((std::uint64_t{p.tcp().flow_id} << 32) |
+                std::uint64_t{p.tcp().seq})
         .second;
   }
 

@@ -5,8 +5,8 @@
 namespace mts::tcp {
 
 void TcpSink::on_data(const net::Packet& data) {
-  sim::require(data.tcp.has_value(), "TcpSink: data without TCP header");
-  const net::TcpHeader& h = *data.tcp;
+  sim::require(data.has_tcp(), "TcpSink: data without TCP header");
+  const net::TcpHeader& h = data.tcp();
   if (h.flow_id != flow_id_) return;
   ++stats_->data_packets_received;
   if (counters_ != nullptr) ++counters_->recv_data;
@@ -15,7 +15,7 @@ void TcpSink::on_data(const net::Packet& data) {
   const bool fresh = seq >= rcv_nxt_ && !ooo_.contains(seq);
   if (fresh) {
     ++stats_->unique_segments_delivered;
-    const sim::Time delay = sched_->now() - data.common.originated;
+    const sim::Time delay = sched_->now() - data.common().originated;
     stats_->delay_sum_s += delay.to_seconds();
     ++stats_->delay_samples;
     stats_->first_delivery = std::min(stats_->first_delivery, sched_->now());
@@ -32,18 +32,19 @@ void TcpSink::on_data(const net::Packet& data) {
 
 void TcpSink::send_ack(const net::TcpHeader& triggering) {
   net::Packet p;
-  p.common.kind = net::PacketKind::kTcpAck;
-  p.common.src = self_;
-  p.common.dst = peer_;
-  p.common.uid = uids_->next();
-  p.common.payload_bytes = 0;
-  p.common.originated = sched_->now();
+  auto& common = p.mutable_common();
+  common.kind = net::PacketKind::kTcpAck;
+  common.src = self_;
+  common.dst = peer_;
+  common.uid = uids_->next();
+  common.payload_bytes = 0;
+  common.originated = sched_->now();
   net::TcpHeader h;
   h.ack = rcv_nxt_;
   h.flow_id = flow_id_;
   h.ts = triggering.ts;              // echoed for the sender's RTT sample
   h.retransmit = triggering.retransmit;  // Karn's rule travels with it
-  p.tcp = h;
+  p.mutable_tcp() = h;
   ++stats_->acks_sent;
   if (counters_ != nullptr) ++counters_->sent_data;
   send_(std::move(p));

@@ -53,18 +53,19 @@ void TcpSource::transmit_segment(std::uint32_t seq) {
   max_seq_sent_ = std::max(max_seq_sent_, seq);
   stats_->unique_segments_sent = max_seq_sent_;
   net::Packet p;
-  p.common.kind = net::PacketKind::kTcpData;
-  p.common.src = self_;
-  p.common.dst = dst_;
-  p.common.uid = uids_->next();
-  p.common.payload_bytes = cfg_.segment_bytes;
-  p.common.originated = sched_->now();
+  auto& common = p.mutable_common();
+  common.kind = net::PacketKind::kTcpData;
+  common.src = self_;
+  common.dst = dst_;
+  common.uid = uids_->next();
+  common.payload_bytes = cfg_.segment_bytes;
+  common.originated = sched_->now();
   net::TcpHeader h;
   h.seq = seq;
   h.flow_id = flow_id_;
   h.ts = sched_->now();
   h.retransmit = is_retx;
-  p.tcp = h;
+  p.mutable_tcp() = h;
   ++stats_->data_packets_sent;
   if (is_retx) ++stats_->retransmits;
   if (counters_ != nullptr) ++counters_->sent_data;
@@ -72,8 +73,8 @@ void TcpSource::transmit_segment(std::uint32_t seq) {
 }
 
 void TcpSource::on_ack(const net::Packet& ack) {
-  sim::require(ack.tcp.has_value(), "TcpSource: ACK without TCP header");
-  const net::TcpHeader& h = *ack.tcp;
+  sim::require(ack.has_tcp(), "TcpSource: ACK without TCP header");
+  const net::TcpHeader& h = ack.tcp();
   if (h.flow_id != flow_id_) return;
   ++stats_->acks_received;
   if (h.ack > snd_una_) {

@@ -21,7 +21,7 @@ TEST(MtsTest, DiscoversAndDeliversOnChain) {
   b.send_data(0, 3);
   b.sched.run_until(sim::Time::sec(2));
   ASSERT_EQ(b.node(3).delivered.size(), 1u);
-  EXPECT_EQ(b.node(3).delivered[0].common.src, 0u);
+  EXPECT_EQ(b.node(3).delivered[0].common().src, 0u);
 }
 
 TEST(MtsTest, DataCarriesPathTag) {
@@ -29,7 +29,7 @@ TEST(MtsTest, DataCarriesPathTag) {
   b.send_data(0, 2);
   b.sched.run_until(sim::Time::sec(2));
   ASSERT_EQ(b.node(2).delivered.size(), 1u);
-  EXPECT_NE(std::get_if<net::MtsDataTag>(&b.node(2).delivered[0].routing),
+  EXPECT_NE(std::get_if<net::MtsDataTag>(&b.node(2).delivered[0].routing()),
             nullptr);
 }
 
@@ -119,18 +119,19 @@ TEST(MtsTest, AcksRouteBackAlongDataPath) {
   // The sink replies (simulating a TCP ack) without any discovery.
   const auto floods_before = b.node(3).counters.sent_control;
   net::Packet ack;
-  ack.common.kind = net::PacketKind::kTcpAck;
-  ack.common.src = 3;
-  ack.common.dst = 0;
-  ack.common.uid = b.uids.next();
+  auto& common = ack.mutable_common();
+  common.kind = net::PacketKind::kTcpAck;
+  common.src = 3;
+  common.dst = 0;
+  common.uid = b.uids.next();
   net::TcpHeader ackh;
   ackh.ack = 2;
   ackh.flow_id = 1;
-  ack.tcp = ackh;
+  ack.mutable_tcp() = ackh;
   b.node(3).routing->send_from_transport(std::move(ack));
   b.sched.run_until(sim::Time::sec(3));
   ASSERT_EQ(b.node(0).delivered.size(), 1u);
-  EXPECT_EQ(b.node(0).delivered[0].common.kind, net::PacketKind::kTcpAck);
+  EXPECT_EQ(b.node(0).delivered[0].common().kind, net::PacketKind::kTcpAck);
   EXPECT_EQ(b.node(3).counters.sent_control, floods_before);  // no flood
 }
 

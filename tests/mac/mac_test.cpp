@@ -61,11 +61,12 @@ class MacTest : public ::testing::Test {
                                  std::uint32_t uid = 1,
                                  std::uint32_t payload = 1000) {
     net::Packet p;
-    p.common.kind = net::PacketKind::kTcpData;
-    p.common.src = src;
-    p.common.dst = dst;
-    p.common.uid = uid;
-    p.common.payload_bytes = payload;
+    auto& common = p.mutable_common();
+    common.kind = net::PacketKind::kTcpData;
+    common.src = src;
+    common.dst = dst;
+    common.uid = uid;
+    common.payload_bytes = payload;
     return p;
   }
 
@@ -85,6 +86,28 @@ TEST_F(MacTest, UnicastDeliveredAndAcked) {
   EXPECT_TRUE(stations_[0].mac->idle());
 }
 
+TEST_F(MacTest, ReceiverMutationDoesNotPerturbTheSendersRetryBuffer) {
+  build({{0, 0}, {150, 0}});
+  // Receiver-side "routing" decrements TTL on delivery, as a forwarder
+  // would.  The sender's MAC still holds the frame in its retry buffer
+  // (awaiting the ACK); copy-on-write must shield that sibling, or a
+  // retransmission would carry the receiver's mutation.
+  Mac80211::Callbacks cb;
+  cb.on_receive = [this](net::Packet&& p, net::NodeId) {
+    --p.mutable_common().ttl;
+    stations_[1].received.push_back(std::move(p));
+  };
+  stations_[1].mac->set_callbacks(std::move(cb));
+  net::Packet p = data_packet(0, 1);
+  p.mutable_common().ttl = 32;
+  stations_[0].mac->enqueue(std::move(p), 1);
+  sched_.run_until(sim::Time::ms(100));
+  ASSERT_EQ(stations_[1].received.size(), 1u);
+  EXPECT_EQ(stations_[1].received[0].common().ttl, 31);
+  ASSERT_EQ(stations_[0].successes.size(), 1u);
+  EXPECT_EQ(stations_[0].successes[0].common().ttl, 32);
+}
+
 TEST_F(MacTest, UnicastToAbsentNodeFailsAfterRetryLimit) {
   build({{0, 0}, {800, 0}});  // out of range
   stations_[0].mac->enqueue(data_packet(0, 1), 1);
@@ -101,7 +124,7 @@ TEST_F(MacTest, UnicastToAbsentNodeFailsAfterRetryLimit) {
 TEST_F(MacTest, BroadcastHasNoAckAndNoRetry) {
   build({{0, 0}, {100, 0}, {200, 0}});
   net::Packet p = data_packet(0, net::kBroadcastId);
-  p.common.kind = net::PacketKind::kAodvRreq;  // typical broadcast user
+  p.mutable_common().kind = net::PacketKind::kAodvRreq;  // typical broadcast user
   stations_[0].mac->enqueue(std::move(p), net::kBroadcastId);
   sched_.run_until(sim::Time::ms(100));
   EXPECT_EQ(stations_[1].received.size(), 1u);
@@ -118,7 +141,7 @@ TEST_F(MacTest, QueueSerializesBackToBackPackets) {
   sched_.run_until(sim::Time::sec(1));
   ASSERT_EQ(stations_[1].received.size(), 5u);
   for (std::uint32_t i = 0; i < 5; ++i) {
-    EXPECT_EQ(stations_[1].received[i].common.uid, i + 1);  // FIFO order
+    EXPECT_EQ(stations_[1].received[i].common().uid, i + 1);  // FIFO order
   }
 }
 
@@ -188,7 +211,7 @@ TEST_F(MacTest, TakeQueuedForRemovesOnlyThatNextHop) {
   // Note: uid 1 may already be in service (current_), not in the queue.
   auto taken = stations_[0].mac->take_queued_for(1);
   EXPECT_EQ(taken.size(), 1u);
-  EXPECT_EQ(taken[0].packet.common.uid, 2u);
+  EXPECT_EQ(taken[0].packet.common().uid, 2u);
   sched_.run_until(sim::Time::sec(1));
   // uid 1 (in flight) and uid 3 (other hop) still delivered.
   EXPECT_EQ(stations_[1].received.size(), 1u);
@@ -201,7 +224,7 @@ TEST_F(MacTest, PromiscuousSniffSeesThirdPartyData) {
   sched_.run_until(sim::Time::ms(100));
   // Station 2 overhears the data frame addressed to 1.
   ASSERT_GE(stations_[2].sniffed.size(), 1u);
-  EXPECT_EQ(stations_[2].sniffed[0].payload.common.uid, 1u);
+  EXPECT_EQ(stations_[2].sniffed[0].payload.common().uid, 1u);
 }
 
 TEST_F(MacTest, AirtimeMatches80211bTiming) {

@@ -53,7 +53,7 @@ TEST(RandomWaypointTest, SpeedNeverExceedsMax) {
 
 TEST(RandomWaypointTest, PausesAtWaypoints) {
   RandomWaypoint rwp(cfg(), sim::Rng(7));
-  rwp.position_at(sim::Time::sec(5000));  // force leg generation
+  (void)rwp.position_at(sim::Time::sec(5000));  // force leg generation
   const auto& legs = rwp.legs_generated();
   ASSERT_GE(legs.size(), 2u);
   const auto& leg = legs.front();
@@ -73,7 +73,7 @@ TEST(RandomWaypointTest, InitialPauseHoldsStartPosition) {
 
 TEST(RandomWaypointTest, MovesLinearlyAlongALeg) {
   RandomWaypoint rwp(cfg(), sim::Rng(11));
-  rwp.position_at(sim::Time::sec(200));
+  (void)rwp.position_at(sim::Time::sec(200));  // force leg generation
   const auto& leg = rwp.legs_generated().front();
   const sim::Time mid = leg.start + (leg.arrive - leg.start) / std::int64_t{2};
   const Vec2 expect_mid = leg.from + (leg.to - leg.from) * 0.5;
@@ -86,7 +86,7 @@ TEST(RandomWaypointTest, LegSpeedsWithinConfiguredBand) {
   auto c = cfg(12.0);
   c.min_speed = 2.0;
   RandomWaypoint rwp(c, sim::Rng(13));
-  rwp.position_at(sim::Time::sec(500));
+  (void)rwp.position_at(sim::Time::sec(500));  // force leg generation
   for (const auto& leg : rwp.legs_generated()) {
     EXPECT_GE(leg.speed, 2.0);
     EXPECT_LE(leg.speed, 12.0);

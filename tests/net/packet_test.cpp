@@ -2,26 +2,31 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "sim/error.hpp"
+
 namespace mts::net {
 namespace {
 
-TEST(PacketTest, DefaultWireSizeIsCommonHeaderOnly) {
+TEST(PacketTest, FreshBodyWireSizeIsCommonHeaderOnly) {
   Packet p;
+  (void)p.mutable_common();  // acquire an all-defaults body
   EXPECT_EQ(p.wire_bytes(), kCommonHeaderBytes);
 }
 
 TEST(PacketTest, TcpDataWireSize) {
   Packet p;
-  p.common.kind = PacketKind::kTcpData;
-  p.common.payload_bytes = 1000;
-  p.tcp = TcpHeader{};
+  p.mutable_common().kind = PacketKind::kTcpData;
+  p.mutable_common().payload_bytes = 1000;
+  p.mutable_tcp() = TcpHeader{};
   EXPECT_EQ(p.wire_bytes(), kCommonHeaderBytes + kTcpHeaderBytes + 1000);
 }
 
 TEST(PacketTest, TcpAckWireSize) {
   Packet p;
-  p.common.kind = PacketKind::kTcpAck;
-  p.tcp = TcpHeader{};
+  p.mutable_common().kind = PacketKind::kTcpAck;
+  p.mutable_tcp() = TcpHeader{};
   EXPECT_EQ(p.wire_bytes(), kCommonHeaderBytes + kTcpHeaderBytes);  // 40 B
 }
 
@@ -29,9 +34,9 @@ TEST(PacketTest, RoutingHeaderSizesGrowWithCarriedAddresses) {
   Packet p;
   DsrSourceRoute sr;
   sr.route = {0, 1, 2, 3};
-  p.routing = sr;
+  p.mutable_routing() = sr;
   const auto four = p.wire_bytes();
-  std::get<DsrSourceRoute>(p.routing).route.push_back(4);
+  std::get<DsrSourceRoute>(p.mutable_routing()).route.push_back(4);
   EXPECT_EQ(p.wire_bytes(), four + 4);
 }
 
@@ -81,11 +86,12 @@ TEST(PacketTest, KindNamesAreDistinct) {
 
 TEST(PacketTest, SummaryMentionsKindAndEndpoints) {
   Packet p;
-  p.common.kind = PacketKind::kTcpData;
-  p.common.src = 3;
-  p.common.dst = 9;
-  p.common.uid = 77;
-  p.tcp = TcpHeader{.seq = 5};
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kTcpData;
+  common.src = 3;
+  common.dst = 9;
+  common.uid = 77;
+  p.mutable_tcp().seq = 5;
   const std::string s = p.summary();
   EXPECT_NE(s.find("TCP_DATA"), std::string::npos);
   EXPECT_NE(s.find("3->9"), std::string::npos);
@@ -93,15 +99,114 @@ TEST(PacketTest, SummaryMentionsKindAndEndpoints) {
   EXPECT_NE(s.find("seq=5"), std::string::npos);
 }
 
-TEST(PacketTest, CopyIsDeep) {
+// ---------------------------------------------------------------------------
+// Handle semantics: sharing, copy-on-write, pool lifecycle.
+// ---------------------------------------------------------------------------
+
+TEST(PacketTest, CopySharesTheBody) {
+  Packet a;
+  a.mutable_common().uid = 42;
+  EXPECT_TRUE(a.unique());
+  Packet b = a;
+  EXPECT_EQ(a.ref_count(), 2u);
+  EXPECT_EQ(b.ref_count(), 2u);
+  EXPECT_EQ(&a.common(), &b.common());  // literally the same body
+}
+
+TEST(PacketTest, MoveTransfersTheBodyWithoutRefcountTraffic) {
+  Packet a;
+  a.mutable_common().uid = 7;
+  Packet b = std::move(a);
+  EXPECT_FALSE(a.has_body());
+  EXPECT_TRUE(b.unique());
+  EXPECT_EQ(b.common().uid, 7u);
+}
+
+TEST(PacketTest, MutatingASharedBodyClonesItFirst) {
   Packet a;
   DsrSourceRoute sr;
   sr.route = {1, 2, 3};
-  a.routing = sr;
+  a.mutable_routing() = sr;
+  a.mutable_common().ttl = 32;
+
   Packet b = a;
-  std::get<DsrSourceRoute>(b.routing).route.push_back(4);
-  EXPECT_EQ(std::get<DsrSourceRoute>(a.routing).route.size(), 3u);
-  EXPECT_EQ(std::get<DsrSourceRoute>(b.routing).route.size(), 4u);
+  const auto before = packet_pool_stats().cow_clones;
+  std::get<DsrSourceRoute>(b.mutable_routing()).route.push_back(4);
+  --b.mutable_common().ttl;
+  EXPECT_EQ(packet_pool_stats().cow_clones, before + 1);  // one clone, then unique
+
+  // The sibling still sees the original body, bit for bit.
+  EXPECT_EQ(std::get<DsrSourceRoute>(a.routing()).route.size(), 3u);
+  EXPECT_EQ(a.common().ttl, 32);
+  EXPECT_EQ(std::get<DsrSourceRoute>(b.routing()).route.size(), 4u);
+  EXPECT_EQ(b.common().ttl, 31);
+  EXPECT_TRUE(a.unique());
+  EXPECT_TRUE(b.unique());
+}
+
+TEST(PacketTest, MutatingAUniqueBodyNeverClones) {
+  Packet p;
+  const auto before = packet_pool_stats().cow_clones;
+  p.mutable_common().ttl = 5;
+  auto& sr = p.mutable_routing();
+  sr = DsrSourceRoute{};
+  --p.mutable_common().ttl;
+  EXPECT_EQ(packet_pool_stats().cow_clones, before);
+}
+
+TEST(PacketTest, LastReleaseReturnsTheBodyToThePool) {
+  const auto before = packet_pool_stats();
+  {
+    Packet a;
+    a.mutable_common().uid = 1;
+    Packet b = a;
+    Packet c = std::move(a);
+    EXPECT_EQ(packet_pool_stats().live(), before.live() + 1);
+  }
+  const auto after = packet_pool_stats();
+  EXPECT_EQ(after.live(), before.live());
+  EXPECT_EQ(after.acquired, before.acquired + 1);
+  EXPECT_EQ(after.released, before.released + 1);
+}
+
+TEST(PacketTest, PoolRecyclesReleasedBodies) {
+  const CommonHeader* recycled = nullptr;
+  {
+    Packet a;
+    a.mutable_common().uid = 9;
+    recycled = &a.common();
+  }
+  // The released slot is first in the free list: the next acquire must
+  // reuse it (LIFO), with a bumped generation and cleared headers.
+  Packet b;
+  (void)b.mutable_common();
+  EXPECT_EQ(&b.common(), recycled);
+  EXPECT_EQ(b.common().uid, 0u);
+  EXPECT_FALSE(b.has_tcp());
+  EXPECT_TRUE(std::holds_alternative<std::monostate>(b.routing()));
+}
+
+TEST(PacketTest, ReadingThroughAnEmptyHandleTrips) {
+  const Packet p;
+  EXPECT_FALSE(p.has_body());
+  EXPECT_FALSE(p.has_tcp());
+  EXPECT_THROW((void)p.common(), sim::SimError);
+  EXPECT_THROW((void)p.wire_bytes(), sim::SimError);
+}
+
+TEST(PacketTest, AssignmentReleasesThePreviousBody) {
+  const auto before = packet_pool_stats().live();
+  Packet a;
+  a.mutable_common().uid = 1;
+  Packet b;
+  b.mutable_common().uid = 2;
+  EXPECT_EQ(packet_pool_stats().live(), before + 2);
+  b = a;  // b's old body returns to the pool
+  EXPECT_EQ(packet_pool_stats().live(), before + 1);
+  EXPECT_EQ(b.common().uid, 1u);
+  a.reset();
+  b.reset();
+  EXPECT_EQ(packet_pool_stats().live(), before);
 }
 
 TEST(UidSourceTest, MonotonicAndCounts) {

@@ -7,16 +7,17 @@ namespace {
 
 Packet data_packet(NodeId dst = 9, std::uint32_t uid = 0) {
   Packet p;
-  p.common.kind = PacketKind::kTcpData;
-  p.common.dst = dst;
-  p.common.uid = uid;
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kTcpData;
+  common.dst = dst;
+  common.uid = uid;
   return p;
 }
 
 Packet control_packet(std::uint32_t uid = 0) {
   Packet p;
-  p.common.kind = PacketKind::kAodvRreq;
-  p.common.uid = uid;
+  p.mutable_common().kind = PacketKind::kAodvRreq;
+  p.mutable_common().uid = uid;
   return p;
 }
 
@@ -24,8 +25,8 @@ TEST(PriQueueTest, FifoWithinBand) {
   PriQueue q(10);
   q.enqueue({data_packet(9, 1), 5});
   q.enqueue({data_packet(9, 2), 5});
-  EXPECT_EQ(q.dequeue()->packet.common.uid, 1u);
-  EXPECT_EQ(q.dequeue()->packet.common.uid, 2u);
+  EXPECT_EQ(q.dequeue()->packet.common().uid, 1u);
+  EXPECT_EQ(q.dequeue()->packet.common().uid, 2u);
   EXPECT_FALSE(q.dequeue().has_value());
 }
 
@@ -34,9 +35,9 @@ TEST(PriQueueTest, ControlPreemptsData) {
   q.enqueue({data_packet(9, 1), 5});
   q.enqueue({control_packet(2), kBroadcastId});
   q.enqueue({data_packet(9, 3), 5});
-  EXPECT_EQ(q.dequeue()->packet.common.uid, 2u);  // control first
-  EXPECT_EQ(q.dequeue()->packet.common.uid, 1u);
-  EXPECT_EQ(q.dequeue()->packet.common.uid, 3u);
+  EXPECT_EQ(q.dequeue()->packet.common().uid, 2u);  // control first
+  EXPECT_EQ(q.dequeue()->packet.common().uid, 1u);
+  EXPECT_EQ(q.dequeue()->packet.common().uid, 3u);
 }
 
 TEST(PriQueueTest, DropTailWhenFullOfData) {
@@ -45,7 +46,7 @@ TEST(PriQueueTest, DropTailWhenFullOfData) {
   EXPECT_FALSE(q.enqueue({data_packet(9, 2), 5}).has_value());
   auto dropped = q.enqueue({data_packet(9, 3), 5});
   ASSERT_TRUE(dropped.has_value());
-  EXPECT_EQ(dropped->packet.common.uid, 3u);  // the arrival dies
+  EXPECT_EQ(dropped->packet.common().uid, 3u);  // the arrival dies
   EXPECT_EQ(q.size(), 2u);
 }
 
@@ -55,7 +56,7 @@ TEST(PriQueueTest, ControlEvictsNewestDataWhenFull) {
   q.enqueue({data_packet(9, 2), 5});
   auto dropped = q.enqueue({control_packet(3), kBroadcastId});
   ASSERT_TRUE(dropped.has_value());
-  EXPECT_EQ(dropped->packet.common.uid, 2u);  // newest data evicted
+  EXPECT_EQ(dropped->packet.common().uid, 2u);  // newest data evicted
   EXPECT_EQ(q.control_size(), 1u);
   EXPECT_EQ(q.data_size(), 1u);
 }
@@ -66,7 +67,7 @@ TEST(PriQueueTest, ControlDroppedWhenFullOfControl) {
   q.enqueue({control_packet(2), kBroadcastId});
   auto dropped = q.enqueue({control_packet(3), kBroadcastId});
   ASSERT_TRUE(dropped.has_value());
-  EXPECT_EQ(dropped->packet.common.uid, 3u);
+  EXPECT_EQ(dropped->packet.common().uid, 3u);
 }
 
 TEST(PriQueueTest, DrainNextHopRemovesBothBands) {
@@ -76,7 +77,7 @@ TEST(PriQueueTest, DrainNextHopRemovesBothBands) {
   q.enqueue({control_packet(3), 5});
   std::vector<std::uint32_t> drained;
   const std::size_t n = q.drain_next_hop(
-      5, [&](QueueItem&& item) { drained.push_back(item.packet.common.uid); });
+      5, [&](QueueItem&& item) { drained.push_back(item.packet.common().uid); });
   EXPECT_EQ(n, 2u);
   EXPECT_EQ(drained, (std::vector<std::uint32_t>{3, 1}));  // control first
   EXPECT_EQ(q.size(), 1u);
@@ -87,7 +88,7 @@ TEST(PriQueueTest, DrainDstIsDataOnly) {
   q.enqueue({data_packet(7, 1), 5});
   q.enqueue({data_packet(8, 2), 5});
   Packet ctl = control_packet(3);
-  ctl.common.dst = 7;
+  ctl.mutable_common().dst = 7;
   q.enqueue({ctl, 5});
   std::size_t n = q.drain_dst(7, [](QueueItem&&) {});
   EXPECT_EQ(n, 1u);  // the control packet to 7 stays

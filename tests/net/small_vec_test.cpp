@@ -1,0 +1,119 @@
+#include "net/small_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace mts::net {
+namespace {
+
+using Vec = SmallVec<std::uint32_t, 4>;
+
+TEST(SmallVecTest, StaysInlineUpToCapacity) {
+  Vec v;
+  for (std::uint32_t i = 0; i < Vec::inline_capacity(); ++i) v.push_back(i);
+  EXPECT_FALSE(v.on_heap());
+  EXPECT_EQ(v.size(), Vec::inline_capacity());
+}
+
+TEST(SmallVecTest, SpillsToHeapBeyondInlineCapacityAndKeepsContents) {
+  Vec v;
+  for (std::uint32_t i = 0; i < 20; ++i) v.push_back(i);
+  EXPECT_TRUE(v.on_heap());
+  ASSERT_EQ(v.size(), 20u);
+  for (std::uint32_t i = 0; i < 20; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVecTest, InitializerListAndEquality) {
+  Vec a{1, 2, 3};
+  Vec b{1, 2, 3};
+  Vec c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a, (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_EQ((std::vector<std::uint32_t>{1, 2, 3}), a);
+}
+
+TEST(SmallVecTest, IteratorPairConstructionIncludingReverse) {
+  const std::vector<std::uint32_t> src{5, 6, 7, 8, 9, 10};
+  Vec fwd(src.begin(), src.end());
+  EXPECT_EQ(fwd, src);
+  Vec rev(src.rbegin(), src.rend());
+  ASSERT_EQ(rev.size(), src.size());
+  EXPECT_EQ(rev.front(), 10u);
+  EXPECT_EQ(rev.back(), 5u);
+}
+
+TEST(SmallVecTest, InsertAtFrontMiddleAndEnd) {
+  Vec v{2, 4};
+  v.insert(v.begin(), 1);              // front
+  auto it = v.insert(v.begin() + 2, 3);  // middle
+  EXPECT_EQ(*it, 3u);
+  v.insert(v.end(), 5);                // end
+  EXPECT_EQ(v, (Vec{1, 2, 3, 4, 5}));
+  EXPECT_TRUE(v.on_heap());  // grew past 4
+}
+
+TEST(SmallVecTest, RangeInsertSplices) {
+  Vec v{1, 5};
+  const std::vector<std::uint32_t> mid{2, 3, 4};
+  v.insert(v.begin() + 1, mid.begin(), mid.end());
+  EXPECT_EQ(v, (Vec{1, 2, 3, 4, 5}));
+}
+
+TEST(SmallVecTest, CopyIsIndependent) {
+  Vec a{1, 2, 3, 4, 5, 6};  // on heap
+  Vec b = a;
+  b.push_back(7);
+  b[0] = 99;
+  EXPECT_EQ(a, (Vec{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(b.size(), 7u);
+}
+
+TEST(SmallVecTest, MoveStealsHeapAndEmptiesSource) {
+  Vec a{1, 2, 3, 4, 5, 6};
+  const auto* heap = a.data();
+  Vec b = std::move(a);
+  EXPECT_EQ(b.data(), heap);  // pointer stolen, no copy
+  EXPECT_TRUE(a.empty());
+  a.push_back(42);  // source stays usable
+  EXPECT_EQ(a, (Vec{42}));
+}
+
+TEST(SmallVecTest, MoveOfInlineVectorCopiesElements) {
+  Vec a{1, 2};
+  Vec b = std::move(a);
+  EXPECT_FALSE(b.on_heap());
+  EXPECT_EQ(b, (Vec{1, 2}));
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(SmallVecTest, ResizeShrinksAndZeroFillsGrowth) {
+  Vec v{1, 2, 3};
+  v.resize(2);
+  EXPECT_EQ(v, (Vec{1, 2}));
+  v.resize(5);
+  EXPECT_EQ(v, (Vec{1, 2, 0, 0, 0}));
+}
+
+TEST(SmallVecTest, PushBackOfOwnElementSurvivesReallocation) {
+  // std::vector guarantees v.push_back(v.front()) even when it grows;
+  // the route records replaced vectors wholesale, so SmallVec must too.
+  Vec v{1, 2, 3, 4};  // exactly at inline capacity
+  v.push_back(v.front());  // grow + self-reference
+  EXPECT_EQ(v, (Vec{1, 2, 3, 4, 1}));
+  v.insert(v.begin(), v.back());  // same for single-element insert
+  EXPECT_EQ(v, (Vec{1, 1, 2, 3, 4, 1}));
+}
+
+TEST(SmallVecTest, WorksWithStdAlgorithms) {
+  Vec v{3, 1, 2};
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, (Vec{1, 2, 3}));
+  EXPECT_NE(std::find(v.begin(), v.end(), 2u), v.end());
+}
+
+}  // namespace
+}  // namespace mts::net

@@ -53,11 +53,11 @@ TEST(NeighborIndexTest, RebuildsOnlyAfterPeriod) {
   std::vector<mobility::Vec2> pos{{0, 0}, {10, 10}};
   NeighborIndex idx(2, 100.0, 0.0, sim::Time::ms(500),
                     [&](std::uint32_t id, sim::Time) { return pos[id]; });
-  idx.candidates({0, 0}, 50, sim::Time::zero());
+  (void)idx.candidates({0, 0}, 50, sim::Time::zero());
   EXPECT_EQ(idx.rebuild_count(), 1u);
-  idx.candidates({0, 0}, 50, sim::Time::ms(100));
+  (void)idx.candidates({0, 0}, 50, sim::Time::ms(100));
   EXPECT_EQ(idx.rebuild_count(), 1u);  // still fresh
-  idx.candidates({0, 0}, 50, sim::Time::ms(600));
+  (void)idx.candidates({0, 0}, 50, sim::Time::ms(600));
   EXPECT_EQ(idx.rebuild_count(), 2u);
 }
 

@@ -14,11 +14,11 @@ namespace {
 class RadioChannelTest : public ::testing::Test {
  protected:
   void build(std::vector<mobility::Vec2> positions, double range = 250.0,
-             double cs_factor = 1.0) {
+             double cs_factor = 1.0, bool use_index = false) {
     prop_ = std::make_unique<UnitDiskPropagation>(range);
     ChannelConfig cc;
     cc.cs_range_factor = cs_factor;
-    cc.use_spatial_index = false;
+    cc.use_spatial_index = use_index;
     channel_ = std::make_unique<Channel>(sched_, *prop_, cc);
     // Callbacks capture element addresses: size the containers up front.
     received_.reserve(positions.size());
@@ -201,6 +201,56 @@ TEST_F(RadioChannelTest, NeighborsOfReportsExact) {
   EXPECT_EQ(n0, (std::vector<net::NodeId>{1, 2}));
   auto n3 = channel_->neighbors_of(3, sim::Time::zero());
   EXPECT_TRUE(n3.empty());
+}
+
+TEST_F(RadioChannelTest, NeighborsOfThroughTheSpatialIndexMatchesTheScan) {
+  // Same topology, index enabled: the grid pre-filters candidates but
+  // the result (exact membership, ascending order) must be identical.
+  build({{0, 0}, {100, 0}, {240, 0}, {600, 0}}, 250.0, 1.0,
+        /*use_index=*/true);
+  EXPECT_EQ(channel_->neighbors_of(0, sim::Time::zero()),
+            (std::vector<net::NodeId>{1, 2}));
+  EXPECT_EQ(channel_->neighbors_of(2, sim::Time::zero()),
+            (std::vector<net::NodeId>{0, 1}));
+  EXPECT_TRUE(channel_->neighbors_of(3, sim::Time::zero()).empty());
+}
+
+TEST_F(RadioChannelTest, InFlightBroadcastSiblingsSurviveReceiverMutation) {
+  // Node 1 (near) decodes first and immediately mutates its packet the
+  // way a flood relay does — TTL down, record append — while node 2's
+  // copy is still in flight in the channel pool.  Node 2 and the
+  // sender's own handle must keep seeing the original body.
+  build({{0, 0}, {100, 0}, {200, 0}});
+  net::Packet fwd;
+  radios_[1]->set_callbacks(Radio::Callbacks{
+      [&fwd](const Frame& f) {
+        fwd = f.payload;  // refcount bump, as the MAC/routing seam does
+        --fwd.mutable_common().ttl;
+        std::get<net::DsrRreqHeader>(fwd.mutable_routing())
+            .record.push_back(1);
+      },
+      nullptr,
+      nullptr,
+      nullptr,
+  });
+  Frame f = frame(0, net::kBroadcastId);
+  f.payload.mutable_common().kind = net::PacketKind::kDsrRreq;
+  f.payload.mutable_common().ttl = 32;
+  net::DsrRreqHeader h;
+  h.orig = 0;
+  f.payload.mutable_routing() = h;
+  radios_[0]->start_transmit(f, sim::Time::ms(1));
+  sched_.run();
+  // The relay saw (and kept) its mutated clone...
+  ASSERT_TRUE(fwd.has_body());
+  EXPECT_EQ(fwd.common().ttl, 31);
+  // ...while the far receiver decoded the untouched original.
+  ASSERT_EQ(received_[2].size(), 1u);
+  const net::Packet& far = received_[2][0].payload;
+  EXPECT_EQ(far.common().ttl, 32);
+  EXPECT_TRUE(std::get<net::DsrRreqHeader>(far.routing()).record.empty());
+  // The sender's handle is intact too.
+  EXPECT_EQ(f.payload.common().ttl, 32);
 }
 
 TEST_F(RadioChannelTest, StatsCountDecodes) {

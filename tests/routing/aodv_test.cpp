@@ -16,7 +16,7 @@ TEST(AodvTest, DiscoversRouteAndDeliversOnChain) {
   b.send_data(0, 3);
   b.sched.run_until(sim::Time::sec(2));
   ASSERT_EQ(b.node(3).delivered.size(), 1u);
-  EXPECT_EQ(b.node(3).delivered[0].common.src, 0u);
+  EXPECT_EQ(b.node(3).delivered[0].common().src, 0u);
 }
 
 TEST(AodvTest, InstallsForwardAndReverseRoutes) {

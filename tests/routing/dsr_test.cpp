@@ -18,7 +18,7 @@ TEST(DsrTest, DiscoversSourceRouteAndDelivers) {
   ASSERT_EQ(b.node(3).delivered.size(), 1u);
   // Delivered packet carries the full source route 0-1-2-3.
   const auto* sr =
-      std::get_if<net::DsrSourceRoute>(&b.node(3).delivered[0].routing);
+      std::get_if<net::DsrSourceRoute>(&b.node(3).delivered[0].routing());
   ASSERT_NE(sr, nullptr);
   EXPECT_EQ(sr->route, (std::vector<net::NodeId>{0, 1, 2, 3}));
 }

@@ -83,7 +83,7 @@ TEST(RouteCacheTest, CapacityEvictsLeastRecentlyUsed) {
   RouteCache c(2);
   c.add({0, 1}, t0);
   c.add({0, 2}, sim::Time::sec(1));
-  c.find(1, sim::Time::sec(2));       // touch {0,1}
+  (void)c.find(1, sim::Time::sec(2));  // touch {0,1}
   c.add({0, 3}, sim::Time::sec(3));   // evicts {0,2}
   EXPECT_TRUE(c.find(1, sim::Time::sec(4)).has_value());
   EXPECT_FALSE(c.find(2, sim::Time::sec(4)).has_value());

@@ -94,16 +94,17 @@ class RoutingBench {
   net::Packet send_data(net::NodeId src, net::NodeId dst,
                         std::uint32_t payload = 512) {
     net::Packet p;
-    p.common.kind = net::PacketKind::kTcpData;
-    p.common.src = src;
-    p.common.dst = dst;
-    p.common.uid = uids.next();
-    p.common.payload_bytes = payload;
-    p.common.originated = sched.now();
+    auto& common = p.mutable_common();
+    common.kind = net::PacketKind::kTcpData;
+    common.src = src;
+    common.dst = dst;
+    common.uid = uids.next();
+    common.payload_bytes = payload;
+    common.originated = sched.now();
     net::TcpHeader h;
-    h.seq = p.common.uid;
+    h.seq = p.common().uid;
     h.flow_id = 1;
-    p.tcp = h;
+    p.mutable_tcp() = h;
     net::Packet copy = p;
     nodes_[src].routing->send_from_transport(std::move(copy));
     return p;

@@ -7,8 +7,8 @@ namespace {
 
 net::Packet to(net::NodeId dst, std::uint32_t uid = 0) {
   net::Packet p;
-  p.common.dst = dst;
-  p.common.uid = uid;
+  p.mutable_common().dst = dst;
+  p.mutable_common().uid = uid;
   return p;
 }
 
@@ -19,8 +19,8 @@ TEST(SendBufferTest, TakeForReturnsOnlyMatchingDst) {
   b.push(to(1, 11), sim::Time::zero());
   auto got = b.take_for(1);
   ASSERT_EQ(got.size(), 2u);
-  EXPECT_EQ(got[0].common.uid, 10u);
-  EXPECT_EQ(got[1].common.uid, 11u);
+  EXPECT_EQ(got[0].common().uid, 10u);
+  EXPECT_EQ(got[1].common().uid, 11u);
   EXPECT_EQ(b.size(), 1u);
   EXPECT_TRUE(b.has_packet_for(2));
   EXPECT_FALSE(b.has_packet_for(1));
@@ -32,7 +32,7 @@ TEST(SendBufferTest, CapacityEvictsOldest) {
   EXPECT_FALSE(b.push(to(1, 2), sim::Time::zero()).has_value());
   auto evicted = b.push(to(1, 3), sim::Time::zero());
   ASSERT_TRUE(evicted.has_value());
-  EXPECT_EQ(evicted->common.uid, 1u);
+  EXPECT_EQ(evicted->common().uid, 1u);
   EXPECT_EQ(b.size(), 2u);
 }
 
@@ -42,7 +42,7 @@ TEST(SendBufferTest, ExpireDropsOnlyOldPackets) {
   b.push(to(1, 2), sim::Time::sec(20));
   std::vector<std::uint32_t> expired;
   b.expire(sim::Time::sec(31),
-           [&](const net::Packet& p) { expired.push_back(p.common.uid); });
+           [&](const net::Packet& p) { expired.push_back(p.common().uid); });
   EXPECT_EQ(expired, (std::vector<std::uint32_t>{1}));
   EXPECT_EQ(b.size(), 1u);
 }
@@ -57,7 +57,7 @@ TEST(SendBufferTest, TakeForPreservesOrder) {
   SendBuffer b;
   for (std::uint32_t i = 1; i <= 5; ++i) b.push(to(9, i), sim::Time::zero());
   auto got = b.take_for(9);
-  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(got[i].common.uid, i + 1);
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(got[i].common().uid, i + 1);
 }
 
 }  // namespace

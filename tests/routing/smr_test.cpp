@@ -60,16 +60,17 @@ class SmrBench {
 
   void send(net::NodeId src, net::NodeId dst) {
     net::Packet p;
-    p.common.kind = net::PacketKind::kTcpData;
-    p.common.src = src;
-    p.common.dst = dst;
-    p.common.uid = uids.next();
-    p.common.payload_bytes = 512;
-    p.common.originated = sched.now();
+    auto& common = p.mutable_common();
+    common.kind = net::PacketKind::kTcpData;
+    common.src = src;
+    common.dst = dst;
+    common.uid = uids.next();
+    common.payload_bytes = 512;
+    common.originated = sched.now();
     net::TcpHeader h;
-    h.seq = p.common.uid;
+    h.seq = p.common().uid;
     h.flow_id = 1;
-    p.tcp = h;
+    p.mutable_tcp() = h;
     nodes_[src].smr->send_from_transport(std::move(p));
   }
 

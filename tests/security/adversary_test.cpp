@@ -10,18 +10,18 @@ namespace {
 phy::Frame data_frame(std::uint16_t flow, std::uint32_t seq) {
   phy::Frame f;
   f.type = phy::FrameType::kData;
-  f.has_payload = true;
-  f.payload.common.kind = net::PacketKind::kTcpData;
-  f.payload.tcp = net::TcpHeader{.seq = seq, .flow_id = flow, .ts = {}};
+  f.payload.mutable_common().kind = net::PacketKind::kTcpData;
+  f.payload.mutable_tcp() = net::TcpHeader{.seq = seq, .flow_id = flow, .ts = {}};
   return f;
 }
 
 net::Packet data_packet(net::NodeId src, net::NodeId dst, std::uint32_t seq) {
   net::Packet p;
-  p.common.kind = net::PacketKind::kTcpData;
-  p.common.src = src;
-  p.common.dst = dst;
-  p.tcp = net::TcpHeader{.seq = seq, .flow_id = 1, .ts = {}};
+  auto& common = p.mutable_common();
+  common.kind = net::PacketKind::kTcpData;
+  common.src = src;
+  common.dst = dst;
+  p.mutable_tcp() = net::TcpHeader{.seq = seq, .flow_id = 1, .ts = {}};
   return p;
 }
 
@@ -130,10 +130,9 @@ TEST_F(ColludingTest, OwnTransmissionsAndControlIgnored) {
   // Member 1 itself is the transmitter: forwarding is not overhearing.
   coalition.on_transmission({1, {0, 0}, sim::Time::sec(1)}, data_frame(1, 10));
   phy::Frame ack = data_frame(1, 11);
-  ack.payload.common.kind = net::PacketKind::kTcpAck;
+  ack.payload.mutable_common().kind = net::PacketKind::kTcpAck;
   coalition.on_transmission({5, {10, 0}, sim::Time::sec(1)}, ack);
   phy::Frame bare;
-  bare.has_payload = false;
   coalition.on_transmission({5, {10, 0}, sim::Time::sec(1)}, bare);
   EXPECT_EQ(coalition.captured_segments(), 0u);
 }
@@ -189,10 +188,10 @@ TEST(BlackholeTest, AbsorbsOnlyTransitDataAtMembers) {
   EXPECT_FALSE(bh.absorbs(4, data_packet(0, 9, 1)));  // not a member
   EXPECT_FALSE(bh.absorbs(3, data_packet(0, 3, 1)));  // terminates here
   net::Packet ctrl;
-  ctrl.common.kind = net::PacketKind::kAodvRreq;
+  ctrl.mutable_common().kind = net::PacketKind::kAodvRreq;
   EXPECT_FALSE(bh.absorbs(3, ctrl));  // control passes: stay attractive
   net::Packet ack = data_packet(9, 0, 1);
-  ack.common.kind = net::PacketKind::kTcpAck;
+  ack.mutable_common().kind = net::PacketKind::kTcpAck;
   EXPECT_FALSE(bh.absorbs(3, ack));  // data only
 }
 

@@ -8,9 +8,10 @@ namespace {
 phy::Frame data_frame(std::uint16_t flow, std::uint32_t seq) {
   phy::Frame f;
   f.type = phy::FrameType::kData;
-  f.has_payload = true;
-  f.payload.common.kind = net::PacketKind::kTcpData;
-  f.payload.tcp = net::TcpHeader{.seq = seq, .flow_id = flow};
+  f.payload.mutable_common().kind = net::PacketKind::kTcpData;
+  auto& th = f.payload.mutable_tcp();
+  th.seq = seq;
+  th.flow_id = flow;
   return f;
 }
 
@@ -42,10 +43,10 @@ TEST(EavesdropperTest, FlowsAreDistinct) {
 TEST(EavesdropperTest, IgnoresAcksAndControl) {
   Eavesdropper e(7);
   phy::Frame ack = data_frame(1, 5);
-  ack.payload.common.kind = net::PacketKind::kTcpAck;
+  ack.payload.mutable_common().kind = net::PacketKind::kTcpAck;
   e.on_sniff(ack);
   phy::Frame ctl = data_frame(1, 6);
-  ctl.payload.common.kind = net::PacketKind::kMtsCheck;
+  ctl.payload.mutable_common().kind = net::PacketKind::kMtsCheck;
   e.on_sniff(ctl);
   phy::Frame no_payload;
   no_payload.type = phy::FrameType::kData;

@@ -29,13 +29,13 @@ class TcpPipeTest : public ::testing::Test {
   }
 
   void carry_to_sink(net::Packet&& p) {
-    ASSERT_TRUE(p.tcp.has_value());
-    if (drop_data_ && drop_data_(p.tcp->seq)) return;
+    ASSERT_TRUE(p.has_tcp());
+    if (drop_data_ && drop_data_(p.tcp().seq)) return;
     sched_.schedule_in(delay_, [this, p] { sink_->on_data(p); });
   }
 
   void carry_to_source(net::Packet&& p) {
-    if (drop_ack_ && drop_ack_(p.tcp->ack)) return;
+    if (drop_ack_ && drop_ack_(p.tcp().ack)) return;
     sched_.schedule_in(delay_, [this, p] { source_->on_ack(p); });
   }
 
@@ -229,11 +229,11 @@ TEST_F(TcpPipeTest, KarnNoRttSampleFromRetransmits) {
 TEST_F(TcpPipeTest, FlowIdMismatchIgnored) {
   build();
   net::Packet alien;
-  alien.common.kind = net::PacketKind::kTcpAck;
+  alien.mutable_common().kind = net::PacketKind::kTcpAck;
   net::TcpHeader alienh;
   alienh.ack = 999;
   alienh.flow_id = 77;
-  alien.tcp = alienh;
+  alien.mutable_tcp() = alienh;
   source_->on_ack(alien);
   EXPECT_EQ(source_->snd_una(), 1u);  // untouched
 }
