@@ -1,15 +1,24 @@
 // Extension: adversary-model sweep.  The paper fixes its threat model to
 // one randomly placed passive eavesdropper; this bench sweeps the
-// adversary axis instead — colluding insider coalitions of growing size
-// and mobile external sniffers — and reports the pooled coalition
-// interception ratio (union-Pe / Pr) per (protocol, MAXSPEED) cell, plus
-// goodput under an insider blackhole.
+// adversary axis instead — colluding insider coalitions of growing size,
+// mobile external sniffers, and the active half of the taxonomy
+// (wormhole tunnel, grayhole, traffic-analysis profiler, RREQ flood) —
+// and reports the pooled interception ratio (union-Pe / Pr), goodput,
+// endpoint-inference accuracy, and control overhead per (protocol,
+// MAXSPEED) cell.
 //
 // Expected shape: interception grows with coalition size for every
 // protocol, but MTS's path spreading means a small coalition still sees
 // far less of the stream than it would of a single-path protocol; under
 // blackhole, multipath protocols keep some goodput while single-path
-// AODV collapses whenever the attacker sits on the active route.
+// AODV collapses whenever the attacker sits on the active route.  The
+// active kinds invert parts of that story: the wormhole's phantom
+// shortcut attracts MTS's "best" paths and reads most of the stream,
+// the grayhole degrades goodput while keeping the delivery rate in the
+// healthy band, the traffic profiler identifies flow endpoints from
+// volume skew regardless of relay spreading, and the RREQ flood taxes
+// every protocol's control plane (MTS hardest — forged discoveries also
+// spin up its periodic path checking).
 //
 // Environment overrides: the standard MTS_BENCH_* set (bench_common.hpp)
 // plus MTS_BENCH_COALITIONS (comma list of coalition sizes, default
@@ -57,9 +66,36 @@ int main() {
     s.count = 1;
     cfg.adversaries.push_back(s);
   }
+  // The active half of the taxonomy, one representative spec each.
+  {
+    security::AdversarySpec s;
+    s.kind = security::AdversaryKind::kWormhole;
+    cfg.adversaries.push_back(s);
+  }
+  {
+    security::AdversarySpec s;
+    s.kind = security::AdversaryKind::kGrayhole;
+    s.count = 3;
+    s.drop_prob = 0.3;
+    cfg.adversaries.push_back(s);
+  }
+  {
+    security::AdversarySpec s;
+    s.kind = security::AdversaryKind::kTrafficAnalysis;
+    s.count = 3;
+    cfg.adversaries.push_back(s);
+  }
+  {
+    security::AdversarySpec s;
+    s.kind = security::AdversaryKind::kRreqFlood;
+    s.count = 1;
+    s.flood_rate = 5.0;
+    cfg.adversaries.push_back(s);
+  }
 
   std::cout << "Extension: adversary sweep (colluding coalitions, mobile "
-               "sniffers, insider blackhole)\n";
+               "sniffers, insider blackhole, wormhole, grayhole, "
+               "traffic analysis, RREQ flood)\n";
   std::cout << "sweep: " << cfg.protocols.size() << " protocols x "
             << cfg.speeds.size() << " speeds x " << cfg.adversaries.size()
             << " adversaries x " << cfg.repetitions << " reps, "
@@ -88,5 +124,19 @@ int main() {
   harness::print_adversary_figure(
       std::cout, result, cfg, "Delivery rate under the adversary", "ratio",
       [](const harness::RunMetrics& m) { return m.delivery_rate; });
+  harness::print_adversary_figure(
+      std::cout, result, cfg,
+      "Control overhead under the adversary (flood amplification)",
+      "packets",
+      [](const harness::RunMetrics& m) {
+        return static_cast<double>(m.control_packets);
+      },
+      1);
+  harness::print_adversary_figure(
+      std::cout, result, cfg,
+      "Endpoint-inference accuracy (traffic analysis only)", "ratio",
+      [](const harness::RunMetrics& m) {
+        return m.endpoint_inference_accuracy;
+      });
   return 0;
 }

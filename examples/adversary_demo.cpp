@@ -1,9 +1,12 @@
-// Adversary subsystem demo: one mobile ad hoc network, three threat
-// models.  Runs the same 30-node scenario under (1) a colluding
-// eavesdropper coalition, (2) mobile external sniffers, and (3) an
-// insider blackhole, for AODV and MTS, and prints what each adversary
-// achieved — the quickest way to see why the paper's multipath argument
-// needs a coalition-aware threat model.
+// Adversary subsystem demo: one mobile ad hoc network, seven threat
+// models.  Runs the same 30-node scenario under every adversary kind —
+// colluding eavesdropper coalition, mobile external sniffers, insider
+// blackhole, wormhole tunnel, grayhole, traffic-analysis profiler, and
+// RREQ flood — for AODV and MTS, and prints what each adversary
+// achieved: the quickest way to see why the paper's multipath argument
+// needs a full threat taxonomy, not one passive listener.
+//
+// MTS_DEMO_SMOKE=1 shrinks the run for CI (fewer nodes, shorter sim).
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
@@ -13,10 +16,12 @@
 int main(int argc, char** argv) {
   using namespace mts;
 
+  const bool smoke = std::getenv("MTS_DEMO_SMOKE") != nullptr;
   harness::ScenarioConfig base;
-  base.node_count = 30;
-  base.field = {800.0, 800.0};
-  base.sim_time = sim::Time::sec(60);
+  base.node_count = smoke ? 20 : 30;
+  base.field = smoke ? mobility::Field{700.0, 700.0}
+                     : mobility::Field{800.0, 800.0};
+  base.sim_time = sim::Time::sec(smoke ? 10 : 60);
   base.max_speed = 5.0;
   // Single-run demo, so the seed shapes the story; pass another one as
   // argv[1] to see e.g. a coalition that drew unlucky positions.
@@ -43,32 +48,58 @@ int main(int argc, char** argv) {
   blackhole.kind = security::AdversaryKind::kBlackhole;
   blackhole.count = 2;
 
-  std::cout << "=== Adversary subsystem demo (30 nodes, 60 s, seed "
+  security::AdversarySpec wormhole;
+  wormhole.kind = security::AdversaryKind::kWormhole;
+
+  security::AdversarySpec grayhole;
+  grayhole.kind = security::AdversaryKind::kGrayhole;
+  grayhole.count = 3;
+  grayhole.drop_prob = 0.3;
+
+  security::AdversarySpec traffic;
+  traffic.kind = security::AdversaryKind::kTrafficAnalysis;
+  traffic.count = 3;
+
+  security::AdversarySpec flood;
+  flood.kind = security::AdversaryKind::kRreqFlood;
+  flood.count = 1;
+  flood.flood_rate = 5.0;
+
+  std::cout << "=== Adversary subsystem demo (" << base.node_count
+            << " nodes, " << base.sim_time.to_seconds() << " s, seed "
             << base.seed << ") ===\n\n";
-  std::cout << std::left << std::setw(10) << "protocol" << std::setw(14)
+  std::cout << std::left << std::setw(10) << "protocol" << std::setw(12)
             << "adversary" << std::setw(9) << "members" << std::setw(11)
             << "delivered" << std::setw(10) << "captured" << std::setw(11)
-            << "intercept" << std::setw(9) << "missing" << "absorbed\n";
+            << "intercept" << std::setw(10) << "absorbed" << std::setw(10)
+            << "tunneled" << std::setw(7) << "ctrl" << std::setw(9)
+            << "endpt" << "injected\n";
 
   for (harness::Protocol proto :
        {harness::Protocol::kAodv, harness::Protocol::kMts}) {
-    for (const auto& spec : {coalition, mobile, blackhole}) {
+    for (const auto& spec : {coalition, mobile, blackhole, wormhole,
+                             grayhole, traffic, flood}) {
       const harness::RunMetrics m = run(proto, spec);
       std::cout << std::left << std::setw(10) << harness::protocol_name(proto)
-                << std::setw(14) << security::adversary_kind_name(spec.kind)
+                << std::setw(12) << security::adversary_kind_name(spec.kind)
                 << std::setw(9) << m.adversary_count << std::setw(11)
                 << m.segments_delivered << std::setw(10)
                 << m.coalition_captured << std::setw(11) << std::fixed
                 << std::setprecision(3) << m.coalition_interception_ratio
-                << std::setw(9) << m.fragments_missing << m.blackhole_absorbed
-                << "\n";
+                << std::setw(10) << m.blackhole_absorbed << std::setw(10)
+                << m.wormhole_tunneled << std::setw(7) << m.control_packets
+                << std::setw(9) << std::setprecision(2)
+                << m.endpoint_inference_accuracy << m.flood_injected << "\n";
     }
   }
 
-  std::cout << "\ncaptured  = distinct TCP segments pooled by the coalition\n"
+  std::cout << "\ncaptured  = distinct TCP segments pooled by the adversary\n"
             << "intercept = pooled captures / delivered (union-Pe / Pr)\n"
-            << "missing   = fragments the coalition still needs for the "
-               "full stream\n"
-            << "absorbed  = data packets silently eaten (blackhole only)\n";
+            << "absorbed  = data packets deliberately eaten (blackhole/"
+               "grayhole veto, wormhole tunnel drops)\n"
+            << "tunneled  = frames replayed through the wormhole's "
+               "out-of-band link\n"
+            << "endpt     = endpoint-inference accuracy (traffic analysis)\n"
+            << "injected  = forged RREQs injected (flood)\n";
   return 0;
 }

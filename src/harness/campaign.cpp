@@ -17,7 +17,21 @@ namespace mts::harness {
 std::string adversary_label(const security::AdversarySpec& spec) {
   if (!spec.enabled()) return "none";
   std::ostringstream os;
-  os << security::adversary_kind_name(spec.kind) << " x" << spec.count;
+  // A wormhole is always an endpoint pair, whatever `count` says.
+  const std::uint32_t n =
+      spec.kind == security::AdversaryKind::kWormhole ? 2 : spec.count;
+  os << security::adversary_kind_name(spec.kind) << " x" << n;
+  switch (spec.kind) {
+    case security::AdversaryKind::kWormhole:
+    case security::AdversaryKind::kGrayhole:
+      os << " p=" << spec.drop_prob;
+      break;
+    case security::AdversaryKind::kRreqFlood:
+      os << " @" << spec.flood_rate << "/s";
+      break;
+    default:
+      break;
+  }
   return os.str();
 }
 

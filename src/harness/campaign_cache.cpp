@@ -12,7 +12,7 @@ namespace mts::harness {
 
 namespace {
 
-constexpr int kCacheVersion = 5;
+constexpr int kCacheVersion = 6;
 
 bool cache_disabled() {
   const char* v = std::getenv("MTS_BENCH_NO_CACHE");
@@ -26,13 +26,31 @@ std::filesystem::path cache_dir() {
   return std::filesystem::path(".mts_bench_cache");
 }
 
-/// The CSV column set: one row per run, order matters.
+/// The CSV column set: one row per run, order matters.  v6 inserts the
+/// four active-attack columns before the members list (which stays last
+/// for the trailing-sentinel logic below).
 constexpr const char* kHeader =
     "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
     "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
     "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
     "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
+    "adv_ri,adv_missing,adv_absorbed,adv_tunneled,adv_gray_absorbed,"
+    "adv_endpoint_acc,adv_flood_injected,adv_members";
+
+/// The v5 column set is still parsed, with the active-attack metrics
+/// zeroed.  Note the version is part of the hashed cache *key*, so old
+/// cache files are not found automatically; this path serves hand-kept
+/// or migrated CSVs (the store format doubles as a user-facing export)
+/// and the checked-in compatibility fixtures.
+constexpr const char* kHeaderV5 =
+    "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
+    "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
+    "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
+    "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
     "adv_ri,adv_missing,adv_absorbed,adv_members";
+
+constexpr std::size_t kCellsV6 = 38;
+constexpr std::size_t kCellsV5 = 34;
 
 void write_row(std::ostream& os, const RunMetrics& m) {
   // Round-trip exactly: the cache's contract is bit-for-bit replay, and
@@ -51,7 +69,9 @@ void write_row(std::ostream& os, const RunMetrics& m) {
      << m.events_executed << ',' << m.adversary_index << ','
      << static_cast<int>(m.adversary_kind) << ',' << m.adversary_count << ','
      << m.coalition_captured << ',' << m.coalition_interception_ratio << ','
-     << m.fragments_missing << ',' << m.blackhole_absorbed << ',';
+     << m.fragments_missing << ',' << m.blackhole_absorbed << ','
+     << m.wormhole_tunneled << ',' << m.grayhole_absorbed << ','
+     << m.endpoint_inference_accuracy << ',' << m.flood_injected << ',';
   // '-' sentinel keeps the empty-members cell from being eaten by the
   // trailing-delimiter behaviour of getline-based parsing.
   if (m.adversary_members.empty()) {
@@ -67,7 +87,9 @@ std::optional<RunMetrics> parse_row(const std::string& line) {
   std::string cell;
   std::vector<std::string> cells;
   while (std::getline(ss, cell, ',')) cells.push_back(cell);
-  if (cells.size() != 34) return std::nullopt;
+  if (cells.size() != kCellsV6 && cells.size() != kCellsV5) {
+    return std::nullopt;
+  }
   try {
     RunMetrics m;
     std::size_t i = 0;
@@ -105,6 +127,12 @@ std::optional<RunMetrics> parse_row(const std::string& line) {
     m.coalition_interception_ratio = std::stod(cells[i++]);
     m.fragments_missing = std::stoull(cells[i++]);
     m.blackhole_absorbed = std::stoull(cells[i++]);
+    if (cells.size() == kCellsV6) {
+      m.wormhole_tunneled = std::stoull(cells[i++]);
+      m.grayhole_absorbed = std::stoull(cells[i++]);
+      m.endpoint_inference_accuracy = std::stod(cells[i++]);
+      m.flood_injected = std::stoull(cells[i++]);
+    }  // v5 rows: active-attack metrics stay zero
     if (cells[i] != "-") {
       std::stringstream ms(cells[i]);
       std::string id;
@@ -151,7 +179,10 @@ std::string CampaignCache::key_of(const CampaignConfig& cfg) {
   for (const security::AdversarySpec& a : cfg.adversaries) {
     os << static_cast<int>(a.kind) << ',' << a.count << ',' << a.sniff_range
        << ',' << a.min_speed << ',' << a.max_speed << ','
-       << a.pause.nanoseconds() << ',';
+       << a.pause.nanoseconds() << ',' << a.drop_prob << ','
+       << a.active_window.nanoseconds() << ','
+       << a.active_period.nanoseconds() << ',' << a.flood_rate << ','
+       << a.flood_start.nanoseconds() << ',';
     for (net::NodeId m : a.members) os << m << '.';
     os << ';';
   }
@@ -167,7 +198,9 @@ std::optional<CampaignResult> CampaignCache::load(const CampaignConfig& cfg) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
   std::string line;
-  if (!std::getline(in, line) || line != kHeader) return std::nullopt;
+  if (!std::getline(in, line) || (line != kHeader && line != kHeaderV5)) {
+    return std::nullopt;
+  }
   CampaignResult result;
   std::size_t rows = 0;
   while (std::getline(in, line)) {

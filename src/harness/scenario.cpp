@@ -63,6 +63,7 @@ class Simulation {
   RunMetrics run() {
     for (auto& n : nodes_) n.routing->start();
     for (auto& f : flows_) f->source->start(f->spec.start);
+    if (adversary_ != nullptr) adversary_->on_start(cfg_.sim_time);
     sched_.run_until(cfg_.sim_time);
     return collect();
   }
@@ -242,15 +243,36 @@ class Simulation {
       return nodes_[id].mobility->position_at(t);
     };
     ctx.rng = master_.substream("adversary");
+    // Active-model hooks.  Passive models never touch them; active ones
+    // use the scheduler for their own event slots, the channel for
+    // out-of-band injection, and the MAC-bound callback for forged
+    // control traffic through the "normal routing path".
+    ctx.sched = &sched_;
+    ctx.channel = channel_.get();
+    switch (cfg_.protocol) {
+      case Protocol::kAodv: ctx.rreq_kind = net::PacketKind::kAodvRreq; break;
+      case Protocol::kDsr:
+      case Protocol::kSmr: ctx.rreq_kind = net::PacketKind::kDsrRreq; break;
+      case Protocol::kMts: ctx.rreq_kind = net::PacketKind::kMtsRreq; break;
+    }
+    ctx.inject_control = [this](net::NodeId member, net::Packet&& p) {
+      auto& common = p.mutable_common();
+      common.uid = uids_.next();
+      ++nodes_[member].counters.sent_control;
+      nodes_[member].mac->enqueue(std::move(p), net::kBroadcastId);
+    };
     adversary_ = security::make_adversary(cfg_.adversary, ctx);
     if (adversary_ != nullptr) {
-      // Passive models tap the channel at radiation time; the tap is
-      // observational only, so the event stream is unchanged.
+      // All models tap the channel at radiation time.  The tap itself is
+      // observational; active models react to it only through their own
+      // scheduled event slots, so passive models still leave the event
+      // stream untouched.
       channel_->set_sniffer([a = adversary_.get()](
                                 net::NodeId sender,
                                 const mobility::Vec2& pos,
-                                const phy::Frame& f, sim::Time now) {
-        a->on_transmission({sender, pos, now}, f);
+                                const phy::Frame& f, sim::Time airtime,
+                                sim::Time now) {
+        a->on_transmission({sender, pos, airtime, now}, f);
       });
     }
   }
@@ -265,7 +287,7 @@ class Simulation {
         // Insider attackers sit between the MAC and the routing layer:
         // the MAC already ACKed the frame (upstream believes the hop
         // succeeded), then transit data silently dies here.
-        if (insider && adversary_->absorbs(i, p)) {
+        if (insider && adversary_->absorbs(i, p, sched_.now())) {
           adversary_->on_absorb(i, p);
           nodes_[i].counters.drop(net::DropReason::kAdversary);
           return;
@@ -372,6 +394,25 @@ class Simulation {
       m.fragments_missing = adversary_->fragments_missing(m.pr);
       m.blackhole_absorbed = adversary_->absorbed_packets();
       m.adversary_members = adversary_->members();
+      m.wormhole_tunneled = adversary_->tunneled_frames();
+      if (m.adversary_kind == security::AdversaryKind::kGrayhole) {
+        m.grayhole_absorbed = adversary_->absorbed_packets();
+      }
+      m.flood_injected = adversary_->injected_packets();
+      const auto guesses = adversary_->inferred_endpoints(flows_.size());
+      if (!guesses.empty() && !flows_.empty()) {
+        std::size_t hit = 0;
+        for (const auto& f : flows_) {
+          for (const auto& g : guesses) {
+            if (g.first == f->spec.src && g.second == f->spec.dst) {
+              ++hit;
+              break;
+            }
+          }
+        }
+        m.endpoint_inference_accuracy =
+            static_cast<double>(hit) / static_cast<double>(flows_.size());
+      }
     }
     for (const Node& n : nodes_) {
       m.control_packets += n.counters.control_transmissions();

@@ -68,10 +68,12 @@ struct ScenarioConfig {
   bool eavesdropper_enabled = true;
 
   /// Optional adversary model beyond the paper's single eavesdropper:
-  /// colluding coalitions, mobile sniffers, or insider blackholes.
+  /// colluding coalitions, mobile sniffers, traffic-analysis profilers,
+  /// insider blackholes/grayholes, wormhole tunnels, or RREQ floods.
   /// `kNone` (the default) reproduces the paper's threat model exactly.
-  /// Passive adversaries are pure observers — enabling one changes no
-  /// packet-level behaviour; the blackhole is active by design.
+  /// Passive adversaries (colluding/mobile/traffic) are pure observers —
+  /// enabling one changes no packet-level behaviour; the others are
+  /// active by design.
   security::AdversarySpec adversary;
 
   /// Fixed node placement instead of random waypoint (tests, examples).
@@ -121,8 +123,22 @@ struct RunMetrics {
   /// Segments the coalition still lacks to reconstruct the delivered
   /// stream — the "fragments-to-reconstruct" distance.
   std::uint64_t fragments_missing = 0;
-  std::uint64_t blackhole_absorbed = 0;       ///< data packets eaten
+  /// Data packets deliberately eaten by an insider attacker of any kind
+  /// (blackhole absorption, grayhole absorption, wormhole tunnel drops).
+  std::uint64_t blackhole_absorbed = 0;
   std::vector<net::NodeId> adversary_members;
+
+  // --- active-attack metrics (wormhole/grayhole/traffic/flood) ----------
+  /// Frames replayed through the wormhole's out-of-band tunnel.
+  std::uint64_t wormhole_tunneled = 0;
+  /// Data packets the grayhole's probabilistic/time-windowed veto ate
+  /// (isolated from blackhole_absorbed so the sweep can contrast them).
+  std::uint64_t grayhole_absorbed = 0;
+  /// kTrafficAnalysis: fraction of flows whose (src, dst) the metadata
+  /// profiler guessed exactly.
+  double endpoint_inference_accuracy = 0.0;
+  /// Forged route discoveries injected by kRreqFlood.
+  std::uint64_t flood_injected = 0;
 
   // --- TCP (paper Figs. 8-10) ------------------------------------------
   double avg_delay_s = 0.0;              ///< Fig. 8

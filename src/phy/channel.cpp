@@ -39,7 +39,18 @@ void Channel::transmit(net::NodeId sender, const Frame& frame,
                        sim::Time airtime) {
   const sim::Time now = sched_->now();
   const mobility::Vec2 sp = position_of(sender, now);
-  if (sniffer_) sniffer_(sender, sp, frame, now);
+  if (sniffer_) sniffer_(sender, sp, frame, airtime, now);
+  radiate(sender, sp, frame, airtime);
+}
+
+void Channel::inject(net::NodeId as_sender, const mobility::Vec2& from_pos,
+                     const Frame& frame, sim::Time airtime) {
+  radiate(as_sender, from_pos, frame, airtime);
+}
+
+void Channel::radiate(net::NodeId sender, const mobility::Vec2& sp,
+                      const Frame& frame, sim::Time airtime) {
+  const sim::Time now = sched_->now();
   const double decode_r = prop_->max_range();
   const double cs_r = decode_r * cfg_.cs_range_factor;
 

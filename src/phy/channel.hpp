@@ -43,18 +43,29 @@ class Channel {
   void finalize();
 
   /// Global promiscuous tap: observes every frame at radiation time with
-  /// the transmitter's position.  Purely observational (no scheduling,
-  /// no RNG draws), so attaching a sniffer never perturbs the
-  /// simulation — the adversary subsystem hangs off this.
+  /// the transmitter's position and airtime.  Purely observational (no
+  /// scheduling, no RNG draws), so attaching a sniffer never perturbs
+  /// the simulation — the adversary subsystem hangs off this.
   using Sniffer = std::function<void(net::NodeId sender,
                                      const mobility::Vec2& sender_pos,
-                                     const Frame& frame, sim::Time now)>;
+                                     const Frame& frame, sim::Time airtime,
+                                     sim::Time now)>;
   void set_sniffer(Sniffer s) { sniffer_ = std::move(s); }
 
   /// Radiates `frame` from `sender` for `airtime`.  Receivers within
   /// decode range get a decodable reception; receivers inside the CS
   /// range but beyond decode range get energy only.
   void transmit(net::NodeId sender, const Frame& frame, sim::Time airtime);
+
+  /// Active-adversary injection hook: radiates a (possibly spoofed)
+  /// frame from an arbitrary position that need not match any attached
+  /// radio — the wormhole's far-end replay.  Unlike the passive sniffer
+  /// tap this perturbs the run by design: receptions are scheduled
+  /// exactly as for a genuine transmission.  Injected frames are NOT fed
+  /// back to the sniffer tap (an attacker does not overhear its own
+  /// out-of-band replays, which also rules out tap→inject loops).
+  void inject(net::NodeId as_sender, const mobility::Vec2& from_pos,
+              const Frame& frame, sim::Time airtime);
 
   [[nodiscard]] mobility::Vec2 position_of(net::NodeId id, sim::Time t) const {
     return entries_[id].mobility->position_at(t);
@@ -90,6 +101,10 @@ class Channel {
 
   std::uint32_t acquire_rx_slot();
   void deliver_rx(std::uint32_t slot);
+  /// Shared fan-out of transmit() and inject(): schedules one reception
+  /// per radio within carrier-sense range of `sp`.
+  void radiate(net::NodeId sender, const mobility::Vec2& sp,
+               const Frame& frame, sim::Time airtime);
 
   sim::Scheduler* sched_;
   const PropagationModel* prop_;

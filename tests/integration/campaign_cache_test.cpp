@@ -5,6 +5,7 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include "harness/campaign_cache.hpp"
 
@@ -130,6 +131,106 @@ TEST_F(CampaignCacheTest, AdversaryAxisRoundTripsAndChangesTheKey) {
   CampaignConfig other = cfg;
   other.adversaries[1].count = 3;
   EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+}
+
+TEST_F(CampaignCacheTest, ActiveAttackMetricsRoundTripInV6Columns) {
+  CampaignConfig cfg = tiny();
+  cfg.base.field = {400.0, 400.0};
+  cfg.base.sim_time = sim::Time::sec(5);
+  security::AdversarySpec gray;
+  gray.kind = security::AdversaryKind::kGrayhole;
+  // Most of the 13 intermediates: some member is on the forwarding path
+  // whatever the seed picks, so the absorbed counters are non-vacuous.
+  gray.count = 8;
+  gray.drop_prob = 0.4;
+  security::AdversarySpec flood;
+  flood.kind = security::AdversaryKind::kRreqFlood;
+  flood.count = 1;
+  flood.flood_rate = 4.0;
+  cfg.adversaries = {gray, flood};
+
+  const CampaignResult fresh = CampaignCache::run(cfg);
+  const auto cached = CampaignCache::load(cfg);
+  ASSERT_TRUE(cached.has_value());
+  std::uint64_t gray_absorbed = 0;
+  std::uint64_t injected = 0;
+  for (std::uint32_t a = 0; a < 2; ++a) {
+    const auto& want = fresh.runs(Protocol::kAodv, 5, a);
+    const auto& got = cached->runs(Protocol::kAodv, 5, a);
+    ASSERT_EQ(want.size(), got.size());
+    ASSERT_FALSE(want.empty());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].adversary_kind, want[i].adversary_kind);
+      EXPECT_EQ(got[i].wormhole_tunneled, want[i].wormhole_tunneled);
+      EXPECT_EQ(got[i].grayhole_absorbed, want[i].grayhole_absorbed);
+      EXPECT_EQ(got[i].flood_injected, want[i].flood_injected);
+      EXPECT_DOUBLE_EQ(got[i].endpoint_inference_accuracy,
+                       want[i].endpoint_inference_accuracy);
+      gray_absorbed += want[i].grayhole_absorbed;
+      injected += want[i].flood_injected;
+    }
+  }
+  EXPECT_GT(gray_absorbed, 0u) << "grayhole cells ate nothing; vacuous";
+  EXPECT_GT(injected, 0u) << "flood cells injected nothing; vacuous";
+
+  // The new knobs are result-affecting, so they must key the cache.
+  CampaignConfig other = cfg;
+  other.adversaries[0].drop_prob = 0.8;
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+  other = cfg;
+  other.adversaries[1].flood_rate = 9.0;
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+  other = cfg;
+  other.adversaries[0].active_period = sim::Time::sec(4);
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+}
+
+TEST_F(CampaignCacheTest, V5RowsStillParseWithActiveMetricsZeroed) {
+  // Forward compatibility: a cache file written before the v6 columns
+  // (34 cells, v5 header) must load, with the four active-attack
+  // metrics defaulting to zero.  This is the exact v5 header and a row
+  // as the previous binary wrote them.
+  CampaignConfig cfg = tiny();
+  cfg.speeds = {5};
+  cfg.protocols = {Protocol::kAodv};
+  cfg.repetitions = 1;
+
+  const char* v5_header =
+      "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
+      "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
+      "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
+      "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
+      "adv_ri,adv_missing,adv_absorbed,adv_members";
+  const char* v5_row =
+      "1,5,1,7,0.25,120,30,0.125,4,80,0.05,0.033,26.5,217.1,0.93,80,86,3,1,"
+      "80,78,12,45,0,0,123456,0,0,0,0,0,80,0,-";
+
+  std::filesystem::create_directories(dir_);
+  const auto path = dir_ / (CampaignCache::key_of(cfg) + ".csv");
+  {
+    std::ofstream out(path);
+    out << v5_header << '\n' << v5_row << '\n';
+  }
+  const auto loaded = CampaignCache::load(cfg);
+  ASSERT_TRUE(loaded.has_value()) << "v5 cache file rejected";
+  const auto& runs = loaded->runs(Protocol::kAodv, 5);
+  ASSERT_EQ(runs.size(), 1u);
+  const RunMetrics& m = runs[0];
+  EXPECT_EQ(m.seed, 1u);
+  EXPECT_EQ(m.segments_delivered, 80u);
+  EXPECT_EQ(m.events_executed, 123456u);
+  EXPECT_DOUBLE_EQ(m.delivery_rate, 0.93);
+  // The v6-only metrics default.
+  EXPECT_EQ(m.wormhole_tunneled, 0u);
+  EXPECT_EQ(m.grayhole_absorbed, 0u);
+  EXPECT_DOUBLE_EQ(m.endpoint_inference_accuracy, 0.0);
+  EXPECT_EQ(m.flood_injected, 0u);
+
+  // Storing refreshes the file to the v6 column set, which round-trips.
+  CampaignCache::store(cfg, *loaded);
+  const auto reloaded = CampaignCache::load(cfg);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->runs(Protocol::kAodv, 5)[0].segments_delivered, 80u);
 }
 
 TEST_F(CampaignCacheTest, CorruptFileIsAFullMiss) {

@@ -1,0 +1,355 @@
+// Unit coverage for the active half of the adversary taxonomy: wormhole
+// pair placement, grayhole drop statistics and duty cycling, traffic-
+// analysis inference, and RREQ-flood injection pacing.  Everything here
+// is deterministic for a fixed seed — the properties the integration
+// fingerprints build on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "phy/channel.hpp"
+#include "phy/propagation.hpp"
+#include "security/adversary.hpp"
+#include "sim/scheduler.hpp"
+
+namespace mts::security {
+namespace {
+
+net::Packet data_packet(net::NodeId src, net::NodeId dst, std::uint32_t seq) {
+  net::Packet p;
+  auto& common = p.mutable_common();
+  common.kind = net::PacketKind::kTcpData;
+  common.src = src;
+  common.dst = dst;
+  p.mutable_tcp() = net::TcpHeader{.seq = seq, .flow_id = 1, .ts = {}};
+  return p;
+}
+
+phy::Frame metadata_frame(net::NodeId tx, net::NodeId rx,
+                          std::uint32_t bytes) {
+  phy::Frame f;
+  f.type = phy::FrameType::kData;
+  f.transmitter = tx;
+  f.receiver = rx;
+  f.bytes = bytes;
+  return f;
+}
+
+// --- wormhole pair placement -----------------------------------------------
+
+/// 10 nodes on a 100 m-spaced line: distances are unambiguous, so the
+/// far-end choice is easy to verify independently.
+mobility::Vec2 line_position(net::NodeId id, sim::Time) {
+  return {static_cast<double>(id) * 100.0, 0.0};
+}
+
+TEST(WormholePairTest, PlacementIsDeterministic) {
+  AdversarySpec spec;
+  spec.kind = AdversaryKind::kWormhole;
+  const auto a =
+      resolve_wormhole_pair(spec, 10, {0, 9}, sim::Rng(42), line_position);
+  const auto b =
+      resolve_wormhole_pair(spec, 10, {0, 9}, sim::Rng(42), line_position);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a[0], a[1]);
+}
+
+TEST(WormholePairTest, FarEndMaximizesSeparationFromAnchor) {
+  AdversarySpec spec;
+  spec.kind = AdversaryKind::kWormhole;
+  const std::unordered_set<net::NodeId> excluded{0, 9};
+  const auto pair =
+      resolve_wormhole_pair(spec, 10, excluded, sim::Rng(7), line_position);
+  const mobility::Vec2 ap = line_position(pair[0], {});
+  const double chosen = mobility::distance(ap, line_position(pair[1], {}));
+  for (net::NodeId c = 0; c < 10; ++c) {
+    if (c == pair[0] || excluded.contains(c)) continue;
+    EXPECT_GE(chosen + 1e-9, mobility::distance(ap, line_position(c, {})))
+        << "candidate " << c << " is farther from the anchor than the "
+        << "chosen far end " << pair[1];
+  }
+  EXPECT_FALSE(excluded.contains(pair[0]));
+  EXPECT_FALSE(excluded.contains(pair[1]));
+}
+
+TEST(WormholePairTest, ExplicitPairPassesThroughAndIsValidated) {
+  AdversarySpec spec;
+  spec.kind = AdversaryKind::kWormhole;
+  spec.members = {3, 7};
+  const auto pair =
+      resolve_wormhole_pair(spec, 10, {}, sim::Rng(1), line_position);
+  EXPECT_EQ(pair, (std::array<net::NodeId, 2>{3, 7}));
+
+  spec.members = {3};
+  EXPECT_THROW(resolve_wormhole_pair(spec, 10, {}, sim::Rng(1), line_position),
+               sim::ConfigError);
+  spec.members = {3, 3};
+  EXPECT_THROW(resolve_wormhole_pair(spec, 10, {}, sim::Rng(1), line_position),
+               sim::ConfigError);
+}
+
+// --- grayhole --------------------------------------------------------------
+
+TEST(GrayholeTest, DropRateConvergesToDropProb) {
+  const double p = 0.3;
+  GrayholeAttacker gh({4}, p, sim::Time::zero(), sim::Time::zero(),
+                      sim::Rng(99));
+  const int n = 4000;
+  int absorbed = 0;
+  for (int i = 0; i < n; ++i) {
+    if (gh.absorbs(4, data_packet(0, 9, static_cast<std::uint32_t>(i)),
+                   sim::Time::sec(1))) {
+      ++absorbed;
+    }
+  }
+  const double rate = static_cast<double>(absorbed) / n;
+  // Seeded binomial tolerance: 4 sigma around p.
+  const double sigma = std::sqrt(p * (1.0 - p) / n);
+  EXPECT_NEAR(rate, p, 4.0 * sigma);
+}
+
+TEST(GrayholeTest, EligibilityMatchesTheBlackholeRules) {
+  GrayholeAttacker gh({4}, 1.0, sim::Time::zero(), sim::Time::zero(),
+                      sim::Rng(1));
+  // p = 1: every eligible packet dies, so the veto is fully visible.
+  EXPECT_TRUE(gh.absorbs(4, data_packet(0, 9, 1), sim::Time::sec(1)));
+  EXPECT_FALSE(gh.absorbs(5, data_packet(0, 9, 1), sim::Time::sec(1)));
+  EXPECT_FALSE(gh.absorbs(4, data_packet(0, 4, 1), sim::Time::sec(1)));
+  net::Packet ctrl;
+  ctrl.mutable_common().kind = net::PacketKind::kMtsCheck;
+  EXPECT_FALSE(gh.absorbs(4, ctrl, sim::Time::sec(1)));
+}
+
+TEST(GrayholeTest, DutyCycleGatesAbsorption) {
+  // On for the first second of every 4-second period.
+  GrayholeAttacker gh({4}, 1.0, sim::Time::sec(1), sim::Time::sec(4),
+                      sim::Rng(5));
+  EXPECT_TRUE(gh.active_at(sim::Time::ms(500)));
+  EXPECT_FALSE(gh.active_at(sim::Time::ms(1500)));
+  EXPECT_FALSE(gh.active_at(sim::Time::ms(3999)));
+  EXPECT_TRUE(gh.active_at(sim::Time::ms(4200)));
+  EXPECT_TRUE(gh.absorbs(4, data_packet(0, 9, 1), sim::Time::ms(4200)));
+  EXPECT_FALSE(gh.absorbs(4, data_packet(0, 9, 1), sim::Time::ms(2000)));
+}
+
+TEST(GrayholeTest, HalfConfiguredDutyCycleIsAConfigError) {
+  // window without period (or vice versa) must not silently run
+  // always-on.
+  EXPECT_THROW(GrayholeAttacker({4}, 0.5, sim::Time::sec(2), sim::Time::zero(),
+                                sim::Rng(1)),
+               sim::ConfigError);
+  EXPECT_THROW(GrayholeAttacker({4}, 0.5, sim::Time::zero(), sim::Time::sec(4),
+                                sim::Rng(1)),
+               sim::ConfigError);
+}
+
+TEST(GrayholeTest, AbsorbedPacketsAreCountedAndRead) {
+  GrayholeAttacker gh({4}, 0.5, sim::Time::zero(), sim::Time::zero(),
+                      sim::Rng(1));
+  gh.on_absorb(4, data_packet(0, 9, 1));
+  gh.on_absorb(4, data_packet(0, 9, 1));  // retransmit of seq 1
+  gh.on_absorb(4, data_packet(0, 9, 2));
+  EXPECT_EQ(gh.absorbed_packets(), 3u);
+  EXPECT_EQ(gh.captured_segments(), 2u);  // distinct segments
+}
+
+// --- traffic analysis ------------------------------------------------------
+
+class TrafficAnalysisTest : public ::testing::Test {
+ protected:
+  /// Member 1 at the origin sees everything within 250 m; nodes sit on
+  /// a 100 m line so the whole chain is observable.
+  TrafficAnalysisAttacker make(std::vector<net::NodeId> members) {
+    return TrafficAnalysisAttacker(std::move(members), 250.0, 4,
+                                   line_position);
+  }
+
+  /// One TCP exchange of the flow 0 -> 2 through relay 1: big data
+  /// frames downstream, small ACKs upstream.
+  void feed(TrafficAnalysisAttacker& t, int rounds) {
+    for (int i = 0; i < rounds; ++i) {
+      t.on_transmission({0, line_position(0, {}), {}, sim::Time::sec(1)},
+                        metadata_frame(0, 1, 1000));
+      t.on_transmission({1, line_position(1, {}), {}, sim::Time::sec(1)},
+                        metadata_frame(1, 2, 1000));
+      t.on_transmission({2, line_position(2, {}), {}, sim::Time::sec(1)},
+                        metadata_frame(2, 1, 60));
+      t.on_transmission({1, line_position(1, {}), {}, sim::Time::sec(1)},
+                        metadata_frame(1, 0, 60));
+    }
+  }
+};
+
+TEST_F(TrafficAnalysisTest, InfersEndpointsFromVolumeSkewAlone) {
+  auto t = make({1});
+  feed(t, 10);
+  // Source 0: sends 10 kB of data, receives 600 B of ACKs.  Sink 2 is
+  // the mirror image.  Relay 1 cancels out.
+  EXPECT_GT(t.volume_skew(0), 0);
+  EXPECT_LT(t.volume_skew(2), 0);
+  EXPECT_EQ(t.volume_skew(1), 0);
+  const auto guesses = t.inferred_endpoints(1);
+  ASSERT_EQ(guesses.size(), 1u);
+  EXPECT_EQ(guesses[0].first, 0u);
+  EXPECT_EQ(guesses[0].second, 2u);
+}
+
+TEST_F(TrafficAnalysisTest, InferenceIsDeterministic) {
+  auto a = make({1});
+  auto b = make({1});
+  feed(a, 7);
+  feed(b, 7);
+  EXPECT_EQ(a.inferred_endpoints(2), b.inferred_endpoints(2));
+  EXPECT_EQ(a.frames_profiled(), b.frames_profiled());
+}
+
+TEST_F(TrafficAnalysisTest, NeverDecodesPayloads) {
+  auto t = make({1});
+  // Even a frame that *carries* a decodable TCP segment contributes
+  // metadata only: the capture-pool metrics stay at their "knows
+  // nothing" defaults.
+  phy::Frame f = metadata_frame(0, 1, 1060);
+  f.payload.mutable_common().kind = net::PacketKind::kTcpData;
+  f.payload.mutable_tcp() = net::TcpHeader{.seq = 1, .flow_id = 1, .ts = {}};
+  t.on_transmission({0, line_position(0, {}), {}, sim::Time::sec(1)}, f);
+  EXPECT_EQ(t.captured_segments(), 0u);
+  EXPECT_EQ(t.fragments_missing(100), 100u);
+  EXPECT_EQ(t.frames_profiled(), 1u);
+}
+
+TEST_F(TrafficAnalysisTest, OutOfRangeTransmissionsAreNotProfiled) {
+  auto t = make({1});
+  // 1 km from member 1: invisible.
+  t.on_transmission({3, {1000.0, 1000.0}, {}, sim::Time::sec(1)},
+                    metadata_frame(3, 2, 1000));
+  EXPECT_EQ(t.frames_profiled(), 0u);
+  EXPECT_TRUE(t.inferred_endpoints(1).empty());
+}
+
+// --- RREQ flood ------------------------------------------------------------
+
+struct FloodHarness {
+  sim::Scheduler sched;
+  std::vector<net::Packet> injected;
+  std::vector<net::NodeId> injectors;
+
+  RreqFlooder make(std::vector<net::NodeId> members, net::PacketKind kind,
+                   double rate) {
+    return RreqFlooder(std::move(members), kind, 10, rate, sim::Time::sec(1),
+                       &sched,
+                       [this](net::NodeId m, net::Packet&& p) {
+                         injectors.push_back(m);
+                         injected.push_back(std::move(p));
+                       },
+                       sim::Rng(3));
+  }
+};
+
+TEST(RreqFloodTest, InjectionCountMatchesTheConfiguredRate) {
+  FloodHarness h;
+  auto flood = h.make({5}, net::PacketKind::kAodvRreq, 10.0);
+  flood.on_start(sim::Time::sec(6));
+  h.sched.run_until(sim::Time::sec(6));
+  // Ticks at t = 1.0, 1.1, ..., 6.0: (6 - 1) * 10 + 1 per member.
+  EXPECT_EQ(flood.injected_packets(), 51u);
+  EXPECT_EQ(h.injected.size(), 51u);
+}
+
+TEST(RreqFloodTest, EveryMemberInjectsEachTick) {
+  FloodHarness h;
+  auto flood = h.make({2, 5, 7}, net::PacketKind::kDsrRreq, 2.0);
+  flood.on_start(sim::Time::sec(3));
+  h.sched.run_until(sim::Time::sec(3));
+  // Ticks at t = 1, 1.5, 2, 2.5, 3 -> 5 per member.
+  EXPECT_EQ(flood.injected_packets(), 15u);
+  for (std::size_t i = 0; i < h.injectors.size(); ++i) {
+    EXPECT_EQ(h.injectors[i], std::vector<net::NodeId>({2, 5, 7})[i % 3]);
+  }
+}
+
+TEST(RreqFloodTest, ForgedPacketsAreWellFormedPerProtocol) {
+  FloodHarness h;
+  auto flood = h.make({5}, net::PacketKind::kMtsRreq, 5.0);
+  flood.on_start(sim::Time::sec(2));
+  h.sched.run_until(sim::Time::sec(2));
+  ASSERT_FALSE(h.injected.empty());
+  for (const net::Packet& p : h.injected) {
+    EXPECT_EQ(p.kind(), net::PacketKind::kMtsRreq);
+    EXPECT_EQ(p.common().src, 5u);
+    EXPECT_EQ(p.common().dst, net::kBroadcastId);
+    const auto& rh = std::get<net::MtsRreqHeader>(p.routing());
+    EXPECT_EQ(rh.orig, 5u);
+    EXPECT_NE(rh.dst, 5u);          // never floods for itself
+    EXPECT_LT(rh.dst, 10u);         // a real victim
+    EXPECT_GE(rh.bcast_id, RreqFlooder::kForgedIdBase)
+        << "forged ids must not collide with genuine discovery ids";
+  }
+}
+
+TEST(RreqFloodTest, FloodAfterSimEndNeverFires) {
+  FloodHarness h;
+  auto flood = h.make({5}, net::PacketKind::kAodvRreq, 10.0);
+  flood.on_start(sim::Time::ms(500));  // sim ends before flood_start (1 s)
+  h.sched.run_until(sim::Time::ms(500));
+  EXPECT_EQ(flood.injected_packets(), 0u);
+}
+
+// --- factory ---------------------------------------------------------------
+
+TEST(ActiveAdversaryFactoryTest, BuildsEachActiveKind) {
+  sim::Scheduler sched;
+  phy::UnitDiskPropagation prop(250.0);
+  phy::Channel channel(sched, prop);
+
+  AdversaryContext ctx;
+  ctx.node_count = 20;
+  ctx.radio_range = 250.0;
+  ctx.position_of = line_position;
+  ctx.rng = sim::Rng(3);
+  ctx.sched = &sched;
+  ctx.channel = &channel;
+  ctx.rreq_kind = net::PacketKind::kDsrRreq;
+  ctx.inject_control = [](net::NodeId, net::Packet&&) {};
+
+  AdversarySpec spec;
+  spec.kind = AdversaryKind::kWormhole;
+  auto wormhole = make_adversary(spec, ctx);
+  ASSERT_NE(wormhole, nullptr);
+  EXPECT_EQ(wormhole->kind(), AdversaryKind::kWormhole);
+  EXPECT_EQ(wormhole->member_count(), 2u);
+  EXPECT_EQ(wormhole->members().size(), 2u);
+
+  spec.kind = AdversaryKind::kGrayhole;
+  spec.count = 3;
+  spec.drop_prob = 0.25;
+  auto grayhole = make_adversary(spec, ctx);
+  ASSERT_NE(grayhole, nullptr);
+  EXPECT_EQ(grayhole->kind(), AdversaryKind::kGrayhole);
+  EXPECT_EQ(grayhole->member_count(), 3u);
+
+  spec.kind = AdversaryKind::kTrafficAnalysis;
+  auto traffic = make_adversary(spec, ctx);
+  ASSERT_NE(traffic, nullptr);
+  EXPECT_EQ(traffic->kind(), AdversaryKind::kTrafficAnalysis);
+  EXPECT_TRUE(traffic->inferred_endpoints(1).empty());  // saw nothing yet
+
+  spec.kind = AdversaryKind::kRreqFlood;
+  spec.count = 2;
+  auto flood = make_adversary(spec, ctx);
+  ASSERT_NE(flood, nullptr);
+  EXPECT_EQ(flood->kind(), AdversaryKind::kRreqFlood);
+  EXPECT_EQ(flood->member_count(), 2u);
+  EXPECT_EQ(flood->injected_packets(), 0u);
+}
+
+TEST(ActiveAdversaryFactoryTest, NewKindNamesAreStable) {
+  EXPECT_STREQ(adversary_kind_name(AdversaryKind::kWormhole), "wormhole");
+  EXPECT_STREQ(adversary_kind_name(AdversaryKind::kGrayhole), "grayhole");
+  EXPECT_STREQ(adversary_kind_name(AdversaryKind::kTrafficAnalysis),
+               "traffic");
+  EXPECT_STREQ(adversary_kind_name(AdversaryKind::kRreqFlood), "rreq-flood");
+}
+
+}  // namespace
+}  // namespace mts::security

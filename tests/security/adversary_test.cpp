@@ -89,8 +89,8 @@ class ColludingTest : public ::testing::Test {
 TEST_F(ColludingTest, PoolsSegmentsAcrossMembers) {
   auto coalition = make({1, 2});
   // Segment 10 radiated near member 1 only; segment 20 near member 2.
-  coalition.on_transmission({5, {100, 0}, sim::Time::sec(1)}, data_frame(1, 10));
-  coalition.on_transmission({6, {900, 0}, sim::Time::sec(2)}, data_frame(1, 20));
+  coalition.on_transmission({5, {100, 0}, {}, sim::Time::sec(1)}, data_frame(1, 10));
+  coalition.on_transmission({6, {900, 0}, {}, sim::Time::sec(2)}, data_frame(1, 20));
   EXPECT_EQ(coalition.captured_segments(), 2u);
   EXPECT_EQ(coalition.frames_seen_by(1), 1u);
   EXPECT_EQ(coalition.frames_seen_by(2), 1u);
@@ -98,7 +98,7 @@ TEST_F(ColludingTest, PoolsSegmentsAcrossMembers) {
 
 TEST_F(ColludingTest, OutOfRangeTransmissionsAreMissed) {
   auto coalition = make({1});
-  coalition.on_transmission({5, {500, 0}, sim::Time::sec(1)}, data_frame(1, 10));
+  coalition.on_transmission({5, {500, 0}, {}, sim::Time::sec(1)}, data_frame(1, 10));
   EXPECT_EQ(coalition.captured_segments(), 0u);
 }
 
@@ -108,8 +108,8 @@ TEST_F(ColludingTest, LargerCoalitionCapturesSupersetByConstruction) {
   const std::vector<std::pair<mobility::Vec2, std::uint32_t>> txs{
       {{100, 0}, 1}, {{900, 0}, 2}, {{500, 0}, 3}, {{50, 0}, 4}};
   for (const auto& [pos, seq] : txs) {
-    solo.on_transmission({9, pos, sim::Time::sec(1)}, data_frame(1, seq));
-    pair.on_transmission({9, pos, sim::Time::sec(1)}, data_frame(1, seq));
+    solo.on_transmission({9, pos, {}, sim::Time::sec(1)}, data_frame(1, seq));
+    pair.on_transmission({9, pos, {}, sim::Time::sec(1)}, data_frame(1, seq));
   }
   EXPECT_GE(pair.captured_segments(), solo.captured_segments());
   EXPECT_EQ(solo.captured_segments(), 2u);  // seq 1 and 4 near member 1
@@ -118,29 +118,29 @@ TEST_F(ColludingTest, LargerCoalitionCapturesSupersetByConstruction) {
 
 TEST_F(ColludingTest, RetransmissionsNotDoubleCounted) {
   auto coalition = make({1, 2});
-  coalition.on_transmission({5, {100, 0}, sim::Time::sec(1)}, data_frame(1, 10));
-  coalition.on_transmission({5, {100, 0}, sim::Time::sec(2)}, data_frame(1, 10));
+  coalition.on_transmission({5, {100, 0}, {}, sim::Time::sec(1)}, data_frame(1, 10));
+  coalition.on_transmission({5, {100, 0}, {}, sim::Time::sec(2)}, data_frame(1, 10));
   // Both members overhearing the same segment still pools to one.
-  coalition.on_transmission({5, {100, 0}, sim::Time::sec(3)}, data_frame(1, 10));
+  coalition.on_transmission({5, {100, 0}, {}, sim::Time::sec(3)}, data_frame(1, 10));
   EXPECT_EQ(coalition.captured_segments(), 1u);
 }
 
 TEST_F(ColludingTest, OwnTransmissionsAndControlIgnored) {
   auto coalition = make({1});
   // Member 1 itself is the transmitter: forwarding is not overhearing.
-  coalition.on_transmission({1, {0, 0}, sim::Time::sec(1)}, data_frame(1, 10));
+  coalition.on_transmission({1, {0, 0}, {}, sim::Time::sec(1)}, data_frame(1, 10));
   phy::Frame ack = data_frame(1, 11);
   ack.payload.mutable_common().kind = net::PacketKind::kTcpAck;
-  coalition.on_transmission({5, {10, 0}, sim::Time::sec(1)}, ack);
+  coalition.on_transmission({5, {10, 0}, {}, sim::Time::sec(1)}, ack);
   phy::Frame bare;
-  coalition.on_transmission({5, {10, 0}, sim::Time::sec(1)}, bare);
+  coalition.on_transmission({5, {10, 0}, {}, sim::Time::sec(1)}, bare);
   EXPECT_EQ(coalition.captured_segments(), 0u);
 }
 
 TEST_F(ColludingTest, InterceptionAndFragmentMetrics) {
   auto coalition = make({1});
   for (std::uint32_t s = 1; s <= 5; ++s) {
-    coalition.on_transmission({9, {0, 0}, sim::Time::sec(1)}, data_frame(1, s));
+    coalition.on_transmission({9, {0, 0}, {}, sim::Time::sec(1)}, data_frame(1, s));
   }
   EXPECT_DOUBLE_EQ(coalition.interception_ratio(20), 0.25);
   EXPECT_EQ(coalition.fragments_missing(20), 15u);
@@ -174,9 +174,9 @@ TEST(MobileEavesdropperTest, CapturesOnlyWithinRange) {
   const sim::Time t = sim::Time::sec(1);
   const mobility::Vec2 at = eve.position_of_member(0, t);
   // Radiated right on top of the sniffer: captured.
-  eve.on_transmission({7, at, t}, data_frame(1, 1));
+  eve.on_transmission({7, at, {}, t}, data_frame(1, 1));
   // Radiated 10 km away: missed.
-  eve.on_transmission({7, {at.x + 10000.0, at.y}, t}, data_frame(1, 2));
+  eve.on_transmission({7, {at.x + 10000.0, at.y}, {}, t}, data_frame(1, 2));
   EXPECT_EQ(eve.captured_segments(), 1u);
 }
 
@@ -184,15 +184,15 @@ TEST(MobileEavesdropperTest, CapturesOnlyWithinRange) {
 
 TEST(BlackholeTest, AbsorbsOnlyTransitDataAtMembers) {
   BlackholeAttacker bh({3});
-  EXPECT_TRUE(bh.absorbs(3, data_packet(0, 9, 1)));   // transit data
-  EXPECT_FALSE(bh.absorbs(4, data_packet(0, 9, 1)));  // not a member
-  EXPECT_FALSE(bh.absorbs(3, data_packet(0, 3, 1)));  // terminates here
+  EXPECT_TRUE(bh.absorbs(3, data_packet(0, 9, 1), sim::Time::zero()));   // transit data
+  EXPECT_FALSE(bh.absorbs(4, data_packet(0, 9, 1), sim::Time::zero()));  // not a member
+  EXPECT_FALSE(bh.absorbs(3, data_packet(0, 3, 1), sim::Time::zero()));  // terminates here
   net::Packet ctrl;
   ctrl.mutable_common().kind = net::PacketKind::kAodvRreq;
-  EXPECT_FALSE(bh.absorbs(3, ctrl));  // control passes: stay attractive
+  EXPECT_FALSE(bh.absorbs(3, ctrl, sim::Time::zero()));  // control passes: stay attractive
   net::Packet ack = data_packet(9, 0, 1);
   ack.mutable_common().kind = net::PacketKind::kTcpAck;
-  EXPECT_FALSE(bh.absorbs(3, ack));  // data only
+  EXPECT_FALSE(bh.absorbs(3, ack, sim::Time::zero()));  // data only
 }
 
 TEST(BlackholeTest, CountsAndReadsWhatItEats) {
@@ -242,7 +242,7 @@ TEST(AdversaryFactoryTest, BuildsEachKind) {
   EXPECT_EQ(blackhole->kind(), AdversaryKind::kBlackhole);
   EXPECT_EQ(blackhole->member_count(), 1u);
   EXPECT_TRUE(blackhole->absorbs(blackhole->members()[0],
-                                 data_packet(0, 19, 1)));
+                                 data_packet(0, 19, 1), sim::Time::zero()));
 }
 
 TEST(AdversaryFactoryTest, KindNamesAreStable) {
