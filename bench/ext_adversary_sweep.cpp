@@ -93,12 +93,23 @@ int main() {
     cfg.adversaries.push_back(s);
   }
 
+  // The defense axis: every adversary cell runs undefended (index 0 —
+  // the PR 4 ledger) and under the full countermeasure suite (index 1 —
+  // acked checking + wormhole leash + flood rate limiting), so the
+  // attack/defense contrast is a paired comparison on identical seeds.
+  {
+    security::DefenseSpec suite;
+    suite.kind = security::DefenseKind::kSuite;
+    cfg.defenses = {security::DefenseSpec{}, suite};
+  }
+
   std::cout << "Extension: adversary sweep (colluding coalitions, mobile "
                "sniffers, insider blackhole, wormhole, grayhole, "
-               "traffic analysis, RREQ flood)\n";
+               "traffic analysis, RREQ flood) x {undefended, defense suite}\n";
   std::cout << "sweep: " << cfg.protocols.size() << " protocols x "
             << cfg.speeds.size() << " speeds x " << cfg.adversaries.size()
-            << " adversaries x " << cfg.repetitions << " reps, "
+            << " adversaries x " << cfg.defenses.size() << " defenses x "
+            << cfg.repetitions << " reps, "
             << cfg.base.sim_time.to_seconds() << "s each\n";
 
   const harness::CampaignResult result =
@@ -138,5 +149,60 @@ int main() {
       [](const harness::RunMetrics& m) {
         return m.endpoint_inference_accuracy;
       });
+
+  // --- defended columns: undefended vs. suite, paired per adversary ----
+  const auto defended_mean =
+      [&](harness::Protocol p, std::uint32_t a, std::uint32_t d,
+          const std::function<double(const harness::RunMetrics&)>& metric) {
+        double sum = 0.0;
+        std::size_t n = 0;
+        for (double speed : cfg.speeds) {
+          const auto s = result.summarize(p, speed, a, d, metric);
+          sum += s.mean() * static_cast<double>(s.count());
+          n += s.count();
+        }
+        return n == 0 ? 0.0 : sum / static_cast<double>(n);
+      };
+  std::cout << "\n=== Defense suite vs. each adversary (means over all "
+               "speeds; undef -> defended) ===\n";
+  for (harness::Protocol p : cfg.protocols) {
+    std::cout << "\n--- " << harness::protocol_name(p) << " ---\n";
+    for (std::uint32_t a = 0;
+         a < static_cast<std::uint32_t>(cfg.adversaries.size()); ++a) {
+      const auto thr = [](const harness::RunMetrics& m) {
+        return m.throughput_seg_s;
+      };
+      const auto ctrl = [](const harness::RunMetrics& m) {
+        return static_cast<double>(m.control_packets);
+      };
+      const auto ri = [](const harness::RunMetrics& m) {
+        return m.coalition_interception_ratio;
+      };
+      std::cout << "  " << harness::adversary_label(cfg.adversaries[a])
+                << ": thr " << defended_mean(p, a, 0, thr) << " -> "
+                << defended_mean(p, a, 1, thr) << " seg/s"
+                << "; ctrl " << defended_mean(p, a, 0, ctrl) << " -> "
+                << defended_mean(p, a, 1, ctrl)
+                << "; read " << defended_mean(p, a, 0, ri) << " -> "
+                << defended_mean(p, a, 1, ri)
+                << "; detect@" << defended_mean(p, a, 1,
+                       [](const harness::RunMetrics& m) {
+                         return m.detection_time_s;
+                       })
+                << "s; recover " << defended_mean(p, a, 1,
+                       [](const harness::RunMetrics& m) {
+                         return m.recovery_time_s;
+                       })
+                << "s; quar " << defended_mean(p, a, 1,
+                       [](const harness::RunMetrics& m) {
+                         return static_cast<double>(m.paths_quarantined);
+                       })
+                << "; suppr " << defended_mean(p, a, 1,
+                       [](const harness::RunMetrics& m) {
+                         return static_cast<double>(m.flood_suppressed);
+                       })
+                << "\n";
+    }
+  }
   return 0;
 }

@@ -1,0 +1,121 @@
+// Countermeasure subsystem demo: the attack x defense ledger in one
+// table.  Runs MTS under each active attack from the adversary demo —
+// insider blackhole, duty-cycled grayhole, wormhole tunnel, RREQ flood
+// — first undefended, then with the matching defense, plus a
+// defenses-on/no-adversary row (the false-positive check).  The quickest
+// way to see the loop the attack PRs opened being closed: what each
+// attack cost, when the defense caught it, and what recovery looked
+// like.
+//
+// MTS_DEMO_SMOKE=1 shrinks the run for CI (fewer nodes, shorter sim).
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "harness/campaign.hpp"
+#include "harness/scenario.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mts;
+
+  const bool smoke = std::getenv("MTS_DEMO_SMOKE") != nullptr;
+  harness::ScenarioConfig base;
+  base.node_count = smoke ? 20 : 30;
+  base.field = smoke ? mobility::Field{700.0, 700.0}
+                     : mobility::Field{800.0, 800.0};
+  base.sim_time = sim::Time::sec(smoke ? 12 : 60);
+  base.max_speed = 5.0;
+  base.protocol = harness::Protocol::kMts;
+  // Single-run demo, so the seed shapes the story; 11 draws insiders
+  // that actually sit on the flow's paths.  Pass another as argv[1].
+  base.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+  security::AdversarySpec none;
+
+  security::AdversarySpec blackhole;
+  blackhole.kind = security::AdversaryKind::kBlackhole;
+  blackhole.count = 6;
+
+  security::AdversarySpec grayhole;
+  grayhole.kind = security::AdversaryKind::kGrayhole;
+  grayhole.count = 6;
+  grayhole.drop_prob = 1.0;
+  grayhole.active_window = sim::Time::seconds(1.2);
+  grayhole.active_period = sim::Time::sec(8);
+
+  security::AdversarySpec wormhole;
+  wormhole.kind = security::AdversaryKind::kWormhole;
+
+  security::AdversarySpec flood;
+  flood.kind = security::AdversaryKind::kRreqFlood;
+  flood.count = 1;
+  flood.flood_rate = 5.0;
+
+  security::DefenseSpec acked;
+  acked.kind = security::DefenseKind::kAckedChecking;
+  security::DefenseSpec leash;
+  leash.kind = security::DefenseKind::kWormholeLeash;
+  security::DefenseSpec limiter;
+  limiter.kind = security::DefenseKind::kFloodRateLimit;
+  security::DefenseSpec suite;
+  suite.kind = security::DefenseKind::kSuite;
+
+  struct Row {
+    security::AdversarySpec attack;
+    security::DefenseSpec defense;
+  };
+  const Row rows[] = {
+      {blackhole, {}}, {blackhole, acked},  {grayhole, {}}, {grayhole, acked},
+      {wormhole, {}},  {wormhole, leash},   {flood, {}},    {flood, limiter},
+      {none, suite},  // false-positive check: defenses on, nobody attacking
+  };
+
+  std::cout << "=== Countermeasure demo (MTS, " << base.node_count
+            << " nodes, " << base.sim_time.to_seconds() << " s, seed "
+            << base.seed << ") ===\n\n";
+  std::cout << std::left << std::setw(19) << "attack" << std::setw(22)
+            << "defense" << std::setw(11) << "delivered" << std::setw(7)
+            << "read" << std::setw(9) << "ctrl" << std::setw(9) << "eaten"
+            << std::setw(9) << "detect" << std::setw(7) << "quar"
+            << std::setw(7) << "suppr" << std::setw(9) << "recover"
+            << "probes\n";
+
+  for (const Row& row : rows) {
+    harness::ScenarioConfig cfg = base;
+    cfg.adversary = row.attack;
+    cfg.defense = row.defense;
+    const harness::RunMetrics m = harness::run_scenario(cfg);
+    std::cout << std::left << std::setw(19)
+              << harness::adversary_label(row.attack) << std::setw(22)
+              << harness::defense_label(row.defense) << std::setw(11)
+              << m.segments_delivered << std::setw(7) << m.coalition_captured
+              << std::setw(9) << m.control_packets << std::setw(9)
+              << m.blackhole_absorbed << std::setw(9) << std::fixed
+              << std::setprecision(2) << m.detection_time_s << std::setw(7)
+              << m.paths_quarantined << std::setw(7) << m.flood_suppressed
+              << std::setw(9) << std::setprecision(2) << m.recovery_time_s
+              << m.probes_sent << "\n";
+  }
+
+  std::cout << "\nread    = distinct TCP segments the adversary captured\n"
+            << "eaten   = data packets absorbed by the insider "
+               "(blackhole/grayhole veto, wormhole drops)\n"
+            << "detect  = sim time of the first quarantine/suppression "
+               "(0 = never fired)\n"
+            << "quar    = paths quarantined (estimator demotion or leash "
+               "rejection)\n"
+            << "suppr   = route discoveries refused by the per-origin "
+               "token bucket\n"
+            << "recover = detection -> next delivered segment, 1 s "
+               "resolution\n"
+            << "probes  = end-to-end acked-checking probes sent on the "
+               "data plane\n"
+            << "\nNote the wormhole/leash rows: the tunnel also *rushes* "
+               "(its replay wins every\nflood race), so when every "
+               "candidate path is phantom the leash refuses them all\n"
+               "-- the pair reads nothing, but delivery can starve too.  "
+               "docs/threat-model.md\ndiscusses the availability/"
+               "confidentiality trade and the rushing-resistant\n"
+               "discovery it motivates.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans README.md and every *.md under docs/ for inline links and ensures
+each relative target exists on disk (anchors are stripped; external
+schemes and pure in-page anchors are skipped).  Exits non-zero listing
+every broken link — the CI docs job runs this so a moved or renamed
+page cannot silently orphan its references.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def md_files(root: Path) -> list[Path]:
+    files = [root / "README.md"]
+    files += sorted((root / "docs").rglob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check(root: Path) -> list[str]:
+    errors = []
+    for md in md_files(root):
+        text = md.read_text(encoding="utf-8")
+        # Strip fenced code blocks: shell snippets mention paths like
+        # build/... that are build artifacts, not doc links.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for target in LINK_RE.findall(text):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{md.relative_to(root)}: broken link -> {target}")
+    return errors
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    errors = check(root)
+    for e in errors:
+        print(e, file=sys.stderr)
+    checked = len(md_files(root))
+    if errors:
+        print(f"{len(errors)} broken link(s) across {checked} files",
+              file=sys.stderr)
+        return 1
+    print(f"all intra-repo markdown links resolve ({checked} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

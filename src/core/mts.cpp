@@ -1,12 +1,15 @@
 #include "core/mts.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 namespace mts::core {
 
 using net::MtsCheckErrorHeader;
 using net::MtsCheckHeader;
 using net::MtsDataTag;
+using net::MtsProbeHeader;
 using net::MtsRerrHeader;
 using net::MtsRreqHeader;
 using net::MtsRrepHeader;
@@ -35,7 +38,8 @@ Mts::Mts(routing::RoutingContext ctx, MtsConfig cfg, sim::Rng rng)
       rng_(rng),
       buffer_(cfg.buffer_capacity, cfg.buffer_max_age),
       check_timer_(*ctx_.sched, [this] { check_tick(); }),
-      purge_timer_(*ctx_.sched, [this] { purge(); }) {
+      purge_timer_(*ctx_.sched, [this] { purge(); }),
+      probe_timer_(*ctx_.sched, [this] { probe_tick(); }) {
   sim::require_config(cfg.max_paths >= 1, "MtsConfig: max_paths < 1");
   sim::require_config(cfg.check_period > sim::Time::zero(),
                       "MtsConfig: check_period <= 0");
@@ -49,6 +53,12 @@ void Mts::start() {
                      cfg_.check_period * rng_.uniform(0.5, 1.0));
   purge_timer_.start(cfg_.purge_period,
                      cfg_.purge_period + sim::Time::seconds(rng_.uniform(0.0, 0.1)));
+  if (ctx_.defense != nullptr) {
+    const sim::Time period = ctx_.defense->probe_period();
+    if (period > sim::Time::zero()) {
+      probe_timer_.start(period, period * rng_.uniform(0.5, 1.0));
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -192,7 +202,12 @@ void Mts::discovery_timeout(NodeId dst) {
   auto it = as_source_.find(dst);
   if (it == as_source_.end() || !it->second.discovering) return;
   SourceState& ss = it->second;
-  if (!ss.paths.empty()) {  // an RREP or check got through meanwhile
+  // An RREP or check got through meanwhile — but only a *usable* path
+  // counts as success (leash-quarantined entries also live in the map).
+  const bool any_usable = std::any_of(
+      ss.paths.begin(), ss.paths.end(),
+      [](const auto& kv) { return kv.second.alive && !kv.second.quarantined; });
+  if (any_usable) {
     ss.discovering = false;
     return;
   }
@@ -220,6 +235,13 @@ void Mts::handle_rreq(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kDuplicate);
     return;
   }
+  // Rate-limit defense: after dedup, so copies of one genuine flood
+  // never drain the origin's bucket — only novel (orig, id) floods do.
+  if (ctx_.defense != nullptr &&
+      !ctx_.defense->admit_rreq(self(), h.orig, now())) {
+    drop(p, net::DropReason::kRateLimited);
+    return;
+  }
   if (std::find(h.nodes.begin(), h.nodes.end(), self()) != h.nodes.end()) {
     return;  // route record already contains us
   }
@@ -241,6 +263,23 @@ void Mts::handle_rreq(Packet&& p, NodeId from) {
 
 void Mts::accept_path_at_destination(NodeId src, PathNodes nodes,
                                      std::uint32_t bcast_id) {
+  // Destinations consume every copy of a flood, so the rate-limit
+  // defense is charged once per *generation*: the first copy of a new
+  // broadcast id pays a token, and a refused generation is remembered so
+  // its stragglers neither re-drain the bucket nor sneak a path in.
+  // This is what caps an RREQ flood's check spin-up — forged discoveries
+  // that never pass admission never arm checking toward the flooder.
+  if (ctx_.defense != nullptr) {
+    if (suppressed_gens_.contains(src, bcast_id)) return;
+    const auto it = as_dest_.find(src);
+    const std::uint32_t seen_gen = it == as_dest_.end() ? 0 : it->second.bcast_id;
+    const bool novel = bcast_id > seen_gen || it == as_dest_.end();
+    if (novel && !ctx_.defense->admit_rreq(self(), src, now())) {
+      suppressed_gens_.check_and_insert(src, bcast_id);
+      ctx_.counters->drop(net::DropReason::kRateLimited);
+      return;
+    }
+  }
   DestState& ds = as_dest_[src];
   if (bcast_id < ds.bcast_id) return;  // copy from an obsolete flood
   if (bcast_id > ds.bcast_id) {
@@ -251,6 +290,10 @@ void Mts::accept_path_at_destination(NodeId src, PathNodes nodes,
   }
   if (ds.paths.empty()) {
     // First copy: reply immediately, no disjoint-set computation delay.
+    if (ctx_.defense != nullptr &&
+        !ctx_.defense->admit_path(src, self(), nodes, now())) {
+      return;  // leash: a later, feasible copy may still become "first"
+    }
     ds.paths.push_back(nodes);
     ds.alive.push_back(true);
     ds.last_activity = now();
@@ -259,6 +302,10 @@ void Mts::accept_path_at_destination(NodeId src, PathNodes nodes,
   }
   if (ds.paths.size() >= cfg_.max_paths) return;
   if (!admissible(ds.paths, nodes, src, self())) return;
+  if (ctx_.defense != nullptr &&
+      !ctx_.defense->admit_path(src, self(), nodes, now())) {
+    return;
+  }
   ds.paths.push_back(std::move(nodes));
   ds.alive.push_back(true);
 }
@@ -307,6 +354,50 @@ void Mts::source_path_confirmed(NodeId dst, std::uint16_t path_id,
                                 const PathNodes& nodes, std::uint32_t round,
                                 bool switch_allowed) {
   SourceState& ss = as_source_[dst];
+  const auto pit = ss.paths.find(path_id);
+  if (pit != ss.paths.end() && pit->second.quarantined) {
+    // A quarantined path stays down: the destination keeps checking it
+    // (it has no way to know), but the check must not resurrect it.
+    return;
+  }
+  if (ctx_.defense != nullptr &&
+      ctx_.defense->probe_period() > sim::Time::zero() && ss.discovering &&
+      switch_allowed) {
+    // Quarantining a source's *only* path restarts discovery, which
+    // clears the path map — including the quarantine marker.  A stale
+    // check from the pre-flush generation arriving now would re-admit
+    // the very path the estimator just condemned (with a reset
+    // estimator) AND abort the re-discovery.  Under acked checking a
+    // source in re-discovery therefore distrusts check-based
+    // confirmations (switch_allowed) and waits for the fresh RREP; the
+    // new generation's checks confirm normally once discovery closes.
+    // Scoped to probing defenses: only the estimator creates the
+    // clear-then-resurrect hazard (the leash re-rejects on its own).
+    return;
+  }
+  const bool fresh_entry = pit == ss.paths.end();
+  if (fresh_entry && ctx_.defense != nullptr) {
+    // Leash admission, once per path: validated when first learned (node
+    // drift is negligible then); re-confirmations of an admitted path
+    // are not re-judged, or an honest hop near the radio range would be
+    // falsely quarantined seconds later just because its ends kept
+    // moving.
+    if (!ctx_.defense->admit_path(self(), dst, nodes, now())) {
+      // The advertised walk is physically implausible (a wormhole's
+      // phantom hop).  Park it quarantined so repeat confirmations of
+      // the same path id short-circuit above instead of re-validating.
+      SourcePath& sp = ss.paths[path_id];
+      sp.nodes = nodes;
+      sp.alive = false;
+      sp.quarantined = true;
+      ++paths_quarantined_;
+      if (ss.current == path_id) ss.current = -1;
+      return;
+    }
+    // New path under this id (possibly a new discovery generation):
+    // estimator state from the id's previous owner is stale.
+    ctx_.defense->on_path_established(self(), dst, path_id);
+  }
   SourcePath& sp = ss.paths[path_id];
   sp.nodes = nodes;
   sp.last_confirmed = now();
@@ -477,15 +568,25 @@ void Mts::handle_check_error(Packet&& p, NodeId from) {
 // ---------------------------------------------------------------------------
 
 void Mts::handle_data(Packet&& p, NodeId from) {
+  // Two data-plane shapes ride kTcpData/kTcpAck: the ordinary data tag
+  // and the acked-checking probe.  Both carry a path id and follow the
+  // same per-(dst, path) forwarding state; an intermediate node (and any
+  // insider sitting at one) cannot tell them apart by kind.
   const auto* tag = std::get_if<MtsDataTag>(&p.routing());
-  if (tag == nullptr) {
+  const auto* probe = std::get_if<MtsProbeHeader>(&p.routing());
+  if (tag == nullptr && probe == nullptr) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
+  const std::uint16_t path_id = tag != nullptr ? tag->path_id : probe->path_id;
   // Reverse state: packets back to p.src flow through `from`.
-  install_hop(p.common().src, tag->path_id, from);
+  install_hop(p.common().src, path_id, from);
   if (p.common().dst == self()) {
-    last_rx_path_[p.common().src] = tag->path_id;
+    if (probe != nullptr) {
+      handle_probe(*probe, p.common().src);
+      return;  // never delivered to transport
+    }
+    last_rx_path_[p.common().src] = path_id;
     if (auto it = as_dest_.find(p.common().src); it != as_dest_.end()) {
       it->second.last_activity = now();
     }
@@ -501,14 +602,125 @@ void Mts::handle_data(Packet&& p, NodeId from) {
   // Forward on any installed state, fresh or not: liveness is the MAC's
   // call (§III-E), and a link that still ACKs is still a route.  The
   // freshness window only gates *path choice* at the source.
-  if (const HopEntry* hop = any_hop(p.common().dst, tag->path_id)) {
+  if (const HopEntry* hop = any_hop(p.common().dst, path_id)) {
     send_to_mac(std::move(p), hop->next_hop, /*originated_here=*/false);
     return;
   }
   // No forwarding state at all mid-path: tell the source, drop the packet.
-  send_rerr_to_source(p.common().src, p.common().dst, tag->path_id, self(),
+  send_rerr_to_source(p.common().src, p.common().dst, path_id, self(),
                       net::kNoNode);
   drop(p, net::DropReason::kStaleRoute);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end acked checking (countermeasure subsystem).
+//
+// Stock MTS checking travels as control traffic, which an insider
+// blackhole forwards faithfully — the mechanism provably cannot see the
+// attack (pinned in the PR 4 fingerprints).  When a defense with a probe
+// period is installed, the *source* additionally probes every stored
+// path on the data plane: probes are kTcpData to the veto seam, so an
+// attacker that eats the stream eats the probes, and the destination's
+// echo completes the end-to-end loop.  The defense model owns the
+// per-path delivery estimator; this code sends probes, routes echoes,
+// and honours demotion verdicts by quarantining paths.
+// ---------------------------------------------------------------------------
+
+void Mts::probe_tick() {
+  if (ctx_.defense == nullptr) return;
+  // Collect verdicts under a stable view first: quarantining can cascade
+  // into start_discovery(), which clears the very path map being walked.
+  std::vector<std::pair<NodeId, std::uint16_t>> suspects;
+  std::vector<std::pair<NodeId, std::uint16_t>> healthy;
+  for (auto& [dst, ss] : as_source_) {
+    for (auto& [path_id, sp] : ss.paths) {
+      if (!sp.alive || sp.quarantined) continue;
+      if (now() - sp.last_confirmed > freshness_limit()) continue;
+      if (ctx_.defense->path_suspect(self(), dst, path_id, now())) {
+        suspects.emplace_back(dst, path_id);
+      } else {
+        healthy.emplace_back(dst, path_id);
+      }
+    }
+  }
+  for (const auto& [dst, path_id] : suspects) quarantine_path(dst, path_id);
+  for (const auto& [dst, path_id] : healthy) {
+    // Re-look-up: a quarantine above may have restarted discovery and
+    // replaced (or removed) this entry.
+    auto it = as_source_.find(dst);
+    if (it == as_source_.end()) continue;
+    auto pit = it->second.paths.find(path_id);
+    if (pit == it->second.paths.end() || !pit->second.alive ||
+        pit->second.quarantined) {
+      continue;
+    }
+    send_probe(dst, path_id, pit->second);
+  }
+}
+
+void Mts::send_probe(NodeId dst, std::uint16_t path_id, const SourcePath& sp) {
+  MtsProbeHeader h;
+  h.path_id = path_id;
+  h.probe_id = ++probe_seq_;
+  h.echo = false;
+  Packet p;
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kTcpData;  // data-plane camouflage
+  common.src = self();
+  common.dst = dst;
+  common.ttl = cfg_.net_diameter_ttl;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = h;
+  const HopEntry* hop = any_hop(dst, path_id);
+  const NodeId next = hop != nullptr ? hop->next_hop : first_hop(sp.nodes, dst);
+  ++probes_sent_;
+  ctx_.defense->on_probe_sent(self(), dst, path_id, now());
+  send_to_mac(std::move(p), next, /*originated_here=*/true);
+}
+
+void Mts::handle_probe(const MtsProbeHeader& h, NodeId peer) {
+  if (h.echo) {
+    // We are the prober: the destination's ack closed the loop.
+    ++probe_echoes_;
+    if (ctx_.defense != nullptr) {
+      ctx_.defense->on_probe_echo(self(), peer, h.path_id, now());
+    }
+    return;
+  }
+  // We are the destination: turn the probe around on the reverse state
+  // its forward trip just refreshed.  The echo is data-plane too — an
+  // attacker on the return leg kills it and the estimator still sees the
+  // loss (either direction of the path failing demotes it).
+  const HopEntry* back = any_hop(peer, h.path_id);
+  if (back == nullptr) return;
+  MtsProbeHeader e;
+  e.path_id = h.path_id;
+  e.probe_id = h.probe_id;
+  e.echo = true;
+  Packet p;
+  auto& common = p.mutable_common();
+  common.kind = PacketKind::kTcpData;
+  common.src = self();
+  common.dst = peer;
+  common.ttl = cfg_.net_diameter_ttl;
+  common.uid = ctx_.uids->next();
+  common.originated = now();
+  p.mutable_routing() = e;
+  send_to_mac(std::move(p), back->next_hop, /*originated_here=*/true);
+}
+
+void Mts::quarantine_path(NodeId dst, std::uint16_t path_id) {
+  auto it = as_source_.find(dst);
+  if (it == as_source_.end()) return;
+  auto pit = it->second.paths.find(path_id);
+  if (pit == it->second.paths.end() || pit->second.quarantined) return;
+  pit->second.quarantined = true;
+  ++paths_quarantined_;
+  ctx_.defense->on_path_quarantined(self(), dst, path_id, now());
+  // Demote like a routing failure: fail over to the best remaining live
+  // path, or trigger a fresh discovery (§III-E's recovery machinery).
+  mark_source_path_dead(dst, path_id);
 }
 
 // ---------------------------------------------------------------------------

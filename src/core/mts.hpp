@@ -76,6 +76,13 @@ class Mts final : public routing::RoutingProtocol {
   [[nodiscard]] std::uint64_t route_switches() const { return switches_; }
   [[nodiscard]] std::uint64_t checks_sent() const { return checks_sent_; }
   [[nodiscard]] std::uint64_t checks_received() const { return checks_recv_; }
+  // Acked-checking countermeasure introspection (defense wired via
+  // `RoutingContext::defense`; zero everywhere when no defense is set).
+  [[nodiscard]] std::uint64_t probes_sent() const { return probes_sent_; }
+  [[nodiscard]] std::uint64_t probe_echoes() const { return probe_echoes_; }
+  [[nodiscard]] std::uint64_t paths_quarantined() const {
+    return paths_quarantined_;
+  }
 
  private:
   // -- source-side state ------------------------------------------------
@@ -83,6 +90,10 @@ class Mts final : public routing::RoutingProtocol {
     PathNodes nodes;          ///< intermediate nodes, source-side first
     sim::Time last_confirmed; ///< RREP or check arrival
     bool alive = true;
+    /// Demoted by the acked-checking estimator or the leash: stays down
+    /// — a check arrival must not resurrect it — until the next
+    /// discovery generation replaces the path set.
+    bool quarantined = false;
   };
   struct SourceState {
     std::map<std::uint16_t, SourcePath> paths;  ///< by path id
@@ -127,6 +138,11 @@ class Mts final : public routing::RoutingProtocol {
                                   std::uint32_t bcast_id);
   void send_rrep(net::NodeId src, const PathNodes& nodes);
   void check_tick();
+  void probe_tick();
+  void send_probe(net::NodeId dst, std::uint16_t path_id,
+                  const SourcePath& sp);
+  void handle_probe(const net::MtsProbeHeader& h, net::NodeId peer);
+  void quarantine_path(net::NodeId dst, std::uint16_t path_id);
   void send_check(net::NodeId src, DestState& ds, std::uint16_t path_id);
   void send_check_error(const net::MtsCheckHeader& failed_check,
                         net::NodeId broken_to);
@@ -162,13 +178,22 @@ class Mts final : public routing::RoutingProtocol {
   /// Sink side: path id of the most recent data per peer (ACK routing).
   std::unordered_map<net::NodeId, std::uint16_t> last_rx_path_;
   routing::FloodCache rreq_seen_;
+  /// Destination-side flood generations the rate limiter refused: later
+  /// copies of a suppressed generation must not re-drain the bucket.
+  routing::FloodCache suppressed_gens_;
   routing::SendBuffer buffer_;
   sim::PeriodicTimer check_timer_;
   sim::PeriodicTimer purge_timer_;
+  /// Acked-checking data-plane probes (armed only when the defense asks).
+  sim::PeriodicTimer probe_timer_;
 
   std::uint64_t switches_ = 0;
   std::uint64_t checks_sent_ = 0;
   std::uint64_t checks_recv_ = 0;
+  std::uint32_t probe_seq_ = 0;
+  std::uint64_t probes_sent_ = 0;
+  std::uint64_t probe_echoes_ = 0;
+  std::uint64_t paths_quarantined_ = 0;
 };
 
 }  // namespace mts::core

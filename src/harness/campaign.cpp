@@ -35,25 +35,46 @@ std::string adversary_label(const security::AdversarySpec& spec) {
   return os.str();
 }
 
+std::string defense_label(const security::DefenseSpec& spec) {
+  if (!spec.enabled()) return "none";
+  std::ostringstream os;
+  os << security::defense_kind_name(spec.kind);
+  switch (spec.kind) {
+    case security::DefenseKind::kAckedChecking:
+      os << " @" << spec.probe_period.to_seconds() << "s";
+      break;
+    case security::DefenseKind::kFloodRateLimit:
+      os << " @" << spec.rreq_rate << "/s";
+      break;
+    default:
+      break;
+  }
+  return os.str();
+}
+
 void CampaignResult::add(RunMetrics m) {
   cells_[{static_cast<int>(m.protocol), speed_key(m.max_speed),
-          m.adversary_index}]
+          m.adversary_index, m.defense_index}]
       .push_back(std::move(m));
   ++count_;
 }
 
 const std::vector<RunMetrics>& CampaignResult::runs(
-    Protocol p, double speed, std::uint32_t adversary) const {
+    Protocol p, double speed, std::uint32_t adversary,
+    std::uint32_t defense) const {
   static const std::vector<RunMetrics> kEmpty;
-  auto it = cells_.find({static_cast<int>(p), speed_key(speed), adversary});
+  auto it =
+      cells_.find({static_cast<int>(p), speed_key(speed), adversary, defense});
   return it == cells_.end() ? kEmpty : it->second;
 }
 
 stats::Summary CampaignResult::summarize(
-    Protocol p, double speed, std::uint32_t adversary,
+    Protocol p, double speed, std::uint32_t adversary, std::uint32_t defense,
     const std::function<double(const RunMetrics&)>& metric) const {
   stats::Summary s;
-  for (const RunMetrics& m : runs(p, speed, adversary)) s.add(metric(m));
+  for (const RunMetrics& m : runs(p, speed, adversary, defense)) {
+    s.add(metric(m));
+  }
   return s;
 }
 
@@ -63,21 +84,28 @@ CampaignResult run_campaign(const CampaignConfig& cfg,
     Protocol protocol;
     double speed;
     std::uint32_t adversary;
+    std::uint32_t defense;
     std::uint64_t seed;
   };
   sim::require_config(!cfg.adversaries.empty(),
                       "Campaign: adversaries list empty (use a kNone spec)");
+  sim::require_config(!cfg.defenses.empty(),
+                      "Campaign: defenses list empty (use a kNone spec)");
   std::vector<Cell> work;
   for (Protocol p : cfg.protocols) {
     for (double speed : cfg.speeds) {
       for (std::uint32_t a = 0;
            a < static_cast<std::uint32_t>(cfg.adversaries.size()); ++a) {
-        for (std::uint32_t r = 0; r < cfg.repetitions; ++r) {
-          // Same seed across protocols and adversaries for a given
-          // (speed, rep): paired comparisons see identical mobility and
-          // flow placement (passive adversaries don't perturb runs at
-          // all, so their cells differ only in what was observed).
-          work.push_back(Cell{p, speed, a, cfg.seed_base + r});
+        for (std::uint32_t d = 0;
+             d < static_cast<std::uint32_t>(cfg.defenses.size()); ++d) {
+          for (std::uint32_t r = 0; r < cfg.repetitions; ++r) {
+            // Same seed across protocols, adversaries and defenses for a
+            // given (speed, rep): paired comparisons see identical
+            // mobility and flow placement (passive adversaries don't
+            // perturb runs at all, so their cells differ only in what
+            // was observed).
+            work.push_back(Cell{p, speed, a, d, cfg.seed_base + r});
+          }
         }
       }
     }
@@ -99,14 +127,17 @@ CampaignResult run_campaign(const CampaignConfig& cfg,
       sc.max_speed = work[i].speed;
       sc.seed = work[i].seed;
       sc.adversary = cfg.adversaries[work[i].adversary];
+      sc.defense = cfg.defenses[work[i].defense];
       results[i] = run_scenario(sc);
       results[i].adversary_index = work[i].adversary;
+      results[i].defense_index = work[i].defense;
       const std::size_t d = done.fetch_add(1) + 1;
       if (progress != nullptr) {
         std::ostringstream os;  // single write keeps lines intact
         os << "  [" << d << "/" << work.size() << "] "
            << protocol_name(work[i].protocol) << " speed=" << work[i].speed
            << " adversary=" << adversary_label(cfg.adversaries[work[i].adversary])
+           << " defense=" << defense_label(cfg.defenses[work[i].defense])
            << " seed=" << work[i].seed << "\n";
         (*progress) << os.str() << std::flush;
       }

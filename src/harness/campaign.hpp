@@ -11,16 +11,19 @@
 
 namespace mts::harness {
 
-/// A full sweep: protocol x MAXSPEED x adversary x repetitions — the
-/// paper's grid (protocol x speed) plus the adversary axis the
-/// extension benches sweep.  The default single `AdversarySpec{}`
-/// (kind = kNone) reproduces the paper's grid exactly.
+/// A full sweep: protocol x MAXSPEED x adversary x defense x
+/// repetitions — the paper's grid (protocol x speed) plus the adversary
+/// axis the extension benches sweep and the defense axis the
+/// countermeasure study scores against it.  The default single
+/// `AdversarySpec{}` / `DefenseSpec{}` (kind = kNone) reproduces the
+/// paper's grid exactly.
 struct CampaignConfig {
   ScenarioConfig base;  ///< speed/protocol/seed/adversary overwritten per cell
   std::vector<double> speeds{2, 5, 10, 15, 20};
   std::vector<Protocol> protocols{Protocol::kDsr, Protocol::kAodv,
                                   Protocol::kMts};
   std::vector<security::AdversarySpec> adversaries{security::AdversarySpec{}};
+  std::vector<security::DefenseSpec> defenses{security::DefenseSpec{}};
   std::uint32_t repetitions = 5;  ///< paper: "repeated for 5 times"
   std::uint64_t seed_base = 1;
   unsigned threads = 0;  ///< 0 = hardware concurrency
@@ -29,27 +32,41 @@ struct CampaignConfig {
 /// Short human label for an adversary spec ("none", "colluding x4", ...).
 std::string adversary_label(const security::AdversarySpec& spec);
 
-/// All runs, indexable by (protocol, speed[, adversary index]).
+/// Short human label for a defense spec ("none", "suite", ...).
+std::string defense_label(const security::DefenseSpec& spec);
+
+/// All runs, indexable by (protocol, speed[, adversary[, defense]]).
 class CampaignResult {
  public:
   void add(RunMetrics m);
 
-  /// Runs of the adversary-free paper grid (adversary index 0).
+  /// Runs of the adversary-free, undefended paper grid (indices 0, 0).
   [[nodiscard]] const std::vector<RunMetrics>& runs(Protocol p,
                                                     double speed) const {
-    return runs(p, speed, 0);
+    return runs(p, speed, 0, 0);
   }
   [[nodiscard]] const std::vector<RunMetrics>& runs(
-      Protocol p, double speed, std::uint32_t adversary) const;
+      Protocol p, double speed, std::uint32_t adversary) const {
+    return runs(p, speed, adversary, 0);
+  }
+  [[nodiscard]] const std::vector<RunMetrics>& runs(
+      Protocol p, double speed, std::uint32_t adversary,
+      std::uint32_t defense) const;
 
   /// Aggregates one metric across the repetitions of a cell.
   [[nodiscard]] stats::Summary summarize(
       Protocol p, double speed,
       const std::function<double(const RunMetrics&)>& metric) const {
-    return summarize(p, speed, 0, metric);
+    return summarize(p, speed, 0, 0, metric);
   }
   [[nodiscard]] stats::Summary summarize(
       Protocol p, double speed, std::uint32_t adversary,
+      const std::function<double(const RunMetrics&)>& metric) const {
+    return summarize(p, speed, adversary, 0, metric);
+  }
+  [[nodiscard]] stats::Summary summarize(
+      Protocol p, double speed, std::uint32_t adversary,
+      std::uint32_t defense,
       const std::function<double(const RunMetrics&)>& metric) const;
 
   [[nodiscard]] std::size_t total_runs() const { return count_; }
@@ -58,7 +75,7 @@ class CampaignResult {
   static std::int64_t speed_key(double speed) {
     return static_cast<std::int64_t>(speed * 1000.0 + 0.5);
   }
-  std::map<std::tuple<int, std::int64_t, std::uint32_t>,
+  std::map<std::tuple<int, std::int64_t, std::uint32_t, std::uint32_t>,
            std::vector<RunMetrics>>
       cells_;
   std::size_t count_ = 0;

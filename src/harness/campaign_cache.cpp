@@ -12,7 +12,7 @@ namespace mts::harness {
 
 namespace {
 
-constexpr int kCacheVersion = 6;
+constexpr int kCacheVersion = 7;
 
 bool cache_disabled() {
   const char* v = std::getenv("MTS_BENCH_NO_CACHE");
@@ -26,10 +26,26 @@ std::filesystem::path cache_dir() {
   return std::filesystem::path(".mts_bench_cache");
 }
 
-/// The CSV column set: one row per run, order matters.  v6 inserts the
-/// four active-attack columns before the members list (which stays last
-/// for the trailing-sentinel logic below).
+/// The CSV column set: one row per run, order matters.  v7 inserts the
+/// eight defense columns after the active-attack block; the members list
+/// stays last for the trailing-sentinel logic below.
 constexpr const char* kHeader =
+    "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
+    "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
+    "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
+    "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
+    "adv_ri,adv_missing,adv_absorbed,adv_tunneled,adv_gray_absorbed,"
+    "adv_endpoint_acc,adv_flood_injected,def_index,def_kind,def_detect_s,"
+    "def_quarantined,def_recovery_s,def_fpr,def_suppressed,def_probes,"
+    "adv_members";
+
+/// Older column sets are still parsed, with the later metrics zeroed.
+/// Note the version is part of the hashed cache *key*, so old cache
+/// files are not found automatically; this path serves hand-kept or
+/// migrated CSVs (the store format doubles as a user-facing export) and
+/// the checked-in compatibility fixtures.  v6 added the four
+/// active-attack columns; v7 added the eight defense columns.
+constexpr const char* kHeaderV6 =
     "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
     "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
     "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
@@ -37,11 +53,6 @@ constexpr const char* kHeader =
     "adv_ri,adv_missing,adv_absorbed,adv_tunneled,adv_gray_absorbed,"
     "adv_endpoint_acc,adv_flood_injected,adv_members";
 
-/// The v5 column set is still parsed, with the active-attack metrics
-/// zeroed.  Note the version is part of the hashed cache *key*, so old
-/// cache files are not found automatically; this path serves hand-kept
-/// or migrated CSVs (the store format doubles as a user-facing export)
-/// and the checked-in compatibility fixtures.
 constexpr const char* kHeaderV5 =
     "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
     "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
@@ -49,6 +60,7 @@ constexpr const char* kHeaderV5 =
     "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
     "adv_ri,adv_missing,adv_absorbed,adv_members";
 
+constexpr std::size_t kCellsV7 = 46;
 constexpr std::size_t kCellsV6 = 38;
 constexpr std::size_t kCellsV5 = 34;
 
@@ -71,7 +83,11 @@ void write_row(std::ostream& os, const RunMetrics& m) {
      << m.coalition_captured << ',' << m.coalition_interception_ratio << ','
      << m.fragments_missing << ',' << m.blackhole_absorbed << ','
      << m.wormhole_tunneled << ',' << m.grayhole_absorbed << ','
-     << m.endpoint_inference_accuracy << ',' << m.flood_injected << ',';
+     << m.endpoint_inference_accuracy << ',' << m.flood_injected << ','
+     << m.defense_index << ',' << static_cast<int>(m.defense_kind) << ','
+     << m.detection_time_s << ',' << m.paths_quarantined << ','
+     << m.recovery_time_s << ',' << m.false_positive_rate << ','
+     << m.flood_suppressed << ',' << m.probes_sent << ',';
   // '-' sentinel keeps the empty-members cell from being eaten by the
   // trailing-delimiter behaviour of getline-based parsing.
   if (m.adversary_members.empty()) {
@@ -87,7 +103,8 @@ std::optional<RunMetrics> parse_row(const std::string& line) {
   std::string cell;
   std::vector<std::string> cells;
   while (std::getline(ss, cell, ',')) cells.push_back(cell);
-  if (cells.size() != kCellsV6 && cells.size() != kCellsV5) {
+  if (cells.size() != kCellsV7 && cells.size() != kCellsV6 &&
+      cells.size() != kCellsV5) {
     return std::nullopt;
   }
   try {
@@ -127,12 +144,23 @@ std::optional<RunMetrics> parse_row(const std::string& line) {
     m.coalition_interception_ratio = std::stod(cells[i++]);
     m.fragments_missing = std::stoull(cells[i++]);
     m.blackhole_absorbed = std::stoull(cells[i++]);
-    if (cells.size() == kCellsV6) {
+    if (cells.size() >= kCellsV6) {
       m.wormhole_tunneled = std::stoull(cells[i++]);
       m.grayhole_absorbed = std::stoull(cells[i++]);
       m.endpoint_inference_accuracy = std::stod(cells[i++]);
       m.flood_injected = std::stoull(cells[i++]);
     }  // v5 rows: active-attack metrics stay zero
+    if (cells.size() >= kCellsV7) {
+      m.defense_index = static_cast<std::uint32_t>(std::stoul(cells[i++]));
+      m.defense_kind =
+          static_cast<security::DefenseKind>(std::stoi(cells[i++]));
+      m.detection_time_s = std::stod(cells[i++]);
+      m.paths_quarantined = std::stoull(cells[i++]);
+      m.recovery_time_s = std::stod(cells[i++]);
+      m.false_positive_rate = std::stod(cells[i++]);
+      m.flood_suppressed = std::stoull(cells[i++]);
+      m.probes_sent = std::stoull(cells[i++]);
+    }  // v5/v6 rows: defense metrics stay zero
     if (cells[i] != "-") {
       std::stringstream ms(cells[i]);
       std::string id;
@@ -186,6 +214,13 @@ std::string CampaignCache::key_of(const CampaignConfig& cfg) {
     for (net::NodeId m : a.members) os << m << '.';
     os << ';';
   }
+  os << '|';
+  for (const security::DefenseSpec& d : cfg.defenses) {
+    os << static_cast<int>(d.kind) << ','
+       << d.probe_period.nanoseconds() << ',' << d.ewma_alpha << ','
+       << d.demote_threshold << ',' << d.min_probes << ',' << d.leash_slack
+       << ',' << d.rreq_rate << ',' << d.rreq_burst << ';';
+  }
   const std::uint64_t h = sim::splitmix64(sim::fnv1a(os.str()));
   std::ostringstream name;
   name << std::hex << h;
@@ -198,7 +233,8 @@ std::optional<CampaignResult> CampaignCache::load(const CampaignConfig& cfg) {
   std::ifstream in(path);
   if (!in) return std::nullopt;
   std::string line;
-  if (!std::getline(in, line) || (line != kHeader && line != kHeaderV5)) {
+  if (!std::getline(in, line) ||
+      (line != kHeader && line != kHeaderV6 && line != kHeaderV5)) {
     return std::nullopt;
   }
   CampaignResult result;
@@ -211,7 +247,8 @@ std::optional<CampaignResult> CampaignCache::load(const CampaignConfig& cfg) {
     ++rows;
   }
   const std::size_t expected = cfg.protocols.size() * cfg.speeds.size() *
-                               cfg.adversaries.size() * cfg.repetitions;
+                               cfg.adversaries.size() * cfg.defenses.size() *
+                               cfg.repetitions;
   if (rows != expected) return std::nullopt;
   return result;
 }
@@ -230,7 +267,12 @@ void CampaignCache::store(const CampaignConfig& cfg,
     for (double s : cfg.speeds) {
       for (std::uint32_t a = 0;
            a < static_cast<std::uint32_t>(cfg.adversaries.size()); ++a) {
-        for (const RunMetrics& m : result.runs(p, s, a)) write_row(out, m);
+        for (std::uint32_t d = 0;
+             d < static_cast<std::uint32_t>(cfg.defenses.size()); ++d) {
+          for (const RunMetrics& m : result.runs(p, s, a, d)) {
+            write_row(out, m);
+          }
+        }
       }
     }
   }

@@ -53,6 +53,7 @@ class Simulation {
   explicit Simulation(const ScenarioConfig& cfg, net::TraceHub* trace)
       : cfg_(cfg), master_(cfg.seed), external_trace_(trace) {
     validate();
+    build_defense();  // before the nodes: routing contexts hold the pointer
     build_nodes();
     build_flows();
     pick_eavesdropper();
@@ -125,6 +126,7 @@ class Simulation {
       ctx.counters = &n.counters;
       ctx.trace = external_trace_;
       ctx.uids = &uids_;
+      ctx.defense = defense_.get();
       ctx.deliver = [this, i](net::Packet&& p, net::NodeId from) {
         deliver_to_transport(i, std::move(p), from);
       };
@@ -227,6 +229,17 @@ class Simulation {
       pick = static_cast<net::NodeId>(erng.uniform_int(0, cfg_.node_count - 1));
     } while (endpoints.contains(pick));
     eavesdropper_ = std::make_unique<security::Eavesdropper>(pick);
+  }
+
+  void build_defense() {
+    if (!cfg_.defense.enabled()) return;
+    security::DefenseContext ctx;
+    ctx.radio_range = cfg_.radio_range;
+    // Lazy position oracle: nodes_ is filled by the time any hook runs.
+    ctx.position_of = [this](net::NodeId id, sim::Time t) {
+      return nodes_[id].mobility->position_at(t);
+    };
+    defense_ = security::make_defense(cfg_.defense, ctx);
   }
 
   void build_adversary() {
@@ -414,6 +427,44 @@ class Simulation {
             static_cast<double>(hit) / static_cast<double>(flows_.size());
       }
     }
+    if (defense_ != nullptr) {
+      m.defense_kind = defense_->kind();
+      m.paths_quarantined = defense_->paths_quarantined();
+      m.flood_suppressed = defense_->flood_suppressed();
+      m.probes_sent = defense_->probes_sent();
+      const sim::Time det = defense_->detection_time();
+      m.detection_time_s = det.to_seconds();
+      if (det > sim::Time::zero()) {
+        // Recovery at the 1-s resolution of the delivery histogram: the
+        // first whole second *strictly after* the detection second that
+        // delivered.  The detection-second bucket is skipped — its
+        // deliveries may predate the detection instant, and counting
+        // them would report sub-second "recovery" in runs that never
+        // delivered again.  Conservative: overstates by up to one
+        // bucket when genuine recovery lands in the detection second.
+        const auto& dps = m.deliveries_per_second;
+        for (auto s = static_cast<std::size_t>(det.to_seconds()) + 1;
+             s < dps.size(); ++s) {
+          if (dps[s] > 0) {
+            m.recovery_time_s =
+                std::max(0.0, (static_cast<double>(s) + 1.0) - det.to_seconds());
+            break;
+          }
+        }
+      }
+      if (!cfg_.adversary.enabled()) {
+        // No attacker: every quarantine/suppression is a false alarm.
+        const std::uint64_t events =
+            defense_->paths_quarantined() + defense_->flood_suppressed();
+        const std::uint64_t opportunities = defense_->paths_validated() +
+                                            defense_->rreqs_seen() +
+                                            defense_->probes_sent();
+        m.false_positive_rate =
+            opportunities == 0 ? 0.0
+                               : static_cast<double>(events) /
+                                     static_cast<double>(opportunities);
+      }
+    }
     for (const Node& n : nodes_) {
       m.control_packets += n.counters.control_transmissions();
       for (std::size_t r = 0; r < m.drops.size(); ++r) {
@@ -434,6 +485,9 @@ class Simulation {
   net::UidSource uids_;
   std::unique_ptr<phy::PropagationModel> prop_;
   std::unique_ptr<phy::Channel> channel_;
+  /// Declared before nodes_: every routing context holds a raw pointer,
+  /// so the model must outlive the protocols (reverse destruction).
+  std::unique_ptr<security::DefenseModel> defense_;
   std::vector<Node> nodes_;
   std::vector<std::unique_ptr<Flow>> flows_;
   std::unique_ptr<security::Eavesdropper> eavesdropper_;

@@ -14,6 +14,7 @@
 #include "routing/aodv/aodv.hpp"
 #include "routing/dsr/dsr.hpp"
 #include "security/adversary.hpp"
+#include "security/defense/defense.hpp"
 #include "tcp/flow_stats.hpp"
 #include "tcp/tcp_config.hpp"
 
@@ -75,6 +76,12 @@ struct ScenarioConfig {
   /// enabling one changes no packet-level behaviour; the others are
   /// active by design.
   security::AdversarySpec adversary;
+
+  /// Optional countermeasure model (`src/security/defense`): end-to-end
+  /// acked checking for MTS, wormhole leashes, routing-layer RREQ rate
+  /// limiting, or the full suite.  `kNone` (the default) runs the stock
+  /// protocols — the configuration every pre-defense fingerprint pins.
+  security::DefenseSpec defense;
 
   /// Fixed node placement instead of random waypoint (tests, examples).
   /// Non-empty => static topology; must have node_count entries.
@@ -139,6 +146,28 @@ struct RunMetrics {
   double endpoint_inference_accuracy = 0.0;
   /// Forged route discoveries injected by kRreqFlood.
   std::uint64_t flood_injected = 0;
+
+  // --- defense (countermeasure subsystem, CSV v7) ------------------------
+  /// Index into `CampaignConfig::defenses` (0 outside campaigns).
+  std::uint32_t defense_index = 0;
+  security::DefenseKind defense_kind = security::DefenseKind::kNone;
+  /// Sim time (seconds) of the first quarantine/suppression; 0 = the
+  /// defense never fired.
+  double detection_time_s = 0.0;
+  /// Paths demoted by the acked-checking estimator or the leash.
+  std::uint64_t paths_quarantined = 0;
+  /// Seconds from first detection to the next delivered segment, at the
+  /// 1-second resolution of `deliveries_per_second`; 0 = no delivery
+  /// after detection (or no detection).
+  double recovery_time_s = 0.0;
+  /// Defense events per opportunity in an adversary-free run — every
+  /// quarantine/suppression without an attacker is by definition false.
+  /// Reported as 0 when an adversary is present (ground truth unknown).
+  double false_positive_rate = 0.0;
+  /// Route discoveries refused by the rate limiter, network-wide.
+  std::uint64_t flood_suppressed = 0;
+  /// Acked-checking data-plane probes sent by all sources.
+  std::uint64_t probes_sent = 0;
 
   // --- TCP (paper Figs. 8-10) ------------------------------------------
   double avg_delay_s = 0.0;              ///< Fig. 8

@@ -14,6 +14,7 @@ const char* drop_reason_name(DropReason r) {
     case DropReason::kStaleRoute: return "stale_route";
     case DropReason::kDuplicate: return "duplicate";
     case DropReason::kAdversary: return "adversary";
+    case DropReason::kRateLimited: return "rate_limited";
     case DropReason::kCount: break;
   }
   return "?";

@@ -17,6 +17,7 @@ enum class DropReason : std::uint8_t {
   kStaleRoute,         ///< forwarding state missing/expired mid-path
   kDuplicate,          ///< flood duplicate, intentionally ignored
   kAdversary,          ///< absorbed by an insider attacker (blackhole)
+  kRateLimited,        ///< suppressed by the flood-rate-limit defense
   kCount
 };
 

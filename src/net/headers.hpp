@@ -221,6 +221,20 @@ struct MtsDataTag {
   std::uint16_t path_id = 0;
 };
 
+/// End-to-end acked-checking probe (countermeasure subsystem).  Rides
+/// the *data plane*: the packet kind is kTcpData, so an insider veto
+/// keyed on kind (blackhole/grayhole) eats probes exactly like the
+/// stream they guard — unlike MTS's native check packets, which are
+/// control traffic the attacker forwards faithfully.  The source sends
+/// one per stored path per probe period; the destination turns it
+/// around with `echo` set, routed back on the same path's reverse
+/// state.
+struct MtsProbeHeader {
+  std::uint16_t path_id = 0;
+  std::uint32_t probe_id = 0;  ///< per-source sequence, for tracing
+  bool echo = false;           ///< false: source -> dst; true: the ack
+};
+
 // ---------------------------------------------------------------------------
 // The routing header slot.
 // ---------------------------------------------------------------------------
@@ -229,7 +243,8 @@ using RoutingHeader =
     std::variant<std::monostate, AodvRreqHeader, AodvRrepHeader, AodvRerrHeader,
                  DsrRreqHeader, DsrRrepHeader, DsrRerrHeader, DsrSourceRoute,
                  MtsRreqHeader, MtsRrepHeader, MtsCheckHeader,
-                 MtsCheckErrorHeader, MtsRerrHeader, MtsDataTag>;
+                 MtsCheckErrorHeader, MtsRerrHeader, MtsDataTag,
+                 MtsProbeHeader>;
 
 /// On-wire size contribution of the routing header (bytes).  Sizes follow
 /// the respective drafts: fixed part + 4 bytes per carried address.

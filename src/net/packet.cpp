@@ -66,6 +66,10 @@ struct SizeVisitor {
   }
   std::uint32_t operator()(const MtsRerrHeader&) const { return 16; }
   std::uint32_t operator()(const MtsDataTag&) const { return 4; }
+  /// Probe option: path id + probe id + flags.  Deliberately the same
+  /// order of magnitude as the data tag — a probe should not stand out
+  /// from the data plane it hides in.
+  std::uint32_t operator()(const MtsProbeHeader&) const { return 8; }
 };
 
 /// Thread-local pool of packet bodies: chunked storage (stable

@@ -201,6 +201,13 @@ void Aodv::handle_rreq(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kDuplicate);
     return;
   }
+  // Rate-limit defense: after dedup, so copies of one genuine flood
+  // never drain the origin's bucket — only novel (orig, id) floods do.
+  if (ctx_.defense != nullptr &&
+      !ctx_.defense->admit_rreq(self(), h.orig, now())) {
+    drop(p, net::DropReason::kRateLimited);
+    return;
+  }
   // One hop further from the originator; written back to the header only
   // on the forwarding tail, so terminal handling never mutates (and the
   // shared packet body never clones) here.

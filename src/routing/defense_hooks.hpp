@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+
+#include "net/headers.hpp"
+#include "net/node_id.hpp"
+#include "sim/time.hpp"
+
+namespace mts::routing {
+
+/// The seam the countermeasure subsystem (`src/security/defense`) plugs
+/// into the routing layer.  A scenario installs at most one hooks object
+/// (shared by every node, like the adversary model); protocols consult
+/// it at three well-defined points:
+///
+///  * `admit_rreq` — per-origin route-discovery rate limiting.  Called
+///    once per *novel* (origin, id) flood a node processes — after the
+///    protocol's own duplicate suppression, so copies of one genuine
+///    discovery never drain the origin's token budget.
+///  * `admit_path` — path admission (wormhole leashes).  Called when a
+///    node is about to store or start using an advertised node list;
+///    returning false quarantines the path.
+///  * the probe family — MTS's end-to-end acked checking.  The source
+///    probes each stored path on the data plane (`probe_period`),
+///    reports sends and echoes, and asks `path_suspect` whether the
+///    per-path delivery estimator has demoted the path.
+///
+/// Every hook defaults to "defense absent" behaviour, so a protocol can
+/// call them unconditionally through a null-checked pointer and a
+/// defense model only overrides the hooks it implements.
+class DefenseHooks {
+ public:
+  virtual ~DefenseHooks() = default;
+
+  // --- flood rate limiting ---------------------------------------------
+  /// Should `self` process a route discovery originated by `origin`?
+  /// False = suppress (drop as kRateLimited, do not rebroadcast/reply).
+  [[nodiscard]] virtual bool admit_rreq(net::NodeId /*self*/,
+                                        net::NodeId /*origin*/,
+                                        sim::Time /*now*/) {
+    return true;
+  }
+
+  // --- path admission (wormhole leashes) -------------------------------
+  /// Is the advertised path src -> intermediates -> dst physically
+  /// plausible?  False = quarantine (do not store / do not use).
+  [[nodiscard]] virtual bool admit_path(net::NodeId /*src*/,
+                                        net::NodeId /*dst*/,
+                                        const net::RouteVec& /*intermediates*/,
+                                        sim::Time /*now*/) {
+    return true;
+  }
+
+  // --- end-to-end acked checking (MTS data-plane probes) ---------------
+  /// Probe cadence; zero disables probing entirely.
+  [[nodiscard]] virtual sim::Time probe_period() const {
+    return sim::Time::zero();
+  }
+  /// A fresh path entry was (re)established at `self`; any estimator
+  /// state left over from a previous discovery generation is stale.
+  virtual void on_path_established(net::NodeId /*self*/, net::NodeId /*dst*/,
+                                   std::uint16_t /*path_id*/) {}
+  /// `self` put a probe toward `dst` on path `path_id` on the wire.
+  virtual void on_probe_sent(net::NodeId /*self*/, net::NodeId /*dst*/,
+                             std::uint16_t /*path_id*/, sim::Time /*now*/) {}
+  /// The destination's echo for a probe came back end-to-end.
+  virtual void on_probe_echo(net::NodeId /*self*/, net::NodeId /*dst*/,
+                             std::uint16_t /*path_id*/, sim::Time /*now*/) {}
+  /// Has the per-path delivery estimator demoted this path?
+  [[nodiscard]] virtual bool path_suspect(net::NodeId /*self*/,
+                                          net::NodeId /*dst*/,
+                                          std::uint16_t /*path_id*/,
+                                          sim::Time /*now*/) {
+    return false;
+  }
+  /// The protocol honoured a `path_suspect` verdict and quarantined.
+  virtual void on_path_quarantined(net::NodeId /*self*/, net::NodeId /*dst*/,
+                                   std::uint16_t /*path_id*/,
+                                   sim::Time /*now*/) {}
+};
+
+}  // namespace mts::routing

@@ -161,6 +161,13 @@ void Dsr::handle_rreq(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kDuplicate);
     return;
   }
+  // Rate-limit defense: after dedup, so copies of one genuine flood
+  // never drain the origin's bucket — only novel (orig, id) floods do.
+  if (ctx_.defense != nullptr &&
+      !ctx_.defense->admit_rreq(self(), h.orig, now())) {
+    drop(p, net::DropReason::kRateLimited);
+    return;
+  }
   (void)from;
   // Cache the reverse route we just learned (links are bidirectional in
   // the unit-disk world, as they were in the paper's 802.11 setup).

@@ -8,6 +8,7 @@
 #include "net/counters.hpp"
 #include "net/packet.hpp"
 #include "net/trace.hpp"
+#include "routing/defense_hooks.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
 
@@ -22,6 +23,10 @@ struct RoutingContext {
   net::Counters* counters = nullptr;
   net::TraceHub* trace = nullptr;
   net::UidSource* uids = nullptr;
+  /// Shared countermeasure model (`ScenarioConfig::defense`), or null.
+  /// Protocols consult it for RREQ admission, path admission, and —
+  /// MTS only — data-plane probe cadence and verdicts.
+  DefenseHooks* defense = nullptr;
   /// Hands a packet whose final destination is this node to the local
   /// transport agent.
   std::function<void(net::Packet&&, net::NodeId prev_hop)> deliver;

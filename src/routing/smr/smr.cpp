@@ -195,6 +195,25 @@ void Smr::handle_rreq(Packet&& p, NodeId from) {
     if (has_loop(full)) return;
     auto [it, fresh] = pending_.try_emplace(h.orig);
     PendingSelect& sel = it->second;
+    if (sel.suppressed && !fresh && sel.rreq_id == h.rreq_id) {
+      return;  // straggler of a rate-limited generation
+    }
+    if (fresh || sel.rreq_id != h.rreq_id) {
+      // Rate-limit defense: one token per *generation* — the destination
+      // deliberately consumes every copy, so charging per copy would let
+      // a genuine flood starve itself.
+      if (ctx_.defense != nullptr &&
+          !ctx_.defense->admit_rreq(self(), h.orig, now())) {
+        if (!fresh && sel.timer != sim::kInvalidEvent) {
+          ctx_.sched->cancel(sel.timer);
+        }
+        sel = PendingSelect{};
+        sel.rreq_id = h.rreq_id;
+        sel.suppressed = true;
+        drop(p, net::DropReason::kRateLimited);
+        return;
+      }
+    }
     if (fresh || sel.rreq_id != h.rreq_id) {
       // A still-armed window from the previous discovery round re-arms
       // in place (the callback's capture is identical); otherwise a
@@ -225,6 +244,15 @@ void Smr::handle_rreq(Packet&& p, NodeId from) {
   auto fit = first_link_.find(key);
   if (fit == first_link_.end()) {
     first_link_[key] = from;
+    // Rate-limit defense, charged on the first copy only; a refused
+    // flood keeps a zero re-forward budget so stragglers die as
+    // duplicates instead of re-draining the origin's bucket.
+    if (ctx_.defense != nullptr &&
+        !ctx_.defense->admit_rreq(self(), h.orig, now())) {
+      dup_forwards_[key] = 0;
+      drop(p, net::DropReason::kRateLimited);
+      return;
+    }
     dup_forwards_[key] = cfg_.max_dup_forwards;
   } else {
     auto& budget = dup_forwards_[key];

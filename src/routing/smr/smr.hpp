@@ -75,6 +75,9 @@ class Smr final : public RoutingProtocol {
     std::vector<net::RouteVec> candidates;
     sim::EventId timer = sim::kInvalidEvent;
     std::uint32_t rreq_id = 0;
+    /// Generation refused by the rate-limit defense: stragglers of the
+    /// same id are ignored without re-draining the origin's bucket.
+    bool suppressed = false;
   };
 
   void handle_rreq(net::Packet&& p, net::NodeId from);

@@ -229,12 +229,31 @@ void WormholeAttacker::on_transmission(const Transmission& tx,
   }
 }
 
+bool WormholeAttacker::remember_uid(std::uint64_t uid, sim::Time now) {
+  // Age out entries past the freshness window before consulting the set:
+  // over a long run the dedup state stays bounded by recent throughput
+  // instead of accumulating one entry per packet ever tunneled.
+  while (!tunneled_order_.empty() &&
+         now - tunneled_order_.front().second > kUidFreshness) {
+    const auto& [old_uid, seen_at] = tunneled_order_.front();
+    if (auto it = tunneled_uids_.find(old_uid);
+        it != tunneled_uids_.end() && it->second == seen_at) {
+      tunneled_uids_.erase(it);
+    }
+    tunneled_order_.pop_front();
+  }
+  const auto [it, fresh] = tunneled_uids_.try_emplace(uid, now);
+  if (!fresh) return false;
+  tunneled_order_.emplace_back(uid, now);
+  return true;
+}
+
 void WormholeAttacker::tunnel_to(std::size_t far_end, const Transmission& tx,
                                  const phy::Frame& f) {
   if (f.has_payload()) {
     // Tunnel each network packet once: retries and far-end rebroadcasts
     // re-entering the tap must not ping-pong through the tunnel.
-    if (!tunneled_uids_.insert(f.payload.common().uid).second) return;
+    if (!remember_uid(f.payload.common().uid, tx.now)) return;
     if (f.payload.common().kind == net::PacketKind::kTcpData) {
       pool_.capture(f.payload);  // the shortcut reads what crosses it
       if (rng_.uniform() < drop_prob_) {

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -373,11 +374,28 @@ class WormholeAttacker final : public PooledAdversary {
   [[nodiscard]] const std::array<net::NodeId, 2>& endpoints() const {
     return ends_;
   }
+  /// Live entries in the per-uid dedup window (tests: bounded over time).
+  [[nodiscard]] std::size_t dedup_entries() const {
+    return tunneled_uids_.size();
+  }
+
+  /// How long a tunneled uid is remembered.  Sized to outlive every
+  /// legitimate same-uid reappearance: MAC retries and far-end
+  /// rebroadcasts are milliseconds, and a packet parked in a routing
+  /// send buffer keeps its uid for up to `buffer_max_age` (30 s default)
+  /// before re-entering the air.  Thirty seconds covers all of those —
+  /// so short-run behaviour is identical to the old unbounded set —
+  /// while keeping the dedup state bounded by recent tunnel throughput
+  /// on long runs instead of growing one entry per packet forever.
+  static constexpr sim::Time kUidFreshness = sim::Time::sec(30);
 
  private:
   void tunnel_to(std::size_t far_end, const Transmission& tx,
                  const phy::Frame& f);
   void fire(std::uint32_t slot);
+  /// True if `uid` was not seen within the freshness window — and
+  /// records it.  Ages expired entries out as a side effect.
+  bool remember_uid(std::uint64_t uid, sim::Time now);
 
   /// A replay parked until its zero-delay event fires; pooled so the
   /// closure stays {this, slot} (the frame's payload handle is a
@@ -397,7 +415,12 @@ class WormholeAttacker final : public PooledAdversary {
   sim::Scheduler* sched_;
   phy::Channel* channel_;
   sim::Rng rng_;
-  std::unordered_set<std::uint64_t> tunneled_uids_;
+  /// uid -> first-seen time, aged out after kUidFreshness via the
+  /// insertion-ordered queue (same shape as routing::FloodCache, but
+  /// time-based: uids are not monotone, so a pure FIFO cap could evict
+  /// a uid whose retries are still in flight).
+  std::unordered_map<std::uint64_t, sim::Time> tunneled_uids_;
+  std::deque<std::pair<std::uint64_t, sim::Time>> tunneled_order_;
   std::vector<PendingReplay> replay_pool_;
   std::uint32_t replay_free_ = kNoSlot;
   std::uint64_t tunneled_ = 0;

@@ -1,0 +1,308 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "mobility/vec2.hpp"
+#include "net/headers.hpp"
+#include "net/node_id.hpp"
+#include "routing/defense_hooks.hpp"
+#include "sim/time.hpp"
+
+namespace mts::security {
+
+/// The countermeasure families — the defense side of the adversary
+/// taxonomy's ledger, one per open attack the fingerprints pinned:
+///
+///  - kAckedChecking: end-to-end acked checking for MTS.  Stock MTS
+///    checking is control traffic, which a blackhole forwards faithfully
+///    — the mechanism provably cannot see the attack.  Here the *source*
+///    probes every stored path on the data plane (probes travel as
+///    kTcpData, so the insider veto eats them exactly like the stream it
+///    is hiding in) and the destination echoes each probe back; a
+///    per-path delivery EWMA over duty-cycle-sized windows demotes paths
+///    whose probes stop coming back.  Detects the insider blackhole and
+///    the duty-cycled grayhole that sits under a long-run delivery-rate
+///    detector.
+///  - kWormholeLeash: packet-leash path admission (Hu/Perrig/Johnson).
+///    A node about to store or use an advertised path checks that every
+///    consecutive hop is geometrically feasible: no single hop may span
+///    more than `leash_slack` x radio range.  The wormhole's phantom
+///    shortcut names two "adjacent" nodes an arena apart, so tunnelled
+///    paths are quarantined at admission.  (A *temporal* leash — RTT
+///    versus advertised hop count — is blind to this simulator's
+///    zero-delay tunnel by construction: the tunnel removes on-air hops
+///    and their latency together, so RTT stays consistent with the
+///    shortened hop count.  docs/threat-model.md records that finding.)
+///  - kFloodRateLimit: per-origin token-bucket admission for route
+///    discoveries, consulted by every protocol after its own duplicate
+///    suppression.  Caps the RREQ-flood DoS amplification (and MTS's
+///    check spin-up) at `rreq_rate` genuine-looking discoveries per
+///    origin per second with burst `rreq_burst`.
+///  - kSuite: all three at once — the "defenses on" configuration the
+///    false-positive runs pin.
+enum class DefenseKind : std::uint8_t {
+  kNone = 0,
+  kAckedChecking,
+  kWormholeLeash,
+  kFloodRateLimit,
+  kSuite,
+};
+
+const char* defense_kind_name(DefenseKind k);
+
+/// Scenario-level defense description.  Lives in `ScenarioConfig`;
+/// campaigns sweep vectors of these alongside the adversary axis.
+struct DefenseSpec {
+  DefenseKind kind = DefenseKind::kNone;
+
+  // --- acked checking ---------------------------------------------------
+  /// Data-plane probe cadence per stored path.  Sized to the duty cycles
+  /// worth detecting: a window of W seconds sees ~W/probe_period probes.
+  sim::Time probe_period = sim::Time::ms(400);
+  /// EWMA step per probe outcome (1 = echoed, 0 = lost).
+  double ewma_alpha = 0.5;
+  /// Demote a path when its EWMA falls below this.
+  double demote_threshold = 0.35;
+  /// Never demote on fewer than this many probes (cold-start guard).
+  std::uint32_t min_probes = 3;
+
+  // --- wormhole leash ---------------------------------------------------
+  /// Per-hop feasibility budget as a multiple of the radio range; slack
+  /// covers node drift between discovery and validation.
+  double leash_slack = 1.3;
+
+  // --- flood rate limiting ---------------------------------------------
+  /// Sustained route discoveries admitted per origin per second.
+  double rreq_rate = 1.0;
+  /// Token-bucket depth (genuine retry bursts fit under it).
+  double rreq_burst = 3.0;
+
+  [[nodiscard]] bool enabled() const { return kind != DefenseKind::kNone; }
+};
+
+/// Pluggable countermeasure, mirroring `AdversaryModel`: one shared
+/// instance per scenario, consulted by every node through the routing
+/// layer's `DefenseHooks` seam.  Concrete models override only the
+/// hooks they implement and keep their own metrics; the harness reads
+/// them into `RunMetrics` after the run.
+class DefenseModel : public routing::DefenseHooks {
+ public:
+  [[nodiscard]] virtual DefenseKind kind() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  // --- metrics ----------------------------------------------------------
+  /// Time of the first quarantine/suppression; zero = never fired.
+  [[nodiscard]] virtual sim::Time detection_time() const {
+    return sim::Time::zero();
+  }
+  /// Paths demoted by the estimator or rejected by the leash.
+  [[nodiscard]] virtual std::uint64_t paths_quarantined() const { return 0; }
+  /// Path admissions evaluated (leash denominators).
+  [[nodiscard]] virtual std::uint64_t paths_validated() const { return 0; }
+  /// Route discoveries suppressed by the rate limiter.
+  [[nodiscard]] virtual std::uint64_t flood_suppressed() const { return 0; }
+  /// Route discoveries evaluated by the rate limiter.
+  [[nodiscard]] virtual std::uint64_t rreqs_seen() const { return 0; }
+  /// Data-plane probes sent / echoes received end-to-end.
+  [[nodiscard]] virtual std::uint64_t probes_sent() const { return 0; }
+  [[nodiscard]] virtual std::uint64_t probe_echoes() const { return 0; }
+};
+
+/// (a) End-to-end acked checking: the per-(source, destination, path)
+/// delivery estimator behind MTS's data-plane probing.  The protocol
+/// sends the probes and honours the verdicts; this model owns the EWMA
+/// state, so "what counts as a dead path" is defense policy, not
+/// protocol logic.
+class AckedCheckingDefense final : public DefenseModel {
+ public:
+  explicit AckedCheckingDefense(const DefenseSpec& spec);
+
+  [[nodiscard]] DefenseKind kind() const override {
+    return DefenseKind::kAckedChecking;
+  }
+  [[nodiscard]] const char* name() const override { return "acked-checking"; }
+
+  [[nodiscard]] sim::Time probe_period() const override { return period_; }
+  void on_path_established(net::NodeId self, net::NodeId dst,
+                           std::uint16_t path_id) override;
+  void on_probe_sent(net::NodeId self, net::NodeId dst, std::uint16_t path_id,
+                     sim::Time now) override;
+  void on_probe_echo(net::NodeId self, net::NodeId dst, std::uint16_t path_id,
+                     sim::Time now) override;
+  [[nodiscard]] bool path_suspect(net::NodeId self, net::NodeId dst,
+                                  std::uint16_t path_id,
+                                  sim::Time now) override;
+  void on_path_quarantined(net::NodeId self, net::NodeId dst,
+                           std::uint16_t path_id, sim::Time now) override;
+
+  [[nodiscard]] sim::Time detection_time() const override {
+    return first_detection_;
+  }
+  [[nodiscard]] std::uint64_t paths_quarantined() const override {
+    return quarantined_;
+  }
+  [[nodiscard]] std::uint64_t probes_sent() const override { return sent_; }
+  [[nodiscard]] std::uint64_t probe_echoes() const override { return echoes_; }
+
+  /// Current EWMA for one path (introspection / tests); 1.0 if unseen.
+  [[nodiscard]] double ewma(net::NodeId self, net::NodeId dst,
+                            std::uint16_t path_id) const;
+
+ private:
+  struct Estimator {
+    double ewma = 1.0;
+    std::uint32_t probes = 0;
+    bool outstanding = false;  ///< last probe not yet echoed
+  };
+  using Key = std::tuple<net::NodeId, net::NodeId, std::uint16_t>;
+
+  sim::Time period_;
+  double alpha_;
+  double threshold_;
+  std::uint32_t min_probes_;
+  /// Ordered map: consulted once per probe tick per path, never on the
+  /// per-packet path — no hashing needed.
+  std::map<Key, Estimator> estimators_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t echoes_ = 0;
+  std::uint64_t quarantined_ = 0;
+  sim::Time first_detection_;
+};
+
+/// (b) Wormhole leash: geometric path admission.  Needs a position
+/// oracle (the harness binds node mobility, exactly as it does for the
+/// adversary context) — this models nodes knowing their own loosely
+/// synchronized positions, the assumption geographical packet leashes
+/// make.
+class WormholeLeashDefense final : public DefenseModel {
+ public:
+  WormholeLeashDefense(
+      double radio_range, double slack,
+      std::function<mobility::Vec2(net::NodeId, sim::Time)> position_of);
+
+  [[nodiscard]] DefenseKind kind() const override {
+    return DefenseKind::kWormholeLeash;
+  }
+  [[nodiscard]] const char* name() const override { return "wormhole-leash"; }
+
+  [[nodiscard]] bool admit_path(net::NodeId src, net::NodeId dst,
+                                const net::RouteVec& intermediates,
+                                sim::Time now) override;
+
+  [[nodiscard]] sim::Time detection_time() const override {
+    return first_detection_;
+  }
+  [[nodiscard]] std::uint64_t paths_quarantined() const override {
+    return quarantined_;
+  }
+  [[nodiscard]] std::uint64_t paths_validated() const override {
+    return validated_;
+  }
+
+ private:
+  double limit_sq_;
+  std::function<mobility::Vec2(net::NodeId, sim::Time)> position_of_;
+  std::uint64_t validated_ = 0;
+  std::uint64_t quarantined_ = 0;
+  sim::Time first_detection_;
+};
+
+/// (c) Flood rate limiting: one token bucket per (node, origin) pair —
+/// every node polices every origin independently, as a deployed filter
+/// would.  Buckets start full so genuine discovery bursts (retries with
+/// backoff) pass; a flooder's forged ids drain the bucket at its first
+/// honest hop and the amplification dies there.
+class FloodRateLimitDefense final : public DefenseModel {
+ public:
+  FloodRateLimitDefense(double rate, double burst);
+
+  [[nodiscard]] DefenseKind kind() const override {
+    return DefenseKind::kFloodRateLimit;
+  }
+  [[nodiscard]] const char* name() const override { return "flood-limit"; }
+
+  [[nodiscard]] bool admit_rreq(net::NodeId self, net::NodeId origin,
+                                sim::Time now) override;
+
+  [[nodiscard]] sim::Time detection_time() const override {
+    return first_detection_;
+  }
+  [[nodiscard]] std::uint64_t flood_suppressed() const override {
+    return suppressed_;
+  }
+  [[nodiscard]] std::uint64_t rreqs_seen() const override { return seen_; }
+
+ private:
+  struct Bucket {
+    double tokens;
+    sim::Time last;
+  };
+
+  double rate_;
+  double burst_;
+  std::map<std::pair<net::NodeId, net::NodeId>, Bucket> buckets_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t suppressed_ = 0;
+  sim::Time first_detection_;
+};
+
+/// (d) The full suite: every hook fans out to all three members (no
+/// short-circuiting — each model keeps honest denominators), admission
+/// verdicts AND together, and the metrics aggregate.
+class DefenseSuite final : public DefenseModel {
+ public:
+  explicit DefenseSuite(std::vector<std::unique_ptr<DefenseModel>> members);
+
+  [[nodiscard]] DefenseKind kind() const override {
+    return DefenseKind::kSuite;
+  }
+  [[nodiscard]] const char* name() const override { return "suite"; }
+
+  [[nodiscard]] bool admit_rreq(net::NodeId self, net::NodeId origin,
+                                sim::Time now) override;
+  [[nodiscard]] bool admit_path(net::NodeId src, net::NodeId dst,
+                                const net::RouteVec& intermediates,
+                                sim::Time now) override;
+  [[nodiscard]] sim::Time probe_period() const override;
+  void on_path_established(net::NodeId self, net::NodeId dst,
+                           std::uint16_t path_id) override;
+  void on_probe_sent(net::NodeId self, net::NodeId dst, std::uint16_t path_id,
+                     sim::Time now) override;
+  void on_probe_echo(net::NodeId self, net::NodeId dst, std::uint16_t path_id,
+                     sim::Time now) override;
+  [[nodiscard]] bool path_suspect(net::NodeId self, net::NodeId dst,
+                                  std::uint16_t path_id,
+                                  sim::Time now) override;
+  void on_path_quarantined(net::NodeId self, net::NodeId dst,
+                           std::uint16_t path_id, sim::Time now) override;
+
+  [[nodiscard]] sim::Time detection_time() const override;
+  [[nodiscard]] std::uint64_t paths_quarantined() const override;
+  [[nodiscard]] std::uint64_t paths_validated() const override;
+  [[nodiscard]] std::uint64_t flood_suppressed() const override;
+  [[nodiscard]] std::uint64_t rreqs_seen() const override;
+  [[nodiscard]] std::uint64_t probes_sent() const override;
+  [[nodiscard]] std::uint64_t probe_echoes() const override;
+
+ private:
+  std::vector<std::unique_ptr<DefenseModel>> members_;
+};
+
+/// Context the factory needs to instantiate a model for one scenario.
+struct DefenseContext {
+  double radio_range = 250.0;
+  /// Position oracle for the leash (bound to node mobility).
+  std::function<mobility::Vec2(net::NodeId, sim::Time)> position_of;
+};
+
+/// Builds the model described by `spec`, or nullptr for kNone.
+std::unique_ptr<DefenseModel> make_defense(const DefenseSpec& spec,
+                                           const DefenseContext& ctx);
+
+}  // namespace mts::security

@@ -185,6 +185,118 @@ TEST_F(CampaignCacheTest, ActiveAttackMetricsRoundTripInV6Columns) {
   EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
 }
 
+TEST_F(CampaignCacheTest, DefenseMetricsRoundTripInV7Columns) {
+  CampaignConfig cfg = tiny();
+  cfg.base.field = {400.0, 400.0};
+  cfg.base.sim_time = sim::Time::sec(5);
+  cfg.protocols = {Protocol::kMts};
+  security::AdversarySpec blackhole;
+  blackhole.kind = security::AdversaryKind::kBlackhole;
+  // Most of the intermediates: some member sits on the forwarding path
+  // whatever the seed picks, so detection is non-vacuous.
+  blackhole.count = 8;
+  cfg.adversaries = {blackhole};
+  security::DefenseSpec acked;
+  acked.kind = security::DefenseKind::kAckedChecking;
+  cfg.defenses = {security::DefenseSpec{}, acked};
+
+  const CampaignResult fresh = CampaignCache::run(cfg);
+  const auto cached = CampaignCache::load(cfg);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(cached->total_runs(), fresh.total_runs());
+  std::uint64_t probes = 0;
+  for (std::uint32_t d = 0; d < 2; ++d) {
+    const auto& want = fresh.runs(Protocol::kMts, 5, 0, d);
+    const auto& got = cached->runs(Protocol::kMts, 5, 0, d);
+    ASSERT_EQ(want.size(), got.size());
+    ASSERT_FALSE(want.empty());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].defense_index, want[i].defense_index);
+      EXPECT_EQ(got[i].defense_kind, want[i].defense_kind);
+      EXPECT_EQ(got[i].paths_quarantined, want[i].paths_quarantined);
+      EXPECT_EQ(got[i].flood_suppressed, want[i].flood_suppressed);
+      EXPECT_EQ(got[i].probes_sent, want[i].probes_sent);
+      EXPECT_DOUBLE_EQ(got[i].detection_time_s, want[i].detection_time_s);
+      EXPECT_DOUBLE_EQ(got[i].recovery_time_s, want[i].recovery_time_s);
+      EXPECT_DOUBLE_EQ(got[i].false_positive_rate,
+                       want[i].false_positive_rate);
+      probes += want[i].probes_sent;
+    }
+  }
+  EXPECT_GT(probes, 0u) << "defended cells never probed; round-trip vacuous";
+
+  // The defense knobs are result-affecting, so they must key the cache.
+  CampaignConfig other = cfg;
+  other.defenses[1].probe_period = sim::Time::ms(900);
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+  other = cfg;
+  other.defenses[1].demote_threshold = 0.6;
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+  other = cfg;
+  other.defenses[1].rreq_rate = 4.0;
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+  other = cfg;
+  other.defenses.pop_back();
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+}
+
+TEST_F(CampaignCacheTest, V6RowsStillParseWithDefenseMetricsZeroed) {
+  // Forward compatibility: a cache file written before the v7 columns
+  // (38 cells, v6 header) must load, with the eight defense metrics
+  // defaulting to zero.  This is the exact v6 header and a row as the
+  // previous binary wrote them.
+  CampaignConfig cfg = tiny();
+  cfg.speeds = {5};
+  cfg.protocols = {Protocol::kAodv};
+  cfg.repetitions = 1;
+
+  const char* v6_header =
+      "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
+      "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
+      "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
+      "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
+      "adv_ri,adv_missing,adv_absorbed,adv_tunneled,adv_gray_absorbed,"
+      "adv_endpoint_acc,adv_flood_injected,adv_members";
+  const char* v6_row =
+      "1,5,1,7,0.25,120,30,0.125,4,80,0.05,0.033,26.5,217.1,0.93,80,86,3,1,"
+      "80,78,12,45,0,0,123456,0,4,2,10,0.1,70,5,17,3,0.5,40,2.5.";
+
+  std::filesystem::create_directories(dir_);
+  const auto path = dir_ / (CampaignCache::key_of(cfg) + ".csv");
+  {
+    std::ofstream out(path);
+    out << v6_header << '\n' << v6_row << '\n';
+  }
+  const auto loaded = CampaignCache::load(cfg);
+  ASSERT_TRUE(loaded.has_value()) << "v6 cache file rejected";
+  const auto& runs = loaded->runs(Protocol::kAodv, 5);
+  ASSERT_EQ(runs.size(), 1u);
+  const RunMetrics& m = runs[0];
+  EXPECT_EQ(m.seed, 1u);
+  EXPECT_EQ(m.segments_delivered, 80u);
+  // The v6 active-attack columns parse...
+  EXPECT_EQ(m.wormhole_tunneled, 17u);
+  EXPECT_EQ(m.grayhole_absorbed, 3u);
+  EXPECT_DOUBLE_EQ(m.endpoint_inference_accuracy, 0.5);
+  EXPECT_EQ(m.flood_injected, 40u);
+  EXPECT_EQ(m.adversary_members, (std::vector<net::NodeId>{2, 5}));
+  // ...and the v7-only defense metrics default.
+  EXPECT_EQ(m.defense_index, 0u);
+  EXPECT_EQ(m.defense_kind, security::DefenseKind::kNone);
+  EXPECT_DOUBLE_EQ(m.detection_time_s, 0.0);
+  EXPECT_EQ(m.paths_quarantined, 0u);
+  EXPECT_DOUBLE_EQ(m.recovery_time_s, 0.0);
+  EXPECT_DOUBLE_EQ(m.false_positive_rate, 0.0);
+  EXPECT_EQ(m.flood_suppressed, 0u);
+  EXPECT_EQ(m.probes_sent, 0u);
+
+  // Storing refreshes the file to the v7 column set, which round-trips.
+  CampaignCache::store(cfg, *loaded);
+  const auto reloaded = CampaignCache::load(cfg);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->runs(Protocol::kAodv, 5)[0].wormhole_tunneled, 17u);
+}
+
 TEST_F(CampaignCacheTest, V5RowsStillParseWithActiveMetricsZeroed) {
   // Forward compatibility: a cache file written before the v6 columns
   // (34 cells, v5 header) must load, with the four active-attack

@@ -295,6 +295,71 @@ TEST(RreqFloodTest, FloodAfterSimEndNeverFires) {
   EXPECT_EQ(flood.injected_packets(), 0u);
 }
 
+// --- wormhole dedup aging --------------------------------------------------
+
+/// Drives the tunnel tap directly: frames transmitted by endpoint 3 are
+/// always heard (own transmissions feed the tunnel), so every feed is a
+/// tunnel-dedup decision.  drop_prob 0 keeps the counts deterministic.
+struct WormholeDedupHarness {
+  sim::Scheduler sched;
+  phy::UnitDiskPropagation prop{250.0};
+  phy::Channel channel{sched, prop};
+  WormholeAttacker worm{{3, 7},   250.0,    0.0, line_position,
+                        &sched,   &channel, sim::Rng(5)};
+
+  WormholeDedupHarness() { channel.finalize(); }
+
+  void feed(std::uint32_t uid, sim::Time now) {
+    sched.run_until(now);
+    net::Packet p = data_packet(0, 9, uid);
+    p.mutable_common().uid = uid;
+    phy::Frame f = metadata_frame(3, 4, 1000);
+    f.payload = p;
+    worm.on_transmission({3, line_position(3, now), sim::Time::us(100), now},
+                         f);
+  }
+};
+
+TEST(WormholeDedupTest, SameUidWithinTheWindowTunnelsOnce) {
+  WormholeDedupHarness h;
+  h.feed(42, sim::Time::sec(1));
+  h.feed(42, sim::Time::sec(2));  // MAC retry / far-end re-hear
+  EXPECT_EQ(h.worm.tunneled_frames(), 1u);
+  EXPECT_EQ(h.worm.dedup_entries(), 1u);
+}
+
+TEST(WormholeDedupTest, EntriesAgeOutAfterTheFreshnessWindow) {
+  WormholeDedupHarness h;
+  h.feed(42, sim::Time::sec(1));
+  EXPECT_EQ(h.worm.dedup_entries(), 1u);
+  // Past the window the entry is evicted and the uid tunnels again —
+  // a packet genuinely re-entering the air (e.g. after a send-buffer
+  // stint) is a fresh radiation a real tunnel would replay.
+  const sim::Time later =
+      sim::Time::sec(1) + WormholeAttacker::kUidFreshness + sim::Time::sec(1);
+  h.feed(42, later);
+  EXPECT_EQ(h.worm.tunneled_frames(), 2u);
+  EXPECT_EQ(h.worm.dedup_entries(), 1u) << "old entry evicted, new recorded";
+}
+
+TEST(WormholeDedupTest, DedupStateIsBoundedOverALongRun) {
+  WormholeDedupHarness h;
+  // 10 distinct packets per second for 200 simulated seconds: the old
+  // unbounded set would hold 2000 entries; the aged set holds at most
+  // one freshness window's worth.
+  std::uint32_t uid = 1;
+  for (int sec = 1; sec <= 200; ++sec) {
+    for (int k = 0; k < 10; ++k) {
+      h.feed(uid++, sim::Time::sec(sec) + sim::Time::ms(k * 10));
+    }
+  }
+  EXPECT_EQ(h.worm.tunneled_frames(), 2000u);
+  const auto window_s =
+      static_cast<std::size_t>(WormholeAttacker::kUidFreshness.to_seconds());
+  EXPECT_LE(h.worm.dedup_entries(), (window_s + 2) * 10)
+      << "dedup set must be bounded by the freshness window, not the run";
+}
+
 // --- factory ---------------------------------------------------------------
 
 TEST(ActiveAdversaryFactoryTest, BuildsEachActiveKind) {

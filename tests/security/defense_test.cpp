@@ -1,0 +1,280 @@
+// Unit coverage for the countermeasure subsystem: the acked-checking
+// delivery estimator, the geometric wormhole leash, the per-origin
+// flood token bucket, suite aggregation, and the factory.  Everything
+// here is pure model logic — the integration suite drives the wired
+// scenarios.
+#include <gtest/gtest.h>
+
+#include "security/defense/defense.hpp"
+#include "sim/error.hpp"
+
+namespace mts::security {
+namespace {
+
+DefenseSpec acked_spec() {
+  DefenseSpec s;
+  s.kind = DefenseKind::kAckedChecking;
+  s.probe_period = sim::Time::ms(400);
+  s.ewma_alpha = 0.5;
+  s.demote_threshold = 0.35;
+  s.min_probes = 3;
+  return s;
+}
+
+// --- acked-checking estimator ----------------------------------------------
+
+TEST(AckedCheckingTest, ConsecutiveMissesDemoteAfterMinProbes) {
+  AckedCheckingDefense d(acked_spec());
+  const net::NodeId self = 0, dst = 9;
+  // Each send after an unacked send counts the previous probe as lost.
+  d.on_probe_sent(self, dst, 0, sim::Time::ms(400));   // probe 1
+  EXPECT_FALSE(d.path_suspect(self, dst, 0, sim::Time::ms(400)));
+  d.on_probe_sent(self, dst, 0, sim::Time::ms(800));   // miss 1 -> 0.5
+  EXPECT_FALSE(d.path_suspect(self, dst, 0, sim::Time::ms(800)))
+      << "min_probes not reached yet";
+  d.on_probe_sent(self, dst, 0, sim::Time::ms(1200));  // miss 2 -> 0.25
+  EXPECT_TRUE(d.path_suspect(self, dst, 0, sim::Time::ms(1200)))
+      << "3 probes sent, EWMA 0.25 < 0.35";
+  EXPECT_EQ(d.probes_sent(), 3u);
+  EXPECT_EQ(d.probe_echoes(), 0u);
+}
+
+TEST(AckedCheckingTest, EchoedProbesKeepThePathHealthy) {
+  AckedCheckingDefense d(acked_spec());
+  const net::NodeId self = 0, dst = 9;
+  for (int i = 0; i < 20; ++i) {
+    const sim::Time t = sim::Time::ms(400 * (i + 1));
+    d.on_probe_sent(self, dst, 0, t);
+    d.on_probe_echo(self, dst, 0, t + sim::Time::ms(10));
+    EXPECT_FALSE(d.path_suspect(self, dst, 0, t));
+  }
+  EXPECT_DOUBLE_EQ(d.ewma(0, 9, 0), 1.0) << "all-echoed path stays at 1.0";
+  EXPECT_EQ(d.probe_echoes(), 20u);
+  EXPECT_EQ(d.paths_quarantined(), 0u);
+  EXPECT_TRUE(d.detection_time().is_zero());
+}
+
+TEST(AckedCheckingTest, SingleLossRecoversWithoutDemotion) {
+  AckedCheckingDefense d(acked_spec());
+  const net::NodeId self = 0, dst = 9;
+  sim::Time t = sim::Time::ms(400);
+  // Healthy, one loss, healthy again: EWMA dips to 0.5 and climbs back.
+  d.on_probe_sent(self, dst, 0, t);
+  d.on_probe_echo(self, dst, 0, t);
+  t += sim::Time::ms(400);
+  d.on_probe_sent(self, dst, 0, t);  // this one will be lost
+  t += sim::Time::ms(400);
+  d.on_probe_sent(self, dst, 0, t);  // accounts the loss: 1.0 -> 0.5
+  d.on_probe_echo(self, dst, 0, t);  // 0.5 -> 0.75
+  EXPECT_FALSE(d.path_suspect(self, dst, 0, t));
+  EXPECT_DOUBLE_EQ(d.ewma(0, 9, 0), 0.75);
+}
+
+TEST(AckedCheckingTest, QuarantineRecordsDetectionTimeAndResetsState) {
+  AckedCheckingDefense d(acked_spec());
+  const net::NodeId self = 0, dst = 9;
+  for (int i = 1; i <= 3; ++i) {
+    d.on_probe_sent(self, dst, 0, sim::Time::ms(400 * i));
+  }
+  ASSERT_TRUE(d.path_suspect(self, dst, 0, sim::Time::ms(1200)));
+  d.on_path_quarantined(self, dst, 0, sim::Time::ms(1200));
+  EXPECT_EQ(d.paths_quarantined(), 1u);
+  EXPECT_EQ(d.detection_time(), sim::Time::ms(1200));
+  // The estimator for the id was erased: a fresh path wearing the same
+  // id starts clean instead of being insta-demoted.
+  EXPECT_FALSE(d.path_suspect(self, dst, 0, sim::Time::ms(1600)));
+  EXPECT_DOUBLE_EQ(d.ewma(self, dst, 0), 1.0);
+  // Detection time pins the *first* event.
+  for (int i = 1; i <= 3; ++i) {
+    d.on_probe_sent(self, dst, 1, sim::Time::sec(5) + sim::Time::ms(400 * i));
+  }
+  d.on_path_quarantined(self, dst, 1, sim::Time::sec(7));
+  EXPECT_EQ(d.detection_time(), sim::Time::ms(1200));
+  EXPECT_EQ(d.paths_quarantined(), 2u);
+}
+
+TEST(AckedCheckingTest, PathEstablishedResetsAStaleEstimator) {
+  AckedCheckingDefense d(acked_spec());
+  for (int i = 1; i <= 3; ++i) {
+    d.on_probe_sent(0, 9, 2, sim::Time::ms(400 * i));
+  }
+  ASSERT_TRUE(d.path_suspect(0, 9, 2, sim::Time::ms(1200)));
+  // A new discovery generation re-created path id 2.
+  d.on_path_established(0, 9, 2);
+  EXPECT_FALSE(d.path_suspect(0, 9, 2, sim::Time::ms(1300)));
+}
+
+TEST(AckedCheckingTest, PathsAreTrackedIndependently) {
+  AckedCheckingDefense d(acked_spec());
+  for (int i = 1; i <= 4; ++i) {
+    const sim::Time t = sim::Time::ms(400 * i);
+    d.on_probe_sent(0, 9, 0, t);  // path 0: never echoed
+    d.on_probe_sent(0, 9, 1, t);  // path 1: always echoed
+    d.on_probe_echo(0, 9, 1, t + sim::Time::ms(5));
+  }
+  EXPECT_TRUE(d.path_suspect(0, 9, 0, sim::Time::sec(2)));
+  EXPECT_FALSE(d.path_suspect(0, 9, 1, sim::Time::sec(2)));
+}
+
+TEST(AckedCheckingTest, RejectsBadConfig) {
+  DefenseSpec s = acked_spec();
+  s.ewma_alpha = 0.0;
+  EXPECT_THROW(AckedCheckingDefense{s}, sim::ConfigError);
+  s = acked_spec();
+  s.demote_threshold = 1.0;
+  EXPECT_THROW(AckedCheckingDefense{s}, sim::ConfigError);
+  s = acked_spec();
+  s.probe_period = sim::Time::zero();
+  EXPECT_THROW(AckedCheckingDefense{s}, sim::ConfigError);
+}
+
+// --- wormhole leash --------------------------------------------------------
+
+/// Nodes on a 200 m-spaced line; radio range 250 m.
+mobility::Vec2 line_pos(net::NodeId id, sim::Time) {
+  return {static_cast<double>(id) * 200.0, 0.0};
+}
+
+TEST(WormholeLeashTest, FeasibleChainPasses) {
+  WormholeLeashDefense d(250.0, 1.3, line_pos);
+  net::RouteVec mid;
+  mid.push_back(1);
+  mid.push_back(2);
+  EXPECT_TRUE(d.admit_path(0, 3, mid, sim::Time::sec(1)));
+  EXPECT_EQ(d.paths_validated(), 1u);
+  EXPECT_EQ(d.paths_quarantined(), 0u);
+  EXPECT_TRUE(d.detection_time().is_zero());
+}
+
+TEST(WormholeLeashTest, PhantomHopIsQuarantined) {
+  WormholeLeashDefense d(250.0, 1.3, line_pos);
+  // Advertised walk 0 -> 1 -> 7 -> 8: the 1 -> 7 "hop" spans 1200 m — a
+  // wormhole's tunnel crossing, infeasible for a 250 m radio.
+  net::RouteVec mid;
+  mid.push_back(1);
+  mid.push_back(7);
+  EXPECT_FALSE(d.admit_path(0, 8, mid, sim::Time::sec(2)));
+  EXPECT_EQ(d.paths_quarantined(), 1u);
+  EXPECT_EQ(d.detection_time(), sim::Time::sec(2));
+}
+
+TEST(WormholeLeashTest, EndpointHopsAreCheckedToo) {
+  WormholeLeashDefense d(250.0, 1.3, line_pos);
+  // Empty intermediate list: src -> dst direct, 1000 m apart.
+  EXPECT_FALSE(d.admit_path(0, 5, {}, sim::Time::sec(1)));
+  // Adjacent nodes (200 m < 1.3 x 250 m) pass.
+  EXPECT_TRUE(d.admit_path(0, 1, {}, sim::Time::sec(1)));
+}
+
+TEST(WormholeLeashTest, SlackScalesTheBudget) {
+  // With slack 4.0 even an 800 m hop is "feasible".
+  WormholeLeashDefense d(250.0, 4.0, line_pos);
+  EXPECT_TRUE(d.admit_path(0, 4, {}, sim::Time::sec(1)));
+  EXPECT_THROW(WormholeLeashDefense(250.0, 0.9, line_pos), sim::ConfigError);
+}
+
+// --- flood rate limiter ----------------------------------------------------
+
+TEST(FloodRateLimitTest, BurstThenSustainedRate) {
+  FloodRateLimitDefense d(1.0, 3.0);
+  const net::NodeId self = 5, origin = 2;
+  // The bucket starts full: a genuine burst of 3 passes.
+  EXPECT_TRUE(d.admit_rreq(self, origin, sim::Time::sec(1)));
+  EXPECT_TRUE(d.admit_rreq(self, origin, sim::Time::sec(1)));
+  EXPECT_TRUE(d.admit_rreq(self, origin, sim::Time::sec(1)));
+  // The fourth in the same instant is refused.
+  EXPECT_FALSE(d.admit_rreq(self, origin, sim::Time::sec(1)));
+  EXPECT_EQ(d.flood_suppressed(), 1u);
+  EXPECT_EQ(d.detection_time(), sim::Time::sec(1));
+  // One second later exactly one token has refilled.
+  EXPECT_TRUE(d.admit_rreq(self, origin, sim::Time::sec(2)));
+  EXPECT_FALSE(d.admit_rreq(self, origin, sim::Time::sec(2)));
+  EXPECT_EQ(d.rreqs_seen(), 6u);
+}
+
+TEST(FloodRateLimitTest, OriginsAndNodesAreIsolated) {
+  FloodRateLimitDefense d(1.0, 1.0);
+  // Draining origin 2's bucket at node 5 affects neither origin 3 at
+  // node 5 nor origin 2 at node 6.
+  EXPECT_TRUE(d.admit_rreq(5, 2, sim::Time::sec(1)));
+  EXPECT_FALSE(d.admit_rreq(5, 2, sim::Time::sec(1)));
+  EXPECT_TRUE(d.admit_rreq(5, 3, sim::Time::sec(1)));
+  EXPECT_TRUE(d.admit_rreq(6, 2, sim::Time::sec(1)));
+}
+
+TEST(FloodRateLimitTest, SuppressionRatioApproachesExcessRate) {
+  FloodRateLimitDefense d(1.0, 3.0);
+  // A flooder at 5/s for 10 seconds: ~burst + rate*10 admitted of 50.
+  std::uint64_t admitted = 0;
+  for (int i = 0; i < 50; ++i) {
+    const sim::Time t = sim::Time::ms(1000 + i * 200);
+    if (d.admit_rreq(7, 4, t)) ++admitted;
+  }
+  EXPECT_LE(admitted, 14u);
+  EXPECT_GE(admitted, 12u);
+  EXPECT_EQ(d.flood_suppressed() + admitted, 50u);
+}
+
+// --- suite + factory -------------------------------------------------------
+
+TEST(DefenseSuiteTest, AggregatesMembersAndAndsVerdicts) {
+  DefenseSpec s = acked_spec();
+  s.kind = DefenseKind::kSuite;
+  DefenseContext ctx;
+  ctx.radio_range = 250.0;
+  ctx.position_of = line_pos;
+  auto d = make_defense(s, ctx);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->kind(), DefenseKind::kSuite);
+  EXPECT_EQ(d->probe_period(), s.probe_period);
+
+  // Leash member rejects the phantom hop...
+  net::RouteVec phantom;
+  phantom.push_back(7);
+  EXPECT_FALSE(d->admit_path(0, 8, phantom, sim::Time::sec(1)));
+  EXPECT_EQ(d->paths_quarantined(), 1u);
+  // ...the bucket member rate-limits...
+  EXPECT_TRUE(d->admit_rreq(5, 2, sim::Time::sec(1)));
+  EXPECT_TRUE(d->admit_rreq(5, 2, sim::Time::sec(1)));
+  EXPECT_TRUE(d->admit_rreq(5, 2, sim::Time::sec(1)));
+  EXPECT_FALSE(d->admit_rreq(5, 2, sim::Time::sec(1)));
+  EXPECT_EQ(d->flood_suppressed(), 1u);
+  // ...and the estimator member drives probe verdicts.
+  for (int i = 1; i <= 3; ++i) {
+    d->on_probe_sent(0, 9, 0, sim::Time::ms(400 * i));
+  }
+  EXPECT_TRUE(d->path_suspect(0, 9, 0, sim::Time::ms(1200)));
+  EXPECT_EQ(d->probes_sent(), 3u);
+  // Detection time aggregates to the earliest member event.
+  EXPECT_EQ(d->detection_time(), sim::Time::sec(1));
+}
+
+TEST(DefenseFactoryTest, BuildsEachKindAndNoneIsNull) {
+  DefenseContext ctx;
+  ctx.radio_range = 250.0;
+  ctx.position_of = line_pos;
+  DefenseSpec s;
+  EXPECT_EQ(make_defense(s, ctx), nullptr);
+  s.kind = DefenseKind::kAckedChecking;
+  EXPECT_EQ(make_defense(s, ctx)->kind(), DefenseKind::kAckedChecking);
+  s.kind = DefenseKind::kWormholeLeash;
+  EXPECT_EQ(make_defense(s, ctx)->kind(), DefenseKind::kWormholeLeash);
+  s.kind = DefenseKind::kFloodRateLimit;
+  EXPECT_EQ(make_defense(s, ctx)->kind(), DefenseKind::kFloodRateLimit);
+  s.kind = DefenseKind::kSuite;
+  EXPECT_EQ(make_defense(s, ctx)->kind(), DefenseKind::kSuite);
+}
+
+TEST(DefenseFactoryTest, KindNamesAreStable) {
+  EXPECT_STREQ(defense_kind_name(DefenseKind::kNone), "none");
+  EXPECT_STREQ(defense_kind_name(DefenseKind::kAckedChecking),
+               "acked-checking");
+  EXPECT_STREQ(defense_kind_name(DefenseKind::kWormholeLeash),
+               "wormhole-leash");
+  EXPECT_STREQ(defense_kind_name(DefenseKind::kFloodRateLimit),
+               "flood-limit");
+  EXPECT_STREQ(defense_kind_name(DefenseKind::kSuite), "suite");
+}
+
+}  // namespace
+}  // namespace mts::security
