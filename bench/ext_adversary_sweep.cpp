@@ -3,9 +3,10 @@
 // adversary axis instead — colluding insider coalitions of growing size,
 // mobile external sniffers, and the active half of the taxonomy
 // (wormhole tunnel, grayhole, traffic-analysis profiler, RREQ flood) —
-// and reports the pooled interception ratio (union-Pe / Pr), goodput,
-// endpoint-inference accuracy, and control overhead per (protocol,
-// MAXSPEED) cell.
+// and reports the pooled interception ratio (union-Pe / Pr), the
+// key-recovery rate of the threshold-secret-sharing secrecy game,
+// goodput, endpoint-inference accuracy, and control overhead per
+// (protocol, MAXSPEED) cell.
 //
 // Expected shape: interception grows with coalition size for every
 // protocol, but MTS's path spreading means a small coalition still sees
@@ -34,6 +35,11 @@ int main() {
   harness::CampaignConfig cfg;
   harness::apply_bench_env(cfg);
   cfg.protocols = {harness::Protocol::kAodv, harness::Protocol::kMts};
+  // Play the key-recovery game in every cell: each flow's session key is
+  // Shamir-split across its paths (1-of-1 on unipath AODV, n-of-n on
+  // MTS), so the sweep reports how often each adversary reassembles an
+  // actual key, not just how many fragments it overheard.
+  cfg.base.secrecy.enabled = true;
 
   std::vector<std::uint32_t> coalition_sizes{1, 2, 4};
   if (const char* v = std::getenv("MTS_BENCH_COALITIONS")) {
@@ -129,6 +135,16 @@ int main() {
       },
       1);
   harness::print_adversary_figure(
+      std::cout, result, cfg,
+      "Key recovery rate (threshold secret sharing, t = paths)", "ratio",
+      [](const harness::RunMetrics& m) { return m.key_recovery_rate; });
+  harness::print_adversary_figure(
+      std::cout, result, cfg, "Distinct key shares captured", "shares",
+      [](const harness::RunMetrics& m) {
+        return static_cast<double>(m.shares_captured);
+      },
+      1);
+  harness::print_adversary_figure(
       std::cout, result, cfg, "TCP throughput under the adversary",
       "segments/s",
       [](const harness::RunMetrics& m) { return m.throughput_seg_s; });
@@ -185,6 +201,14 @@ int main() {
                 << defended_mean(p, a, 1, ctrl)
                 << "; read " << defended_mean(p, a, 0, ri) << " -> "
                 << defended_mean(p, a, 1, ri)
+                << "; keyrec " << defended_mean(p, a, 0,
+                       [](const harness::RunMetrics& m) {
+                         return m.key_recovery_rate;
+                       })
+                << " -> " << defended_mean(p, a, 1,
+                       [](const harness::RunMetrics& m) {
+                         return m.key_recovery_rate;
+                       })
                 << "; detect@" << defended_mean(p, a, 1,
                        [](const harness::RunMetrics& m) {
                          return m.detection_time_s;

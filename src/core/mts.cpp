@@ -223,7 +223,7 @@ void Mts::discovery_timeout(NodeId dst) {
 }
 
 void Mts::handle_rreq(Packet&& p, NodeId from) {
-  const auto& h = std::get<MtsRreqHeader>(p.routing());
+  const auto& h = p.header<MtsRreqHeader>();
   if (h.orig == self()) return;
   if (h.dst == self()) {
     // The destination consumes *every* copy (§III-B: "the copies of
@@ -252,7 +252,7 @@ void Mts::handle_rreq(Packet&& p, NodeId from) {
   // Mutating tail: TTL first, then one unique-body grab for the header
   // (`h` refers to the pre-clone body from here on; do not use it).
   --p.mutable_common().ttl;
-  auto& hm = std::get<MtsRreqHeader>(p.mutable_routing());
+  auto& hm = p.mutable_header<MtsRreqHeader>();
   ++hm.hop_count;
   hm.nodes.push_back(self());
   (void)from;
@@ -332,7 +332,7 @@ void Mts::send_rrep(NodeId src, const PathNodes& nodes) {
 }
 
 void Mts::handle_rrep(Packet&& p, NodeId from) {
-  const auto& h = std::get<MtsRrepHeader>(p.routing());
+  const auto& h = p.header<MtsRrepHeader>();
   if (walk_pos(h.nodes, h.orig, h.dst, h.hops_done) != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
@@ -344,7 +344,7 @@ void Mts::handle_rrep(Packet&& p, NodeId from) {
                           /*switch_allowed=*/false);
     return;
   }
-  auto& hm = std::get<MtsRrepHeader>(p.mutable_routing());
+  auto& hm = p.mutable_header<MtsRrepHeader>();
   ++hm.hops_done;
   const NodeId next = walk_pos(hm.nodes, hm.orig, hm.dst, hm.hops_done);
   send_to_mac(std::move(p), next, /*originated_here=*/false);
@@ -489,7 +489,7 @@ void Mts::send_check(NodeId src, DestState& ds, std::uint16_t path_id) {
 }
 
 void Mts::handle_check(Packet&& p, NodeId from) {
-  const auto& h = std::get<MtsCheckHeader>(p.routing());
+  const auto& h = p.header<MtsCheckHeader>();
   if (walk_pos(h.nodes, h.source, h.checker, h.hops_done) != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
@@ -504,7 +504,7 @@ void Mts::handle_check(Packet&& p, NodeId from) {
                           /*switch_allowed=*/true);
     return;
   }
-  auto& hm = std::get<MtsCheckHeader>(p.mutable_routing());
+  auto& hm = p.mutable_header<MtsCheckHeader>();
   ++hm.hops_done;
   const NodeId next = walk_pos(hm.nodes, hm.source, hm.checker, hm.hops_done);
   send_to_mac(std::move(p), next, /*originated_here=*/false);
@@ -540,7 +540,7 @@ void Mts::send_check_error(const MtsCheckHeader& failed, NodeId broken_to) {
 
 void Mts::handle_check_error(Packet&& p, NodeId from) {
   (void)from;
-  const auto& h = std::get<MtsCheckErrorHeader>(p.routing());
+  const auto& h = p.header<MtsCheckErrorHeader>();
   if (h.hops_done >= h.nodes.size() || h.nodes[h.hops_done] != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
@@ -553,7 +553,7 @@ void Mts::handle_check_error(Packet&& p, NodeId from) {
     }
     return;
   }
-  auto& hm = std::get<MtsCheckErrorHeader>(p.mutable_routing());
+  auto& hm = p.mutable_header<MtsCheckErrorHeader>();
   ++hm.hops_done;
   if (hm.hops_done >= hm.nodes.size()) {
     drop(p, net::DropReason::kStaleRoute);
@@ -572,8 +572,8 @@ void Mts::handle_data(Packet&& p, NodeId from) {
   // and the acked-checking probe.  Both carry a path id and follow the
   // same per-(dst, path) forwarding state; an intermediate node (and any
   // insider sitting at one) cannot tell them apart by kind.
-  const auto* tag = std::get_if<MtsDataTag>(&p.routing());
-  const auto* probe = std::get_if<MtsProbeHeader>(&p.routing());
+  const auto* tag = p.header_if<MtsDataTag>();
+  const auto* probe = p.header_if<MtsProbeHeader>();
   if (tag == nullptr && probe == nullptr) {
     drop(p, net::DropReason::kStaleRoute);
     return;
@@ -755,7 +755,7 @@ void Mts::send_rerr_to_source(NodeId src, NodeId dst, std::uint16_t path_id,
 
 void Mts::handle_rerr(Packet&& p, NodeId from) {
   (void)from;
-  const auto& h = std::get<MtsRerrHeader>(p.routing());
+  const auto& h = p.header<MtsRerrHeader>();
   if (h.source == self()) {
     mark_source_path_dead(h.dst, h.path_id);
     return;
@@ -799,7 +799,7 @@ void Mts::on_link_failure(const Packet& packet, NodeId next_hop) {
   auto handle_one = [this, next_hop](const Packet& pkt) {
     switch (pkt.common().kind) {
       case PacketKind::kMtsCheck: {
-        const auto& h = std::get<MtsCheckHeader>(pkt.routing());
+        const auto& h = pkt.header<MtsCheckHeader>();
         // The node named by hops_done never got it; we hold the cursor.
         MtsCheckHeader at_me = h;
         send_check_error(at_me, next_hop);
@@ -807,7 +807,7 @@ void Mts::on_link_failure(const Packet& packet, NodeId next_hop) {
       }
       case PacketKind::kTcpData:
       case PacketKind::kTcpAck: {
-        const auto* tag = std::get_if<MtsDataTag>(&pkt.routing());
+        const auto* tag = pkt.header_if<MtsDataTag>();
         if (tag == nullptr) return;
         if (pkt.common().src == self()) {
           mark_source_path_dead(pkt.common().dst, tag->path_id);

@@ -12,7 +12,7 @@ namespace mts::harness {
 
 namespace {
 
-constexpr int kCacheVersion = 7;
+constexpr int kCacheVersion = 8;
 
 bool cache_disabled() {
   const char* v = std::getenv("MTS_BENCH_NO_CACHE");
@@ -26,8 +26,8 @@ std::filesystem::path cache_dir() {
   return std::filesystem::path(".mts_bench_cache");
 }
 
-/// The CSV column set: one row per run, order matters.  v7 inserts the
-/// eight defense columns after the active-attack block; the members list
+/// The CSV column set: one row per run, order matters.  v8 inserts the
+/// five secrecy-game columns after the defense block; the members list
 /// stays last for the trailing-sentinel logic below.
 constexpr const char* kHeader =
     "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
@@ -37,6 +37,7 @@ constexpr const char* kHeader =
     "adv_ri,adv_missing,adv_absorbed,adv_tunneled,adv_gray_absorbed,"
     "adv_endpoint_acc,adv_flood_injected,def_index,def_kind,def_detect_s,"
     "def_quarantined,def_recovery_s,def_fpr,def_suppressed,def_probes,"
+    "sec_shares,sec_threshold,sec_captured,sec_keys,sec_recovery,"
     "adv_members";
 
 /// Older column sets are still parsed, with the later metrics zeroed.
@@ -44,7 +45,17 @@ constexpr const char* kHeader =
 /// files are not found automatically; this path serves hand-kept or
 /// migrated CSVs (the store format doubles as a user-facing export) and
 /// the checked-in compatibility fixtures.  v6 added the four
-/// active-attack columns; v7 added the eight defense columns.
+/// active-attack columns; v7 added the eight defense columns; v8 added
+/// the five secrecy-game columns.
+constexpr const char* kHeaderV7 =
+    "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
+    "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
+    "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
+    "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
+    "adv_ri,adv_missing,adv_absorbed,adv_tunneled,adv_gray_absorbed,"
+    "adv_endpoint_acc,adv_flood_injected,def_index,def_kind,def_detect_s,"
+    "def_quarantined,def_recovery_s,def_fpr,def_suppressed,def_probes,"
+    "adv_members";
 constexpr const char* kHeaderV6 =
     "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
     "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
@@ -60,6 +71,7 @@ constexpr const char* kHeaderV5 =
     "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
     "adv_ri,adv_missing,adv_absorbed,adv_members";
 
+constexpr std::size_t kCellsV8 = 51;
 constexpr std::size_t kCellsV7 = 46;
 constexpr std::size_t kCellsV6 = 38;
 constexpr std::size_t kCellsV5 = 34;
@@ -87,7 +99,10 @@ void write_row(std::ostream& os, const RunMetrics& m) {
      << m.defense_index << ',' << static_cast<int>(m.defense_kind) << ','
      << m.detection_time_s << ',' << m.paths_quarantined << ','
      << m.recovery_time_s << ',' << m.false_positive_rate << ','
-     << m.flood_suppressed << ',' << m.probes_sent << ',';
+     << m.flood_suppressed << ',' << m.probes_sent << ','
+     << m.secrecy_shares << ',' << m.secrecy_threshold << ','
+     << m.shares_captured << ',' << m.keys_recovered << ','
+     << m.key_recovery_rate << ',';
   // '-' sentinel keeps the empty-members cell from being eaten by the
   // trailing-delimiter behaviour of getline-based parsing.
   if (m.adversary_members.empty()) {
@@ -103,8 +118,8 @@ std::optional<RunMetrics> parse_row(const std::string& line) {
   std::string cell;
   std::vector<std::string> cells;
   while (std::getline(ss, cell, ',')) cells.push_back(cell);
-  if (cells.size() != kCellsV7 && cells.size() != kCellsV6 &&
-      cells.size() != kCellsV5) {
+  if (cells.size() != kCellsV8 && cells.size() != kCellsV7 &&
+      cells.size() != kCellsV6 && cells.size() != kCellsV5) {
     return std::nullopt;
   }
   try {
@@ -161,6 +176,13 @@ std::optional<RunMetrics> parse_row(const std::string& line) {
       m.flood_suppressed = std::stoull(cells[i++]);
       m.probes_sent = std::stoull(cells[i++]);
     }  // v5/v6 rows: defense metrics stay zero
+    if (cells.size() >= kCellsV8) {
+      m.secrecy_shares = static_cast<std::uint32_t>(std::stoul(cells[i++]));
+      m.secrecy_threshold = static_cast<std::uint32_t>(std::stoul(cells[i++]));
+      m.shares_captured = std::stoull(cells[i++]);
+      m.keys_recovered = std::stoull(cells[i++]);
+      m.key_recovery_rate = std::stod(cells[i++]);
+    }  // v5/v6/v7 rows: the secrecy game did not exist — metrics stay zero
     if (cells[i] != "-") {
       std::stringstream ms(cells[i]);
       std::string id;
@@ -199,7 +221,10 @@ std::string CampaignCache::key_of(const CampaignConfig& cfg) {
      << cfg.base.channel.cs_range_factor << '|'
      << cfg.base.dsr.cache_expiry.nanoseconds() << '|'
      << cfg.base.aodv.active_route_timeout.nanoseconds() << '|'
-     << cfg.base.aodv.local_repair << '|';
+     << cfg.base.aodv.local_repair << '|'
+     << cfg.base.secrecy.enabled << ','
+     << static_cast<int>(cfg.base.secrecy.key_bytes) << ','
+     << cfg.base.secrecy.threshold << '|';
   for (Protocol p : cfg.protocols) os << static_cast<int>(p) << ';';
   os << '|';
   for (double s : cfg.speeds) os << s << ';';
@@ -234,7 +259,8 @@ std::optional<CampaignResult> CampaignCache::load(const CampaignConfig& cfg) {
   if (!in) return std::nullopt;
   std::string line;
   if (!std::getline(in, line) ||
-      (line != kHeader && line != kHeaderV6 && line != kHeaderV5)) {
+      (line != kHeader && line != kHeaderV7 && line != kHeaderV6 &&
+       line != kHeaderV5)) {
     return std::nullopt;
   }
   CampaignResult result;

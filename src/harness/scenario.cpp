@@ -57,6 +57,7 @@ class Simulation {
     build_nodes();
     build_flows();
     pick_eavesdropper();
+    build_secrecy();   // before the adversary: capture pools hold the plane
     build_adversary();
     wire();
   }
@@ -231,36 +232,56 @@ class Simulation {
     eavesdropper_ = std::make_unique<security::Eavesdropper>(pick);
   }
 
+  /// Plumbing both security factories share (`SecurityContext`): radio
+  /// range, the lazy position oracle (nodes_ is filled by the time any
+  /// hook runs), the scheduler, and the secrecy plane when the game is
+  /// on.  Filled once here so the two factory call sites can't drift.
+  [[nodiscard]] security::SecurityContext security_base() {
+    security::SecurityContext base;
+    base.radio_range = cfg_.radio_range;
+    base.position_of = [this](net::NodeId id, sim::Time t) {
+      return nodes_[id].mobility->position_at(t);
+    };
+    base.sched = &sched_;
+    base.secrecy = secrecy_.get();
+    return base;
+  }
+
   void build_defense() {
     if (!cfg_.defense.enabled()) return;
     security::DefenseContext ctx;
-    ctx.radio_range = cfg_.radio_range;
-    // Lazy position oracle: nodes_ is filled by the time any hook runs.
-    ctx.position_of = [this](net::NodeId id, sim::Time t) {
-      return nodes_[id].mobility->position_at(t);
-    };
+    static_cast<security::SecurityContext&>(ctx) = security_base();
     defense_ = security::make_defense(cfg_.defense, ctx);
+  }
+
+  void build_secrecy() {
+    if (!cfg_.secrecy.enabled) return;
+    secrecy_ = std::make_unique<security::SecrecyPlane>(
+        cfg_.secrecy, master_.substream("secrecy"));
+    // One share per disjoint path the protocol can spread a flow over;
+    // unipath protocols get a degenerate 1-of-1 split (capture any
+    // segment of the flow and the key falls).
+    const auto n = cfg_.protocol == Protocol::kMts
+                       ? static_cast<std::uint32_t>(cfg_.mts.max_paths)
+                       : 1U;
+    for (const auto& f : flows_) secrecy_->register_flow(f->id, n);
   }
 
   void build_adversary() {
     if (!cfg_.adversary.enabled()) return;
     security::AdversaryContext ctx;
+    static_cast<security::SecurityContext&>(ctx) = security_base();
     ctx.node_count = cfg_.node_count;
     ctx.field = cfg_.field;
-    ctx.radio_range = cfg_.radio_range;
     for (const auto& f : flows_) {
       ctx.excluded.insert(f->spec.src);
       ctx.excluded.insert(f->spec.dst);
     }
-    ctx.position_of = [this](net::NodeId id, sim::Time t) {
-      return nodes_[id].mobility->position_at(t);
-    };
     ctx.rng = master_.substream("adversary");
     // Active-model hooks.  Passive models never touch them; active ones
     // use the scheduler for their own event slots, the channel for
     // out-of-band injection, and the MAC-bound callback for forged
     // control traffic through the "normal routing path".
-    ctx.sched = &sched_;
     ctx.channel = channel_.get();
     switch (cfg_.protocol) {
       case Protocol::kAodv: ctx.rreq_kind = net::PacketKind::kAodvRreq; break;
@@ -412,6 +433,14 @@ class Simulation {
         m.grayhole_absorbed = adversary_->absorbed_packets();
       }
       m.flood_injected = adversary_->injected_packets();
+      if (secrecy_ != nullptr) {
+        if (const auto* pool = adversary_->key_recovery(); pool != nullptr) {
+          const security::SecrecyPlane::Score s = secrecy_->score(*pool);
+          m.shares_captured = s.shares_captured;
+          m.keys_recovered = s.keys_recovered;
+          m.key_recovery_rate = s.recovery_rate;
+        }
+      }
       const auto guesses = adversary_->inferred_endpoints(flows_.size());
       if (!guesses.empty() && !flows_.empty()) {
         std::size_t hit = 0;
@@ -426,6 +455,10 @@ class Simulation {
         m.endpoint_inference_accuracy =
             static_cast<double>(hit) / static_cast<double>(flows_.size());
       }
+    }
+    if (secrecy_ != nullptr) {
+      m.secrecy_shares = secrecy_->shares_per_flow();
+      m.secrecy_threshold = secrecy_->threshold_per_flow();
     }
     if (defense_ != nullptr) {
       m.defense_kind = defense_->kind();
@@ -491,6 +524,9 @@ class Simulation {
   std::vector<Node> nodes_;
   std::vector<std::unique_ptr<Flow>> flows_;
   std::unique_ptr<security::Eavesdropper> eavesdropper_;
+  /// Declared before adversary_: pooled adversaries' capture pools hold
+  /// the plane pointer, so the plane must outlive them.
+  std::unique_ptr<security::SecrecyPlane> secrecy_;
   std::unique_ptr<security::AdversaryModel> adversary_;
 };
 

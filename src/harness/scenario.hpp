@@ -15,6 +15,7 @@
 #include "routing/dsr/dsr.hpp"
 #include "security/adversary.hpp"
 #include "security/defense/defense.hpp"
+#include "security/keyshare.hpp"
 #include "tcp/flow_stats.hpp"
 #include "tcp/tcp_config.hpp"
 
@@ -83,6 +84,14 @@ struct ScenarioConfig {
   /// protocols — the configuration every pre-defense fingerprint pins.
   security::DefenseSpec defense;
 
+  /// Optional threshold-secret-sharing secrecy game
+  /// (`src/security/keyshare`): each flow's session key is Shamir-split
+  /// across the protocol's disjoint paths and adversary pools score
+  /// *key recovery* from real wire bytes, not fragment counts.
+  /// Disabled (the default) adds no state at all — every pre-existing
+  /// fingerprint runs with no plane.
+  security::SecrecySpec secrecy;
+
   /// Fixed node placement instead of random waypoint (tests, examples).
   /// Non-empty => static topology; must have node_count entries.
   std::vector<mobility::Vec2> static_positions;
@@ -146,6 +155,20 @@ struct RunMetrics {
   double endpoint_inference_accuracy = 0.0;
   /// Forged route discoveries injected by kRreqFlood.
   std::uint64_t flood_injected = 0;
+
+  // --- secrecy game (keyshare plane, CSV v8) -----------------------------
+  /// Shares each flow's session key is split into (0 = game off).
+  std::uint32_t secrecy_shares = 0;
+  /// Shares needed to reconstruct a key (t of n).
+  std::uint32_t secrecy_threshold = 0;
+  /// Distinct (flow, share) pairs the adversary pool parsed out of
+  /// captured wire images.
+  std::uint64_t shares_captured = 0;
+  /// Flows whose session key the coalition actually reconstructed
+  /// (reconstruction must equal the true key byte-for-byte).
+  std::uint64_t keys_recovered = 0;
+  /// keys_recovered / flows — the headline key-recovery rate.
+  double key_recovery_rate = 0.0;
 
   // --- defense (countermeasure subsystem, CSV v7) ------------------------
   /// Index into `CampaignConfig::defenses` (0 outside campaigns).

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <vector>
 
+#include "net/wire.hpp"
 #include "sim/error.hpp"
 
 namespace mts::net {
@@ -29,49 +30,6 @@ const char* packet_kind_name(PacketKind k) {
 
 namespace {
 
-/// Fixed header part sizes in bytes; per-address cost is 4 bytes, as in
-/// the AODV/DSR drafts.
-constexpr std::uint32_t kPerAddressBytes = 4;
-
-struct SizeVisitor {
-  std::uint32_t operator()(const std::monostate&) const { return 0; }
-  std::uint32_t operator()(const AodvRreqHeader&) const { return 24; }
-  std::uint32_t operator()(const AodvRrepHeader&) const { return 20; }
-  std::uint32_t operator()(const AodvRerrHeader& h) const {
-    return 4 + static_cast<std::uint32_t>(h.unreachable.size()) * 8;
-  }
-  std::uint32_t operator()(const DsrRreqHeader& h) const {
-    return 8 + static_cast<std::uint32_t>(h.record.size()) * kPerAddressBytes;
-  }
-  std::uint32_t operator()(const DsrRrepHeader& h) const {
-    return 8 + static_cast<std::uint32_t>(h.route.size()) * kPerAddressBytes;
-  }
-  std::uint32_t operator()(const DsrRerrHeader& h) const {
-    return 12 + static_cast<std::uint32_t>(h.back_path.size()) * kPerAddressBytes;
-  }
-  std::uint32_t operator()(const DsrSourceRoute& h) const {
-    return 4 + static_cast<std::uint32_t>(h.route.size()) * kPerAddressBytes;
-  }
-  std::uint32_t operator()(const MtsRreqHeader& h) const {
-    return 16 + static_cast<std::uint32_t>(h.nodes.size()) * kPerAddressBytes;
-  }
-  std::uint32_t operator()(const MtsRrepHeader& h) const {
-    return 16 + static_cast<std::uint32_t>(h.nodes.size()) * kPerAddressBytes;
-  }
-  std::uint32_t operator()(const MtsCheckHeader& h) const {
-    return 16 + static_cast<std::uint32_t>(h.nodes.size()) * kPerAddressBytes;
-  }
-  std::uint32_t operator()(const MtsCheckErrorHeader& h) const {
-    return 16 + static_cast<std::uint32_t>(h.nodes.size()) * kPerAddressBytes;
-  }
-  std::uint32_t operator()(const MtsRerrHeader&) const { return 16; }
-  std::uint32_t operator()(const MtsDataTag&) const { return 4; }
-  /// Probe option: path id + probe id + flags.  Deliberately the same
-  /// order of magnitude as the data tag — a probe should not stand out
-  /// from the data plane it hides in.
-  std::uint32_t operator()(const MtsProbeHeader&) const { return 8; }
-};
-
 /// Thread-local pool of packet bodies: chunked storage (stable
 /// addresses) threaded through an intrusive free list, mirroring the
 /// scheduler's event slot pool.  Thread-local because the campaign
@@ -90,18 +48,22 @@ class PacketPool {
     b->common = CommonHeader{};
     b->tcp.reset();
     b->routing = std::monostate{};
+    b->wire_payload.reset();
     b->refcount = 1;
     ++stats_.acquired;
     return b;
   }
 
   /// Deep copy for copy-on-write: called when a handle must mutate a
-  /// body other handles still reference.
+  /// body other handles still reference.  The wire-payload cache is
+  /// deliberately not copied — a clone exists to be mutated, which
+  /// invalidates the materialized image anyway.
   PacketBody* clone(const PacketBody& src) {
     PacketBody* b = take_slot();
     b->common = src.common;
     b->tcp = src.tcp;
     b->routing = src.routing;
+    b->wire_payload.reset();
     b->refcount = 1;
     ++stats_.acquired;
     ++stats_.cow_clones;
@@ -110,6 +72,7 @@ class PacketPool {
 
   void release(PacketBody* b) {
     ++b->generation;  // invalidate any stale handle deterministically
+    b->wire_payload.reset();  // drop the shared image with the body
     b->next_free = free_;
     free_ = b;
     ++stats_.released;
@@ -147,7 +110,10 @@ class PacketPool {
 PacketPoolStats packet_pool_stats() { return PacketPool::local().stats(); }
 
 std::uint32_t routing_header_bytes(const RoutingHeader& h) {
-  return std::visit(SizeVisitor{}, h);
+  // Derived from the wire codec's size law, which the codec's encoders
+  // verify byte-for-byte — airtime accounting cannot drift from the
+  // actual wire format (tests/net/wire_test.cpp pins the legacy values).
+  return wire::routing_wire_size(h);
 }
 
 void Packet::reset() {
@@ -175,6 +141,9 @@ PacketBody& Packet::own() {
     }
   }
   gen_ = body_->generation;
+  // Any write may change what the packet looks like on the air, so the
+  // materialized image is stale from here; taps re-derive it on demand.
+  body_->wire_payload.reset();
   return *body_;
 }
 

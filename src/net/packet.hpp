@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <variant>
+#include <vector>
 
 #include "net/headers.hpp"
 #include "net/node_id.hpp"
@@ -21,6 +24,15 @@ struct PacketBody {
   CommonHeader common;
   std::optional<TcpHeader> tcp;
   RoutingHeader routing;  // std::monostate when absent
+
+  /// Materialized wire payload (the secrecy plane's key shares + masked
+  /// fragment bytes), cached on the body so every tap of the same frame
+  /// reads the same bytes without re-deriving them.  Null when nothing
+  /// materialized one (the default — the simulator models payload
+  /// existence, not content).  This is a cache of a deterministic
+  /// function of the headers: copying a handle shares it, any mutation
+  /// (own/clone) drops it.
+  std::shared_ptr<const std::vector<std::uint8_t>> wire_payload;
 
   std::uint32_t refcount = 0;
   /// Bumped every time the body returns to the pool; live handles carry
@@ -109,6 +121,24 @@ class Packet {
     return checked().routing;
   }
 
+  /// Typed routing-header access: `header<DsrRreqHeader>()` instead of
+  /// `std::get<DsrRreqHeader>(p.routing())` at every call site.  Trips a
+  /// deterministic check (not std::bad_variant_access) on a kind
+  /// mismatch.
+  template <typename T>
+  [[nodiscard]] const T& header() const {
+    const T* h = std::get_if<T>(&checked().routing);
+    sim::require(h != nullptr, "Packet: routing header kind mismatch");
+    return *h;
+  }
+  /// Typed access that answers "is it carrying one?" and "give it to me"
+  /// in one call; nullptr when the slot holds something else (or the
+  /// handle is empty).
+  template <typename T>
+  [[nodiscard]] const T* header_if() const {
+    return body_ == nullptr ? nullptr : std::get_if<T>(&checked().routing);
+  }
+
   // --- write access (copy-on-write) ------------------------------------
   [[nodiscard]] CommonHeader& mutable_common() { return own().common; }
   /// Creates the TCP header if absent.
@@ -118,6 +148,29 @@ class Packet {
     return *b.tcp;
   }
   [[nodiscard]] RoutingHeader& mutable_routing() { return own().routing; }
+
+  /// CoW-aware typed mutation: clones a shared body first, then hands
+  /// out the routing header, requiring the kind to match.
+  template <typename T>
+  [[nodiscard]] T& mutable_header() {
+    T* h = std::get_if<T>(&own().routing);
+    sim::require(h != nullptr, "Packet: routing header kind mismatch");
+    return *h;
+  }
+
+  // --- materialized wire payload (secrecy plane) ------------------------
+  /// The cached wire-payload image; null when none was materialized.
+  [[nodiscard]] const std::shared_ptr<const std::vector<std::uint8_t>>&
+  wire_payload() const {
+    return checked().wire_payload;
+  }
+  /// Stamps the cache through a shared body without CoW: the image is a
+  /// pure function of the headers, so all handles agree on it — this is
+  /// logically const and does not count as a mutation.
+  void cache_wire_payload(
+      std::shared_ptr<const std::vector<std::uint8_t>> bytes) const {
+    const_cast<PacketBody&>(checked()).wire_payload = std::move(bytes);
+  }
 
   /// Total on-wire bytes above the MAC layer (headers + payload); this is
   /// what the MAC serializes at the PHY rate.

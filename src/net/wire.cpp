@@ -1,0 +1,692 @@
+#include "net/wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "sim/error.hpp"
+
+namespace mts::net::wire {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Size law.  Fixed parts + 4 bytes per carried address, matching the
+// AODV/DSR drafts; these constants are shared by the size visitor and
+// the encoders, and encode_headers() verifies the bytes written against
+// routing_wire_size(), so the two cannot drift apart.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kPerAddressBytes = 4;
+constexpr std::uint32_t kAodvRreqBytes = 24;
+constexpr std::uint32_t kAodvRrepBytes = 20;
+constexpr std::uint32_t kAodvRerrFixed = 4;
+constexpr std::uint32_t kAodvRerrPerEntry = 8;
+constexpr std::uint32_t kDsrRreqFixed = 8;
+constexpr std::uint32_t kDsrRrepFixed = 8;
+constexpr std::uint32_t kDsrRerrFixed = 12;
+constexpr std::uint32_t kSourceRouteFixed = 4;
+constexpr std::uint32_t kMtsListFixed = 16;  // RREQ/RREP/check/check-error
+constexpr std::uint32_t kMtsRerrBytes = 16;
+constexpr std::uint32_t kMtsDataTagBytes = 4;
+constexpr std::uint32_t kMtsProbeBytes = 8;
+
+constexpr std::uint32_t route_bytes(std::size_t n) {
+  return static_cast<std::uint32_t>(n) * kPerAddressBytes;
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level primitives (big-endian).
+// ---------------------------------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(std::vector<std::uint8_t>& out)
+      : out_(out), base_(out.size()) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v >> 8));
+    u8(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void u48(std::uint64_t v) {
+    u16(static_cast<std::uint16_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v >> 32));
+    u32(static_cast<std::uint32_t>(v));
+  }
+  void pad(std::size_t n) { out_.insert(out_.end(), n, 0); }
+
+  [[nodiscard]] std::size_t written() const { return out_.size() - base_; }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::size_t base_;
+};
+
+/// Bounds-checked big-endian reader.  Reads past the end (or a nonzero
+/// padding byte) latch the fail flag and return zeros; decoders check
+/// `ok()` once per section instead of per field.
+class Reader {
+ public:
+  Reader(const std::uint8_t* d, std::size_t n) : d_(d), n_(n) {}
+
+  std::uint8_t u8() {
+    if (off_ >= n_) {
+      ok_ = false;
+      return 0;
+    }
+    return d_[off_++];
+  }
+  std::uint16_t u16() {
+    const std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>((hi << 8) | u8());
+  }
+  std::uint32_t u32() {
+    const std::uint32_t hi = u16();
+    return (hi << 16) | u16();
+  }
+  std::uint64_t u48() {
+    const std::uint64_t hi = u16();
+    return (hi << 32) | u32();
+  }
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    return (hi << 32) | u32();
+  }
+  /// Padding must be zero on the wire; anything else is corruption (and
+  /// would break encode(decode(buf)) == buf).
+  void pad(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (u8() != 0) ok_ = false;
+    }
+  }
+  /// A one-byte flag field with only `mask` bits defined.
+  std::uint8_t flags(std::uint8_t mask) {
+    const std::uint8_t v = u8();
+    if ((v & ~mask) != 0) ok_ = false;
+    return v;
+  }
+
+  [[nodiscard]] bool ok() const { return ok_; }
+  [[nodiscard]] std::size_t offset() const { return off_; }
+  [[nodiscard]] std::uint8_t peek() const { return off_ < n_ ? d_[off_] : 0; }
+
+ private:
+  const std::uint8_t* d_;
+  std::size_t n_;
+  std::size_t off_ = 0;
+  bool ok_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Encoders.
+// ---------------------------------------------------------------------------
+
+void encode_common(Writer& w, const CommonHeader& c) {
+  const auto kind = static_cast<std::uint32_t>(c.kind);
+  sim::require(kind <= 0x0f, "wire: packet kind exceeds the v1 kind nibble");
+  sim::require(c.payload_bytes <= 0xffff,
+               "wire: payload_bytes exceeds the u16 wire field");
+  const std::int64_t us = c.originated.nanoseconds() / 1000;
+  sim::require(us >= 0 && us <= 0xffffffffLL,
+               "wire: originated outside the u32-microsecond wire range");
+  w.u8(static_cast<std::uint8_t>((std::uint32_t{kWireVersion} << 4) | kind));
+  w.u8(c.ttl);
+  w.u16(static_cast<std::uint16_t>(c.payload_bytes));
+  w.u32(c.src);
+  w.u32(c.dst);
+  w.u32(c.uid);
+  w.u32(static_cast<std::uint32_t>(us));
+}
+
+void encode_tcp(Writer& w, const TcpHeader& t) {
+  w.u8(kTagTcp);
+  w.u8(t.retransmit ? 1 : 0);
+  w.u16(t.flow_id);
+  w.u32(t.seq);
+  w.u32(t.ack);
+  w.u64(static_cast<std::uint64_t>(t.ts.nanoseconds()));
+}
+
+void write_route(Writer& w, const RouteVec& route) {
+  for (NodeId n : route) w.u32(n);
+}
+
+/// Encodes the routing header/option.  The common header is consulted
+/// for the invariants that let v1 omit redundant fields (documented per
+/// alternative); violating one is a construction bug, not bad input, so
+/// these are require()s rather than soft failures.
+struct EncodeVisitor {
+  Writer& w;
+  const CommonHeader& c;
+
+  void check_kind(PacketKind expected) const {
+    sim::require(c.kind == expected,
+                 "wire: routing header does not match the packet kind");
+  }
+  void check_data_plane() const {
+    sim::require(is_transport(c.kind),
+                 "wire: data-plane option on a control packet");
+  }
+
+  void operator()(const std::monostate&) const { check_data_plane(); }
+
+  void operator()(const AodvRreqHeader& h) const {
+    check_kind(PacketKind::kAodvRreq);
+    w.u32(h.rreq_id);
+    w.u32(h.orig);
+    w.u32(h.dst);
+    w.u32(h.orig_seq);
+    w.u32(h.dst_seq);
+    w.u8(h.hop_count);
+    w.u8(h.dst_seq_known ? 1 : 0);
+    w.pad(2);
+  }
+
+  void operator()(const AodvRrepHeader& h) const {
+    check_kind(PacketKind::kAodvRrep);
+    const std::int64_t ns = h.lifetime.nanoseconds();
+    sim::require(ns >= 0 && ns < (std::int64_t{1} << 48),
+                 "wire: AODV RREP lifetime outside the u48 wire range");
+    w.u32(h.orig);
+    w.u32(h.dst);
+    w.u32(h.dst_seq);
+    w.u8(h.hop_count);
+    w.u48(static_cast<std::uint64_t>(ns));
+    w.pad(1);
+  }
+
+  void operator()(const AodvRerrHeader& h) const {
+    check_kind(PacketKind::kAodvRerr);
+    sim::require(h.unreachable.size() <= 0xff,
+                 "wire: AODV RERR entry count exceeds the u8 wire field");
+    w.u8(static_cast<std::uint8_t>(h.unreachable.size()));
+    w.pad(3);
+    for (const auto& u : h.unreachable) {
+      w.u32(u.dst);
+      w.u32(u.seq);
+    }
+  }
+
+  /// v1 invariant: a DSR RREQ's originator is the packet source (the
+  /// flood rebroadcast mutates only ttl and the record).
+  void operator()(const DsrRreqHeader& h) const {
+    check_kind(PacketKind::kDsrRreq);
+    sim::require(h.orig == c.src, "wire: DSR RREQ originator != packet source");
+    w.u32(h.rreq_id);
+    w.u32(h.target);
+    write_route(w, h.record);
+  }
+
+  /// v1 invariant: the route runs orig..target inclusive, so both
+  /// endpoints live in the route list and are not re-encoded.
+  void operator()(const DsrRrepHeader& h) const {
+    check_kind(PacketKind::kDsrRrep);
+    sim::require(h.route.size() >= 2 && h.route.front() == h.orig &&
+                     h.route.back() == h.target,
+                 "wire: DSR RREP route does not span orig..target");
+    w.u16(h.hops_done);
+    w.pad(6);
+    write_route(w, h.route);
+  }
+
+  /// v1 invariant: the notified source is the packet destination.
+  void operator()(const DsrRerrHeader& h) const {
+    check_kind(PacketKind::kDsrRerr);
+    sim::require(h.notify == c.dst, "wire: DSR RERR notify != packet dest");
+    w.u32(h.from);
+    w.u32(h.to);
+    w.u16(h.hops_done);
+    w.pad(2);
+    write_route(w, h.back_path);
+  }
+
+  void operator()(const DsrSourceRoute& h) const {
+    check_data_plane();
+    w.u8(kTagSourceRoute);
+    w.u8(h.salvaged ? 1 : 0);
+    w.u16(h.index);
+    write_route(w, h.route);
+  }
+
+  void operator()(const MtsRreqHeader& h) const {
+    check_kind(PacketKind::kMtsRreq);
+    w.u32(h.bcast_id);
+    w.u32(h.orig);
+    w.u32(h.dst);
+    w.u8(h.hop_count);
+    w.pad(3);
+    write_route(w, h.nodes);
+  }
+
+  void operator()(const MtsRrepHeader& h) const {
+    check_kind(PacketKind::kMtsRrep);
+    w.u32(h.rrep_id);
+    w.u32(h.orig);
+    w.u32(h.dst);
+    w.u8(h.hop_count);
+    w.pad(1);
+    w.u16(h.hops_done);
+    write_route(w, h.nodes);
+  }
+
+  /// v1 invariant: checks travel checker -> source, so the receiving
+  /// source is the packet destination (relays mutate only hops_done).
+  void operator()(const MtsCheckHeader& h) const {
+    check_kind(PacketKind::kMtsCheck);
+    sim::require(h.source == c.dst, "wire: MTS check source != packet dest");
+    w.u32(h.check_id);
+    w.u16(h.path_id);
+    w.u8(h.hop_count);
+    w.pad(1);
+    w.u32(h.checker);
+    w.u16(h.hops_done);
+    w.pad(2);
+    write_route(w, h.nodes);
+  }
+
+  /// v1 invariant: a check error travels reporter -> checker.
+  void operator()(const MtsCheckErrorHeader& h) const {
+    check_kind(PacketKind::kMtsCheckError);
+    sim::require(h.checker == c.dst && h.reporter == c.src,
+                 "wire: MTS check error endpoints != packet src/dest");
+    w.u16(h.path_id);
+    w.u32(h.flow_source);
+    w.u32(h.broken_from);
+    w.u32(h.broken_to);
+    w.u16(h.hops_done);
+    write_route(w, h.nodes);
+  }
+
+  /// v1 invariant: the informed source is the packet destination.
+  void operator()(const MtsRerrHeader& h) const {
+    check_kind(PacketKind::kMtsRerr);
+    sim::require(h.source == c.dst, "wire: MTS RERR source != packet dest");
+    w.u32(h.dst);
+    w.u16(h.path_id);
+    w.u32(h.broken_from);
+    w.u32(h.broken_to);
+    w.pad(2);
+  }
+
+  void operator()(const MtsDataTag& h) const {
+    check_data_plane();
+    w.u8(kTagMtsData);
+    w.pad(1);
+    w.u16(h.path_id);
+  }
+
+  void operator()(const MtsProbeHeader& h) const {
+    check_data_plane();
+    w.u8(kTagMtsProbe);
+    w.u8(h.echo ? 1 : 0);
+    w.u16(h.path_id);
+    w.u32(h.probe_id);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Decoders.  Every path returns false on malformed input; nothing
+// require()s on untrusted bytes.
+// ---------------------------------------------------------------------------
+
+bool decode_common(Reader& r, CommonHeader& c) {
+  const std::uint8_t b0 = r.u8();
+  if ((b0 >> 4) != kWireVersion) return false;
+  const std::uint8_t kind = b0 & 0x0f;
+  if (kind > static_cast<std::uint8_t>(PacketKind::kMtsRerr)) return false;
+  c.kind = static_cast<PacketKind>(kind);
+  c.ttl = r.u8();
+  c.payload_bytes = r.u16();
+  c.src = r.u32();
+  c.dst = r.u32();
+  c.uid = r.u32();
+  c.originated = sim::Time::us(r.u32());
+  return r.ok();
+}
+
+bool decode_tcp(Reader& r, std::size_t avail, TcpHeader& t) {
+  if (avail < kTcpHeaderBytes) return false;
+  if (r.u8() != kTagTcp) return false;
+  t.retransmit = (r.flags(0x01) & 0x01) != 0;
+  t.flow_id = r.u16();
+  t.seq = r.u32();
+  t.ack = r.u32();
+  t.ts = sim::Time::ns(static_cast<std::int64_t>(r.u64()));
+  return r.ok();
+}
+
+/// Reads the remaining `avail` bytes of the section as a route list; the
+/// count is implicit in the section length, DSR-option style.
+bool read_route(Reader& r, std::size_t avail, RouteVec& out) {
+  if (avail % kPerAddressBytes != 0) return false;
+  const std::size_t n = avail / kPerAddressBytes;
+  out.clear();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(r.u32());
+  return r.ok();
+}
+
+/// Decodes the routing section of a control packet: the kind determines
+/// the alternative, and the section runs to `section_end`.
+bool decode_control(Reader& r, std::size_t section_end, const CommonHeader& c,
+                    RoutingHeader& out) {
+  const std::size_t avail = section_end - r.offset();
+  switch (c.kind) {
+    case PacketKind::kAodvRreq: {
+      if (avail != kAodvRreqBytes) return false;
+      AodvRreqHeader h;
+      h.rreq_id = r.u32();
+      h.orig = r.u32();
+      h.dst = r.u32();
+      h.orig_seq = r.u32();
+      h.dst_seq = r.u32();
+      h.hop_count = r.u8();
+      h.dst_seq_known = (r.flags(0x01) & 0x01) != 0;
+      r.pad(2);
+      out = h;
+      return r.ok();
+    }
+    case PacketKind::kAodvRrep: {
+      if (avail != kAodvRrepBytes) return false;
+      AodvRrepHeader h;
+      h.orig = r.u32();
+      h.dst = r.u32();
+      h.dst_seq = r.u32();
+      h.hop_count = r.u8();
+      h.lifetime = sim::Time::ns(static_cast<std::int64_t>(r.u48()));
+      r.pad(1);
+      out = h;
+      return r.ok();
+    }
+    case PacketKind::kAodvRerr: {
+      if (avail < kAodvRerrFixed) return false;
+      AodvRerrHeader h;
+      const std::uint8_t count = r.u8();
+      r.pad(3);
+      if (avail != kAodvRerrFixed + std::size_t{count} * kAodvRerrPerEntry)
+        return false;
+      for (std::uint8_t i = 0; i < count; ++i) {
+        AodvRerrHeader::Unreachable u;
+        u.dst = r.u32();
+        u.seq = r.u32();
+        h.unreachable.push_back(u);
+      }
+      out = h;
+      return r.ok();
+    }
+    case PacketKind::kDsrRreq: {
+      if (avail < kDsrRreqFixed) return false;
+      DsrRreqHeader h;
+      h.rreq_id = r.u32();
+      h.target = r.u32();
+      h.orig = c.src;  // v1: not re-encoded, carried by the common header
+      if (!read_route(r, avail - kDsrRreqFixed, h.record)) return false;
+      out = h;
+      return r.ok();
+    }
+    case PacketKind::kDsrRrep: {
+      if (avail < kDsrRrepFixed) return false;
+      DsrRrepHeader h;
+      h.hops_done = r.u16();
+      r.pad(6);
+      if (!read_route(r, avail - kDsrRrepFixed, h.route)) return false;
+      if (h.route.size() < 2) return false;  // must span orig..target
+      h.orig = h.route.front();
+      h.target = h.route.back();
+      out = h;
+      return r.ok();
+    }
+    case PacketKind::kDsrRerr: {
+      if (avail < kDsrRerrFixed) return false;
+      DsrRerrHeader h;
+      h.from = r.u32();
+      h.to = r.u32();
+      h.hops_done = r.u16();
+      r.pad(2);
+      h.notify = c.dst;  // v1: the RERR travels to the notified source
+      if (!read_route(r, avail - kDsrRerrFixed, h.back_path)) return false;
+      out = h;
+      return r.ok();
+    }
+    case PacketKind::kMtsRreq: {
+      if (avail < kMtsListFixed) return false;
+      MtsRreqHeader h;
+      h.bcast_id = r.u32();
+      h.orig = r.u32();
+      h.dst = r.u32();
+      h.hop_count = r.u8();
+      r.pad(3);
+      if (!read_route(r, avail - kMtsListFixed, h.nodes)) return false;
+      out = h;
+      return r.ok();
+    }
+    case PacketKind::kMtsRrep: {
+      if (avail < kMtsListFixed) return false;
+      MtsRrepHeader h;
+      h.rrep_id = r.u32();
+      h.orig = r.u32();
+      h.dst = r.u32();
+      h.hop_count = r.u8();
+      r.pad(1);
+      h.hops_done = r.u16();
+      if (!read_route(r, avail - kMtsListFixed, h.nodes)) return false;
+      out = h;
+      return r.ok();
+    }
+    case PacketKind::kMtsCheck: {
+      if (avail < kMtsListFixed) return false;
+      MtsCheckHeader h;
+      h.check_id = r.u32();
+      h.path_id = r.u16();
+      h.hop_count = r.u8();
+      r.pad(1);
+      h.checker = r.u32();
+      h.hops_done = r.u16();
+      r.pad(2);
+      h.source = c.dst;  // v1: checks travel checker -> source
+      if (!read_route(r, avail - kMtsListFixed, h.nodes)) return false;
+      out = h;
+      return r.ok();
+    }
+    case PacketKind::kMtsCheckError: {
+      if (avail < kMtsListFixed) return false;
+      MtsCheckErrorHeader h;
+      h.path_id = r.u16();
+      h.flow_source = r.u32();
+      h.broken_from = r.u32();
+      h.broken_to = r.u32();
+      h.hops_done = r.u16();
+      h.reporter = c.src;  // v1: travels reporter -> checker
+      h.checker = c.dst;
+      if (!read_route(r, avail - kMtsListFixed, h.nodes)) return false;
+      out = h;
+      return r.ok();
+    }
+    case PacketKind::kMtsRerr: {
+      if (avail != kMtsRerrBytes) return false;
+      MtsRerrHeader h;
+      h.dst = r.u32();
+      h.path_id = r.u16();
+      h.broken_from = r.u32();
+      h.broken_to = r.u32();
+      r.pad(2);
+      h.source = c.dst;  // v1: the RERR travels to the informed source
+      out = h;
+      return r.ok();
+    }
+    case PacketKind::kTcpData:
+    case PacketKind::kTcpAck:
+      return false;  // transport kinds use the tagged option section
+  }
+  return false;
+}
+
+/// Decodes the tagged data-plane option of a transport packet.  Every
+/// option is terminal (the section length sizes its route list), so the
+/// option must end exactly at `section_end`.
+bool decode_data_option(Reader& r, std::size_t section_end,
+                        RoutingHeader& out) {
+  const std::size_t avail = section_end - r.offset();
+  switch (r.peek()) {
+    case kTagSourceRoute: {
+      if (avail < kSourceRouteFixed) return false;
+      DsrSourceRoute h;
+      r.u8();  // tag
+      h.salvaged = (r.flags(0x01) & 0x01) != 0;
+      h.index = r.u16();
+      if (!read_route(r, avail - kSourceRouteFixed, h.route)) return false;
+      out = h;
+      return r.ok();
+    }
+    case kTagMtsData: {
+      if (avail != kMtsDataTagBytes) return false;
+      MtsDataTag h;
+      r.u8();  // tag
+      r.pad(1);
+      h.path_id = r.u16();
+      out = h;
+      return r.ok();
+    }
+    case kTagMtsProbe: {
+      if (avail != kMtsProbeBytes) return false;
+      MtsProbeHeader h;
+      r.u8();  // tag
+      h.echo = (r.flags(0x01) & 0x01) != 0;
+      h.path_id = r.u16();
+      h.probe_id = r.u32();
+      out = h;
+      return r.ok();
+    }
+    default:
+      return false;
+  }
+}
+
+struct SizeVisitor {
+  std::uint32_t operator()(const std::monostate&) const { return 0; }
+  std::uint32_t operator()(const AodvRreqHeader&) const {
+    return kAodvRreqBytes;
+  }
+  std::uint32_t operator()(const AodvRrepHeader&) const {
+    return kAodvRrepBytes;
+  }
+  std::uint32_t operator()(const AodvRerrHeader& h) const {
+    return kAodvRerrFixed +
+           static_cast<std::uint32_t>(h.unreachable.size()) * kAodvRerrPerEntry;
+  }
+  std::uint32_t operator()(const DsrRreqHeader& h) const {
+    return kDsrRreqFixed + route_bytes(h.record.size());
+  }
+  std::uint32_t operator()(const DsrRrepHeader& h) const {
+    return kDsrRrepFixed + route_bytes(h.route.size());
+  }
+  std::uint32_t operator()(const DsrRerrHeader& h) const {
+    return kDsrRerrFixed + route_bytes(h.back_path.size());
+  }
+  std::uint32_t operator()(const DsrSourceRoute& h) const {
+    return kSourceRouteFixed + route_bytes(h.route.size());
+  }
+  std::uint32_t operator()(const MtsRreqHeader& h) const {
+    return kMtsListFixed + route_bytes(h.nodes.size());
+  }
+  std::uint32_t operator()(const MtsRrepHeader& h) const {
+    return kMtsListFixed + route_bytes(h.nodes.size());
+  }
+  std::uint32_t operator()(const MtsCheckHeader& h) const {
+    return kMtsListFixed + route_bytes(h.nodes.size());
+  }
+  std::uint32_t operator()(const MtsCheckErrorHeader& h) const {
+    return kMtsListFixed + route_bytes(h.nodes.size());
+  }
+  std::uint32_t operator()(const MtsRerrHeader&) const { return kMtsRerrBytes; }
+  std::uint32_t operator()(const MtsDataTag&) const { return kMtsDataTagBytes; }
+  /// Probe option: path id + probe id + flags.  Deliberately the same
+  /// order of magnitude as the data tag — a probe should not stand out
+  /// from the data plane it hides in.
+  std::uint32_t operator()(const MtsProbeHeader&) const {
+    return kMtsProbeBytes;
+  }
+};
+
+}  // namespace
+
+std::uint32_t routing_wire_size(const RoutingHeader& h) {
+  return std::visit(SizeVisitor{}, h);
+}
+
+void encode_headers(const CommonHeader& common, const TcpHeader* tcp,
+                    const RoutingHeader& routing,
+                    std::vector<std::uint8_t>& out) {
+  Writer w(out);
+  encode_common(w, common);
+  sim::require(w.written() == kCommonHeaderBytes,
+               "wire: common header layout drifted from kCommonHeaderBytes");
+  if (tcp != nullptr) {
+    sim::require(is_transport(common.kind),
+                 "wire: TCP header on a control packet");
+    const std::size_t before = w.written();
+    encode_tcp(w, *tcp);
+    sim::require(w.written() - before == kTcpHeaderBytes,
+                 "wire: TCP header layout drifted from kTcpHeaderBytes");
+  }
+  const std::size_t before = w.written();
+  std::visit(EncodeVisitor{w, common}, routing);
+  sim::require(w.written() - before == routing_wire_size(routing),
+               "wire: routing encoder disagrees with the size law");
+}
+
+void encode_headers(const Packet& p, std::vector<std::uint8_t>& out) {
+  encode_headers(p.common(), p.has_tcp() ? &p.tcp() : nullptr, p.routing(),
+                 out);
+}
+
+void encode_packet(const Packet& p, std::vector<std::uint8_t>& out,
+                   const std::uint8_t* payload, std::size_t payload_len) {
+  encode_headers(p, out);
+  const std::uint32_t want = p.common().payload_bytes;
+  const std::size_t copy = std::min<std::size_t>(payload_len, want);
+  if (copy != 0) out.insert(out.end(), payload, payload + copy);
+  if (copy < want) out.insert(out.end(), want - copy, 0);
+}
+
+std::optional<DecodedPacket> decode_packet(const std::uint8_t* data,
+                                           std::size_t len) {
+  Reader r(data, len);
+  DecodedPacket d;
+  if (!decode_common(r, d.common)) return std::nullopt;
+  d.payload_bytes = d.common.payload_bytes;
+  if (len < kCommonHeaderBytes + std::size_t{d.payload_bytes})
+    return std::nullopt;
+  // Payload sits last; everything between the common header and it is
+  // the routing/option section.
+  const std::size_t section_end = len - d.payload_bytes;
+  d.payload_offset = section_end;
+  if (is_transport(d.common.kind)) {
+    if (r.offset() < section_end && r.peek() == kTagTcp) {
+      TcpHeader t;
+      if (!decode_tcp(r, section_end - r.offset(), t)) return std::nullopt;
+      d.tcp = t;
+    }
+    if (r.offset() < section_end) {
+      if (!decode_data_option(r, section_end, d.routing)) return std::nullopt;
+    }
+  } else {
+    if (!decode_control(r, section_end, d.common, d.routing))
+      return std::nullopt;
+  }
+  if (!r.ok() || r.offset() != section_end) return std::nullopt;
+  return d;
+}
+
+std::optional<DecodedPacket> decode_packet(const std::vector<std::uint8_t>& buf) {
+  return decode_packet(buf.data(), buf.size());
+}
+
+}  // namespace mts::net::wire

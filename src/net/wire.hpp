@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+
+/// Wire-format codec (v1): the byte-level contract for every header the
+/// network layer can put on the air.
+///
+/// Until this codec existed, adversaries "captured" in-memory structs and
+/// airtime accounting trusted a hand-maintained size table; nothing was
+/// ever serialized, so the two could silently drift.  The codec is now
+/// the single source of truth: `routing_wire_size` drives
+/// `routing_header_bytes` (and therefore every airtime/overhead number),
+/// and `encode_*` verifies at runtime that it wrote exactly that many
+/// bytes — the size law and the byte layout cannot disagree.
+///
+/// Layout conventions (see docs/architecture/wire-format.md for the full
+/// byte maps):
+///  - Big-endian (network order) multi-byte fields.
+///  - The common header is 20 bytes, IPv4-sized; byte 0 packs the wire
+///    version in the high nibble and the packet kind in the low nibble.
+///  - Control headers are discriminated by the packet kind; data-plane
+///    options (source route, MTS data tag, MTS probe, TCP) carry a
+///    one-byte tag because a data packet's kind does not determine them.
+///  - List lengths (route records, RERR entries) are derived from the
+///    section length, the way DSR options work, so a 4-byte-per-address
+///    list costs exactly 4 bytes per address on the wire.
+///  - Some fields are not re-encoded because the common header already
+///    carries them (e.g. a DSR RREQ's originator IS the packet source);
+///    `encode_*` requires those invariants and `decode_*` reconstitutes
+///    the struct fields from the common header.
+///
+/// Round-trip contract: for every packet the simulator can emit,
+/// `decode(encode(p))` reproduces the headers exactly — except
+/// `CommonHeader::originated`, which travels as 32-bit microseconds
+/// (documented lossy; the delay metrics never read decoded values) — and
+/// `encode(decode(buf))` is byte-identical to `buf` for every buffer
+/// `decode` accepts (decode rejects nonzero padding, bad versions,
+/// truncation, and length/count mismatches rather than guessing).
+namespace mts::net::wire {
+
+/// Bumped on any layout change; decoders reject other versions.  A
+/// future v2 may add per-version decode branches.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Option tags in a data packet's option section.  kTagTcp also fronts
+/// the TCP header so the transport section is self-describing.
+inline constexpr std::uint8_t kTagSourceRoute = 0x01;
+inline constexpr std::uint8_t kTagMtsData = 0x02;
+inline constexpr std::uint8_t kTagMtsProbe = 0x03;
+inline constexpr std::uint8_t kTagTcp = 0x10;
+
+/// On-wire size of a routing header/option in bytes.  This is the size
+/// law `routing_header_bytes` delegates to; `encode_headers` verifies it
+/// against the bytes actually written.
+[[nodiscard]] std::uint32_t routing_wire_size(const RoutingHeader& h);
+
+/// Appends the wire encoding of all headers (common + TCP option +
+/// routing option, no payload) to `out`.
+void encode_headers(const CommonHeader& common, const TcpHeader* tcp,
+                    const RoutingHeader& routing,
+                    std::vector<std::uint8_t>& out);
+
+/// Convenience overload over a live packet handle.
+void encode_headers(const Packet& p, std::vector<std::uint8_t>& out);
+
+/// Appends the full wire image: headers followed by
+/// `common.payload_bytes` of payload.  `payload` supplies up to
+/// `payload_len` leading bytes; the remainder is zero-filled (the
+/// simulator models payload existence, not application content — the
+/// secrecy plane is the one caller that materializes real bytes).
+void encode_packet(const Packet& p, std::vector<std::uint8_t>& out,
+                   const std::uint8_t* payload = nullptr,
+                   std::size_t payload_len = 0);
+
+/// A decoded wire image.  `payload_offset` locates the payload region
+/// inside the original buffer (the codec does not copy payload bytes).
+struct DecodedPacket {
+  CommonHeader common;
+  std::optional<TcpHeader> tcp;
+  RoutingHeader routing;
+  std::size_t payload_offset = 0;
+  std::uint32_t payload_bytes = 0;
+};
+
+/// Decodes a full wire image; `std::nullopt` on any malformed input
+/// (truncated, bad version, unknown kind/tag, length or count mismatch,
+/// nonzero padding).  Never throws on untrusted bytes.
+[[nodiscard]] std::optional<DecodedPacket> decode_packet(
+    const std::uint8_t* data, std::size_t len);
+
+[[nodiscard]] std::optional<DecodedPacket> decode_packet(
+    const std::vector<std::uint8_t>& buf);
+
+}  // namespace mts::net::wire

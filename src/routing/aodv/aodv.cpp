@@ -195,7 +195,7 @@ void Aodv::receive_from_mac(Packet packet, NodeId from) {
 }
 
 void Aodv::handle_rreq(Packet&& p, NodeId from) {
-  const auto& h = std::get<AodvRreqHeader>(p.routing());
+  const auto& h = p.header<AodvRreqHeader>();
   if (h.orig == self()) return;  // our own flood echoed back
   if (!rreq_seen_.check_and_insert(h.orig, h.rreq_id)) {
     drop(p, net::DropReason::kDuplicate);
@@ -237,7 +237,7 @@ void Aodv::handle_rreq(Packet&& p, NodeId from) {
     return;
   }
   --p.mutable_common().ttl;
-  std::get<AodvRreqHeader>(p.mutable_routing()).hop_count = hop_count;
+  p.mutable_header<AodvRreqHeader>().hop_count = hop_count;
   rebroadcast_jittered(std::move(p), rng_);
 }
 
@@ -287,7 +287,7 @@ void Aodv::send_rrep_from_route(const AodvRreqHeader& req,
 }
 
 void Aodv::handle_rrep(Packet&& p, NodeId from) {
-  const auto& h = std::get<AodvRrepHeader>(p.routing());
+  const auto& h = p.header<AodvRrepHeader>();
   const auto hop_count = static_cast<std::uint8_t>(h.hop_count + 1);
   // Forward route to the destination through `from`.
   update_route(h.dst, from, hop_count, h.dst_seq, /*seq_known=*/true,
@@ -311,13 +311,13 @@ void Aodv::handle_rrep(Packet&& p, NodeId from) {
   }
   // Mutating tail (`h` refers to the pre-clone body; do not use it).
   --p.mutable_common().ttl;
-  std::get<AodvRrepHeader>(p.mutable_routing()).hop_count = hop_count;
+  p.mutable_header<AodvRrepHeader>().hop_count = hop_count;
   refresh(orig);
   send_to_mac(std::move(p), back->next_hop, /*originated_here=*/false);
 }
 
 void Aodv::handle_rerr(Packet&& p, NodeId from) {
-  const auto& h = std::get<AodvRerrHeader>(p.routing());
+  const auto& h = p.header<AodvRerrHeader>();
   AodvRerrHeader::List propagate;
   for (const auto& u : h.unreachable) {
     auto it = routes_.find(u.dst);

@@ -155,7 +155,7 @@ void Dsr::receive_from_mac(Packet packet, NodeId from) {
 }
 
 void Dsr::handle_rreq(Packet&& p, NodeId from) {
-  const auto& h = std::get<DsrRreqHeader>(p.routing());
+  const auto& h = p.header<DsrRreqHeader>();
   if (h.orig == self()) return;
   if (!rreq_seen_.check_and_insert(h.orig, h.rreq_id)) {
     drop(p, net::DropReason::kDuplicate);
@@ -199,7 +199,7 @@ void Dsr::handle_rreq(Packet&& p, NodeId from) {
   // Mutating tail: TTL first, then one unique-body grab for the record
   // append (`h` refers to the pre-clone body from here on; do not use it).
   --p.mutable_common().ttl;
-  std::get<DsrRreqHeader>(p.mutable_routing()).record.push_back(self());
+  p.mutable_header<DsrRreqHeader>().record.push_back(self());
   rebroadcast_jittered(std::move(p), rng_);
 }
 
@@ -251,7 +251,7 @@ void Dsr::send_rrep(net::RouteVec full_route) {
 
 void Dsr::handle_rrep(Packet&& p, NodeId from) {
   (void)from;
-  const auto& h = std::get<DsrRrepHeader>(p.routing());
+  const auto& h = p.header<DsrRrepHeader>();
   const std::size_t pos = h.hops_done;
   if (pos >= h.route.size() || h.route[pos] != self()) {
     drop(p, net::DropReason::kStaleRoute);
@@ -269,7 +269,7 @@ void Dsr::handle_rrep(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  auto& hm = std::get<DsrRrepHeader>(p.mutable_routing());
+  auto& hm = p.mutable_header<DsrRrepHeader>();
   hm.hops_done = static_cast<std::uint16_t>(pos - 1);
   const NodeId next = hm.route[pos - 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
@@ -278,7 +278,7 @@ void Dsr::handle_rrep(Packet&& p, NodeId from) {
 void Dsr::handle_data(Packet&& p, NodeId from) {
   if (p.common().dst == self()) {
     // Learn the reverse route for our ACKs.
-    if (const auto* sr = std::get_if<DsrSourceRoute>(&p.routing())) {
+    if (const auto* sr = p.header_if<DsrSourceRoute>()) {
       net::RouteVec back(sr->route.rbegin(), sr->route.rend());
       cache_.add(std::move(back), now());
     }
@@ -286,7 +286,7 @@ void Dsr::handle_data(Packet&& p, NodeId from) {
     ctx_.deliver(std::move(p), from);
     return;
   }
-  const auto* sr = std::get_if<DsrSourceRoute>(&p.routing());
+  const auto* sr = p.header_if<DsrSourceRoute>();
   if (sr == nullptr) {
     drop(p, net::DropReason::kStaleRoute);
     return;
@@ -307,7 +307,7 @@ void Dsr::handle_data(Packet&& p, NodeId from) {
   }
   // Mutating tail (`sr` refers to the pre-clone body; do not use it).
   --p.mutable_common().ttl;
-  auto& srm = std::get<DsrSourceRoute>(p.mutable_routing());
+  auto& srm = p.mutable_header<DsrSourceRoute>();
   srm.index = static_cast<std::uint16_t>(my_idx);
   const NodeId next = srm.route[my_idx + 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
@@ -322,7 +322,7 @@ void Dsr::on_link_failure(const Packet& packet, NodeId next_hop) {
 
   // Tell the source about the broken link (if it is a source-routed data
   // packet and we are not the source).
-  if (const auto* sr = std::get_if<DsrSourceRoute>(&packet.routing())) {
+  if (const auto* sr = packet.header_if<DsrSourceRoute>()) {
     const NodeId src = sr->route.front();
     if (src != self()) {
       // Back path: reverse of the traversed prefix, self .. src.
@@ -354,7 +354,7 @@ bool Dsr::salvage(Packet&& p) {
     drop(p, net::DropReason::kNoRoute);
     return false;
   }
-  const auto* sr = std::get_if<DsrSourceRoute>(&p.routing());
+  const auto* sr = p.header_if<DsrSourceRoute>();
   const bool already_salvaged = sr != nullptr && sr->salvaged;
   if (p.common().src == self()) {
     // We originated it: re-route or buffer + rediscover.
@@ -405,7 +405,7 @@ void Dsr::send_rerr(NodeId notify, NodeId broken_to,
 
 void Dsr::handle_rerr(Packet&& p, NodeId from) {
   (void)from;
-  const auto& h = std::get<DsrRerrHeader>(p.routing());
+  const auto& h = p.header<DsrRerrHeader>();
   // Everyone who sees the RERR prunes the dead link.
   cache_.remove_link(h.from, h.to);
   if (h.notify == self()) return;  // delivered; future sends re-discover
@@ -418,7 +418,7 @@ void Dsr::handle_rerr(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  auto& hm = std::get<DsrRerrHeader>(p.mutable_routing());
+  auto& hm = p.mutable_header<DsrRerrHeader>();
   hm.hops_done = static_cast<std::uint16_t>(my_idx);
   const NodeId next = hm.back_path[my_idx + 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);

@@ -181,7 +181,7 @@ void Smr::receive_from_mac(Packet packet, NodeId from) {
 }
 
 void Smr::handle_rreq(Packet&& p, NodeId from) {
-  const auto& h = std::get<DsrRreqHeader>(p.routing());
+  const auto& h = p.header<DsrRreqHeader>();
   if (h.orig == self()) return;
   const std::uint64_t key = flood_key(h.orig, h.rreq_id);
 
@@ -272,7 +272,7 @@ void Smr::handle_rreq(Packet&& p, NodeId from) {
   // Mutating tail: TTL first, then one unique-body grab for the record
   // append (`h` refers to the pre-clone body from here on; do not use it).
   --p.mutable_common().ttl;
-  std::get<DsrRreqHeader>(p.mutable_routing()).record.push_back(self());
+  p.mutable_header<DsrRreqHeader>().record.push_back(self());
   rebroadcast_jittered(std::move(p), rng_);
 }
 
@@ -317,7 +317,7 @@ void Smr::send_rrep_for(net::RouteVec full_route) {
 
 void Smr::handle_rrep(Packet&& p, NodeId from) {
   (void)from;
-  const auto& h = std::get<DsrRrepHeader>(p.routing());
+  const auto& h = p.header<DsrRrepHeader>();
   const std::size_t pos = h.hops_done;
   if (pos >= h.route.size() || h.route[pos] != self()) {
     drop(p, net::DropReason::kStaleRoute);
@@ -338,7 +338,7 @@ void Smr::handle_rrep(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  auto& hm = std::get<DsrRrepHeader>(p.mutable_routing());
+  auto& hm = p.mutable_header<DsrRrepHeader>();
   hm.hops_done = static_cast<std::uint16_t>(pos - 1);
   const NodeId next = hm.route[pos - 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
@@ -346,7 +346,7 @@ void Smr::handle_rrep(Packet&& p, NodeId from) {
 
 void Smr::handle_data(Packet&& p, NodeId from) {
   if (p.common().dst == self()) {
-    if (const auto* sr = std::get_if<DsrSourceRoute>(&p.routing())) {
+    if (const auto* sr = p.header_if<DsrSourceRoute>()) {
       net::RouteVec back(sr->route.rbegin(), sr->route.rend());
       reverse_cache_.add(std::move(back), now());
     }
@@ -354,7 +354,7 @@ void Smr::handle_data(Packet&& p, NodeId from) {
     ctx_.deliver(std::move(p), from);
     return;
   }
-  const auto* sr = std::get_if<DsrSourceRoute>(&p.routing());
+  const auto* sr = p.header_if<DsrSourceRoute>();
   if (sr == nullptr || p.common().ttl <= 1) {
     drop(p, net::DropReason::kStaleRoute);
     return;
@@ -366,7 +366,7 @@ void Smr::handle_data(Packet&& p, NodeId from) {
   }
   // Mutating tail (`sr` refers to the pre-clone body; do not use it).
   --p.mutable_common().ttl;
-  auto& srm = std::get<DsrSourceRoute>(p.mutable_routing());
+  auto& srm = p.mutable_header<DsrSourceRoute>();
   srm.index = static_cast<std::uint16_t>(my_idx);
   const NodeId next = srm.route[my_idx + 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
@@ -374,7 +374,7 @@ void Smr::handle_data(Packet&& p, NodeId from) {
 
 void Smr::on_link_failure(const Packet& packet, NodeId next_hop) {
   reverse_cache_.remove_link(self(), next_hop);
-  const auto* sr = std::get_if<DsrSourceRoute>(&packet.routing());
+  const auto* sr = packet.header_if<DsrSourceRoute>();
   if (sr != nullptr && !sr->route.empty()) {
     const NodeId src = sr->route.front();
     if (src == self()) {
@@ -434,7 +434,7 @@ void Smr::on_link_failure(const Packet& packet, NodeId next_hop) {
 
 void Smr::handle_rerr(Packet&& p, NodeId from) {
   (void)from;
-  const auto& h = std::get<DsrRerrHeader>(p.routing());
+  const auto& h = p.header<DsrRerrHeader>();
   if (h.notify == self()) {
     // Drop every striped route that contains the dead link.
     for (auto& [dst, fr] : flows_) {
@@ -457,7 +457,7 @@ void Smr::handle_rerr(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  auto& hm = std::get<DsrRerrHeader>(p.mutable_routing());
+  auto& hm = p.mutable_header<DsrRerrHeader>();
   hm.hops_done = static_cast<std::uint16_t>(my_idx);
   const NodeId next = hm.back_path[my_idx + 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);

@@ -518,63 +518,78 @@ std::unique_ptr<AdversaryModel> make_adversary(const AdversarySpec& spec,
                                                const AdversaryContext& ctx) {
   if (!spec.enabled()) return nullptr;
   const double range = spec.sniff_range > 0 ? spec.sniff_range : ctx.radio_range;
+  std::unique_ptr<AdversaryModel> model;
   switch (spec.kind) {
     case AdversaryKind::kColluding: {
       auto members = resolve_members(spec, ctx.node_count, ctx.excluded,
                                      ctx.rng.substream("members"));
       sim::require_config(!members.empty(),
                           "Adversary: no eligible coalition members");
-      return std::make_unique<ColludingEavesdroppers>(std::move(members), range,
-                                                      ctx.position_of);
+      model = std::make_unique<ColludingEavesdroppers>(
+          std::move(members), range, ctx.position_of);
+      break;
     }
     case AdversaryKind::kMobile:
-      return std::make_unique<MobileEavesdroppers>(
+      model = std::make_unique<MobileEavesdroppers>(
           spec.count, ctx.field, spec, range, ctx.rng.substream("mobile"));
+      break;
     case AdversaryKind::kBlackhole: {
       auto members = resolve_members(spec, ctx.node_count, ctx.excluded,
                                      ctx.rng.substream("members"));
       sim::require_config(!members.empty(),
                           "Adversary: no eligible blackhole members");
-      return std::make_unique<BlackholeAttacker>(std::move(members));
+      model = std::make_unique<BlackholeAttacker>(std::move(members));
+      break;
     }
     case AdversaryKind::kWormhole: {
       auto ends =
           resolve_wormhole_pair(spec, ctx.node_count, ctx.excluded,
                                 ctx.rng.substream("members"), ctx.position_of);
-      return std::make_unique<WormholeAttacker>(
+      model = std::make_unique<WormholeAttacker>(
           ends, range, spec.drop_prob, ctx.position_of, ctx.sched, ctx.channel,
           ctx.rng.substream("wormhole"));
+      break;
     }
     case AdversaryKind::kGrayhole: {
       auto members = resolve_members(spec, ctx.node_count, ctx.excluded,
                                      ctx.rng.substream("members"));
       sim::require_config(!members.empty(),
                           "Adversary: no eligible grayhole members");
-      return std::make_unique<GrayholeAttacker>(
+      model = std::make_unique<GrayholeAttacker>(
           std::move(members), spec.drop_prob, spec.active_window,
           spec.active_period, ctx.rng.substream("grayhole"));
+      break;
     }
     case AdversaryKind::kTrafficAnalysis: {
       auto members = resolve_members(spec, ctx.node_count, ctx.excluded,
                                      ctx.rng.substream("members"));
       sim::require_config(!members.empty(),
                           "Adversary: no eligible traffic-analysis members");
-      return std::make_unique<TrafficAnalysisAttacker>(
+      model = std::make_unique<TrafficAnalysisAttacker>(
           std::move(members), range, ctx.node_count, ctx.position_of);
+      break;
     }
     case AdversaryKind::kRreqFlood: {
       auto members = resolve_members(spec, ctx.node_count, ctx.excluded,
                                      ctx.rng.substream("members"));
       sim::require_config(!members.empty(),
                           "Adversary: no eligible flood members");
-      return std::make_unique<RreqFlooder>(
+      model = std::make_unique<RreqFlooder>(
           std::move(members), ctx.rreq_kind, ctx.node_count, spec.flood_rate,
           spec.flood_start, ctx.sched, ctx.inject_control,
           ctx.rng.substream("flood"));
+      break;
     }
     case AdversaryKind::kNone: break;
   }
-  return nullptr;
+  // Pool-backed models play the secrecy game: captured segments are
+  // materialized into wire bytes and parsed for key shares.
+  if (model != nullptr && ctx.secrecy != nullptr) {
+    if (auto* pooled = dynamic_cast<PooledAdversary*>(model.get())) {
+      pooled->attach_secrecy(ctx.secrecy);
+    }
+  }
+  return model;
 }
 
 }  // namespace mts::security

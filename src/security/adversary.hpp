@@ -13,6 +13,7 @@
 #include "mobility/mobility_model.hpp"
 #include "net/packet.hpp"
 #include "phy/frame.hpp"
+#include "security/context.hpp"
 #include "security/segment_pool.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
@@ -199,6 +200,11 @@ class AdversaryModel {
   }
   /// Insider node ids (empty for external adversaries).
   [[nodiscard]] virtual std::vector<net::NodeId> members() const { return {}; }
+  /// The coalition's key-recovery pool (secrecy game); nullptr for
+  /// models that do not capture payload bytes, or when the game is off.
+  [[nodiscard]] virtual const KeyRecoveryPool* key_recovery() const {
+    return nullptr;
+  }
 };
 
 /// Shared base for models whose metrics come from a capture pool — all
@@ -214,6 +220,15 @@ class PooledAdversary : public AdversaryModel {
   }
   [[nodiscard]] std::uint64_t fragments_missing(std::uint64_t pr) const override {
     return pool_.fragments_missing(pr);
+  }
+  [[nodiscard]] const KeyRecoveryPool* key_recovery() const override {
+    return pool_.recovery();
+  }
+
+  /// Arms the secrecy game on the shared pool (called by the factory
+  /// when the scenario has a plane).
+  void attach_secrecy(const SecrecyPlane* plane) {
+    pool_.attach_secrecy(plane);
   }
 
  protected:
@@ -591,23 +606,17 @@ class RreqFlooder final : public AdversaryModel {
 };
 
 /// Context the factory needs to instantiate a model for one scenario.
-struct AdversaryContext {
+/// The shared plumbing (radio range, position oracle, scheduler, RNG,
+/// secrecy plane) lives in `SecurityContext`; only the adversary-specific
+/// hooks are declared here.
+struct AdversaryContext : SecurityContext {
   std::uint32_t node_count = 0;
   mobility::Field field;
-  double radio_range = 250.0;
   /// Flow endpoints — never conscripted as insiders (they would trivially
   /// see their own traffic).
   std::unordered_set<net::NodeId> excluded;
-  /// Position lookup for insider members (bound to node mobility).
-  std::function<mobility::Vec2(net::NodeId, sim::Time)> position_of;
-  /// Dedicated RNG substream (member draw + mobile trajectories + every
-  /// active model's private draws).
-  sim::Rng rng{0};
 
   // --- active-model hooks (null for passive-only scenarios) ------------
-  /// Event source for self-scheduled activity (wormhole replays, flood
-  /// ticks).
-  sim::Scheduler* sched = nullptr;
   /// The medium's injection entry (wormhole far-end replay).
   phy::Channel* channel = nullptr;
   /// The scenario protocol's route-discovery kind (kRreqFlood forging).

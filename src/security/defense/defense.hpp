@@ -12,6 +12,7 @@
 #include "net/headers.hpp"
 #include "net/node_id.hpp"
 #include "routing/defense_hooks.hpp"
+#include "security/context.hpp"
 #include "sim/time.hpp"
 
 namespace mts::security {
@@ -295,11 +296,11 @@ class DefenseSuite final : public DefenseModel {
 };
 
 /// Context the factory needs to instantiate a model for one scenario.
-struct DefenseContext {
-  double radio_range = 250.0;
-  /// Position oracle for the leash (bound to node mobility).
-  std::function<mobility::Vec2(net::NodeId, sim::Time)> position_of;
-};
+/// All plumbing the defenses use (radio range for the leash, the
+/// position oracle) comes from the shared `SecurityContext`; the alias
+/// exists so `make_defense` keeps its signature and future
+/// defense-specific hooks have a home.
+struct DefenseContext : SecurityContext {};
 
 /// Builds the model described by `spec`, or nullptr for kNone.
 std::unique_ptr<DefenseModel> make_defense(const DefenseSpec& spec,

@@ -1,0 +1,174 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+
+namespace mts::security {
+
+/// Threshold-secret-sharing secrecy game (the "keyshare" plane).
+///
+/// The paper scores secrecy as the fraction of fragments an eavesdropper
+/// intercepts (Eq. 1) — an information-free metric once fragments are
+/// encrypted.  This plane upgrades the game in the spirit of shuffling /
+/// multipath secret sharing (arXiv:1307.4076): each TCP flow owns a
+/// session key, Shamir-split into one share per disjoint path; every
+/// data segment carries its path's share plus key-masked payload bytes,
+/// all materialized as real wire bytes via the codec.  A coalition now
+/// wins only if the paths it taps carry >= threshold distinct shares —
+/// capture *volume* stops mattering; path *coverage* is everything,
+/// which is precisely the property multipath transmission claims.
+///
+/// Determinism: the plane draws keys and polynomial coefficients from
+/// its own RNG substream at build time and is read-only afterwards, so
+/// enabling the game perturbs nothing (fingerprints are bit-identical;
+/// payload bytes are a pure function of flow/seq/path/key).
+
+// ---------------------------------------------------------------------------
+// GF(2^8) arithmetic (AES polynomial 0x11B), the field Shamir runs in.
+// ---------------------------------------------------------------------------
+namespace gf256 {
+[[nodiscard]] std::uint8_t mul(std::uint8_t a, std::uint8_t b);
+[[nodiscard]] std::uint8_t inv(std::uint8_t a);  ///< a != 0
+}  // namespace gf256
+
+/// One Shamir share: the evaluation point (never 0 — that is the
+/// secret) and one polynomial evaluation per key byte.
+struct Share {
+  std::uint8_t x = 0;
+  std::vector<std::uint8_t> bytes;
+};
+
+/// Splits `secret` into `n` shares with threshold `t` (1 <= t <= n <=
+/// 255): per secret byte, a random degree-(t-1) polynomial with the
+/// byte as constant term, evaluated at x = 1..n.
+[[nodiscard]] std::vector<Share> shamir_split(
+    const std::vector<std::uint8_t>& secret, std::uint32_t n, std::uint32_t t,
+    sim::Rng& rng);
+
+/// Lagrange interpolation at x = 0 over the first `t` shares; nullopt
+/// when fewer than `t` shares (or inconsistent/duplicate ones) are
+/// supplied.  With fewer than `t` honest shares the secret is
+/// information-theoretically undetermined — there is nothing to "partly"
+/// recover.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> shamir_reconstruct(
+    const std::vector<Share>& shares, std::uint32_t t);
+
+/// Scenario-level game description; lives in `ScenarioConfig`.
+/// Disabled by default: every pre-existing fingerprint runs with no
+/// plane at all.
+struct SecrecySpec {
+  bool enabled = false;
+  /// Session-key length (also the per-share length on the wire).
+  std::uint8_t key_bytes = 16;
+  /// Shares needed to reconstruct a flow's key; 0 = all of them
+  /// (t = n, the strictest game: miss one path, learn nothing).
+  std::uint32_t threshold = 0;
+};
+
+/// Wire layout of the share trailer at the head of a data segment's
+/// payload region: magic, share x, share length, share bytes; the rest
+/// of the payload is the key-masked fragment.
+inline constexpr std::uint8_t kShareMagic0 = 0x4B;  // 'K'
+inline constexpr std::uint8_t kShareMagic1 = 0x53;  // 'S'
+inline constexpr std::uint32_t kShareTrailerFixed = 4;
+
+class KeyRecoveryPool;
+
+/// Ground truth of the game: per-flow session keys and their shares,
+/// plus the payload materializer the capture side taps.
+class SecrecyPlane {
+ public:
+  SecrecyPlane(const SecrecySpec& spec, sim::Rng rng);
+
+  /// Registers a flow with `n_shares` shares (one per disjoint path the
+  /// protocol can spread it over; 1 for unipath protocols).
+  void register_flow(std::uint16_t flow_id, std::uint32_t n_shares);
+
+  /// The payload bytes segment (flow, seq) carries on path
+  /// `share_index`: share trailer + key-masked fragment, `payload_bytes`
+  /// long.  Pure function of its arguments and the flow key.
+  [[nodiscard]] std::shared_ptr<const std::vector<std::uint8_t>>
+  materialize_payload(std::uint16_t flow_id, std::uint32_t seq,
+                      std::uint32_t share_index,
+                      std::uint32_t payload_bytes) const;
+
+  /// Appends the full wire image of a tapped data segment to `out`:
+  /// headers via the codec + the materialized payload (cached on the
+  /// packet body, so all taps of one frame agree).  False when the
+  /// packet is not a data segment of a registered flow.
+  bool wire_image(const net::Packet& p, std::vector<std::uint8_t>& out) const;
+
+  struct Score {
+    std::uint64_t flows = 0;
+    std::uint64_t keys_recovered = 0;
+    std::uint64_t shares_captured = 0;  ///< distinct (flow, x) pairs
+    double recovery_rate = 0.0;         ///< keys_recovered / flows
+  };
+  /// Scores a coalition's capture pool against the ground truth: a key
+  /// counts as recovered only if the reconstruction from captured shares
+  /// equals the real key.
+  [[nodiscard]] Score score(const KeyRecoveryPool& pool) const;
+
+  [[nodiscard]] const SecrecySpec& spec() const { return spec_; }
+  [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
+  /// Shares/threshold of the first registered flow (the harness
+  /// registers every flow with the same split, so these describe the
+  /// scenario; 0 when no flow is registered).
+  [[nodiscard]] std::uint32_t shares_per_flow() const;
+  [[nodiscard]] std::uint32_t threshold_per_flow() const;
+  /// Ground-truth key (tests).
+  [[nodiscard]] const std::vector<std::uint8_t>* true_key(
+      std::uint16_t flow_id) const;
+
+ private:
+  struct FlowSecret {
+    std::uint16_t flow_id = 0;
+    std::uint32_t n = 1;
+    std::uint32_t t = 1;
+    std::vector<std::uint8_t> key;
+    std::vector<Share> shares;
+  };
+
+  [[nodiscard]] const FlowSecret* find(std::uint16_t flow_id) const;
+
+  SecrecySpec spec_;
+  sim::Rng rng_;
+  std::vector<FlowSecret> flows_;  ///< registration order (deterministic)
+  std::unordered_map<std::uint16_t, std::size_t> by_id_;
+};
+
+/// The coalition's side of the game: parses captured wire images with
+/// the codec (it trusts bytes, not in-memory structs) and hoards any
+/// share trailers it finds.  One pool per coalition — shares pool
+/// exactly like segments do.
+class KeyRecoveryPool {
+ public:
+  /// Feeds one captured wire image through the codec.
+  void capture(const std::uint8_t* data, std::size_t len);
+
+  [[nodiscard]] std::uint64_t images_parsed() const { return parsed_; }
+  [[nodiscard]] std::uint64_t parse_failures() const { return failed_; }
+  /// Distinct (flow, x) share pairs captured so far.
+  [[nodiscard]] std::uint64_t shares_captured() const { return shares_; }
+  /// Captured shares of one flow, keyed by evaluation point (ordered,
+  /// so reconstruction picks a deterministic subset).
+  [[nodiscard]] const std::map<std::uint8_t, std::vector<std::uint8_t>>*
+  shares_for(std::uint16_t flow_id) const;
+
+ private:
+  std::unordered_map<std::uint16_t,
+                     std::map<std::uint8_t, std::vector<std::uint8_t>>>
+      flows_;
+  std::uint64_t parsed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t shares_ = 0;
+};
+
+}  // namespace mts::security

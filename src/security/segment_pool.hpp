@@ -2,8 +2,10 @@
 
 #include <cstdint>
 #include <unordered_set>
+#include <vector>
 
 #include "net/packet.hpp"
+#include "security/keyshare.hpp"
 
 namespace mts::security {
 
@@ -13,6 +15,12 @@ namespace mts::security {
 /// double counted, mirroring how Pr counts distinct deliveries.  Keeping
 /// one implementation keeps the coalition's union-Pe comparable to the
 /// paper's single-eavesdropper Pe.
+///
+/// When the secrecy game is on (`attach_secrecy`), every tapped data
+/// segment — retransmissions included, since a resend may ride a
+/// different path and thus carry a different key share — is additionally
+/// materialized into real wire bytes and fed to the coalition's
+/// `KeyRecoveryPool`, which parses them back with the codec.
 class SegmentPool {
  public:
   /// Returns true if the segment was new to the pool (ignores anything
@@ -21,10 +29,24 @@ class SegmentPool {
     if (p.common().kind != net::PacketKind::kTcpData || !p.has_tcp()) {
       return false;
     }
+    if (secrecy_ != nullptr) {
+      scratch_.clear();
+      if (secrecy_->wire_image(p, scratch_)) {
+        recovery_.capture(scratch_.data(), scratch_.size());
+      }
+    }
     return segments_
         .insert((std::uint64_t{p.tcp().flow_id} << 32) |
                 std::uint64_t{p.tcp().seq})
         .second;
+  }
+
+  /// Arms the key-recovery game; `plane` must outlive the pool.
+  void attach_secrecy(const SecrecyPlane* plane) { secrecy_ = plane; }
+
+  /// The coalition's captured-share pool; nullptr when the game is off.
+  [[nodiscard]] const KeyRecoveryPool* recovery() const {
+    return secrecy_ == nullptr ? nullptr : &recovery_;
   }
 
   [[nodiscard]] std::uint64_t captured_segments() const {
@@ -46,6 +68,10 @@ class SegmentPool {
 
  private:
   std::unordered_set<std::uint64_t> segments_;
+  const SecrecyPlane* secrecy_ = nullptr;
+  KeyRecoveryPool recovery_;
+  /// Encode scratch, reused across captures (capacity sticks).
+  std::vector<std::uint8_t> scratch_;
 };
 
 }  // namespace mts::security

@@ -240,6 +240,106 @@ TEST_F(CampaignCacheTest, DefenseMetricsRoundTripInV7Columns) {
   EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
 }
 
+TEST_F(CampaignCacheTest, SecrecyMetricsRoundTripInV8Columns) {
+  CampaignConfig cfg = tiny();
+  cfg.base.field = {400.0, 400.0};
+  cfg.base.sim_time = sim::Time::sec(5);
+  cfg.protocols = {Protocol::kMts};
+  cfg.base.secrecy.enabled = true;
+  security::AdversarySpec coalition;
+  coalition.kind = security::AdversaryKind::kColluding;
+  coalition.count = 4;
+  cfg.adversaries = {coalition};
+
+  const CampaignResult fresh = CampaignCache::run(cfg);
+  const auto cached = CampaignCache::load(cfg);
+  ASSERT_TRUE(cached.has_value());
+  const auto& want = fresh.runs(Protocol::kMts, 5, 0);
+  const auto& got = cached->runs(Protocol::kMts, 5, 0);
+  ASSERT_EQ(want.size(), got.size());
+  ASSERT_FALSE(want.empty());
+  std::uint64_t shares = 0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].secrecy_shares, 5u);
+    EXPECT_EQ(want[i].secrecy_threshold, 5u);
+    EXPECT_EQ(got[i].secrecy_shares, want[i].secrecy_shares);
+    EXPECT_EQ(got[i].secrecy_threshold, want[i].secrecy_threshold);
+    EXPECT_EQ(got[i].shares_captured, want[i].shares_captured);
+    EXPECT_EQ(got[i].keys_recovered, want[i].keys_recovered);
+    EXPECT_DOUBLE_EQ(got[i].key_recovery_rate, want[i].key_recovery_rate);
+    shares += want[i].shares_captured;
+  }
+  EXPECT_GT(shares, 0u) << "coalition captured no share; round-trip vacuous";
+
+  // The game knobs are result-affecting, so they must key the cache.
+  CampaignConfig other = cfg;
+  other.base.secrecy.enabled = false;
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+  other = cfg;
+  other.base.secrecy.threshold = 2;
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+  other = cfg;
+  other.base.secrecy.key_bytes = 32;
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+}
+
+TEST_F(CampaignCacheTest, V7RowsStillParseWithSecrecyMetricsZeroed) {
+  // Forward compatibility: a cache file written before the v8 columns
+  // (46 cells, v7 header) must load, with the five secrecy-game metrics
+  // defaulting to zero.  This is the exact v7 header and a row as the
+  // previous binary wrote them.
+  CampaignConfig cfg = tiny();
+  cfg.speeds = {5};
+  cfg.protocols = {Protocol::kAodv};
+  cfg.repetitions = 1;
+
+  const char* v7_header =
+      "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
+      "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
+      "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
+      "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
+      "adv_ri,adv_missing,adv_absorbed,adv_tunneled,adv_gray_absorbed,"
+      "adv_endpoint_acc,adv_flood_injected,def_index,def_kind,def_detect_s,"
+      "def_quarantined,def_recovery_s,def_fpr,def_suppressed,def_probes,"
+      "adv_members";
+  const char* v7_row =
+      "1,5,1,7,0.25,120,30,0.125,4,80,0.05,0.033,26.5,217.1,0.93,80,86,3,1,"
+      "80,78,12,45,0,0,123456,0,4,2,10,0.1,70,5,17,3,0.5,40,0,1,2.5,3,4.5,"
+      "0.25,6,7,2.5.";
+
+  std::filesystem::create_directories(dir_);
+  const auto path = dir_ / (CampaignCache::key_of(cfg) + ".csv");
+  {
+    std::ofstream out(path);
+    out << v7_header << '\n' << v7_row << '\n';
+  }
+  const auto loaded = CampaignCache::load(cfg);
+  ASSERT_TRUE(loaded.has_value()) << "v7 cache file rejected";
+  const auto& runs = loaded->runs(Protocol::kAodv, 5);
+  ASSERT_EQ(runs.size(), 1u);
+  const RunMetrics& m = runs[0];
+  EXPECT_EQ(m.seed, 1u);
+  EXPECT_EQ(m.segments_delivered, 80u);
+  // The v7 defense columns parse...
+  EXPECT_EQ(m.defense_index, 0u);
+  EXPECT_DOUBLE_EQ(m.detection_time_s, 2.5);
+  EXPECT_EQ(m.paths_quarantined, 3u);
+  EXPECT_EQ(m.probes_sent, 7u);
+  EXPECT_EQ(m.adversary_members, (std::vector<net::NodeId>{2, 5}));
+  // ...and the v8-only secrecy metrics default.
+  EXPECT_EQ(m.secrecy_shares, 0u);
+  EXPECT_EQ(m.secrecy_threshold, 0u);
+  EXPECT_EQ(m.shares_captured, 0u);
+  EXPECT_EQ(m.keys_recovered, 0u);
+  EXPECT_DOUBLE_EQ(m.key_recovery_rate, 0.0);
+
+  // Storing refreshes the file to the v8 column set, which round-trips.
+  CampaignCache::store(cfg, *loaded);
+  const auto reloaded = CampaignCache::load(cfg);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->runs(Protocol::kAodv, 5)[0].probes_sent, 7u);
+}
+
 TEST_F(CampaignCacheTest, V6RowsStillParseWithDefenseMetricsZeroed) {
   // Forward compatibility: a cache file written before the v7 columns
   // (38 cells, v6 header) must load, with the eight defense metrics
