@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "harness/scenario.hpp"
+#include "net/packet.hpp"
 
 namespace {
 
@@ -80,6 +81,42 @@ int main() {
                 static_cast<unsigned long long>(m.control_packets),
                 static_cast<unsigned long long>(m.pe),
                 static_cast<unsigned long long>(m.pr));
+  }
+
+  // Zero-clone guard: a pure mutating-forward chain — per-hop TTL and
+  // source-route cursor rewrites while every hop pins a sibling handle
+  // (channel pool / retry buffer / trace) — must never clone the shared
+  // body; those fields live in the handle's hop cell.  CI runs this
+  // binary with a short sim time and fails on the exit code if the
+  // guarantee regresses.
+  {
+    net::Packet p;
+    auto& c = p.mutable_common();
+    c.kind = net::PacketKind::kTcpData;
+    c.src = 0;
+    c.dst = 9;
+    c.payload_bytes = 512;
+    p.mutable_tcp() = net::TcpHeader{};
+    net::DsrSourceRoute sr;
+    sr.route = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    p.mutable_routing() = sr;
+
+    const auto before = net::packet_pool_stats();
+    std::vector<net::Packet> held;
+    for (int hop = 0; hop < 9; ++hop) {
+      held.push_back(p);
+      --p.mutable_hop().ttl;
+      ++p.mutable_hop().cursor;
+    }
+    const auto after = net::packet_pool_stats();
+    const auto clones = after.cow_clones - before.cow_clones;
+    std::printf(
+        "forward-chain micro: cow_clones=%llu (must be 0), "
+        "cell_acquired=+%llu\n",
+        static_cast<unsigned long long>(clones),
+        static_cast<unsigned long long>(after.cell_acquired -
+                                        before.cell_acquired));
+    if (clones != 0) return 1;
   }
   return 0;
 }

@@ -110,8 +110,8 @@ void BM_NeighborIndexQuery(benchmark::State& state) {
       [&pos](std::uint32_t id, sim::Time) { return pos[id]; });
   std::uint32_t q = 0;
   for (auto _ : state) {
-    auto c = index.candidates(pos[q % n], 250.0, sim::Time::zero());
-    benchmark::DoNotOptimize(c);
+    const auto& c = index.candidates(pos[q % n], 250.0, sim::Time::zero());
+    benchmark::DoNotOptimize(c.data());
     ++q;
   }
 }

@@ -185,9 +185,9 @@ void Mts::send_rreq(NodeId dst) {
   common.kind = PacketKind::kMtsRreq;
   common.src = self();
   common.dst = net::kBroadcastId;
-  common.ttl = cfg_.net_diameter_ttl;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.net_diameter_ttl;
   p.mutable_routing() = h;
   rreq_seen_.check_and_insert(self(), h.bcast_id);
   send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/true);
@@ -245,16 +245,16 @@ void Mts::handle_rreq(Packet&& p, NodeId from) {
   if (std::find(h.nodes.begin(), h.nodes.end(), self()) != h.nodes.end()) {
     return;  // route record already contains us
   }
-  if (p.common().ttl <= 1) {
+  if (p.hop().ttl <= 1) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  // Mutating tail: TTL first, then one unique-body grab for the header
-  // (`h` refers to the pre-clone body from here on; do not use it).
-  --p.mutable_common().ttl;
-  auto& hm = p.mutable_header<MtsRreqHeader>();
-  ++hm.hop_count;
-  hm.nodes.push_back(self());
+  // Mutating tail: TTL + hop count are cell writes; the record append is
+  // the one body mutation of the flood (`h` refers to the pre-clone body
+  // from here on; do not use it).
+  --p.mutable_hop().ttl;
+  ++p.mutable_hop().hops;
+  p.mutable_header<MtsRreqHeader>().nodes.push_back(self());
   (void)from;
   // "Even in the case where an intermediate node has a fresh route to
   // the destination node, it has to relay the received RREQ" (§III-B).
@@ -317,23 +317,23 @@ void Mts::send_rrep(NodeId src, const PathNodes& nodes) {
   h.dst = self();
   h.hop_count = static_cast<std::uint8_t>(nodes.size() + 1);
   h.nodes = nodes;
-  h.hops_done = 1;
   const NodeId next = walk_pos(nodes, src, self(), 1);
   Packet p;
   auto& common = p.mutable_common();
   common.kind = PacketKind::kMtsRrep;
   common.src = self();
   common.dst = src;
-  common.ttl = cfg_.net_diameter_ttl;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.net_diameter_ttl;
+  p.mutable_hop().cursor = 1;  // walk position of the first receiver
   p.mutable_routing() = std::move(h);
   send_to_mac(std::move(p), next, /*originated_here=*/true);
 }
 
 void Mts::handle_rrep(Packet&& p, NodeId from) {
   const auto& h = p.header<MtsRrepHeader>();
-  if (walk_pos(h.nodes, h.orig, h.dst, h.hops_done) != self()) {
+  if (walk_pos(h.nodes, h.orig, h.dst, p.hop().cursor) != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
@@ -344,9 +344,10 @@ void Mts::handle_rrep(Packet&& p, NodeId from) {
                           /*switch_allowed=*/false);
     return;
   }
-  auto& hm = p.mutable_header<MtsRrepHeader>();
-  ++hm.hops_done;
-  const NodeId next = walk_pos(hm.nodes, hm.orig, hm.dst, hm.hops_done);
+  // Pure forwarding hop: only the cell's cursor moves; the body (route
+  // list included) stays shared down the whole walk.
+  const std::uint16_t pos = ++p.mutable_hop().cursor;
+  const NodeId next = walk_pos(h.nodes, h.orig, h.dst, pos);
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
@@ -473,16 +474,16 @@ void Mts::send_check(NodeId src, DestState& ds, std::uint16_t path_id) {
   h.source = src;
   h.hop_count = static_cast<std::uint8_t>(ds.paths[path_id].size() + 1);
   h.nodes = ds.paths[path_id];
-  h.hops_done = 1;
   const NodeId next = walk_pos(h.nodes, src, self(), 1);
   Packet p;
   auto& common = p.mutable_common();
   common.kind = PacketKind::kMtsCheck;
   common.src = self();
   common.dst = src;
-  common.ttl = cfg_.net_diameter_ttl;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.net_diameter_ttl;
+  p.mutable_hop().cursor = 1;  // walk position of the first receiver
   p.mutable_routing() = std::move(h);
   ++checks_sent_;
   send_to_mac(std::move(p), next, /*originated_here=*/true);
@@ -490,7 +491,7 @@ void Mts::send_check(NodeId src, DestState& ds, std::uint16_t path_id) {
 
 void Mts::handle_check(Packet&& p, NodeId from) {
   const auto& h = p.header<MtsCheckHeader>();
-  if (walk_pos(h.nodes, h.source, h.checker, h.hops_done) != self()) {
+  if (walk_pos(h.nodes, h.source, h.checker, p.hop().cursor) != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
@@ -504,15 +505,17 @@ void Mts::handle_check(Packet&& p, NodeId from) {
                           /*switch_allowed=*/true);
     return;
   }
-  auto& hm = p.mutable_header<MtsCheckHeader>();
-  ++hm.hops_done;
-  const NodeId next = walk_pos(hm.nodes, hm.source, hm.checker, hm.hops_done);
+  // Pure forwarding hop: only the cell's cursor moves; the body stays
+  // shared down the whole walk.
+  const std::uint16_t pos = ++p.mutable_hop().cursor;
+  const NodeId next = walk_pos(h.nodes, h.source, h.checker, pos);
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
-void Mts::send_check_error(const MtsCheckHeader& failed, NodeId broken_to) {
+void Mts::send_check_error(const MtsCheckHeader& failed,
+                           std::uint16_t hops_done, NodeId broken_to) {
   // Return route: retrace the walk back toward the checker from our
-  // position (hops_done names us).
+  // position (the failed check's hop cursor, which names us).
   MtsCheckErrorHeader h;
   h.path_id = failed.path_id;
   h.checker = failed.checker;
@@ -520,10 +523,9 @@ void Mts::send_check_error(const MtsCheckHeader& failed, NodeId broken_to) {
   h.reporter = self();
   h.broken_from = self();
   h.broken_to = broken_to;
-  for (std::size_t k = failed.hops_done; k-- > 0;) {
+  for (std::size_t k = hops_done; k-- > 0;) {
     h.nodes.push_back(walk_pos(failed.nodes, failed.source, failed.checker, k));
   }
-  h.hops_done = 0;
   if (h.nodes.empty()) return;
   const NodeId next = h.nodes[0];
   Packet p;
@@ -531,9 +533,10 @@ void Mts::send_check_error(const MtsCheckHeader& failed, NodeId broken_to) {
   common.kind = PacketKind::kMtsCheckError;
   common.src = self();
   common.dst = failed.checker;
-  common.ttl = cfg_.net_diameter_ttl;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.net_diameter_ttl;
+  p.mutable_hop().cursor = 0;  // return-route index of the reporter
   p.mutable_routing() = std::move(h);
   send_to_mac(std::move(p), next, /*originated_here=*/true);
 }
@@ -541,7 +544,8 @@ void Mts::send_check_error(const MtsCheckHeader& failed, NodeId broken_to) {
 void Mts::handle_check_error(Packet&& p, NodeId from) {
   (void)from;
   const auto& h = p.header<MtsCheckErrorHeader>();
-  if (h.hops_done >= h.nodes.size() || h.nodes[h.hops_done] != self()) {
+  const std::size_t pos = p.hop().cursor;
+  if (pos >= h.nodes.size() || h.nodes[pos] != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
@@ -553,13 +557,13 @@ void Mts::handle_check_error(Packet&& p, NodeId from) {
     }
     return;
   }
-  auto& hm = p.mutable_header<MtsCheckErrorHeader>();
-  ++hm.hops_done;
-  if (hm.hops_done >= hm.nodes.size()) {
+  // Pure forwarding hop: only the cell's cursor moves.
+  const std::uint16_t ahead = ++p.mutable_hop().cursor;
+  if (ahead >= h.nodes.size()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  const NodeId next = hm.nodes[hm.hops_done];
+  const NodeId next = h.nodes[ahead];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
@@ -594,11 +598,13 @@ void Mts::handle_data(Packet&& p, NodeId from) {
     ctx_.deliver(std::move(p), from);
     return;
   }
-  if (p.common().ttl <= 1) {
+  if (p.hop().ttl <= 1) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  --p.mutable_common().ttl;
+  // Pure forwarding hop: the TTL decrement is a cell write; the body
+  // (and its cached wire image) stays shared down the whole chain.
+  --p.mutable_hop().ttl;
   // Forward on any installed state, fresh or not: liveness is the MAC's
   // call (§III-E), and a link that still ACKs is still a route.  The
   // freshness window only gates *path choice* at the source.
@@ -668,9 +674,9 @@ void Mts::send_probe(NodeId dst, std::uint16_t path_id, const SourcePath& sp) {
   common.kind = PacketKind::kTcpData;  // data-plane camouflage
   common.src = self();
   common.dst = dst;
-  common.ttl = cfg_.net_diameter_ttl;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.net_diameter_ttl;
   p.mutable_routing() = h;
   const HopEntry* hop = any_hop(dst, path_id);
   const NodeId next = hop != nullptr ? hop->next_hop : first_hop(sp.nodes, dst);
@@ -703,9 +709,9 @@ void Mts::handle_probe(const MtsProbeHeader& h, NodeId peer) {
   common.kind = PacketKind::kTcpData;
   common.src = self();
   common.dst = peer;
-  common.ttl = cfg_.net_diameter_ttl;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.net_diameter_ttl;
   p.mutable_routing() = e;
   send_to_mac(std::move(p), back->next_hop, /*originated_here=*/true);
 }
@@ -746,9 +752,9 @@ void Mts::send_rerr_to_source(NodeId src, NodeId dst, std::uint16_t path_id,
   common.kind = PacketKind::kMtsRerr;
   common.src = self();
   common.dst = src;
-  common.ttl = cfg_.net_diameter_ttl;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.net_diameter_ttl;
   p.mutable_routing() = h;
   send_to_mac(std::move(p), back->next_hop, /*originated_here=*/true);
 }
@@ -765,11 +771,11 @@ void Mts::handle_rerr(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  if (p.common().ttl <= 1) {
+  if (p.hop().ttl <= 1) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  --p.mutable_common().ttl;
+  --p.mutable_hop().ttl;
   send_to_mac(std::move(p), back->next_hop, /*originated_here=*/false);
 }
 
@@ -799,10 +805,10 @@ void Mts::on_link_failure(const Packet& packet, NodeId next_hop) {
   auto handle_one = [this, next_hop](const Packet& pkt) {
     switch (pkt.common().kind) {
       case PacketKind::kMtsCheck: {
-        const auto& h = pkt.header<MtsCheckHeader>();
-        // The node named by hops_done never got it; we hold the cursor.
-        MtsCheckHeader at_me = h;
-        send_check_error(at_me, next_hop);
+        // The node named by the hop cursor never got it; we hold the
+        // cursor in the failed packet's own cell.
+        send_check_error(pkt.header<MtsCheckHeader>(), pkt.hop().cursor,
+                         next_hop);
         return;
       }
       case PacketKind::kTcpData:

@@ -145,7 +145,7 @@ class Mts final : public routing::RoutingProtocol {
   void quarantine_path(net::NodeId dst, std::uint16_t path_id);
   void send_check(net::NodeId src, DestState& ds, std::uint16_t path_id);
   void send_check_error(const net::MtsCheckHeader& failed_check,
-                        net::NodeId broken_to);
+                        std::uint16_t hops_done, net::NodeId broken_to);
   void send_rerr_to_source(net::NodeId src, net::NodeId dst,
                            std::uint16_t path_id, net::NodeId broken_from,
                            net::NodeId broken_to);

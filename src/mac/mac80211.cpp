@@ -300,11 +300,8 @@ void Mac80211::handle_data(const Frame& f) {
   if (!f.is_broadcast()) {
     // ACK first (even duplicates get re-ACKed — the sender missed ours).
     response_due(f);
-    auto [it, inserted] = rx_seq_cache_.try_emplace(f.transmitter, f.seq);
-    if (!inserted) {
-      const bool dup = f.retry && it->second == f.seq;
-      it->second = f.seq;
-      if (dup) return;
+    if (rx_seq_cache_.is_duplicate_and_update(f.transmitter, f.seq, f.retry)) {
+      return;
     }
   }
   if (cb_.on_sniff && f.has_payload()) cb_.on_sniff(f);

@@ -3,9 +3,9 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "mac/dup_cache.hpp"
 #include "net/counters.hpp"
 #include "net/packet.hpp"
 #include "net/queue.hpp"
@@ -174,8 +174,9 @@ class Mac80211 {
   sim::Timer response_timer_;  ///< ACK / CTS timeout
   sim::Timer tx_defer_timer_;  ///< SIFS gap between CTS arrival and DATA
 
-  /// Receive-side duplicate filter: last MAC seq per transmitter.
-  std::unordered_map<net::NodeId, std::uint16_t> rx_seq_cache_;
+  /// Receive-side duplicate filter: last MAC seq per transmitter, in a
+  /// fixed open-addressed table (no heap on the per-frame path).
+  RxDupCache rx_seq_cache_;
 
   std::uint64_t retries_total_ = 0;
   std::uint64_t failures_ = 0;

@@ -63,10 +63,29 @@ struct CommonHeader {
   PacketKind kind = PacketKind::kTcpData;
   NodeId src = kNoNode;          ///< originator (end-to-end)
   NodeId dst = kNoNode;          ///< final destination (end-to-end)
-  std::uint8_t ttl = 32;         ///< decremented per network-layer hop
   std::uint32_t uid = 0;         ///< unique per simulation, for tracing
   std::uint32_t payload_bytes = 0;  ///< application payload (0 for control)
   sim::Time originated;          ///< end-to-end delay measurement
+};
+
+/// The per-hop mutable cell of a packet: every field a forwarding hop
+/// rewrites lives here, *outside* the shared CoW body, carried by value
+/// in the 16-byte `Packet` handle (it fits the handle's padding).  A
+/// TTL decrement or cursor advance therefore mutates only the
+/// forwarder's own handle — sibling handles (retry buffers, in-flight
+/// receptions, trace records) keep their own copies, exactly the
+/// isolation CoW used to buy with a full body clone.
+///
+/// Field roles per packet kind (at most one count and one cursor each):
+///  - `ttl`: all kinds (decremented per network-layer hop)
+///  - `hops`: AODV RREQ/RREP hop_count, MTS RREQ hop_count
+///  - `cursor`: DSR RREP/RERR hops_done, DSR source-route index,
+///    MTS RREP/check/check-error hops_done
+struct HopState {
+  std::uint8_t ttl = 32;     ///< decremented per network-layer hop
+  std::uint8_t hops = 0;     ///< hops accumulated since the originator
+  std::uint16_t cursor = 0;  ///< position along a carried route list
+  friend bool operator==(const HopState&, const HopState&) = default;
 };
 
 /// On-wire size of the common header, matching IPv4's 20 bytes so that
@@ -91,6 +110,7 @@ inline constexpr std::uint32_t kTcpHeaderBytes = 20;
 // AODV (RFC 3561 subset, ns-2 flavoured).
 // ---------------------------------------------------------------------------
 
+/// Per-hop hop_count travels in `HopState::hops`, not in the header.
 struct AodvRreqHeader {
   std::uint32_t rreq_id = 0;    ///< (orig, rreq_id) dedups the flood
   NodeId orig = kNoNode;
@@ -98,14 +118,13 @@ struct AodvRreqHeader {
   std::uint32_t orig_seq = 0;
   std::uint32_t dst_seq = 0;    ///< last known; 0 when unknown
   bool dst_seq_known = false;
-  std::uint8_t hop_count = 0;
 };
 
+/// Per-hop hop_count travels in `HopState::hops`, not in the header.
 struct AodvRrepHeader {
   NodeId orig = kNoNode;        ///< RREQ originator (RREP travels to it)
   NodeId dst = kNoNode;         ///< route destination
   std::uint32_t dst_seq = 0;
-  std::uint8_t hop_count = 0;
   sim::Time lifetime;           ///< route validity advertised by the dest
 };
 
@@ -131,25 +150,28 @@ struct DsrRreqHeader {
   RouteVec record;     ///< nodes traversed so far (excl. orig)
 };
 
+/// The target->orig forwarding cursor (hops_done) travels in
+/// `HopState::cursor`.
 struct DsrRrepHeader {
   NodeId orig = kNoNode;        ///< requester
   NodeId target = kNoNode;
   RouteVec route;       ///< full path orig..target inclusive
-  std::uint16_t hops_done = 0;  ///< cursor while travelling target -> orig
 };
 
+/// The forwarding cursor (hops_done) travels in `HopState::cursor`.
 struct DsrRerrHeader {
   NodeId notify = kNoNode;      ///< source being informed
   NodeId from = kNoNode;        ///< broken link tail
   NodeId to = kNoNode;          ///< broken link head
   RouteVec back_path;  ///< route from reporter to `notify`
-  std::uint16_t hops_done = 0;
 };
 
-/// Source-route option attached to DSR *data* packets.
+/// Source-route option attached to DSR *data* packets.  The position of
+/// the current hop in `route` (the per-hop index) travels in
+/// `HopState::cursor`; `salvaged` stays here because salvaging replaces
+/// the whole route (a true divergent edit that CoWs the body anyway).
 struct DsrSourceRoute {
   RouteVec route;       ///< full path src..dst inclusive
-  std::uint16_t index = 0;      ///< position of the current hop in route
   bool salvaged = false;        ///< set when an intermediate re-routed it
 };
 
@@ -158,41 +180,45 @@ struct DsrSourceRoute {
 // ---------------------------------------------------------------------------
 
 /// §III-B: packet type, source address, destination address, broadcast
-/// ID, hop count from the source, and list of intermediate nodes.
+/// ID, hop count from the source, and list of intermediate nodes.  The
+/// per-hop hop count travels in `HopState::hops`.
 struct MtsRreqHeader {
   std::uint32_t bcast_id = 0;
   NodeId orig = kNoNode;
   NodeId dst = kNoNode;
-  std::uint8_t hop_count = 0;
   RouteVec nodes;       ///< intermediate nodes traversed (excl. endpoints)
 };
 
 /// §III-B: packet type, source address, destination address, route reply
-/// ID, hop count, and list of intermediate nodes.
+/// ID, hop count, and list of intermediate nodes.  `hop_count` here is
+/// the *total* path length, stamped once at the destination and never
+/// rewritten per hop; the forwarding cursor (hops_done) travels in
+/// `HopState::cursor`.
 struct MtsRrepHeader {
   std::uint32_t rrep_id = 0;
   NodeId orig = kNoNode;        ///< RREQ originator (the TCP source)
   NodeId dst = kNoNode;         ///< destination that generated this RREP
-  std::uint8_t hop_count = 0;
+  std::uint8_t hop_count = 0;   ///< total path length (origin-stamped)
   RouteVec nodes;       ///< intermediate nodes of the replied path
-  std::uint16_t hops_done = 0;  ///< forwarding cursor along the reverse path
 };
 
 /// §III-D: packet type, checking packet ID, hop count, and list of
 /// intermediate nodes.  Travels destination -> source along one stored
-/// disjoint path, refreshing per-hop forward state as it goes.
+/// disjoint path, refreshing per-hop forward state as it goes.  As with
+/// the RREP, `hop_count` is origin-stamped; the forwarding cursor
+/// (hops_done) travels in `HopState::cursor`.
 struct MtsCheckHeader {
   std::uint32_t check_id = 0;   ///< round number; bumps once per period
   std::uint16_t path_id = 0;    ///< which stored disjoint path
   NodeId checker = kNoNode;     ///< the destination (sender of checks)
   NodeId source = kNoNode;      ///< the TCP source (receiver of checks)
-  std::uint8_t hop_count = 0;
+  std::uint8_t hop_count = 0;   ///< total path length (origin-stamped)
   RouteVec nodes;       ///< intermediate nodes, source-side first
-  std::uint16_t hops_done = 0;  ///< forwarding cursor
 };
 
 /// §III-D: "a checking error packet is sent to the destination"; the
-/// destination deletes the failed path.
+/// destination deletes the failed path.  The cursor while travelling
+/// back to the checker (hops_done) travels in `HopState::cursor`.
 struct MtsCheckErrorHeader {
   std::uint16_t path_id = 0;
   NodeId checker = kNoNode;     ///< destination to inform
@@ -201,7 +227,6 @@ struct MtsCheckErrorHeader {
   NodeId broken_from = kNoNode;
   NodeId broken_to = kNoNode;
   RouteVec nodes;       ///< the failed path (source-side first)
-  std::uint16_t hops_done = 0;  ///< cursor while travelling back to checker
 };
 
 /// §III-E: RERR relayed upstream until it reaches the source, which then

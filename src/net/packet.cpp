@@ -79,6 +79,7 @@ class PacketPool {
   }
 
   [[nodiscard]] const PacketPoolStats& stats() const { return stats_; }
+  PacketPoolStats& mutable_stats() { return stats_; }
 
  private:
   static constexpr std::size_t kChunkSize = 64;
@@ -109,6 +110,16 @@ class PacketPool {
 
 PacketPoolStats packet_pool_stats() { return PacketPool::local().stats(); }
 
+namespace detail {
+
+void note_cell_acquired() { ++PacketPool::local().mutable_stats().cell_acquired; }
+
+void note_wire_cache_hit() {
+  ++PacketPool::local().mutable_stats().wire_cache_hits;
+}
+
+}  // namespace detail
+
 std::uint32_t routing_header_bytes(const RoutingHeader& h) {
   // Derived from the wire codec's size law, which the codec's encoders
   // verify byte-for-byte — airtime accounting cannot drift from the
@@ -117,6 +128,7 @@ std::uint32_t routing_header_bytes(const RoutingHeader& h) {
 }
 
 void Packet::reset() {
+  hop_ = HopState{};
   if (body_ == nullptr) return;
   // A stale handle must trip here too: decrementing a recycled body's
   // refcount would prematurely release its new owner's allocation and
@@ -151,7 +163,7 @@ std::string Packet::summary() const {
   const PacketBody& b = checked();
   std::ostringstream os;
   os << packet_kind_name(b.common.kind) << " uid=" << b.common.uid << " "
-     << b.common.src << "->" << b.common.dst << " ttl=" << int{b.common.ttl}
+     << b.common.src << "->" << b.common.dst << " ttl=" << int{hop_.ttl}
      << " bytes=" << wire_bytes();
   if (b.tcp.has_value()) {
     os << " seq=" << b.tcp->seq << " ack=" << b.tcp->ack;

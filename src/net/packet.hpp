@@ -49,22 +49,43 @@ struct PacketPoolStats {
   std::uint64_t released = 0;   ///< bodies returned on last handle release
   std::uint64_t cow_clones = 0; ///< deep copies forced by mutating a shared body
   std::uint64_t slots = 0;      ///< bodies ever carved from chunk storage
+  /// Per-hop mutable cells grabbed via `Packet::mutable_hop()` — the
+  /// mutations that used to force a CoW clone on forwarding hops.
+  std::uint64_t cell_acquired = 0;
+  /// Reads of an already-materialized wire-payload cache; with the
+  /// hop-split layout the cache survives multi-hop forwarding, so taps
+  /// along a chain hit instead of re-deriving.
+  std::uint64_t wire_cache_hits = 0;
   [[nodiscard]] std::uint64_t live() const { return acquired - released; }
 };
 
 /// Snapshot of the calling thread's pool counters.
 PacketPoolStats packet_pool_stats();
 
+namespace detail {
+/// Counter hooks into the thread-local pool stats, for the handle's
+/// inline accessors (the pool type itself is private to packet.cpp).
+void note_cell_acquired();
+void note_wire_cache_hit();
+}  // namespace detail
+
 /// A network-layer packet: a cheap handle onto a pooled, intrusively
-/// refcounted `PacketBody`.
+/// refcounted `PacketBody`, plus the packet's per-hop mutable cell
+/// (`HopState`) carried *in the handle itself* — the 4 bytes of TTL /
+/// hop count / route cursor ride in what used to be handle padding, so
+/// sizeof(Packet) stays 16.
 ///
-/// Copying a Packet is a refcount bump — broadcast fan-out to k
-/// receivers, interface-queue inserts, MAC retry buffers, in-flight
-/// channel records, and trace records all share one body.  Reads go
-/// through the const accessors; writes go through the `mutable_*`
-/// accessors, which clone the body first iff other handles still
-/// reference it.  The common forwarding chain therefore deep-copies at
-/// most once per mutating hop and never on delivery.
+/// Copying a Packet is a refcount bump plus a 4-byte cell copy —
+/// broadcast fan-out to k receivers, interface-queue inserts, MAC retry
+/// buffers, in-flight channel records, and trace records all share one
+/// body while each carries its own hop cell.  Reads go through the
+/// const accessors; body writes go through the `mutable_*` accessors,
+/// which clone the body first iff other handles still reference it.
+/// Per-hop writes go through `mutable_hop()` and never touch the body:
+/// a forwarding hop that only decrements TTL or advances a cursor
+/// copies nothing, and the cached wire-payload image survives the hop.
+/// Cell semantics are exactly CoW-observable: a mutation is never seen
+/// by pre-existing sibling handles, and later copies carry it forward.
 ///
 /// The body pool is thread-local: a packet must be created, used, and
 /// released on one thread.  The harness runs each scenario on a single
@@ -73,11 +94,13 @@ class Packet {
  public:
   Packet() = default;  ///< empty handle; a body is acquired on first write
 
-  Packet(const Packet& other) : body_(other.body_), gen_(other.gen_) {
+  Packet(const Packet& other)
+      : body_(other.body_), gen_(other.gen_), hop_(other.hop_) {
     if (body_ != nullptr) ++body_->refcount;
   }
 
-  Packet(Packet&& other) noexcept : body_(other.body_), gen_(other.gen_) {
+  Packet(Packet&& other) noexcept
+      : body_(other.body_), gen_(other.gen_), hop_(other.hop_) {
     other.body_ = nullptr;
   }
 
@@ -86,6 +109,7 @@ class Packet {
       reset();
       body_ = other.body_;
       gen_ = other.gen_;
+      hop_ = other.hop_;
       if (body_ != nullptr) ++body_->refcount;
     }
     return *this;
@@ -96,6 +120,7 @@ class Packet {
       reset();
       body_ = other.body_;
       gen_ = other.gen_;
+      hop_ = other.hop_;
       other.body_ = nullptr;
     }
     return *this;
@@ -139,6 +164,17 @@ class Packet {
     return body_ == nullptr ? nullptr : std::get_if<T>(&checked().routing);
   }
 
+  // --- per-hop mutable cell (lives in the handle, not the body) ---------
+  /// The hop cell this handle carries: TTL, hop count, route cursor.
+  [[nodiscard]] const HopState& hop() const { return hop_; }
+  /// Mutable grab of the hop cell.  Never clones, never invalidates the
+  /// wire-payload cache (the cached payload bytes are hop-invariant);
+  /// counted in `PacketPoolStats::cell_acquired`.
+  [[nodiscard]] HopState& mutable_hop() {
+    detail::note_cell_acquired();
+    return hop_;
+  }
+
   // --- write access (copy-on-write) ------------------------------------
   [[nodiscard]] CommonHeader& mutable_common() { return own().common; }
   /// Creates the TCP header if absent.
@@ -160,9 +196,13 @@ class Packet {
 
   // --- materialized wire payload (secrecy plane) ------------------------
   /// The cached wire-payload image; null when none was materialized.
+  /// Populated reads are counted in `PacketPoolStats::wire_cache_hits`
+  /// — the taps a multi-hop forward chain no longer forces to re-derive.
   [[nodiscard]] const std::shared_ptr<const std::vector<std::uint8_t>>&
   wire_payload() const {
-    return checked().wire_payload;
+    const PacketBody& b = checked();
+    if (b.wire_payload != nullptr) detail::note_wire_cache_hit();
+    return b.wire_payload;
   }
   /// Stamps the cache through a shared body without CoW: the image is a
   /// pure function of the headers, so all handles agree on it — this is
@@ -209,7 +249,13 @@ class Packet {
 
   PacketBody* body_ = nullptr;
   std::uint32_t gen_ = 0;
+  /// Per-hop mutable cell; occupies the handle's former padding.
+  HopState hop_;
 };
+
+static_assert(sizeof(Packet) == 16,
+              "Packet handle grew past 16 bytes: the HopState cell must "
+              "fit the former padding after gen_");
 
 /// Allocates unique packet ids within one simulation.
 class UidSource {

@@ -128,7 +128,7 @@ class Reader {
 // Encoders.
 // ---------------------------------------------------------------------------
 
-void encode_common(Writer& w, const CommonHeader& c) {
+void encode_common(Writer& w, const CommonHeader& c, const HopState& hop) {
   const auto kind = static_cast<std::uint32_t>(c.kind);
   sim::require(kind <= 0x0f, "wire: packet kind exceeds the v1 kind nibble");
   sim::require(c.payload_bytes <= 0xffff,
@@ -137,7 +137,7 @@ void encode_common(Writer& w, const CommonHeader& c) {
   sim::require(us >= 0 && us <= 0xffffffffLL,
                "wire: originated outside the u32-microsecond wire range");
   w.u8(static_cast<std::uint8_t>((std::uint32_t{kWireVersion} << 4) | kind));
-  w.u8(c.ttl);
+  w.u8(hop.ttl);
   w.u16(static_cast<std::uint16_t>(c.payload_bytes));
   w.u32(c.src);
   w.u32(c.dst);
@@ -161,10 +161,14 @@ void write_route(Writer& w, const RouteVec& route) {
 /// Encodes the routing header/option.  The common header is consulted
 /// for the invariants that let v1 omit redundant fields (documented per
 /// alternative); violating one is a construction bug, not bad input, so
-/// these are require()s rather than soft failures.
+/// these are require()s rather than soft failures.  Per-hop fields (hop
+/// counts, route cursors) come from the `HopState` cell, not the header
+/// structs — the wire layout is unchanged, only the in-memory home of
+/// those fields moved.
 struct EncodeVisitor {
   Writer& w;
   const CommonHeader& c;
+  const HopState& hop;
 
   void check_kind(PacketKind expected) const {
     sim::require(c.kind == expected,
@@ -184,7 +188,7 @@ struct EncodeVisitor {
     w.u32(h.dst);
     w.u32(h.orig_seq);
     w.u32(h.dst_seq);
-    w.u8(h.hop_count);
+    w.u8(hop.hops);
     w.u8(h.dst_seq_known ? 1 : 0);
     w.pad(2);
   }
@@ -197,7 +201,7 @@ struct EncodeVisitor {
     w.u32(h.orig);
     w.u32(h.dst);
     w.u32(h.dst_seq);
-    w.u8(h.hop_count);
+    w.u8(hop.hops);
     w.u48(static_cast<std::uint64_t>(ns));
     w.pad(1);
   }
@@ -231,7 +235,7 @@ struct EncodeVisitor {
     sim::require(h.route.size() >= 2 && h.route.front() == h.orig &&
                      h.route.back() == h.target,
                  "wire: DSR RREP route does not span orig..target");
-    w.u16(h.hops_done);
+    w.u16(hop.cursor);
     w.pad(6);
     write_route(w, h.route);
   }
@@ -242,7 +246,7 @@ struct EncodeVisitor {
     sim::require(h.notify == c.dst, "wire: DSR RERR notify != packet dest");
     w.u32(h.from);
     w.u32(h.to);
-    w.u16(h.hops_done);
+    w.u16(hop.cursor);
     w.pad(2);
     write_route(w, h.back_path);
   }
@@ -251,7 +255,7 @@ struct EncodeVisitor {
     check_data_plane();
     w.u8(kTagSourceRoute);
     w.u8(h.salvaged ? 1 : 0);
-    w.u16(h.index);
+    w.u16(hop.cursor);
     write_route(w, h.route);
   }
 
@@ -260,7 +264,7 @@ struct EncodeVisitor {
     w.u32(h.bcast_id);
     w.u32(h.orig);
     w.u32(h.dst);
-    w.u8(h.hop_count);
+    w.u8(hop.hops);
     w.pad(3);
     write_route(w, h.nodes);
   }
@@ -272,7 +276,7 @@ struct EncodeVisitor {
     w.u32(h.dst);
     w.u8(h.hop_count);
     w.pad(1);
-    w.u16(h.hops_done);
+    w.u16(hop.cursor);
     write_route(w, h.nodes);
   }
 
@@ -286,7 +290,7 @@ struct EncodeVisitor {
     w.u8(h.hop_count);
     w.pad(1);
     w.u32(h.checker);
-    w.u16(h.hops_done);
+    w.u16(hop.cursor);
     w.pad(2);
     write_route(w, h.nodes);
   }
@@ -300,7 +304,7 @@ struct EncodeVisitor {
     w.u32(h.flow_source);
     w.u32(h.broken_from);
     w.u32(h.broken_to);
-    w.u16(h.hops_done);
+    w.u16(hop.cursor);
     write_route(w, h.nodes);
   }
 
@@ -336,13 +340,13 @@ struct EncodeVisitor {
 // require()s on untrusted bytes.
 // ---------------------------------------------------------------------------
 
-bool decode_common(Reader& r, CommonHeader& c) {
+bool decode_common(Reader& r, CommonHeader& c, HopState& hop) {
   const std::uint8_t b0 = r.u8();
   if ((b0 >> 4) != kWireVersion) return false;
   const std::uint8_t kind = b0 & 0x0f;
   if (kind > static_cast<std::uint8_t>(PacketKind::kMtsRerr)) return false;
   c.kind = static_cast<PacketKind>(kind);
-  c.ttl = r.u8();
+  hop.ttl = r.u8();
   c.payload_bytes = r.u16();
   c.src = r.u32();
   c.dst = r.u32();
@@ -376,7 +380,7 @@ bool read_route(Reader& r, std::size_t avail, RouteVec& out) {
 /// Decodes the routing section of a control packet: the kind determines
 /// the alternative, and the section runs to `section_end`.
 bool decode_control(Reader& r, std::size_t section_end, const CommonHeader& c,
-                    RoutingHeader& out) {
+                    RoutingHeader& out, HopState& hop) {
   const std::size_t avail = section_end - r.offset();
   switch (c.kind) {
     case PacketKind::kAodvRreq: {
@@ -387,7 +391,7 @@ bool decode_control(Reader& r, std::size_t section_end, const CommonHeader& c,
       h.dst = r.u32();
       h.orig_seq = r.u32();
       h.dst_seq = r.u32();
-      h.hop_count = r.u8();
+      hop.hops = r.u8();
       h.dst_seq_known = (r.flags(0x01) & 0x01) != 0;
       r.pad(2);
       out = h;
@@ -399,7 +403,7 @@ bool decode_control(Reader& r, std::size_t section_end, const CommonHeader& c,
       h.orig = r.u32();
       h.dst = r.u32();
       h.dst_seq = r.u32();
-      h.hop_count = r.u8();
+      hop.hops = r.u8();
       h.lifetime = sim::Time::ns(static_cast<std::int64_t>(r.u48()));
       r.pad(1);
       out = h;
@@ -434,7 +438,7 @@ bool decode_control(Reader& r, std::size_t section_end, const CommonHeader& c,
     case PacketKind::kDsrRrep: {
       if (avail < kDsrRrepFixed) return false;
       DsrRrepHeader h;
-      h.hops_done = r.u16();
+      hop.cursor = r.u16();
       r.pad(6);
       if (!read_route(r, avail - kDsrRrepFixed, h.route)) return false;
       if (h.route.size() < 2) return false;  // must span orig..target
@@ -448,7 +452,7 @@ bool decode_control(Reader& r, std::size_t section_end, const CommonHeader& c,
       DsrRerrHeader h;
       h.from = r.u32();
       h.to = r.u32();
-      h.hops_done = r.u16();
+      hop.cursor = r.u16();
       r.pad(2);
       h.notify = c.dst;  // v1: the RERR travels to the notified source
       if (!read_route(r, avail - kDsrRerrFixed, h.back_path)) return false;
@@ -461,7 +465,7 @@ bool decode_control(Reader& r, std::size_t section_end, const CommonHeader& c,
       h.bcast_id = r.u32();
       h.orig = r.u32();
       h.dst = r.u32();
-      h.hop_count = r.u8();
+      hop.hops = r.u8();
       r.pad(3);
       if (!read_route(r, avail - kMtsListFixed, h.nodes)) return false;
       out = h;
@@ -475,7 +479,7 @@ bool decode_control(Reader& r, std::size_t section_end, const CommonHeader& c,
       h.dst = r.u32();
       h.hop_count = r.u8();
       r.pad(1);
-      h.hops_done = r.u16();
+      hop.cursor = r.u16();
       if (!read_route(r, avail - kMtsListFixed, h.nodes)) return false;
       out = h;
       return r.ok();
@@ -488,7 +492,7 @@ bool decode_control(Reader& r, std::size_t section_end, const CommonHeader& c,
       h.hop_count = r.u8();
       r.pad(1);
       h.checker = r.u32();
-      h.hops_done = r.u16();
+      hop.cursor = r.u16();
       r.pad(2);
       h.source = c.dst;  // v1: checks travel checker -> source
       if (!read_route(r, avail - kMtsListFixed, h.nodes)) return false;
@@ -502,7 +506,7 @@ bool decode_control(Reader& r, std::size_t section_end, const CommonHeader& c,
       h.flow_source = r.u32();
       h.broken_from = r.u32();
       h.broken_to = r.u32();
-      h.hops_done = r.u16();
+      hop.cursor = r.u16();
       h.reporter = c.src;  // v1: travels reporter -> checker
       h.checker = c.dst;
       if (!read_route(r, avail - kMtsListFixed, h.nodes)) return false;
@@ -532,7 +536,7 @@ bool decode_control(Reader& r, std::size_t section_end, const CommonHeader& c,
 /// option is terminal (the section length sizes its route list), so the
 /// option must end exactly at `section_end`.
 bool decode_data_option(Reader& r, std::size_t section_end,
-                        RoutingHeader& out) {
+                        RoutingHeader& out, HopState& hop) {
   const std::size_t avail = section_end - r.offset();
   switch (r.peek()) {
     case kTagSourceRoute: {
@@ -540,7 +544,7 @@ bool decode_data_option(Reader& r, std::size_t section_end,
       DsrSourceRoute h;
       r.u8();  // tag
       h.salvaged = (r.flags(0x01) & 0x01) != 0;
-      h.index = r.u16();
+      hop.cursor = r.u16();
       if (!read_route(r, avail - kSourceRouteFixed, h.route)) return false;
       out = h;
       return r.ok();
@@ -623,9 +627,9 @@ std::uint32_t routing_wire_size(const RoutingHeader& h) {
 
 void encode_headers(const CommonHeader& common, const TcpHeader* tcp,
                     const RoutingHeader& routing,
-                    std::vector<std::uint8_t>& out) {
+                    std::vector<std::uint8_t>& out, const HopState& hop) {
   Writer w(out);
-  encode_common(w, common);
+  encode_common(w, common, hop);
   sim::require(w.written() == kCommonHeaderBytes,
                "wire: common header layout drifted from kCommonHeaderBytes");
   if (tcp != nullptr) {
@@ -637,14 +641,14 @@ void encode_headers(const CommonHeader& common, const TcpHeader* tcp,
                  "wire: TCP header layout drifted from kTcpHeaderBytes");
   }
   const std::size_t before = w.written();
-  std::visit(EncodeVisitor{w, common}, routing);
+  std::visit(EncodeVisitor{w, common, hop}, routing);
   sim::require(w.written() - before == routing_wire_size(routing),
                "wire: routing encoder disagrees with the size law");
 }
 
 void encode_headers(const Packet& p, std::vector<std::uint8_t>& out) {
   encode_headers(p.common(), p.has_tcp() ? &p.tcp() : nullptr, p.routing(),
-                 out);
+                 out, p.hop());
 }
 
 void encode_packet(const Packet& p, std::vector<std::uint8_t>& out,
@@ -660,7 +664,7 @@ std::optional<DecodedPacket> decode_packet(const std::uint8_t* data,
                                            std::size_t len) {
   Reader r(data, len);
   DecodedPacket d;
-  if (!decode_common(r, d.common)) return std::nullopt;
+  if (!decode_common(r, d.common, d.hop)) return std::nullopt;
   d.payload_bytes = d.common.payload_bytes;
   if (len < kCommonHeaderBytes + std::size_t{d.payload_bytes})
     return std::nullopt;
@@ -675,10 +679,11 @@ std::optional<DecodedPacket> decode_packet(const std::uint8_t* data,
       d.tcp = t;
     }
     if (r.offset() < section_end) {
-      if (!decode_data_option(r, section_end, d.routing)) return std::nullopt;
+      if (!decode_data_option(r, section_end, d.routing, d.hop))
+        return std::nullopt;
     }
   } else {
-    if (!decode_control(r, section_end, d.common, d.routing))
+    if (!decode_control(r, section_end, d.common, d.routing, d.hop))
       return std::nullopt;
   }
   if (!r.ok() || r.offset() != section_end) return std::nullopt;

@@ -59,10 +59,14 @@ inline constexpr std::uint8_t kTagTcp = 0x10;
 [[nodiscard]] std::uint32_t routing_wire_size(const RoutingHeader& h);
 
 /// Appends the wire encoding of all headers (common + TCP option +
-/// routing option, no payload) to `out`.
+/// routing option, no payload) to `out`.  `hop` supplies the per-hop
+/// fields (TTL, hop count, route cursor) that live in the packet
+/// handle's `HopState` cell rather than the header structs; the default
+/// cell encodes a freshly originated packet.
 void encode_headers(const CommonHeader& common, const TcpHeader* tcp,
                     const RoutingHeader& routing,
-                    std::vector<std::uint8_t>& out);
+                    std::vector<std::uint8_t>& out,
+                    const HopState& hop = HopState{});
 
 /// Convenience overload over a live packet handle.
 void encode_headers(const Packet& p, std::vector<std::uint8_t>& out);
@@ -82,6 +86,9 @@ struct DecodedPacket {
   CommonHeader common;
   std::optional<TcpHeader> tcp;
   RoutingHeader routing;
+  /// Per-hop fields decoded off the wire (TTL byte, hop-count and
+  /// cursor fields of the routing section).
+  HopState hop;
   std::size_t payload_offset = 0;
   std::uint32_t payload_bytes = 0;
 };

@@ -113,9 +113,9 @@ void Channel::deliver_rx(std::uint32_t slot) {
   rx_free_ = slot;
 }
 
-std::vector<net::NodeId> Channel::neighbors_of(net::NodeId id,
-                                               sim::Time t) const {
-  std::vector<net::NodeId> out;
+void Channel::neighbors_of(net::NodeId id, sim::Time t,
+                           NeighborVec& out) const {
+  out.clear();
   const mobility::Vec2 p = position_of(id, t);
   const auto consider = [&](net::NodeId other) {
     if (other == id) return;
@@ -134,7 +134,6 @@ std::vector<net::NodeId> Channel::neighbors_of(net::NodeId id,
       consider(other);
     }
   }
-  return out;
 }
 
 }  // namespace mts::phy

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mobility/mobility_model.hpp"
+#include "net/small_vec.hpp"
 #include "phy/frame.hpp"
 #include "phy/neighbor_index.hpp"
 #include "phy/propagation.hpp"
@@ -73,11 +74,15 @@ class Channel {
   [[nodiscard]] std::size_t node_count() const { return entries_.size(); }
   [[nodiscard]] double decode_range() const { return prop_->max_range(); }
 
-  /// Nodes within decode range of `id` at time `t`, ascending.  Exact:
-  /// the spatial index (when built) only pre-filters candidates, which
-  /// are then re-checked against live positions.
-  [[nodiscard]] std::vector<net::NodeId> neighbors_of(net::NodeId id,
-                                                      sim::Time t) const;
+  /// Caller-owned neighbour list: inline up to 16 entries, so the
+  /// common query never touches the heap.
+  using NeighborVec = net::SmallVec<net::NodeId, 16>;
+
+  /// Fills `out` with the nodes within decode range of `id` at time
+  /// `t`, ascending (any previous contents are discarded).  Exact: the
+  /// spatial index (when built) only pre-filters candidates, which are
+  /// then re-checked against live positions.
+  void neighbors_of(net::NodeId id, sim::Time t, NeighborVec& out) const;
 
  private:
   struct Entry {

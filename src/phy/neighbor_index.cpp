@@ -28,13 +28,13 @@ void NeighborIndex::rebuild(sim::Time now) {
     snapshot_[i] = positions_(i, now);
   }
   // Bucket by cell; sort-based build keeps memory contiguous.
-  std::vector<std::pair<std::int64_t, std::uint32_t>> keyed;
-  keyed.reserve(n_);
+  keyed_.clear();
+  keyed_.reserve(n_);
   for (std::uint32_t i = 0; i < n_; ++i) {
-    keyed.emplace_back(key_of(cell_of(snapshot_[i].x), cell_of(snapshot_[i].y)), i);
+    keyed_.emplace_back(key_of(cell_of(snapshot_[i].x), cell_of(snapshot_[i].y)), i);
   }
-  std::sort(keyed.begin(), keyed.end());
-  for (const auto& [key, id] : keyed) {
+  std::sort(keyed_.begin(), keyed_.end());
+  for (const auto& [key, id] : keyed_) {
     if (buckets_.empty() || buckets_.back().key != key) {
       buckets_.push_back(Bucket{key, {}});
     }
@@ -53,15 +53,14 @@ const std::vector<std::uint32_t>* NeighborIndex::find_bucket(
   return nullptr;
 }
 
-std::vector<std::uint32_t> NeighborIndex::candidates(mobility::Vec2 center,
-                                                     double radius,
-                                                     sim::Time now) {
+const std::vector<std::uint32_t>& NeighborIndex::candidates(
+    mobility::Vec2 center, double radius, sim::Time now) {
   if (snapshot_at_ < sim::Time::zero() || now - snapshot_at_ > rebuild_period_) {
     rebuild(now);
   }
   const double r = radius + staleness_margin();
   const double r2 = r * r;
-  std::vector<std::uint32_t> out;
+  scratch_.clear();
   const std::int64_t cx0 = cell_of(center.x - r), cx1 = cell_of(center.x + r);
   const std::int64_t cy0 = cell_of(center.y - r), cy1 = cell_of(center.y + r);
   for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
@@ -70,12 +69,12 @@ std::vector<std::uint32_t> NeighborIndex::candidates(mobility::Vec2 center,
       if (ids == nullptr) continue;
       for (std::uint32_t id : *ids) {
         if (mobility::distance_sq(snapshot_[id], center) <= r2) {
-          out.push_back(id);
+          scratch_.push_back(id);
         }
       }
     }
   }
-  return out;
+  return scratch_;
 }
 
 }  // namespace mts::phy

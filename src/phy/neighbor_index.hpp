@@ -26,10 +26,12 @@ class NeighborIndex {
 
   /// All node ids whose *snapshot* position lies within
   /// `radius + staleness_margin()` of `center`.  Refreshes the snapshot
-  /// first if it is older than the rebuild period.
-  [[nodiscard]] std::vector<std::uint32_t> candidates(mobility::Vec2 center,
-                                                      double radius,
-                                                      sim::Time now);
+  /// first if it is older than the rebuild period.  Returns a member
+  /// scratch buffer — this runs once per radiated frame, so the hot
+  /// path must not allocate.  The reference is invalidated by the next
+  /// candidates() call; copy it if you need to hold on to the ids.
+  [[nodiscard]] const std::vector<std::uint32_t>& candidates(
+      mobility::Vec2 center, double radius, sim::Time now);
 
   [[nodiscard]] double staleness_margin() const {
     return 2.0 * max_speed_ * rebuild_period_.to_seconds();
@@ -58,6 +60,9 @@ class NeighborIndex {
   };
   std::vector<Bucket> buckets_;
   std::uint32_t rebuilds_ = 0;
+  /// Reused across calls: query results and the rebuild's sort area.
+  std::vector<std::uint32_t> scratch_;
+  std::vector<std::pair<std::int64_t, std::uint32_t>> keyed_;
 
   [[nodiscard]] static std::int64_t key_of(std::int64_t cx, std::int64_t cy) {
     return (cx << 32) ^ (cy & 0xffffffff);

@@ -22,7 +22,7 @@ void Radio::start_transmit(const Frame& frame, sim::Time airtime) {
   sim::require(!transmitting(), "Radio: start_transmit while transmitting");
   const bool was_busy = medium_busy();
   // Half duplex: anything being received is lost the instant we key up.
-  for (auto& rx : receptions_) rx.corrupt = true;
+  for (const std::uint32_t idx : active_) slots_[idx].corrupt = true;
   tx_end_ = sched_->now() + airtime;
   ++sent_;
   if (counters_ != nullptr) ++counters_->mac_tx_frames;
@@ -49,23 +49,38 @@ void Radio::begin_reception(const Frame& frame, sim::Time airtime,
   // survive.  Weaker or comparable ongoing receptions are corrupted.
   // The newcomer itself is decodable only if the medium was clear.
   bool corrupt = false;
-  for (auto& rx : receptions_) {
+  for (const std::uint32_t idx : active_) {
     corrupt = true;
+    Reception& rx = slots_[idx];
     if (rx.power < rx_power * capture_threshold_) rx.corrupt = true;
   }
-  const std::uint64_t key = next_key_++;
-  receptions_.push_back(Reception{frame, key, sched_->now() + airtime,
-                                  corrupt, decodable, rx_power});
-  sched_->schedule_in(airtime, [this, key] { end_reception(key); });
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  slots_[slot] =
+      Reception{frame, sched_->now() + airtime, corrupt, decodable, rx_power};
+  active_.push_back(slot);
+  sched_->schedule_in(airtime, [this, slot] { end_reception(slot); });
   if (!was_busy) medium_edge(false);
 }
 
-void Radio::end_reception(std::uint64_t key) {
-  auto it = std::find_if(receptions_.begin(), receptions_.end(),
-                         [key](const Reception& r) { return r.key == key; });
-  sim::require(it != receptions_.end(), "Radio: reception record lost");
-  const Reception rec = std::move(*it);
-  receptions_.erase(it);
+void Radio::end_reception(std::uint32_t slot) {
+  auto it = std::find(active_.begin(), active_.end(), slot);
+  sim::require(it != active_.end(), "Radio: reception record lost");
+  // Swap-remove from the active list, move the record out, and recycle
+  // the slot *before* running callbacks: a callback may re-enter
+  // begin_reception (MAC responses), which must see a consistent pool.
+  // The move empties the slot's packet handle, so the pooled body is
+  // released the moment the reception ends, not when the slot recycles.
+  *it = active_.back();
+  active_.pop_back();
+  const Reception rec = std::move(slots_[slot]);
+  free_.push_back(slot);
   if (rec.corrupt) {
     ++collisions_;
     if (counters_ != nullptr) counters_->drop(net::DropReason::kCollision);

@@ -51,7 +51,7 @@ class Radio {
 
   /// Physical carrier: busy while transmitting or any energy arrives.
   [[nodiscard]] bool medium_busy() const {
-    return transmitting() || !receptions_.empty();
+    return transmitting() || !active_.empty();
   }
   [[nodiscard]] bool transmitting() const { return sched_->now() < tx_end_; }
 
@@ -79,7 +79,6 @@ class Radio {
  private:
   struct Reception {
     Frame frame;
-    std::uint64_t key;
     sim::Time end;
     bool corrupt;
     bool decodable;
@@ -87,7 +86,7 @@ class Radio {
   };
 
   void tx_done();
-  void end_reception(std::uint64_t key);
+  void end_reception(std::uint32_t slot);
   void medium_edge(bool was_busy);
 
   sim::Scheduler* sched_;
@@ -101,8 +100,15 @@ class Radio {
   sim::Timer tx_done_timer_;
   sim::Time tx_end_ = sim::Time::zero();
   double capture_threshold_ = 10.0;
-  std::vector<Reception> receptions_;
-  std::uint64_t next_key_ = 1;
+  /// Reception records live in a stable slot pool: freed slots are
+  /// recycled through `free_` and the (tiny) set of in-flight
+  /// receptions is tracked by index in `active_`, so the per-frame
+  /// receive path stops allocating once the pool has warmed up.  A
+  /// slot's end event is the only thing that releases it, so an index
+  /// captured by that event stays valid for the slot's whole lifetime.
+  std::vector<Reception> slots_;
+  std::vector<std::uint32_t> free_;
+  std::vector<std::uint32_t> active_;
   std::uint64_t collisions_ = 0;
   std::uint64_t decoded_ = 0;
   std::uint64_t sent_ = 0;

@@ -138,9 +138,9 @@ void Aodv::send_rreq(NodeId dst) {
   common.kind = PacketKind::kAodvRreq;
   common.src = self();
   common.dst = net::kBroadcastId;
-  common.ttl = cfg_.net_diameter_ttl;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.net_diameter_ttl;
   p.mutable_routing() = h;
   rreq_seen_.check_and_insert(self(), h.rreq_id);  // don't accept our own flood
   send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/true);
@@ -208,10 +208,9 @@ void Aodv::handle_rreq(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kRateLimited);
     return;
   }
-  // One hop further from the originator; written back to the header only
-  // on the forwarding tail, so terminal handling never mutates (and the
-  // shared packet body never clones) here.
-  const auto hop_count = static_cast<std::uint8_t>(h.hop_count + 1);
+  // One hop further from the originator; written back to the hop cell
+  // only on the forwarding tail, so terminal handling never mutates here.
+  const auto hop_count = static_cast<std::uint8_t>(p.hop().hops + 1);
   // Reverse route toward the originator through `from`.
   update_route(h.orig, from, hop_count, h.orig_seq, /*seq_known=*/true,
                cfg_.active_route_timeout);
@@ -232,12 +231,14 @@ void Aodv::handle_rreq(Packet&& p, NodeId from) {
       return;
     }
   }
-  if (p.common().ttl <= 1) {
+  if (p.hop().ttl <= 1) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  --p.mutable_common().ttl;
-  p.mutable_header<AodvRreqHeader>().hop_count = hop_count;
+  // Pure forwarding hop: TTL + hop count are cell writes; the flood's
+  // body is shared by every relay without a clone.
+  --p.mutable_hop().ttl;
+  p.mutable_hop().hops = hop_count;
   rebroadcast_jittered(std::move(p), rng_);
 }
 
@@ -248,16 +249,16 @@ void Aodv::send_rrep_as_destination(const AodvRreqHeader& req) {
   h.orig = req.orig;
   h.dst = self();
   h.dst_seq = seq_;
-  h.hop_count = 0;
   h.lifetime = cfg_.active_route_timeout;
   Packet p;
   auto& common = p.mutable_common();
   common.kind = PacketKind::kAodvRrep;
   common.src = self();
   common.dst = req.orig;
-  common.ttl = cfg_.net_diameter_ttl;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.net_diameter_ttl;
+  p.mutable_hop().hops = 0;  // hop count: the destination itself
   p.mutable_routing() = h;
   RouteEntry* back = find_valid(req.orig);
   if (back == nullptr) return;  // reverse route vanished already
@@ -270,16 +271,16 @@ void Aodv::send_rrep_from_route(const AodvRreqHeader& req,
   h.orig = req.orig;
   h.dst = req.dst;
   h.dst_seq = route.dst_seq;
-  h.hop_count = route.hop_count;
   h.lifetime = route.expires - now();
   Packet p;
   auto& common = p.mutable_common();
   common.kind = PacketKind::kAodvRrep;
   common.src = self();
   common.dst = req.orig;
-  common.ttl = cfg_.net_diameter_ttl;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.net_diameter_ttl;
+  p.mutable_hop().hops = route.hop_count;  // distance we already know
   p.mutable_routing() = h;
   RouteEntry* back = find_valid(req.orig);
   if (back == nullptr) return;
@@ -288,7 +289,7 @@ void Aodv::send_rrep_from_route(const AodvRreqHeader& req,
 
 void Aodv::handle_rrep(Packet&& p, NodeId from) {
   const auto& h = p.header<AodvRrepHeader>();
-  const auto hop_count = static_cast<std::uint8_t>(h.hop_count + 1);
+  const auto hop_count = static_cast<std::uint8_t>(p.hop().hops + 1);
   // Forward route to the destination through `from`.
   update_route(h.dst, from, hop_count, h.dst_seq, /*seq_known=*/true,
                h.lifetime);
@@ -305,13 +306,13 @@ void Aodv::handle_rrep(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kNoRoute);
     return;
   }
-  if (p.common().ttl <= 1) {
+  if (p.hop().ttl <= 1) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  // Mutating tail (`h` refers to the pre-clone body; do not use it).
-  --p.mutable_common().ttl;
-  p.mutable_header<AodvRrepHeader>().hop_count = hop_count;
+  // Pure forwarding hop: TTL + hop count are cell writes, no clone.
+  --p.mutable_hop().ttl;
+  p.mutable_hop().hops = hop_count;
   refresh(orig);
   send_to_mac(std::move(p), back->next_hop, /*originated_here=*/false);
 }
@@ -338,13 +339,13 @@ void Aodv::handle_data(Packet&& p, NodeId from) {
     ctx_.deliver(std::move(p), from);
     return;
   }
-  if (p.common().ttl <= 1) {
+  if (p.hop().ttl <= 1) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
   if (RouteEntry* e = find_valid(p.common().dst)) {
     refresh(p.common().dst);
-    --p.mutable_common().ttl;
+    --p.mutable_hop().ttl;
     send_to_mac(std::move(p), e->next_hop, /*originated_here=*/false);
     return;
   }
@@ -363,9 +364,10 @@ void Aodv::send_rerr(AodvRerrHeader::List lost) {
   common.kind = PacketKind::kAodvRerr;
   common.src = self();
   common.dst = net::kBroadcastId;
-  common.ttl = 1;  // RERRs travel hop by hop, re-issued by each upstream
   common.uid = ctx_.uids->next();
   common.originated = now();
+  // RERRs travel hop by hop, re-issued by each upstream.
+  p.mutable_hop().ttl = 1;
   p.mutable_routing() = std::move(h);
   send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/true);
 }
@@ -387,7 +389,7 @@ void Aodv::on_link_failure(const Packet& packet, NodeId next_hop) {
   // failure kills a whole in-flight TCP window and stalls Reno for an
   // RTO — ns-2's AODV repairs locally for exactly this reason.
   auto rescue = [this](Packet&& p) {
-    if (p.common().ttl <= 1) {
+    if (p.hop().ttl <= 1) {
       drop(p, net::DropReason::kTtlExpired);
       return;
     }

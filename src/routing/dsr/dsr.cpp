@@ -55,9 +55,9 @@ bool Dsr::route_and_send(Packet&& p, bool originated_here) {
   if (!route.has_value()) return false;
   DsrSourceRoute sr;
   sr.route = std::move(*route);
-  sr.index = 0;
   const NodeId next = sr.route[1];
   p.mutable_routing() = std::move(sr);
+  p.mutable_hop().cursor = 0;  // route index: still at the source
   if (originated_here) {
     ctx_.mac->enqueue(std::move(p), next);
   } else {
@@ -97,9 +97,9 @@ void Dsr::send_rreq(NodeId dst) {
   common.kind = PacketKind::kDsrRreq;
   common.src = self();
   common.dst = net::kBroadcastId;
-  common.ttl = cfg_.max_route_len;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.max_route_len;
   p.mutable_routing() = h;
   rreq_seen_.check_and_insert(self(), h.rreq_id);
   send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/true);
@@ -192,13 +192,14 @@ void Dsr::handle_rreq(Packet&& p, NodeId from) {
       return;
     }
   }
-  if (p.common().ttl <= 1 || h.record.size() >= cfg_.max_route_len) {
+  if (p.hop().ttl <= 1 || h.record.size() >= cfg_.max_route_len) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  // Mutating tail: TTL first, then one unique-body grab for the record
-  // append (`h` refers to the pre-clone body from here on; do not use it).
-  --p.mutable_common().ttl;
+  // Mutating tail: TTL is a cell write (no clone); the record append is
+  // the one body mutation of the flood (`h` refers to the pre-clone body
+  // from here on; do not use it).
+  --p.mutable_hop().ttl;
   p.mutable_header<DsrRreqHeader>().record.push_back(self());
   rebroadcast_jittered(std::move(p), rng_);
 }
@@ -229,22 +230,22 @@ void Dsr::send_rrep(net::RouteVec full_route) {
   h.orig = full_route.front();
   h.target = full_route.back();
   h.route = std::move(full_route);
-  // The RREP travels the reverse of the discovered route; `hops_done`
-  // holds the route index of the node currently due to process it.
+  // The RREP travels the reverse of the discovered route; the hop cell's
+  // cursor holds the route index of the node currently due to process it.
   auto me = std::find(h.route.begin(), h.route.end(), self());
   sim::require(me != h.route.end(), "DSR: replier not on route");
   const std::size_t my_idx = static_cast<std::size_t>(me - h.route.begin());
   if (my_idx == 0) return;  // degenerate: we are the orig
-  h.hops_done = static_cast<std::uint16_t>(my_idx - 1);
   const NodeId next = h.route[my_idx - 1];
   Packet p;
   auto& common = p.mutable_common();
   common.kind = PacketKind::kDsrRrep;
   common.src = self();
   common.dst = h.orig;
-  common.ttl = cfg_.max_route_len;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.max_route_len;
+  p.mutable_hop().cursor = static_cast<std::uint16_t>(my_idx - 1);
   p.mutable_routing() = std::move(h);
   send_to_mac(std::move(p), next, /*originated_here=*/true);
 }
@@ -252,7 +253,7 @@ void Dsr::send_rrep(net::RouteVec full_route) {
 void Dsr::handle_rrep(Packet&& p, NodeId from) {
   (void)from;
   const auto& h = p.header<DsrRrepHeader>();
-  const std::size_t pos = h.hops_done;
+  const std::size_t pos = p.hop().cursor;
   if (pos >= h.route.size() || h.route[pos] != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
@@ -269,9 +270,9 @@ void Dsr::handle_rrep(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  auto& hm = p.mutable_header<DsrRrepHeader>();
-  hm.hops_done = static_cast<std::uint16_t>(pos - 1);
-  const NodeId next = hm.route[pos - 1];
+  // Pure forwarding hop: only the cell moves; the body stays shared.
+  p.mutable_hop().cursor = static_cast<std::uint16_t>(pos - 1);
+  const NodeId next = h.route[pos - 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
@@ -291,12 +292,12 @@ void Dsr::handle_data(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  if (p.common().ttl <= 1) {
+  if (p.hop().ttl <= 1) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
   // Advance the cursor to our position.
-  const std::size_t my_idx = static_cast<std::size_t>(sr->index) + 1;
+  const std::size_t my_idx = static_cast<std::size_t>(p.hop().cursor) + 1;
   if (my_idx >= sr->route.size() || sr->route[my_idx] != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
@@ -305,11 +306,11 @@ void Dsr::handle_data(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);  // route ends before dst
     return;
   }
-  // Mutating tail (`sr` refers to the pre-clone body; do not use it).
-  --p.mutable_common().ttl;
-  auto& srm = p.mutable_header<DsrSourceRoute>();
-  srm.index = static_cast<std::uint16_t>(my_idx);
-  const NodeId next = srm.route[my_idx + 1];
+  // Pure forwarding hop: TTL + cursor are cell writes; the body (and its
+  // cached wire image) stays shared down the whole chain.
+  --p.mutable_hop().ttl;
+  p.mutable_hop().cursor = static_cast<std::uint16_t>(my_idx);
+  const NodeId next = sr->route[my_idx + 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
@@ -327,7 +328,8 @@ void Dsr::on_link_failure(const Packet& packet, NodeId next_hop) {
     if (src != self()) {
       // Back path: reverse of the traversed prefix, self .. src.
       net::RouteVec back{self()};
-      for (std::size_t i = sr->index + 1; i-- > 0;) back.push_back(sr->route[i]);
+      for (std::size_t i = std::size_t{packet.hop().cursor} + 1; i-- > 0;)
+        back.push_back(sr->route[i]);
       send_rerr(src, next_hop, std::move(back));
     }
   }
@@ -373,10 +375,10 @@ bool Dsr::salvage(Packet&& p) {
   }
   DsrSourceRoute fresh;
   fresh.route = std::move(*route);
-  fresh.index = 0;
   fresh.salvaged = true;
   const NodeId next = fresh.route[1];
   p.mutable_routing() = std::move(fresh);
+  p.mutable_hop().cursor = 0;  // fresh route: restart at the salvager
   send_to_mac(std::move(p), next, /*originated_here=*/false);
   return true;
 }
@@ -388,7 +390,6 @@ void Dsr::send_rerr(NodeId notify, NodeId broken_to,
   h.from = self();
   h.to = broken_to;
   h.back_path = std::move(back_path);
-  h.hops_done = 0;
   if (h.back_path.size() < 2) return;  // nowhere to go
   const NodeId next = h.back_path[1];
   Packet p;
@@ -396,9 +397,10 @@ void Dsr::send_rerr(NodeId notify, NodeId broken_to,
   common.kind = PacketKind::kDsrRerr;
   common.src = self();
   common.dst = notify;
-  common.ttl = cfg_.max_route_len;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.max_route_len;
+  p.mutable_hop().cursor = 0;  // back_path index of the reporter
   p.mutable_routing() = std::move(h);
   send_to_mac(std::move(p), next, /*originated_here=*/true);
 }
@@ -409,7 +411,7 @@ void Dsr::handle_rerr(Packet&& p, NodeId from) {
   // Everyone who sees the RERR prunes the dead link.
   cache_.remove_link(h.from, h.to);
   if (h.notify == self()) return;  // delivered; future sends re-discover
-  const std::size_t my_idx = static_cast<std::size_t>(h.hops_done) + 1;
+  const std::size_t my_idx = static_cast<std::size_t>(p.hop().cursor) + 1;
   if (my_idx >= h.back_path.size() || h.back_path[my_idx] != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
@@ -418,9 +420,9 @@ void Dsr::handle_rerr(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  auto& hm = p.mutable_header<DsrRerrHeader>();
-  hm.hops_done = static_cast<std::uint16_t>(my_idx);
-  const NodeId next = hm.back_path[my_idx + 1];
+  // Pure forwarding hop: only the cell moves; the body stays shared.
+  p.mutable_hop().cursor = static_cast<std::uint16_t>(my_idx);
+  const NodeId next = h.back_path[my_idx + 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 

@@ -70,9 +70,9 @@ bool Smr::stripe_and_send(Packet&& p) {
   ++fr.next;  // the concurrency that reorders TCP segments
   DsrSourceRoute sr;
   sr.route = route;
-  sr.index = 0;
   const NodeId next_hop = route[1];
   p.mutable_routing() = std::move(sr);
+  p.mutable_hop().cursor = 0;  // route index: still at the source
   ctx_.mac->enqueue(std::move(p), next_hop);
   return true;
 }
@@ -88,9 +88,9 @@ void Smr::send_from_transport(Packet packet) {
   if (auto back = reverse_cache_.find(dst, now())) {
     DsrSourceRoute sr;
     sr.route = std::move(*back);
-    sr.index = 0;
     const NodeId next_hop = sr.route[1];
     packet.mutable_routing() = std::move(sr);
+    packet.mutable_hop().cursor = 0;  // route index: still at the source
     ctx_.mac->enqueue(std::move(packet), next_hop);
     return;
   }
@@ -120,9 +120,9 @@ void Smr::send_rreq(NodeId dst) {
   common.kind = PacketKind::kDsrRreq;
   common.src = self();
   common.dst = net::kBroadcastId;
-  common.ttl = cfg_.max_route_len;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.max_route_len;
   p.mutable_routing() = h;
   dup_forwards_[flood_key(self(), h.rreq_id)] = cfg_.max_dup_forwards;
   send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/true);
@@ -265,13 +265,14 @@ void Smr::handle_rreq(Packet&& p, NodeId from) {
   if (std::find(h.record.begin(), h.record.end(), self()) != h.record.end()) {
     return;  // already on this record
   }
-  if (p.common().ttl <= 1 || h.record.size() >= cfg_.max_route_len) {
+  if (p.hop().ttl <= 1 || h.record.size() >= cfg_.max_route_len) {
     drop(p, net::DropReason::kTtlExpired);
     return;
   }
-  // Mutating tail: TTL first, then one unique-body grab for the record
-  // append (`h` refers to the pre-clone body from here on; do not use it).
-  --p.mutable_common().ttl;
+  // Mutating tail: TTL is a cell write (no clone); the record append is
+  // the one body mutation of the flood (`h` refers to the pre-clone body
+  // from here on; do not use it).
+  --p.mutable_hop().ttl;
   p.mutable_header<DsrRreqHeader>().record.push_back(self());
   rebroadcast_jittered(std::move(p), rng_);
 }
@@ -301,16 +302,16 @@ void Smr::send_rrep_for(net::RouteVec full_route) {
   h.target = full_route.back();
   h.route = std::move(full_route);
   const std::size_t my_idx = h.route.size() - 1;  // we are the target
-  h.hops_done = static_cast<std::uint16_t>(my_idx - 1);
   const NodeId next = h.route[my_idx - 1];
   Packet p;
   auto& common = p.mutable_common();
   common.kind = PacketKind::kDsrRrep;
   common.src = self();
   common.dst = h.orig;
-  common.ttl = cfg_.max_route_len;
   common.uid = ctx_.uids->next();
   common.originated = now();
+  p.mutable_hop().ttl = cfg_.max_route_len;
+  p.mutable_hop().cursor = static_cast<std::uint16_t>(my_idx - 1);
   p.mutable_routing() = std::move(h);
   send_to_mac(std::move(p), next, /*originated_here=*/true);
 }
@@ -318,7 +319,7 @@ void Smr::send_rrep_for(net::RouteVec full_route) {
 void Smr::handle_rrep(Packet&& p, NodeId from) {
   (void)from;
   const auto& h = p.header<DsrRrepHeader>();
-  const std::size_t pos = h.hops_done;
+  const std::size_t pos = p.hop().cursor;
   if (pos >= h.route.size() || h.route[pos] != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
@@ -338,9 +339,9 @@ void Smr::handle_rrep(Packet&& p, NodeId from) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  auto& hm = p.mutable_header<DsrRrepHeader>();
-  hm.hops_done = static_cast<std::uint16_t>(pos - 1);
-  const NodeId next = hm.route[pos - 1];
+  // Pure forwarding hop: only the cell moves; the body stays shared.
+  p.mutable_hop().cursor = static_cast<std::uint16_t>(pos - 1);
+  const NodeId next = h.route[pos - 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
@@ -355,20 +356,20 @@ void Smr::handle_data(Packet&& p, NodeId from) {
     return;
   }
   const auto* sr = p.header_if<DsrSourceRoute>();
-  if (sr == nullptr || p.common().ttl <= 1) {
+  if (sr == nullptr || p.hop().ttl <= 1) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  const std::size_t my_idx = static_cast<std::size_t>(sr->index) + 1;
+  const std::size_t my_idx = static_cast<std::size_t>(p.hop().cursor) + 1;
   if (my_idx + 1 >= sr->route.size() || sr->route[my_idx] != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  // Mutating tail (`sr` refers to the pre-clone body; do not use it).
-  --p.mutable_common().ttl;
-  auto& srm = p.mutable_header<DsrSourceRoute>();
-  srm.index = static_cast<std::uint16_t>(my_idx);
-  const NodeId next = srm.route[my_idx + 1];
+  // Pure forwarding hop: TTL + cursor are cell writes; the body (and its
+  // cached wire image) stays shared down the whole chain.
+  --p.mutable_hop().ttl;
+  p.mutable_hop().cursor = static_cast<std::uint16_t>(my_idx);
+  const NodeId next = sr->route[my_idx + 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 
@@ -399,7 +400,7 @@ void Smr::on_link_failure(const Packet& packet, NodeId next_hop) {
       h.notify = src;
       h.from = self();
       h.to = next_hop;
-      for (std::size_t i = sr->index + 1; i-- > 0;) {
+      for (std::size_t i = std::size_t{packet.hop().cursor} + 1; i-- > 0;) {
         h.back_path.push_back(sr->route[i]);
       }
       h.back_path.insert(h.back_path.begin(), self());
@@ -410,9 +411,10 @@ void Smr::on_link_failure(const Packet& packet, NodeId next_hop) {
         common.kind = PacketKind::kDsrRerr;
         common.src = self();
         common.dst = src;
-        common.ttl = cfg_.max_route_len;
         common.uid = ctx_.uids->next();
         common.originated = now();
+        rerr.mutable_hop().ttl = cfg_.max_route_len;
+        rerr.mutable_hop().cursor = 0;  // back_path index of the reporter
         rerr.mutable_routing() = std::move(h);
         send_to_mac(std::move(rerr), next, /*originated_here=*/true);
       }
@@ -452,14 +454,14 @@ void Smr::handle_rerr(Packet&& p, NodeId from) {
     }
     return;
   }
-  const std::size_t my_idx = static_cast<std::size_t>(h.hops_done) + 1;
+  const std::size_t my_idx = static_cast<std::size_t>(p.hop().cursor) + 1;
   if (my_idx + 1 >= h.back_path.size() || h.back_path[my_idx] != self()) {
     drop(p, net::DropReason::kStaleRoute);
     return;
   }
-  auto& hm = p.mutable_header<DsrRerrHeader>();
-  hm.hops_done = static_cast<std::uint16_t>(my_idx);
-  const NodeId next = hm.back_path[my_idx + 1];
+  // Pure forwarding hop: only the cell moves; the body stays shared.
+  p.mutable_hop().cursor = static_cast<std::uint16_t>(my_idx);
+  const NodeId next = h.back_path[my_idx + 1];
   send_to_mac(std::move(p), next, /*originated_here=*/false);
 }
 

@@ -98,6 +98,46 @@ TEST(PacketPlaneTest, ForwardingClonesButOnlyOnMutatingHops) {
   EXPECT_LT(clones, m.events_executed / 10);
 }
 
+TEST(PacketPlaneTest, MutatingForwardChainIsZeroClone) {
+  // Model a 5-hop unicast forward of one DSR data packet the way the
+  // stack does it: every hop pins a sibling handle (channel pool, MAC
+  // retry buffer, trace sink) while the forwarder rewrites the TTL and
+  // the source-route cursor.  All of that per-hop state lives in the
+  // handle cell, so the shared body must never clone — zero cow_clones,
+  // zero pool acquires, one cell write per mutation.
+  net::Packet p;
+  auto& c = p.mutable_common();
+  c.kind = net::PacketKind::kTcpData;
+  c.src = 0;
+  c.dst = 5;
+  c.payload_bytes = 512;
+  p.mutable_tcp() = net::TcpHeader{};
+  net::DsrSourceRoute sr;
+  sr.route = {0, 1, 2, 3, 4, 5};
+  p.mutable_routing() = sr;
+  p.mutable_hop().ttl = 16;
+
+  const auto before = net::packet_pool_stats();
+  std::vector<net::Packet> held;
+  for (int hop = 0; hop < 5; ++hop) {
+    held.push_back(p);  // the sibling a real hop would keep alive
+    --p.mutable_hop().ttl;
+    ++p.mutable_hop().cursor;
+  }
+  const auto after = net::packet_pool_stats();
+  EXPECT_EQ(after.cow_clones, before.cow_clones);
+  EXPECT_EQ(after.acquired, before.acquired);
+  EXPECT_EQ(after.cell_acquired, before.cell_acquired + 10);
+  EXPECT_EQ(p.hop().ttl, 11);
+  EXPECT_EQ(p.hop().cursor, 5u);
+  // Each pinned sibling still shows the cell exactly as of its hop.
+  for (int hop = 0; hop < 5; ++hop) {
+    EXPECT_EQ(held[static_cast<std::size_t>(hop)].hop().ttl, 16 - hop);
+    EXPECT_EQ(held[static_cast<std::size_t>(hop)].hop().cursor,
+              static_cast<std::uint16_t>(hop));
+  }
+}
+
 TEST(PacketPlaneTest, ScenariosReturnEveryBodyToThePool) {
   const auto before = net::packet_pool_stats().live();
   for (Protocol p :
@@ -148,7 +188,7 @@ TEST(PacketPlaneTest, TraceSinkRecordsAreImmuneToDownstreamMutation) {
       EXPECT_TRUE(h0.record.empty());  // unperturbed by the relay's append
       ASSERT_EQ(h1.record.size(), 1u);
       EXPECT_EQ(h1.record[0], 1u);
-      EXPECT_EQ(orig.packet.common().ttl, fwd.packet.common().ttl + 1);
+      EXPECT_EQ(orig.packet.hop().ttl, fwd.packet.hop().ttl + 1);
       checked = true;
       break;
     }

@@ -94,18 +94,18 @@ TEST_F(MacTest, ReceiverMutationDoesNotPerturbTheSendersRetryBuffer) {
   // retransmission would carry the receiver's mutation.
   Mac80211::Callbacks cb;
   cb.on_receive = [this](net::Packet&& p, net::NodeId) {
-    --p.mutable_common().ttl;
+    --p.mutable_hop().ttl;
     stations_[1].received.push_back(std::move(p));
   };
   stations_[1].mac->set_callbacks(std::move(cb));
   net::Packet p = data_packet(0, 1);
-  p.mutable_common().ttl = 32;
+  p.mutable_hop().ttl = 32;
   stations_[0].mac->enqueue(std::move(p), 1);
   sched_.run_until(sim::Time::ms(100));
   ASSERT_EQ(stations_[1].received.size(), 1u);
-  EXPECT_EQ(stations_[1].received[0].common().ttl, 31);
+  EXPECT_EQ(stations_[1].received[0].hop().ttl, 31);
   ASSERT_EQ(stations_[0].successes.size(), 1u);
-  EXPECT_EQ(stations_[0].successes[0].common().ttl, 32);
+  EXPECT_EQ(stations_[0].successes[0].hop().ttl, 32);
 }
 
 TEST_F(MacTest, UnicastToAbsentNodeFailsAfterRetryLimit) {

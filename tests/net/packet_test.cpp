@@ -127,19 +127,19 @@ TEST(PacketTest, MutatingASharedBodyClonesItFirst) {
   DsrSourceRoute sr;
   sr.route = {1, 2, 3};
   a.mutable_routing() = sr;
-  a.mutable_common().ttl = 32;
+  a.mutable_common().uid = 32;
 
   Packet b = a;
   const auto before = packet_pool_stats().cow_clones;
   std::get<DsrSourceRoute>(b.mutable_routing()).route.push_back(4);
-  --b.mutable_common().ttl;
+  b.mutable_common().uid = 31;
   EXPECT_EQ(packet_pool_stats().cow_clones, before + 1);  // one clone, then unique
 
   // The sibling still sees the original body, bit for bit.
   EXPECT_EQ(std::get<DsrSourceRoute>(a.routing()).route.size(), 3u);
-  EXPECT_EQ(a.common().ttl, 32);
+  EXPECT_EQ(a.common().uid, 32u);
   EXPECT_EQ(std::get<DsrSourceRoute>(b.routing()).route.size(), 4u);
-  EXPECT_EQ(b.common().ttl, 31);
+  EXPECT_EQ(b.common().uid, 31u);
   EXPECT_TRUE(a.unique());
   EXPECT_TRUE(b.unique());
 }
@@ -147,11 +147,46 @@ TEST(PacketTest, MutatingASharedBodyClonesItFirst) {
 TEST(PacketTest, MutatingAUniqueBodyNeverClones) {
   Packet p;
   const auto before = packet_pool_stats().cow_clones;
-  p.mutable_common().ttl = 5;
+  p.mutable_common().uid = 5;
   auto& sr = p.mutable_routing();
   sr = DsrSourceRoute{};
-  --p.mutable_common().ttl;
+  p.mutable_common().uid = 4;
   EXPECT_EQ(packet_pool_stats().cow_clones, before);
+}
+
+TEST(PacketTest, HopCellMutatesWithoutCloningAndStaysPerHandle) {
+  Packet a;
+  a.mutable_common().uid = 1;
+  EXPECT_EQ(a.hop().ttl, 32);  // freshly originated default
+
+  Packet b = a;
+  const auto before = packet_pool_stats();
+  --b.mutable_hop().ttl;
+  b.mutable_hop().cursor = 3;
+  // No clone, no acquire: the cell lives in the handle, not the body.
+  EXPECT_EQ(packet_pool_stats().cow_clones, before.cow_clones);
+  EXPECT_EQ(packet_pool_stats().acquired, before.acquired);
+  EXPECT_EQ(packet_pool_stats().cell_acquired, before.cell_acquired + 2);
+  EXPECT_EQ(a.ref_count(), 2u);  // still shared
+
+  // CoW-observable isolation: the sibling keeps its own cell...
+  EXPECT_EQ(a.hop().ttl, 32);
+  EXPECT_EQ(a.hop().cursor, 0);
+  EXPECT_EQ(b.hop().ttl, 31);
+  EXPECT_EQ(b.hop().cursor, 3u);
+  // ...and later copies carry the mutation forward.
+  Packet c = b;
+  EXPECT_EQ(c.hop().ttl, 31);
+  EXPECT_EQ(c.hop().cursor, 3u);
+}
+
+TEST(PacketTest, HopCellResetsWithTheHandle) {
+  Packet p;
+  p.mutable_common().uid = 2;
+  p.mutable_hop().ttl = 7;
+  p.mutable_hop().hops = 4;
+  p.reset();
+  EXPECT_EQ(p.hop(), HopState{});
 }
 
 TEST(PacketTest, LastReleaseReturnsTheBodyToThePool) {

@@ -48,7 +48,6 @@ CommonHeader rcommon(sim::Rng& rng, PacketKind kind) {
   c.kind = kind;
   c.src = rnode(rng);
   c.dst = rnode(rng);
-  c.ttl = ru8(rng);
   c.uid = ru32(rng);
   c.payload_bytes = is_transport(kind)
                         ? static_cast<std::uint32_t>(rng.uniform_int(0, 1500))
@@ -76,6 +75,9 @@ struct Sample {
   bool has_tcp = false;
   TcpHeader tcp;
   RoutingHeader routing;
+  /// Per-hop cell; the TTL byte always travels, hops/cursor only where
+  /// the kind's wire layout carries the corresponding field.
+  HopState hop;
   std::vector<std::uint8_t> payload;
 };
 
@@ -97,7 +99,6 @@ Sample sample_for(std::size_t alternative, sim::Rng& rng) {
       h.orig_seq = ru32(rng);
       h.dst_seq = ru32(rng);
       h.dst_seq_known = rng.bernoulli(0.5);
-      h.hop_count = ru8(rng);
       s.routing = h;
       break;
     }
@@ -107,7 +108,6 @@ Sample sample_for(std::size_t alternative, sim::Rng& rng) {
       h.orig = rnode(rng);
       h.dst = rnode(rng);
       h.dst_seq = ru32(rng);
-      h.hop_count = ru8(rng);
       h.lifetime = sim::Time::ns(rng.uniform_int(0, (1LL << 48) - 1));
       s.routing = h;
       break;
@@ -138,7 +138,6 @@ Sample sample_for(std::size_t alternative, sim::Rng& rng) {
       h.route = rroute(rng, 2);
       h.orig = h.route.front();  // v1 invariant: route spans orig..target
       h.target = h.route.back();
-      h.hops_done = ru16(rng);
       s.routing = h;
       break;
     }
@@ -149,7 +148,6 @@ Sample sample_for(std::size_t alternative, sim::Rng& rng) {
       h.from = rnode(rng);
       h.to = rnode(rng);
       h.back_path = rroute(rng);
-      h.hops_done = ru16(rng);
       s.routing = h;
       break;
     }
@@ -157,7 +155,6 @@ Sample sample_for(std::size_t alternative, sim::Rng& rng) {
       s.common = rcommon(rng, PacketKind::kTcpData);
       DsrSourceRoute h;
       h.route = rroute(rng);
-      h.index = ru16(rng);
       h.salvaged = rng.bernoulli(0.5);
       s.routing = h;
       break;
@@ -168,7 +165,6 @@ Sample sample_for(std::size_t alternative, sim::Rng& rng) {
       h.bcast_id = ru32(rng);
       h.orig = rnode(rng);
       h.dst = rnode(rng);
-      h.hop_count = ru8(rng);
       h.nodes = rroute(rng);
       s.routing = h;
       break;
@@ -179,9 +175,8 @@ Sample sample_for(std::size_t alternative, sim::Rng& rng) {
       h.rrep_id = ru32(rng);
       h.orig = rnode(rng);
       h.dst = rnode(rng);
-      h.hop_count = ru8(rng);
+      h.hop_count = ru8(rng);  // origin-stamped total, stays in the header
       h.nodes = rroute(rng);
-      h.hops_done = ru16(rng);
       s.routing = h;
       break;
     }
@@ -192,9 +187,8 @@ Sample sample_for(std::size_t alternative, sim::Rng& rng) {
       h.path_id = ru16(rng);
       h.checker = rnode(rng);
       h.source = s.common.dst;  // v1 invariant
-      h.hop_count = ru8(rng);
+      h.hop_count = ru8(rng);  // origin-stamped total, stays in the header
       h.nodes = rroute(rng);
-      h.hops_done = ru16(rng);
       s.routing = h;
       break;
     }
@@ -208,7 +202,6 @@ Sample sample_for(std::size_t alternative, sim::Rng& rng) {
       h.broken_from = rnode(rng);
       h.broken_to = rnode(rng);
       h.nodes = rroute(rng);
-      h.hops_done = ru16(rng);
       s.routing = h;
       break;
     }
@@ -242,6 +235,9 @@ Sample sample_for(std::size_t alternative, sim::Rng& rng) {
     default:
       ADD_FAILURE() << "no such alternative";
   }
+  s.hop.ttl = ru8(rng);
+  s.hop.hops = ru8(rng);
+  s.hop.cursor = ru16(rng);
   if (is_transport(s.common.kind)) {
     s.has_tcp = true;
     s.tcp = rtcp(rng);
@@ -255,7 +251,8 @@ constexpr std::size_t kAlternatives = 15;
 
 std::vector<std::uint8_t> encode_sample(const Sample& s) {
   std::vector<std::uint8_t> buf;
-  encode_headers(s.common, s.has_tcp ? &s.tcp : nullptr, s.routing, buf);
+  encode_headers(s.common, s.has_tcp ? &s.tcp : nullptr, s.routing, buf,
+                 s.hop);
   buf.insert(buf.end(), s.payload.begin(), s.payload.end());
   return buf;
 }
@@ -347,9 +344,13 @@ TEST(WireRoundTripTest, EveryAlternativeRoundTripsBitIdentically) {
       back.has_tcp = d->tcp.has_value();
       if (back.has_tcp) back.tcp = *d->tcp;
       back.routing = d->routing;
+      back.hop = d->hop;
       back.payload.assign(buf.begin() + static_cast<std::ptrdiff_t>(d->payload_offset),
                           buf.end());
       EXPECT_EQ(encode_sample(back), buf) << "alternative " << a;
+      // The TTL byte travels for every kind; hops/cursor only where the
+      // kind's layout carries them (the re-encode above covers those).
+      EXPECT_EQ(d->hop.ttl, s.hop.ttl);
       // Spot checks on the reconstituted redundant fields.
       EXPECT_EQ(d->common.src, s.common.src);
       EXPECT_EQ(d->common.dst, s.common.dst);
@@ -367,6 +368,16 @@ TEST(WireRoundTripTest, ReconstitutedFieldsComeFromTheCommonHeader) {
   const auto d = decode_packet(encode_sample(s));
   ASSERT_TRUE(d.has_value());
   EXPECT_EQ(std::get<DsrRreqHeader>(d->routing).orig, s.common.src);
+
+  const Sample q = sample_for(1, rng);  // AODV RREQ: hop count off the wire
+  const auto dq = decode_packet(encode_sample(q));
+  ASSERT_TRUE(dq.has_value());
+  EXPECT_EQ(dq->hop.hops, q.hop.hops);
+
+  const Sample r = sample_for(5, rng);  // DSR RREP: cursor off the wire
+  const auto dr = decode_packet(encode_sample(r));
+  ASSERT_TRUE(dr.has_value());
+  EXPECT_EQ(dr->hop.cursor, r.hop.cursor);
 
   const Sample c = sample_for(10, rng);  // MTS check
   const auto dc = decode_packet(encode_sample(c));
@@ -492,7 +503,7 @@ TEST(WireRejectTest, TruncatedPrefixesAreRejectedOrSelfConsistent) {
       if (!d.has_value()) continue;
       std::vector<std::uint8_t> again;
       encode_headers(d->common, d->tcp.has_value() ? &*d->tcp : nullptr,
-                     d->routing, again);
+                     d->routing, again, d->hop);
       again.insert(again.end(), buf.begin() + static_cast<std::ptrdiff_t>(d->payload_offset),
                    buf.begin() + static_cast<std::ptrdiff_t>(len));
       EXPECT_EQ(again, std::vector<std::uint8_t>(buf.begin(),

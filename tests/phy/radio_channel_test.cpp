@@ -197,10 +197,11 @@ TEST_F(RadioChannelTest, TransmitterSeesOwnBusyPeriod) {
 
 TEST_F(RadioChannelTest, NeighborsOfReportsExact) {
   build({{0, 0}, {100, 0}, {240, 0}, {600, 0}});
-  auto n0 = channel_->neighbors_of(0, sim::Time::zero());
-  EXPECT_EQ(n0, (std::vector<net::NodeId>{1, 2}));
-  auto n3 = channel_->neighbors_of(3, sim::Time::zero());
-  EXPECT_TRUE(n3.empty());
+  Channel::NeighborVec n;
+  channel_->neighbors_of(0, sim::Time::zero(), n);
+  EXPECT_EQ(n, (std::vector<net::NodeId>{1, 2}));
+  channel_->neighbors_of(3, sim::Time::zero(), n);
+  EXPECT_TRUE(n.empty());  // refilling must discard the previous result
 }
 
 TEST_F(RadioChannelTest, NeighborsOfThroughTheSpatialIndexMatchesTheScan) {
@@ -208,11 +209,13 @@ TEST_F(RadioChannelTest, NeighborsOfThroughTheSpatialIndexMatchesTheScan) {
   // the result (exact membership, ascending order) must be identical.
   build({{0, 0}, {100, 0}, {240, 0}, {600, 0}}, 250.0, 1.0,
         /*use_index=*/true);
-  EXPECT_EQ(channel_->neighbors_of(0, sim::Time::zero()),
-            (std::vector<net::NodeId>{1, 2}));
-  EXPECT_EQ(channel_->neighbors_of(2, sim::Time::zero()),
-            (std::vector<net::NodeId>{0, 1}));
-  EXPECT_TRUE(channel_->neighbors_of(3, sim::Time::zero()).empty());
+  Channel::NeighborVec n;
+  channel_->neighbors_of(0, sim::Time::zero(), n);
+  EXPECT_EQ(n, (std::vector<net::NodeId>{1, 2}));
+  channel_->neighbors_of(2, sim::Time::zero(), n);
+  EXPECT_EQ(n, (std::vector<net::NodeId>{0, 1}));
+  channel_->neighbors_of(3, sim::Time::zero(), n);
+  EXPECT_TRUE(n.empty());
 }
 
 TEST_F(RadioChannelTest, InFlightBroadcastSiblingsSurviveReceiverMutation) {
@@ -225,7 +228,7 @@ TEST_F(RadioChannelTest, InFlightBroadcastSiblingsSurviveReceiverMutation) {
   radios_[1]->set_callbacks(Radio::Callbacks{
       [&fwd](const Frame& f) {
         fwd = f.payload;  // refcount bump, as the MAC/routing seam does
-        --fwd.mutable_common().ttl;
+        --fwd.mutable_hop().ttl;
         std::get<net::DsrRreqHeader>(fwd.mutable_routing())
             .record.push_back(1);
       },
@@ -235,7 +238,7 @@ TEST_F(RadioChannelTest, InFlightBroadcastSiblingsSurviveReceiverMutation) {
   });
   Frame f = frame(0, net::kBroadcastId);
   f.payload.mutable_common().kind = net::PacketKind::kDsrRreq;
-  f.payload.mutable_common().ttl = 32;
+  f.payload.mutable_hop().ttl = 32;
   net::DsrRreqHeader h;
   h.orig = 0;
   f.payload.mutable_routing() = h;
@@ -243,14 +246,14 @@ TEST_F(RadioChannelTest, InFlightBroadcastSiblingsSurviveReceiverMutation) {
   sched_.run();
   // The relay saw (and kept) its mutated clone...
   ASSERT_TRUE(fwd.has_body());
-  EXPECT_EQ(fwd.common().ttl, 31);
+  EXPECT_EQ(fwd.hop().ttl, 31);
   // ...while the far receiver decoded the untouched original.
   ASSERT_EQ(received_[2].size(), 1u);
   const net::Packet& far = received_[2][0].payload;
-  EXPECT_EQ(far.common().ttl, 32);
+  EXPECT_EQ(far.hop().ttl, 32);
   EXPECT_TRUE(std::get<net::DsrRreqHeader>(far.routing()).record.empty());
   // The sender's handle is intact too.
-  EXPECT_EQ(f.payload.common().ttl, 32);
+  EXPECT_EQ(f.payload.hop().ttl, 32);
 }
 
 TEST_F(RadioChannelTest, StatsCountDecodes) {

@@ -205,12 +205,20 @@ TEST(SecrecyPlaneTest, WireImageCachesOnThePacketBody) {
 
   // A second tap of the same frame reuses the cached payload.
   std::vector<std::uint8_t> img2;
+  const auto hits_before = net::packet_pool_stats().wire_cache_hits;
   ASSERT_TRUE(plane.wire_image(p, img2));
+  EXPECT_EQ(net::packet_pool_stats().wire_cache_hits, hits_before + 1);
   EXPECT_EQ(p.wire_payload(), cached);
   EXPECT_EQ(img1, img2);
 
-  // Any write invalidates the cache: the frame on the air changed.
-  p.mutable_common().ttl -= 1;
+  // Per-hop cell writes leave the body alone: the cached image survives
+  // a forwarding hop (the payload bytes on the air are unchanged).
+  p.mutable_hop().ttl -= 1;
+  p.mutable_hop().cursor += 1;
+  EXPECT_EQ(p.wire_payload(), cached);
+
+  // A body write still invalidates: the frame on the air changed.
+  p.mutable_common().payload_bytes -= 1;
   EXPECT_EQ(p.wire_payload(), nullptr);
 
   // Non-game packets are not imaged.
