@@ -24,14 +24,119 @@
 // Environment overrides: the standard MTS_BENCH_* set (bench_common.hpp)
 // plus MTS_BENCH_COALITIONS (comma list of coalition sizes, default
 // 1,2,4).
+//
+// Fabric flags (docs/architecture/campaign-fabric.md): --fabric runs the
+// sweep through the crash-resilient process-isolated supervisor;
+// --shard i/n executes only every n-th work unit (multi-host slicing);
+// --resume ingests complete shards from a previous (possibly killed)
+// invocation and runs only what is missing or failed; --timeout,
+// --max-retries, --workers and --cells-per-unit tune the supervisor;
+// --csv-out PATH exports the merged v9 CSV for diffing/archiving.
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 #include "bench_common.hpp"
+#include "harness/campaign_csv.hpp"
+#include "harness/supervisor.hpp"
 
-int main() {
+namespace {
+
+struct CliOptions {
+  bool fabric = false;
+  mts::harness::FabricConfig fab;
+  std::string csv_out;
+};
+
+bool parse_cli(int argc, char** argv, CliOptions& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--fabric") {
+        opt.fabric = true;
+      } else if (arg == "--resume") {
+        opt.fabric = true;
+        opt.fab.resume = true;
+      } else if (arg == "--no-resume") {
+        opt.fabric = true;
+        opt.fab.resume = false;
+      } else if (arg == "--shard") {
+        const char* v = next_value("--shard");
+        if (v == nullptr) return false;
+        const std::string spec = v;
+        const auto slash = spec.find('/');
+        if (slash == std::string::npos) {
+          std::cerr << "error: --shard wants i/n (e.g. --shard 1/3)\n";
+          return false;
+        }
+        opt.fabric = true;
+        opt.fab.shard_index =
+            static_cast<std::uint32_t>(std::stoul(spec.substr(0, slash)));
+        opt.fab.shard_count =
+            static_cast<std::uint32_t>(std::stoul(spec.substr(slash + 1)));
+        if (opt.fab.shard_count == 0 ||
+            opt.fab.shard_index >= opt.fab.shard_count) {
+          std::cerr << "error: --shard wants i < n\n";
+          return false;
+        }
+      } else if (arg == "--timeout") {
+        const char* v = next_value("--timeout");
+        if (v == nullptr) return false;
+        opt.fabric = true;
+        opt.fab.unit_timeout_s = std::stod(v);
+      } else if (arg == "--max-retries") {
+        const char* v = next_value("--max-retries");
+        if (v == nullptr) return false;
+        opt.fabric = true;
+        opt.fab.max_retries = static_cast<std::uint32_t>(std::stoul(v));
+      } else if (arg == "--workers") {
+        const char* v = next_value("--workers");
+        if (v == nullptr) return false;
+        opt.fabric = true;
+        opt.fab.workers = static_cast<unsigned>(std::stoul(v));
+      } else if (arg == "--cells-per-unit") {
+        const char* v = next_value("--cells-per-unit");
+        if (v == nullptr) return false;
+        opt.fabric = true;
+        opt.fab.cells_per_unit = std::stoul(v);
+      } else if (arg == "--csv-out") {
+        const char* v = next_value("--csv-out");
+        if (v == nullptr) return false;
+        opt.csv_out = v;
+      } else if (arg == "--help" || arg == "-h") {
+        std::cout
+            << "usage: ext_adversary_sweep [--fabric] [--shard i/n] "
+               "[--resume|--no-resume]\n"
+               "         [--timeout S] [--max-retries N] [--workers N]\n"
+               "         [--cells-per-unit K] [--csv-out PATH]\n";
+        std::exit(0);
+      } else {
+        std::cerr << "error: unknown flag '" << arg << "' (try --help)\n";
+        return false;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "error: bad value for " << arg << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace mts;
+  CliOptions opt;
+  if (!parse_cli(argc, argv, opt)) return 2;
   harness::CampaignConfig cfg;
   harness::apply_bench_env(cfg);
   cfg.protocols = {harness::Protocol::kAodv, harness::Protocol::kMts};
@@ -118,8 +223,38 @@ int main() {
             << cfg.repetitions << " reps, "
             << cfg.base.sim_time.to_seconds() << "s each\n";
 
-  const harness::CampaignResult result =
-      harness::CampaignCache::run(cfg, &std::cerr);
+  harness::CampaignResult result;
+  if (opt.fabric) {
+    const harness::FabricReport report =
+        harness::run_campaign_fabric(cfg, opt.fab, &std::cerr);
+    result = std::move(report.result);
+    if (!report.failures.empty()) {
+      std::cout << "\n!!! " << report.failures.size()
+                << " work unit(s) degraded to failed rows (summaries below "
+                   "cover ok rows only):\n";
+      for (const harness::FailedUnit& f : report.failures) {
+        std::cout << "  unit " << (f.index + 1) << '/' << report.units_total
+                  << " after " << f.attempts << " attempts: " << f.error
+                  << "\n";
+      }
+    }
+    if (!report.complete) {
+      std::cout << "\n(grid incomplete: this invocation ran shard "
+                << opt.fab.shard_index << '/' << opt.fab.shard_count
+                << "; rerun with --resume once all shards finished to "
+                   "merge)\n";
+    }
+  } else {
+    result = harness::CampaignCache::run(cfg, &std::cerr);
+  }
+  if (!opt.csv_out.empty()) {
+    std::ofstream out(opt.csv_out, std::ios::trunc);
+    if (!out) {
+      std::cerr << "error: cannot write " << opt.csv_out << "\n";
+      return 1;
+    }
+    harness::csv::write_campaign(out, cfg, result);
+  }
 
   harness::print_adversary_figure(
       std::cout, result, cfg,

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <thread>
 
+#include "harness/progress.hpp"
 #include "sim/error.hpp"
 #include "stats/table.hpp"
 
@@ -71,8 +72,13 @@ const std::vector<RunMetrics>& CampaignResult::runs(
 stats::Summary CampaignResult::summarize(
     Protocol p, double speed, std::uint32_t adversary, std::uint32_t defense,
     const std::function<double(const RunMetrics&)>& metric) const {
+  // Honest accounting: `failed` placeholder rows from the fabric carry
+  // zeros for every metric — averaging them in would silently bias
+  // false_positive_rate, paired-seed deltas and every figure toward 0.
+  // Only ok rows contribute; a fully failed cell reports count() == 0.
   stats::Summary s;
   for (const RunMetrics& m : runs(p, speed, adversary, defense)) {
+    if (m.run_status != RunStatus::kOk) continue;
     s.add(metric(m));
   }
   return s;
@@ -113,6 +119,7 @@ CampaignResult run_campaign(const CampaignConfig& cfg,
   std::vector<RunMetrics> results(work.size());
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  ProgressSink sink(progress);
 
   unsigned n_threads = cfg.threads != 0 ? cfg.threads
                                         : std::max(1u, std::thread::hardware_concurrency());
@@ -132,14 +139,14 @@ CampaignResult run_campaign(const CampaignConfig& cfg,
       results[i].adversary_index = work[i].adversary;
       results[i].defense_index = work[i].defense;
       const std::size_t d = done.fetch_add(1) + 1;
-      if (progress != nullptr) {
-        std::ostringstream os;  // single write keeps lines intact
+      if (sink.enabled()) {
+        std::ostringstream os;
         os << "  [" << d << "/" << work.size() << "] "
            << protocol_name(work[i].protocol) << " speed=" << work[i].speed
            << " adversary=" << adversary_label(cfg.adversaries[work[i].adversary])
            << " defense=" << defense_label(cfg.defenses[work[i].defense])
-           << " seed=" << work[i].seed << "\n";
-        (*progress) << os.str() << std::flush;
+           << " seed=" << work[i].seed;
+        sink.line(os.str());
       }
     }
   };

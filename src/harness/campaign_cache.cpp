@@ -3,210 +3,34 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <limits>
 #include <sstream>
 
+#include "harness/campaign_csv.hpp"
 #include "sim/rng.hpp"
 
 namespace mts::harness {
 
 namespace {
 
-constexpr int kCacheVersion = 8;
-
 bool cache_disabled() {
   const char* v = std::getenv("MTS_BENCH_NO_CACHE");
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
-std::filesystem::path cache_dir() {
+}  // namespace
+
+std::filesystem::path CampaignCache::directory() {
   if (const char* v = std::getenv("MTS_BENCH_CACHE_DIR")) {
     return std::filesystem::path(v);
   }
   return std::filesystem::path(".mts_bench_cache");
 }
 
-/// The CSV column set: one row per run, order matters.  v8 inserts the
-/// five secrecy-game columns after the defense block; the members list
-/// stays last for the trailing-sentinel logic below.
-constexpr const char* kHeader =
-    "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
-    "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
-    "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
-    "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
-    "adv_ri,adv_missing,adv_absorbed,adv_tunneled,adv_gray_absorbed,"
-    "adv_endpoint_acc,adv_flood_injected,def_index,def_kind,def_detect_s,"
-    "def_quarantined,def_recovery_s,def_fpr,def_suppressed,def_probes,"
-    "sec_shares,sec_threshold,sec_captured,sec_keys,sec_recovery,"
-    "adv_members";
-
-/// Older column sets are still parsed, with the later metrics zeroed.
-/// Note the version is part of the hashed cache *key*, so old cache
-/// files are not found automatically; this path serves hand-kept or
-/// migrated CSVs (the store format doubles as a user-facing export) and
-/// the checked-in compatibility fixtures.  v6 added the four
-/// active-attack columns; v7 added the eight defense columns; v8 added
-/// the five secrecy-game columns.
-constexpr const char* kHeaderV7 =
-    "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
-    "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
-    "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
-    "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
-    "adv_ri,adv_missing,adv_absorbed,adv_tunneled,adv_gray_absorbed,"
-    "adv_endpoint_acc,adv_flood_injected,def_index,def_kind,def_detect_s,"
-    "def_quarantined,def_recovery_s,def_fpr,def_suppressed,def_probes,"
-    "adv_members";
-constexpr const char* kHeaderV6 =
-    "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
-    "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
-    "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
-    "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
-    "adv_ri,adv_missing,adv_absorbed,adv_tunneled,adv_gray_absorbed,"
-    "adv_endpoint_acc,adv_flood_injected,adv_members";
-
-constexpr const char* kHeaderV5 =
-    "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
-    "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
-    "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
-    "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
-    "adv_ri,adv_missing,adv_absorbed,adv_members";
-
-constexpr std::size_t kCellsV8 = 51;
-constexpr std::size_t kCellsV7 = 46;
-constexpr std::size_t kCellsV6 = 38;
-constexpr std::size_t kCellsV5 = 34;
-
-void write_row(std::ostream& os, const RunMetrics& m) {
-  // Round-trip exactly: the cache's contract is bit-for-bit replay, and
-  // the default 6 significant digits would truncate every double.
-  os.precision(std::numeric_limits<double>::max_digits10);
-  os << static_cast<int>(m.protocol) << ',' << m.max_speed << ',' << m.seed
-     << ',' << m.participating_nodes << ',' << m.relay_stddev << ','
-     << m.alpha << ',' << m.max_beta << ',' << m.highest_interception_ratio
-     << ',' << m.pe << ',' << m.pr << ',' << m.interception_ratio << ','
-     << m.avg_delay_s << ',' << m.throughput_seg_s << ','
-     << m.throughput_kbps << ',' << m.delivery_rate << ','
-     << m.segments_delivered << ',' << m.data_packets_sent << ','
-     << m.retransmits << ',' << m.timeouts << ',' << m.acks_sent << ','
-     << m.acks_received << ',' << m.eavesdropper << ',' << m.control_packets
-     << ',' << m.route_switches << ',' << m.checks_sent << ','
-     << m.events_executed << ',' << m.adversary_index << ','
-     << static_cast<int>(m.adversary_kind) << ',' << m.adversary_count << ','
-     << m.coalition_captured << ',' << m.coalition_interception_ratio << ','
-     << m.fragments_missing << ',' << m.blackhole_absorbed << ','
-     << m.wormhole_tunneled << ',' << m.grayhole_absorbed << ','
-     << m.endpoint_inference_accuracy << ',' << m.flood_injected << ','
-     << m.defense_index << ',' << static_cast<int>(m.defense_kind) << ','
-     << m.detection_time_s << ',' << m.paths_quarantined << ','
-     << m.recovery_time_s << ',' << m.false_positive_rate << ','
-     << m.flood_suppressed << ',' << m.probes_sent << ','
-     << m.secrecy_shares << ',' << m.secrecy_threshold << ','
-     << m.shares_captured << ',' << m.keys_recovered << ','
-     << m.key_recovery_rate << ',';
-  // '-' sentinel keeps the empty-members cell from being eaten by the
-  // trailing-delimiter behaviour of getline-based parsing.
-  if (m.adversary_members.empty()) {
-    os << '-';
-  } else {
-    for (net::NodeId id : m.adversary_members) os << id << '.';
-  }
-  os << '\n';
-}
-
-std::optional<RunMetrics> parse_row(const std::string& line) {
-  std::stringstream ss(line);
-  std::string cell;
-  std::vector<std::string> cells;
-  while (std::getline(ss, cell, ',')) cells.push_back(cell);
-  if (cells.size() != kCellsV8 && cells.size() != kCellsV7 &&
-      cells.size() != kCellsV6 && cells.size() != kCellsV5) {
-    return std::nullopt;
-  }
-  try {
-    RunMetrics m;
-    std::size_t i = 0;
-    m.protocol = static_cast<Protocol>(std::stoi(cells[i++]));
-    m.max_speed = std::stod(cells[i++]);
-    m.seed = std::stoull(cells[i++]);
-    m.participating_nodes = std::stoull(cells[i++]);
-    m.relay_stddev = std::stod(cells[i++]);
-    m.alpha = std::stoull(cells[i++]);
-    m.max_beta = std::stoull(cells[i++]);
-    m.highest_interception_ratio = std::stod(cells[i++]);
-    m.pe = std::stoull(cells[i++]);
-    m.pr = std::stoull(cells[i++]);
-    m.interception_ratio = std::stod(cells[i++]);
-    m.avg_delay_s = std::stod(cells[i++]);
-    m.throughput_seg_s = std::stod(cells[i++]);
-    m.throughput_kbps = std::stod(cells[i++]);
-    m.delivery_rate = std::stod(cells[i++]);
-    m.segments_delivered = std::stoull(cells[i++]);
-    m.data_packets_sent = std::stoull(cells[i++]);
-    m.retransmits = std::stoull(cells[i++]);
-    m.timeouts = std::stoull(cells[i++]);
-    m.acks_sent = std::stoull(cells[i++]);
-    m.acks_received = std::stoull(cells[i++]);
-    m.eavesdropper = static_cast<net::NodeId>(std::stoul(cells[i++]));
-    m.control_packets = std::stoull(cells[i++]);
-    m.route_switches = std::stoull(cells[i++]);
-    m.checks_sent = std::stoull(cells[i++]);
-    m.events_executed = std::stoull(cells[i++]);
-    m.adversary_index = static_cast<std::uint32_t>(std::stoul(cells[i++]));
-    m.adversary_kind =
-        static_cast<security::AdversaryKind>(std::stoi(cells[i++]));
-    m.adversary_count = static_cast<std::uint32_t>(std::stoul(cells[i++]));
-    m.coalition_captured = std::stoull(cells[i++]);
-    m.coalition_interception_ratio = std::stod(cells[i++]);
-    m.fragments_missing = std::stoull(cells[i++]);
-    m.blackhole_absorbed = std::stoull(cells[i++]);
-    if (cells.size() >= kCellsV6) {
-      m.wormhole_tunneled = std::stoull(cells[i++]);
-      m.grayhole_absorbed = std::stoull(cells[i++]);
-      m.endpoint_inference_accuracy = std::stod(cells[i++]);
-      m.flood_injected = std::stoull(cells[i++]);
-    }  // v5 rows: active-attack metrics stay zero
-    if (cells.size() >= kCellsV7) {
-      m.defense_index = static_cast<std::uint32_t>(std::stoul(cells[i++]));
-      m.defense_kind =
-          static_cast<security::DefenseKind>(std::stoi(cells[i++]));
-      m.detection_time_s = std::stod(cells[i++]);
-      m.paths_quarantined = std::stoull(cells[i++]);
-      m.recovery_time_s = std::stod(cells[i++]);
-      m.false_positive_rate = std::stod(cells[i++]);
-      m.flood_suppressed = std::stoull(cells[i++]);
-      m.probes_sent = std::stoull(cells[i++]);
-    }  // v5/v6 rows: defense metrics stay zero
-    if (cells.size() >= kCellsV8) {
-      m.secrecy_shares = static_cast<std::uint32_t>(std::stoul(cells[i++]));
-      m.secrecy_threshold = static_cast<std::uint32_t>(std::stoul(cells[i++]));
-      m.shares_captured = std::stoull(cells[i++]);
-      m.keys_recovered = std::stoull(cells[i++]);
-      m.key_recovery_rate = std::stod(cells[i++]);
-    }  // v5/v6/v7 rows: the secrecy game did not exist — metrics stay zero
-    if (cells[i] != "-") {
-      std::stringstream ms(cells[i]);
-      std::string id;
-      while (std::getline(ms, id, '.')) {
-        if (!id.empty()) {
-          m.adversary_members.push_back(
-              static_cast<net::NodeId>(std::stoul(id)));
-        }
-      }
-    }
-    ++i;
-    return m;
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
-}
-
-}  // namespace
-
 std::string CampaignCache::key_of(const CampaignConfig& cfg) {
   // Hash every result-affecting input.  Scenario knobs that the
   // ablation benches vary must be included or they would collide.
   std::ostringstream os;
-  os << 'v' << kCacheVersion << '|' << cfg.repetitions << '|'
+  os << 'v' << csv::kVersion << '|' << cfg.repetitions << '|'
      << cfg.seed_base << '|' << cfg.base.node_count << '|'
      << cfg.base.sim_time.nanoseconds() << '|' << cfg.base.field.width << 'x'
      << cfg.base.field.height << '|' << cfg.base.min_speed << '|'
@@ -254,20 +78,32 @@ std::string CampaignCache::key_of(const CampaignConfig& cfg) {
 
 std::optional<CampaignResult> CampaignCache::load(const CampaignConfig& cfg) {
   if (cache_disabled()) return std::nullopt;
-  const auto path = cache_dir() / (key_of(cfg) + ".csv");
-  std::ifstream in(path);
+  const auto path = directory() / (key_of(cfg) + ".csv");
+  std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
+  // Slurp the whole file: a store interrupted mid-write (power loss on a
+  // filesystem that shortened the rename guarantee, a hand-truncated
+  // export, ...) leaves a final line without its newline.  Requiring the
+  // terminator catches a truncation at *any* byte offset of the last
+  // row, including ones that would still split into a plausible cell
+  // count.
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  if (text.empty() || text.back() != '\n') return std::nullopt;
+  std::istringstream lines(text);
   std::string line;
-  if (!std::getline(in, line) ||
-      (line != kHeader && line != kHeaderV7 && line != kHeaderV6 &&
-       line != kHeaderV5)) {
-    return std::nullopt;
-  }
+  if (!std::getline(lines, line)) return std::nullopt;
+  // The header fixes the row width: a v9 file whose last row truncated
+  // down to a valid *older* width must not sneak through as that older
+  // version.
+  const auto cells = csv::header_cells(line);
+  if (!cells.has_value()) return std::nullopt;
   CampaignResult result;
   std::size_t rows = 0;
-  while (std::getline(in, line)) {
+  while (std::getline(lines, line)) {
     if (line.empty()) continue;
-    auto m = parse_row(line);
+    auto m = csv::parse_row(line, *cells);
     if (!m.has_value()) return std::nullopt;  // corrupt: full miss
     result.add(std::move(*m));
     ++rows;
@@ -283,25 +119,27 @@ void CampaignCache::store(const CampaignConfig& cfg,
                           const CampaignResult& result) {
   if (cache_disabled()) return;
   std::error_code ec;
-  std::filesystem::create_directories(cache_dir(), ec);
+  std::filesystem::create_directories(directory(), ec);
   if (ec) return;
-  const auto path = cache_dir() / (key_of(cfg) + ".csv");
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return;
-  out << kHeader << '\n';
-  for (Protocol p : cfg.protocols) {
-    for (double s : cfg.speeds) {
-      for (std::uint32_t a = 0;
-           a < static_cast<std::uint32_t>(cfg.adversaries.size()); ++a) {
-        for (std::uint32_t d = 0;
-             d < static_cast<std::uint32_t>(cfg.defenses.size()); ++d) {
-          for (const RunMetrics& m : result.runs(p, s, a, d)) {
-            write_row(out, m);
-          }
-        }
-      }
+  const auto path = directory() / (key_of(cfg) + ".csv");
+  // Crash safety: write the whole file beside the target, then rename.
+  // A campaign killed mid-store leaves at worst a stale .tmp (swept by
+  // the fabric supervisor), never a half-written cache entry that a
+  // later run would have to distrust.
+  const auto tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;
+    csv::write_campaign(out, cfg, result);
+    out.flush();
+    if (!out) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return;
     }
   }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) std::filesystem::remove(tmp, ec);
 }
 
 CampaignResult CampaignCache::run(const CampaignConfig& cfg,

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <filesystem>
 #include <optional>
 #include <string>
 
@@ -23,6 +24,10 @@ class CampaignCache {
  public:
   /// Stable content key for a campaign configuration.
   static std::string key_of(const CampaignConfig& cfg);
+
+  /// The cache root ($MTS_BENCH_CACHE_DIR or ".mts_bench_cache"); the
+  /// fabric keeps its per-campaign shard directories underneath it.
+  static std::filesystem::path directory();
 
   /// Loads a cached result; nullopt on miss/corruption/disabled cache.
   static std::optional<CampaignResult> load(const CampaignConfig& cfg);

@@ -1,0 +1,181 @@
+#include "harness/campaign_csv.hpp"
+
+#include <limits>
+#include <sstream>
+#include <vector>
+
+namespace mts::harness::csv {
+
+std::optional<std::size_t> header_cells(const std::string& header) {
+  if (header == kHeader) return kCellsV9;
+  if (header == kHeaderV8) return kCellsV8;
+  if (header == kHeaderV7) return kCellsV7;
+  if (header == kHeaderV6) return kCellsV6;
+  if (header == kHeaderV5) return kCellsV5;
+  return std::nullopt;
+}
+
+std::string sanitize_error(const std::string& msg) {
+  if (msg.empty()) return "-";
+  std::string out = msg;
+  for (char& c : out) {
+    if (c == ',' || c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+void write_row(std::ostream& os, const RunMetrics& m) {
+  // Round-trip exactly: the cache's contract is bit-for-bit replay, and
+  // the default 6 significant digits would truncate every double.
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << static_cast<int>(m.protocol) << ',' << m.max_speed << ',' << m.seed
+     << ',' << m.participating_nodes << ',' << m.relay_stddev << ','
+     << m.alpha << ',' << m.max_beta << ',' << m.highest_interception_ratio
+     << ',' << m.pe << ',' << m.pr << ',' << m.interception_ratio << ','
+     << m.avg_delay_s << ',' << m.throughput_seg_s << ','
+     << m.throughput_kbps << ',' << m.delivery_rate << ','
+     << m.segments_delivered << ',' << m.data_packets_sent << ','
+     << m.retransmits << ',' << m.timeouts << ',' << m.acks_sent << ','
+     << m.acks_received << ',' << m.eavesdropper << ',' << m.control_packets
+     << ',' << m.route_switches << ',' << m.checks_sent << ','
+     << m.events_executed << ',' << m.adversary_index << ','
+     << static_cast<int>(m.adversary_kind) << ',' << m.adversary_count << ','
+     << m.coalition_captured << ',' << m.coalition_interception_ratio << ','
+     << m.fragments_missing << ',' << m.blackhole_absorbed << ','
+     << m.wormhole_tunneled << ',' << m.grayhole_absorbed << ','
+     << m.endpoint_inference_accuracy << ',' << m.flood_injected << ','
+     << m.defense_index << ',' << static_cast<int>(m.defense_kind) << ','
+     << m.detection_time_s << ',' << m.paths_quarantined << ','
+     << m.recovery_time_s << ',' << m.false_positive_rate << ','
+     << m.flood_suppressed << ',' << m.probes_sent << ','
+     << m.secrecy_shares << ',' << m.secrecy_threshold << ','
+     << m.shares_captured << ',' << m.keys_recovered << ','
+     << m.key_recovery_rate << ',' << run_status_name(m.run_status) << ','
+     << m.attempts << ',' << sanitize_error(m.run_error) << ',';
+  // '-' sentinel keeps the empty-members cell from being eaten by the
+  // trailing-delimiter behaviour of getline-based parsing.
+  if (m.adversary_members.empty()) {
+    os << '-';
+  } else {
+    for (net::NodeId id : m.adversary_members) os << id << '.';
+  }
+  os << '\n';
+}
+
+std::optional<RunMetrics> parse_row(const std::string& line,
+                                    std::size_t expected_cells) {
+  std::stringstream ss(line);
+  std::string cell;
+  std::vector<std::string> cells;
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (cells.size() != expected_cells) return std::nullopt;
+  try {
+    RunMetrics m;
+    std::size_t i = 0;
+    m.protocol = static_cast<Protocol>(std::stoi(cells[i++]));
+    m.max_speed = std::stod(cells[i++]);
+    m.seed = std::stoull(cells[i++]);
+    m.participating_nodes = std::stoull(cells[i++]);
+    m.relay_stddev = std::stod(cells[i++]);
+    m.alpha = std::stoull(cells[i++]);
+    m.max_beta = std::stoull(cells[i++]);
+    m.highest_interception_ratio = std::stod(cells[i++]);
+    m.pe = std::stoull(cells[i++]);
+    m.pr = std::stoull(cells[i++]);
+    m.interception_ratio = std::stod(cells[i++]);
+    m.avg_delay_s = std::stod(cells[i++]);
+    m.throughput_seg_s = std::stod(cells[i++]);
+    m.throughput_kbps = std::stod(cells[i++]);
+    m.delivery_rate = std::stod(cells[i++]);
+    m.segments_delivered = std::stoull(cells[i++]);
+    m.data_packets_sent = std::stoull(cells[i++]);
+    m.retransmits = std::stoull(cells[i++]);
+    m.timeouts = std::stoull(cells[i++]);
+    m.acks_sent = std::stoull(cells[i++]);
+    m.acks_received = std::stoull(cells[i++]);
+    m.eavesdropper = static_cast<net::NodeId>(std::stoul(cells[i++]));
+    m.control_packets = std::stoull(cells[i++]);
+    m.route_switches = std::stoull(cells[i++]);
+    m.checks_sent = std::stoull(cells[i++]);
+    m.events_executed = std::stoull(cells[i++]);
+    m.adversary_index = static_cast<std::uint32_t>(std::stoul(cells[i++]));
+    m.adversary_kind =
+        static_cast<security::AdversaryKind>(std::stoi(cells[i++]));
+    m.adversary_count = static_cast<std::uint32_t>(std::stoul(cells[i++]));
+    m.coalition_captured = std::stoull(cells[i++]);
+    m.coalition_interception_ratio = std::stod(cells[i++]);
+    m.fragments_missing = std::stoull(cells[i++]);
+    m.blackhole_absorbed = std::stoull(cells[i++]);
+    if (cells.size() >= kCellsV6) {
+      m.wormhole_tunneled = std::stoull(cells[i++]);
+      m.grayhole_absorbed = std::stoull(cells[i++]);
+      m.endpoint_inference_accuracy = std::stod(cells[i++]);
+      m.flood_injected = std::stoull(cells[i++]);
+    }  // v5 rows: active-attack metrics stay zero
+    if (cells.size() >= kCellsV7) {
+      m.defense_index = static_cast<std::uint32_t>(std::stoul(cells[i++]));
+      m.defense_kind =
+          static_cast<security::DefenseKind>(std::stoi(cells[i++]));
+      m.detection_time_s = std::stod(cells[i++]);
+      m.paths_quarantined = std::stoull(cells[i++]);
+      m.recovery_time_s = std::stod(cells[i++]);
+      m.false_positive_rate = std::stod(cells[i++]);
+      m.flood_suppressed = std::stoull(cells[i++]);
+      m.probes_sent = std::stoull(cells[i++]);
+    }  // v5/v6 rows: defense metrics stay zero
+    if (cells.size() >= kCellsV8) {
+      m.secrecy_shares = static_cast<std::uint32_t>(std::stoul(cells[i++]));
+      m.secrecy_threshold = static_cast<std::uint32_t>(std::stoul(cells[i++]));
+      m.shares_captured = std::stoull(cells[i++]);
+      m.keys_recovered = std::stoull(cells[i++]);
+      m.key_recovery_rate = std::stod(cells[i++]);
+    }  // v5/v6/v7 rows: the secrecy game did not exist — metrics stay zero
+    if (cells.size() >= kCellsV9) {
+      const std::string& status = cells[i++];
+      if (status == "ok") {
+        m.run_status = RunStatus::kOk;
+      } else if (status == "failed") {
+        m.run_status = RunStatus::kFailed;
+      } else {
+        return std::nullopt;
+      }
+      m.attempts = static_cast<std::uint32_t>(std::stoul(cells[i++]));
+      if (cells[i] != "-") m.run_error = cells[i];
+      ++i;
+    }  // v5..v8 rows predate the fabric: status ok, attempts 1, no error
+    if (cells[i] != "-") {
+      std::stringstream ms(cells[i]);
+      std::string id;
+      while (std::getline(ms, id, '.')) {
+        if (!id.empty()) {
+          m.adversary_members.push_back(
+              static_cast<net::NodeId>(std::stoul(id)));
+        }
+      }
+    }
+    ++i;
+    return m;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+void write_campaign(std::ostream& os, const CampaignConfig& cfg,
+                    const CampaignResult& result) {
+  os << kHeader << '\n';
+  for (Protocol p : cfg.protocols) {
+    for (double s : cfg.speeds) {
+      for (std::uint32_t a = 0;
+           a < static_cast<std::uint32_t>(cfg.adversaries.size()); ++a) {
+        for (std::uint32_t d = 0;
+             d < static_cast<std::uint32_t>(cfg.defenses.size()); ++d) {
+          for (const RunMetrics& m : result.runs(p, s, a, d)) {
+            write_row(os, m);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mts::harness::csv

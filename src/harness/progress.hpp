@@ -1,0 +1,45 @@
+#pragma once
+
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace mts::harness {
+
+/// Serialized progress output for parallel sweeps.
+///
+/// Campaign workers (threads in-process, the supervisor's reaper in
+/// fabric mode) all report through one of these: each `line` call
+/// formats privately and takes the mutex only for the single write, so
+/// lines never interleave however many workers are running.  A null
+/// stream turns the sink into a no-op, which keeps call sites free of
+/// `if (progress)` checks.
+class ProgressSink {
+ public:
+  explicit ProgressSink(std::ostream* os) : os_(os) {}
+
+  [[nodiscard]] bool enabled() const { return os_ != nullptr; }
+
+  /// Writes `text` as one line (terminator supplied here), atomically
+  /// with respect to every other `line` call on this sink.
+  void line(const std::string& text) {
+    if (os_ == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    (*os_) << text << '\n' << std::flush;
+  }
+
+  /// `line` with the fabric's "[unit k/N]" prefix so interleaved unit
+  /// lifecycles stay attributable in a sweep log.
+  void unit_line(std::size_t k, std::size_t n, const std::string& text) {
+    std::ostringstream os;
+    os << "  [unit " << k << '/' << n << "] " << text;
+    line(os.str());
+  }
+
+ private:
+  std::mutex mu_;
+  std::ostream* os_;
+};
+
+}  // namespace mts::harness

@@ -24,6 +24,14 @@ const char* protocol_name(Protocol p) {
   return "?";
 }
 
+const char* run_status_name(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
 namespace {
 
 /// One node's full stack.  Construction order matters: radio before MAC,

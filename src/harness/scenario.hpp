@@ -111,6 +111,15 @@ struct ScenarioConfig {
   phy::ChannelConfig channel;
 };
 
+/// Outcome of a run as the campaign fabric records it.  In-process runs
+/// are always `kOk` (a trap propagates); under the process-isolated
+/// supervisor a unit that exhausts its retries is written into the
+/// merged CSV as `kFailed` placeholder rows so the sweep completes and
+/// the failure stays visible instead of silently shrinking the grid.
+enum class RunStatus : std::uint8_t { kOk = 0, kFailed = 1 };
+
+const char* run_status_name(RunStatus s);
+
 /// Everything a single run produces; aggregation happens in `campaign`.
 struct RunMetrics {
   Protocol protocol = Protocol::kMts;
@@ -191,6 +200,19 @@ struct RunMetrics {
   std::uint64_t flood_suppressed = 0;
   /// Acked-checking data-plane probes sent by all sources.
   std::uint64_t probes_sent = 0;
+
+  // --- fabric (campaign fabric, CSV v9) ----------------------------------
+  /// `kFailed` rows are placeholders for cells whose worker crashed,
+  /// hung past its timeout, or trapped on every attempt; they carry the
+  /// cell identity (protocol/speed/seed/adversary/defense) and zeros
+  /// everywhere else.  `CampaignResult::summarize` skips them.
+  RunStatus run_status = RunStatus::kOk;
+  /// Worker attempts this row consumed (1 = first try; in-process runs
+  /// are always 1).
+  std::uint32_t attempts = 1;
+  /// Why the cell failed ("signal 9", "timeout after 30s", a trap
+  /// message); empty on `kOk` rows.  Sanitized to one CSV cell.
+  std::string run_error;
 
   // --- TCP (paper Figs. 8-10) ------------------------------------------
   double avg_delay_s = 0.0;              ///< Fig. 8

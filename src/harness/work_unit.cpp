@@ -1,0 +1,149 @@
+#include "harness/work_unit.hpp"
+
+#include <sstream>
+
+#include "harness/campaign_cache.hpp"
+#include "sim/error.hpp"
+#include "sim/rng.hpp"
+
+namespace mts::harness {
+
+std::vector<WorkUnit> partition_campaign(const CampaignConfig& cfg,
+                                         std::size_t cells_per_unit) {
+  sim::require_config(!cfg.protocols.empty() && !cfg.speeds.empty(),
+                      "Fabric: empty protocol or speed axis");
+  sim::require_config(!cfg.adversaries.empty() && !cfg.defenses.empty(),
+                      "Fabric: adversaries/defenses list empty "
+                      "(use a kNone spec)");
+  if (cells_per_unit == 0) cells_per_unit = 1;
+  // The id namespace is the campaign itself: units of different
+  // campaigns can never be confused even if a shard directory is
+  // (mis)shared.
+  const std::uint64_t campaign_hash =
+      sim::fnv1a(CampaignCache::key_of(cfg));
+  std::vector<WorkUnit> units;
+  WorkUnit current;
+  std::uint32_t ordinal = 0;
+  auto flush = [&](std::uint32_t first_ordinal) {
+    if (current.cells.empty()) return;
+    current.index = static_cast<std::uint32_t>(units.size());
+    current.id = sim::splitmix64(
+        campaign_hash ^ sim::splitmix64(first_ordinal) ^
+        sim::splitmix64(static_cast<std::uint64_t>(current.cells.size())
+                        << 32));
+    units.push_back(std::move(current));
+    current = WorkUnit{};
+  };
+  std::uint32_t batch_first = 0;
+  for (std::uint32_t p = 0; p < cfg.protocols.size(); ++p) {
+    for (std::uint32_t s = 0; s < cfg.speeds.size(); ++s) {
+      for (std::uint32_t a = 0; a < cfg.adversaries.size(); ++a) {
+        for (std::uint32_t d = 0; d < cfg.defenses.size(); ++d) {
+          if (current.cells.empty()) batch_first = ordinal;
+          current.cells.push_back(
+              WorkCell{p, s, a, d, 0, cfg.repetitions});
+          if (current.cells.size() >= cells_per_unit) flush(batch_first);
+          ++ordinal;
+        }
+      }
+    }
+  }
+  flush(batch_first);
+  return units;
+}
+
+std::string work_unit_label(const CampaignConfig& cfg, const WorkUnit& unit,
+                            std::size_t unit_count) {
+  std::ostringstream os;
+  os << "unit " << (unit.index + 1) << '/' << unit_count << ':';
+  for (const WorkCell& c : unit.cells) {
+    os << ' ' << protocol_name(cfg.protocols[c.protocol])
+       << " speed=" << cfg.speeds[c.speed] << " adversary=" << c.adversary
+       << " defense=" << c.defense << " reps " << c.rep_begin << ".."
+       << (c.rep_end == 0 ? 0 : c.rep_end - 1) << ';';
+  }
+  return os.str();
+}
+
+std::string encode_work_unit(const WorkUnit& unit) {
+  std::ostringstream os;
+  os << "wu1|" << std::hex << unit.id << std::dec << '|' << unit.index << '|';
+  for (const WorkCell& c : unit.cells) {
+    os << c.protocol << ':' << c.speed << ':' << c.adversary << ':'
+       << c.defense << ':' << c.rep_begin << ':' << c.rep_end << ';';
+  }
+  return os.str();
+}
+
+std::optional<WorkUnit> decode_work_unit(const std::string& text) {
+  std::istringstream is(text);
+  std::string field;
+  if (!std::getline(is, field, '|') || field != "wu1") return std::nullopt;
+  WorkUnit unit;
+  try {
+    if (!std::getline(is, field, '|')) return std::nullopt;
+    unit.id = std::stoull(field, nullptr, 16);
+    if (!std::getline(is, field, '|')) return std::nullopt;
+    unit.index = static_cast<std::uint32_t>(std::stoul(field));
+    if (!std::getline(is, field, '|')) return std::nullopt;
+    std::istringstream cells(field);
+    std::string cell;
+    while (std::getline(cells, cell, ';')) {
+      if (cell.empty()) continue;
+      std::istringstream cs(cell);
+      std::string n;
+      std::uint32_t v[6];
+      for (std::uint32_t& slot : v) {
+        if (!std::getline(cs, n, ':')) return std::nullopt;
+        slot = static_cast<std::uint32_t>(std::stoul(n));
+      }
+      if (std::getline(cs, n, ':')) return std::nullopt;  // trailing junk
+      if (v[5] < v[4]) return std::nullopt;
+      unit.cells.push_back(WorkCell{v[0], v[1], v[2], v[3], v[4], v[5]});
+    }
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (unit.cells.empty()) return std::nullopt;
+  return unit;
+}
+
+ScenarioConfig cell_scenario(const CampaignConfig& cfg, const WorkCell& cell,
+                             std::uint32_t rep) {
+  sim::require_config(cell.protocol < cfg.protocols.size() &&
+                          cell.speed < cfg.speeds.size() &&
+                          cell.adversary < cfg.adversaries.size() &&
+                          cell.defense < cfg.defenses.size(),
+                      "Fabric: work cell indexes outside the campaign grid "
+                      "(stale unit spec for a different config?)");
+  ScenarioConfig sc = cfg.base;
+  sc.protocol = cfg.protocols[cell.protocol];
+  sc.max_speed = cfg.speeds[cell.speed];
+  // Same seed across protocols/adversaries/defenses for a given
+  // (speed, rep): paired comparisons see identical mobility and flow
+  // placement, exactly like the in-process pool.
+  sc.seed = cfg.seed_base + rep;
+  sc.adversary = cfg.adversaries[cell.adversary];
+  sc.defense = cfg.defenses[cell.defense];
+  return sc;
+}
+
+RunMetrics failed_run_metrics(const CampaignConfig& cfg, const WorkCell& cell,
+                              std::uint32_t rep, std::uint32_t attempts,
+                              const std::string& error) {
+  RunMetrics m;
+  m.protocol = cfg.protocols[cell.protocol];
+  m.max_speed = cfg.speeds[cell.speed];
+  m.seed = cfg.seed_base + rep;
+  m.adversary_index = cell.adversary;
+  m.adversary_kind = cfg.adversaries[cell.adversary].kind;
+  m.adversary_count = cfg.adversaries[cell.adversary].count;
+  m.defense_index = cell.defense;
+  m.defense_kind = cfg.defenses[cell.defense].kind;
+  m.run_status = RunStatus::kFailed;
+  m.attempts = attempts;
+  m.run_error = error;
+  return m;
+}
+
+}  // namespace mts::harness

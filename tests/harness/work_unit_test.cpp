@@ -1,0 +1,201 @@
+// The fabric's partitioning is a pure function of the campaign config:
+// any two invocations — different hosts, different worker counts,
+// different days — must slice the grid into identical units with
+// identical ids, or resume and sharding would silently recompute (or
+// worse, mis-merge) work.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/campaign_csv.hpp"
+#include "harness/work_unit.hpp"
+
+namespace mts::harness {
+namespace {
+
+CampaignConfig tiny() {
+  CampaignConfig cfg;
+  cfg.protocols = {Protocol::kAodv, Protocol::kMts};
+  cfg.speeds = {5, 10};
+  cfg.adversaries = {security::AdversarySpec{}, security::AdversarySpec{}};
+  cfg.adversaries[1].kind = security::AdversaryKind::kBlackhole;
+  cfg.adversaries[1].count = 2;
+  cfg.repetitions = 3;
+  return cfg;
+}
+
+TEST(WorkUnitTest, PartitionCoversTheGridOnceInRowMajorOrder) {
+  const CampaignConfig cfg = tiny();
+  const auto units = partition_campaign(cfg, 1);
+  // 2 protocols x 2 speeds x 2 adversaries x 1 defense = 8 cells.
+  ASSERT_EQ(units.size(), 8u);
+  std::uint32_t expect_p = 0, expect_s = 0, expect_a = 0;
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    EXPECT_EQ(units[i].index, i);
+    ASSERT_EQ(units[i].cells.size(), 1u);
+    const WorkCell& c = units[i].cells[0];
+    EXPECT_EQ(c.protocol, expect_p);
+    EXPECT_EQ(c.speed, expect_s);
+    EXPECT_EQ(c.adversary, expect_a);
+    EXPECT_EQ(c.defense, 0u);
+    EXPECT_EQ(c.rep_begin, 0u);
+    EXPECT_EQ(c.rep_end, cfg.repetitions);
+    EXPECT_EQ(units[i].total_runs(), cfg.repetitions);
+    if (++expect_a == 2) {
+      expect_a = 0;
+      if (++expect_s == 2) {
+        expect_s = 0;
+        ++expect_p;
+      }
+    }
+  }
+}
+
+TEST(WorkUnitTest, PartitionIsDeterministicAndKeyedByTheConfig) {
+  const CampaignConfig cfg = tiny();
+  const auto a = partition_campaign(cfg, 1);
+  const auto b = partition_campaign(cfg, 1);
+  ASSERT_EQ(a.size(), b.size());
+  std::set<std::uint64_t> ids;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, b[i].id) << "unit " << i;
+    EXPECT_EQ(a[i].cells, b[i].cells) << "unit " << i;
+    ids.insert(a[i].id);
+  }
+  EXPECT_EQ(ids.size(), a.size()) << "unit ids collide within the campaign";
+
+  // Any result-affecting change flips the campaign key and every id:
+  // stale shards of the old sweep can never be mistaken for new ones.
+  CampaignConfig other = cfg;
+  other.repetitions = 4;
+  const auto c = partition_campaign(other, 1);
+  ASSERT_EQ(c.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NE(c[i].id, a[i].id) << "unit " << i;
+  }
+}
+
+TEST(WorkUnitTest, BatchModeGroupsConsecutiveCells) {
+  const CampaignConfig cfg = tiny();
+  const auto units = partition_campaign(cfg, 3);  // 8 cells -> 3,3,2
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_EQ(units[0].cells.size(), 3u);
+  EXPECT_EQ(units[1].cells.size(), 3u);
+  EXPECT_EQ(units[2].cells.size(), 2u);
+  EXPECT_EQ(units[0].total_runs(), 9u);
+  EXPECT_EQ(units[2].total_runs(), 6u);
+  // The flat cell sequence is the same as the unbatched partition.
+  const auto flat = partition_campaign(cfg, 1);
+  std::size_t k = 0;
+  for (const WorkUnit& u : units) {
+    for (const WorkCell& c : u.cells) {
+      EXPECT_EQ(c, flat[k].cells[0]);
+      ++k;
+    }
+  }
+  // 0 acts as 1; a different batch size is a different partition with
+  // different ids (resume requires the same cells_per_unit).
+  EXPECT_EQ(partition_campaign(cfg, 0).size(), 8u);
+  EXPECT_NE(units[0].id, flat[0].id);
+}
+
+TEST(WorkUnitTest, ShardSlicesAreDisjointAndCover) {
+  const auto units = partition_campaign(tiny(), 1);
+  const std::uint32_t n = 3;
+  std::set<std::uint32_t> covered;
+  for (std::uint32_t shard = 0; shard < n; ++shard) {
+    for (const WorkUnit& u : units) {
+      if (u.index % n == shard) {
+        EXPECT_TRUE(covered.insert(u.index).second)
+            << "unit " << u.index << " owned by two shards";
+      }
+    }
+  }
+  EXPECT_EQ(covered.size(), units.size());
+}
+
+TEST(WorkUnitTest, EncodeDecodeRoundTrips) {
+  const auto units = partition_campaign(tiny(), 3);
+  for (const WorkUnit& u : units) {
+    const auto back = decode_work_unit(encode_work_unit(u));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->id, u.id);
+    EXPECT_EQ(back->index, u.index);
+    EXPECT_EQ(back->cells, u.cells);
+  }
+}
+
+TEST(WorkUnitTest, DecodeRejectsJunk) {
+  EXPECT_FALSE(decode_work_unit("").has_value());
+  EXPECT_FALSE(decode_work_unit("wu2|0|0|0:0:0:0:0:1;").has_value());
+  EXPECT_FALSE(decode_work_unit("wu1|0|0|").has_value());  // no cells
+  EXPECT_FALSE(decode_work_unit("wu1|zz|x|0:0:0:0:0:1;").has_value());
+  EXPECT_FALSE(decode_work_unit("wu1|0|0|0:0:0:0:0;").has_value());
+  EXPECT_FALSE(decode_work_unit("wu1|0|0|0:0:0:0:0:1:9;").has_value());
+  EXPECT_FALSE(decode_work_unit("wu1|0|0|0:0:0:0:5:1;").has_value())
+      << "rep_end < rep_begin must not decode";
+}
+
+TEST(WorkUnitTest, CellScenarioAppliesTheCellAndPairsSeeds) {
+  const CampaignConfig cfg = tiny();
+  const WorkCell mts{1, 1, 1, 0, 0, 3};
+  const ScenarioConfig sc = cell_scenario(cfg, mts, 2);
+  EXPECT_EQ(sc.protocol, Protocol::kMts);
+  EXPECT_DOUBLE_EQ(sc.max_speed, 10.0);
+  EXPECT_EQ(sc.adversary.kind, security::AdversaryKind::kBlackhole);
+  EXPECT_EQ(sc.seed, cfg.seed_base + 2);
+  // Paired seeds: the same (speed, rep) under the other protocol and no
+  // adversary sees the identical seed.
+  const WorkCell aodv{0, 1, 0, 0, 0, 3};
+  EXPECT_EQ(cell_scenario(cfg, aodv, 2).seed, sc.seed);
+  // A stale cell for a different (smaller) grid must throw, not index
+  // out of bounds.
+  EXPECT_THROW(cell_scenario(cfg, WorkCell{5, 0, 0, 0, 0, 1}, 0),
+               std::exception);
+}
+
+TEST(WorkUnitTest, FailedRunMetricsCarryCellIdentityAndRoundTripAsCsv) {
+  const CampaignConfig cfg = tiny();
+  const WorkCell cell{1, 0, 1, 0, 0, 3};
+  const RunMetrics m =
+      failed_run_metrics(cfg, cell, 1, 3, "timeout after 2.5s");
+  EXPECT_EQ(m.protocol, Protocol::kMts);
+  EXPECT_DOUBLE_EQ(m.max_speed, 5.0);
+  EXPECT_EQ(m.seed, cfg.seed_base + 1);
+  EXPECT_EQ(m.adversary_index, 1u);
+  EXPECT_EQ(m.adversary_kind, security::AdversaryKind::kBlackhole);
+  EXPECT_EQ(m.defense_index, 0u);
+  EXPECT_EQ(m.run_status, RunStatus::kFailed);
+  EXPECT_EQ(m.attempts, 3u);
+
+  // A failed placeholder survives the v9 CSV round trip.
+  std::ostringstream os;
+  csv::write_row(os, m);
+  std::string line = os.str();
+  ASSERT_FALSE(line.empty());
+  line.pop_back();  // write_row appends the newline
+  const auto back = csv::parse_row(line, csv::kCellsV9);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->run_status, RunStatus::kFailed);
+  EXPECT_EQ(back->attempts, 3u);
+  EXPECT_EQ(back->run_error, "timeout after 2.5s");
+  EXPECT_EQ(back->adversary_kind, m.adversary_kind);
+  EXPECT_EQ(back->seed, m.seed);
+}
+
+TEST(WorkUnitTest, SanitizeErrorKeepsMessagesSingleCell) {
+  EXPECT_EQ(csv::sanitize_error(""), "-");
+  EXPECT_EQ(csv::sanitize_error("plain"), "plain");
+  EXPECT_EQ(csv::sanitize_error("a,b\nc\rd"), "a b c d");
+  // An unknown status word must not parse as a v9 row.
+  std::ostringstream os;
+  csv::write_row(os, RunMetrics{});
+  std::string line = os.str();
+  line.pop_back();
+  ASSERT_NE(line.find(",ok,"), std::string::npos);
+  line.replace(line.find(",ok,"), 4, ",maybe,");
+  EXPECT_FALSE(csv::parse_row(line, csv::kCellsV9).has_value());
+}
+
+}  // namespace
+}  // namespace mts::harness

@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "harness/campaign_cache.hpp"
+#include "harness/work_unit.hpp"
 
 namespace mts::harness {
 namespace {
@@ -443,6 +444,115 @@ TEST_F(CampaignCacheTest, V5RowsStillParseWithActiveMetricsZeroed) {
   const auto reloaded = CampaignCache::load(cfg);
   ASSERT_TRUE(reloaded.has_value());
   EXPECT_EQ(reloaded->runs(Protocol::kAodv, 5)[0].segments_delivered, 80u);
+}
+
+TEST_F(CampaignCacheTest, V8RowsStillParseWithFabricColumnsDefaulted) {
+  // Forward compatibility: a cache file written before the v9 fabric
+  // columns (51 cells, v8 header) must load with run_status ok,
+  // attempts 1 and no error — exactly what a pre-fabric binary meant.
+  CampaignConfig cfg = tiny();
+  cfg.speeds = {5};
+  cfg.protocols = {Protocol::kAodv};
+  cfg.repetitions = 1;
+
+  const char* v8_header =
+      "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
+      "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
+      "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
+      "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
+      "adv_ri,adv_missing,adv_absorbed,adv_tunneled,adv_gray_absorbed,"
+      "adv_endpoint_acc,adv_flood_injected,def_index,def_kind,def_detect_s,"
+      "def_quarantined,def_recovery_s,def_fpr,def_suppressed,def_probes,"
+      "sec_shares,sec_threshold,sec_captured,sec_keys,sec_recovery,"
+      "adv_members";
+  const char* v8_row =
+      "1,5,1,7,0.25,120,30,0.125,4,80,0.05,0.033,26.5,217.1,0.93,80,86,3,1,"
+      "80,78,12,45,0,0,123456,0,4,2,10,0.1,70,5,17,3,0.5,40,0,1,2.5,3,4.5,"
+      "0.25,6,7,5,5,3,2,0.66,2.5.";
+
+  std::filesystem::create_directories(dir_);
+  const auto path = dir_ / (CampaignCache::key_of(cfg) + ".csv");
+  {
+    std::ofstream out(path);
+    out << v8_header << '\n' << v8_row << '\n';
+  }
+  const auto loaded = CampaignCache::load(cfg);
+  ASSERT_TRUE(loaded.has_value()) << "v8 cache file rejected";
+  const auto& runs = loaded->runs(Protocol::kAodv, 5);
+  ASSERT_EQ(runs.size(), 1u);
+  const RunMetrics& m = runs[0];
+  EXPECT_EQ(m.seed, 1u);
+  // The v8 secrecy columns parse...
+  EXPECT_EQ(m.secrecy_shares, 5u);
+  EXPECT_EQ(m.shares_captured, 3u);
+  EXPECT_DOUBLE_EQ(m.key_recovery_rate, 0.66);
+  EXPECT_EQ(m.adversary_members, (std::vector<net::NodeId>{2, 5}));
+  // ...and the v9-only fabric columns default to a clean run.
+  EXPECT_EQ(m.run_status, RunStatus::kOk);
+  EXPECT_EQ(m.attempts, 1u);
+  EXPECT_TRUE(m.run_error.empty());
+
+  // Storing refreshes the file to the v9 column set, which round-trips.
+  CampaignCache::store(cfg, *loaded);
+  const auto reloaded = CampaignCache::load(cfg);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->runs(Protocol::kAodv, 5)[0].shares_captured, 3u);
+}
+
+TEST_F(CampaignCacheTest, FailedRowsRoundTripInV9Columns) {
+  CampaignConfig cfg = tiny();
+  cfg.repetitions = 1;
+  CampaignResult result;
+  // A degraded fabric row: status/attempts/error must survive a store
+  // + load, with the error message collapsed to a single CSV cell.
+  RunMetrics m = failed_run_metrics(cfg, WorkCell{0, 0, 0, 0, 0, 1}, 0, 3,
+                                    "timeout, then crash");
+  result.add(std::move(m));
+  CampaignCache::store(cfg, result);
+  const auto loaded = CampaignCache::load(cfg);
+  ASSERT_TRUE(loaded.has_value());
+  const auto& runs = loaded->runs(Protocol::kAodv, 5);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_EQ(runs[0].run_status, RunStatus::kFailed);
+  EXPECT_EQ(runs[0].attempts, 3u);
+  EXPECT_EQ(runs[0].run_error, "timeout  then crash");
+  EXPECT_EQ(runs[0].seed, cfg.seed_base);
+}
+
+TEST_F(CampaignCacheTest, TruncationAtEveryByteOfTheLastRowIsAFullMiss) {
+  // The crash-safety contract: `store` is atomic (tmp + rename), and
+  // even if a filesystem breaks that promise, `load` must reject a file
+  // cut at ANY byte offset of its last row — never serve a cache entry
+  // with a silently shortened row or a plausible-looking prefix.
+  const CampaignConfig cfg = tiny();
+  CampaignCache::run(cfg);
+  const auto path = dir_ / (CampaignCache::key_of(cfg) + ".csv");
+  ASSERT_TRUE(std::filesystem::exists(path));
+  std::string text;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+  }
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n');
+  // Start of the last row: one past the previous newline.
+  const std::size_t last_row =
+      text.rfind('\n', text.size() - 2) + 1;
+  ASSERT_GT(text.size() - last_row, 100u) << "last row implausibly short";
+  for (std::size_t cut = last_row; cut < text.size(); ++cut) {
+    std::filesystem::resize_file(path, cut);
+    EXPECT_FALSE(CampaignCache::load(cfg).has_value())
+        << "truncation to " << cut << " bytes (row byte "
+        << (cut - last_row) << ") was served from cache";
+  }
+  // Restoring the full file restores the hit.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << text;
+  }
+  EXPECT_TRUE(CampaignCache::load(cfg).has_value());
 }
 
 TEST_F(CampaignCacheTest, CorruptFileIsAFullMiss) {

@@ -1,0 +1,269 @@
+// The fabric must be a pure reliability layer: a sweep run through
+// process-isolated workers — including one that crashes, hangs or is
+// resumed after a kill — has to produce the same merged CSV as the
+// plain in-process campaign, and a unit that can never finish must
+// degrade to marked `failed` rows instead of taking the sweep down.
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
+
+#include "harness/campaign_cache.hpp"
+#include "harness/campaign_csv.hpp"
+#include "harness/supervisor.hpp"
+
+namespace mts::harness {
+namespace {
+
+class FabricTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mts_fabric_test_" + std::to_string(::getpid()));
+    setenv("MTS_BENCH_CACHE_DIR", dir_.c_str(), 1);
+    unsetenv("MTS_BENCH_NO_CACHE");
+    unsetenv("MTS_FABRIC_TEST_HANG_UNIT");
+    unsetenv("MTS_FABRIC_TEST_HANG_ATTEMPTS");
+  }
+  void TearDown() override {
+    unsetenv("MTS_BENCH_CACHE_DIR");
+    unsetenv("MTS_FABRIC_TEST_HANG_UNIT");
+    unsetenv("MTS_FABRIC_TEST_HANG_ATTEMPTS");
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  /// 2 speeds x 2 reps of a small AODV grid: two 1-cell work units,
+  /// four scenario runs — big enough to have an innocent bystander unit
+  /// next to the faulty one, small enough to fork repeatedly.
+  static CampaignConfig tiny() {
+    CampaignConfig cfg;
+    cfg.base.node_count = 15;
+    cfg.base.sim_time = sim::Time::sec(2);
+    cfg.speeds = {5, 10};
+    cfg.protocols = {Protocol::kAodv};
+    cfg.repetitions = 2;
+    return cfg;
+  }
+
+  /// Byte-identical merged output: the strongest equivalence we can
+  /// ask for, and exactly what the sharded-sweep CI job diffs.
+  static std::string csv_of(const CampaignConfig& cfg,
+                            const CampaignResult& r) {
+    std::ostringstream os;
+    csv::write_campaign(os, cfg, r);
+    return os.str();
+  }
+
+  static FabricConfig quick_fabric() {
+    FabricConfig fab;
+    fab.workers = 2;
+    fab.backoff_base_s = 0.01;
+    return fab;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(FabricTest, CleanFabricRunMatchesInProcessCampaignByteForByte) {
+  const CampaignConfig cfg = tiny();
+  const CampaignResult reference = run_campaign(cfg);
+
+  const FabricReport report = run_campaign_fabric(cfg, quick_fabric());
+  EXPECT_EQ(report.units_total, 2u);
+  EXPECT_EQ(report.units_owned, 2u);
+  EXPECT_EQ(report.units_run, 2u);
+  EXPECT_EQ(report.units_ok, 2u);
+  EXPECT_EQ(report.units_failed, 0u);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(csv_of(cfg, report.result), csv_of(cfg, reference));
+
+  // A complete, failure-free grid is promoted into the campaign cache.
+  const auto cached = CampaignCache::load(cfg);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(csv_of(cfg, *cached), csv_of(cfg, reference));
+}
+
+TEST_F(FabricTest, SigkilledWorkerIsRetriedAndTheSweepStillMatches) {
+  const CampaignConfig cfg = tiny();
+  const CampaignResult reference = run_campaign(cfg);
+
+  // Crash unit 0's worker (SIGKILL mid-unit, before it writes a shard)
+  // on the first attempt only: the supervisor must see "killed by
+  // signal", back off, re-fork, and the retry succeeds.
+  FabricConfig fab = quick_fabric();
+  fab.test_child_hook = [](const WorkUnit& u, std::uint32_t attempt) {
+    if (u.index == 0 && attempt == 1) ::raise(SIGKILL);
+  };
+  std::ostringstream log;
+  const FabricReport report = run_campaign_fabric(cfg, fab, &log);
+  EXPECT_EQ(report.units_failed, 0u);
+  EXPECT_TRUE(report.complete);
+  EXPECT_NE(log.str().find("killed by signal"), std::string::npos)
+      << log.str();
+  // attempts=2 on the retried unit's rows is the only allowed
+  // difference; everything else is byte-identical.
+  for (const RunMetrics& want : reference.runs(Protocol::kAodv, 5)) {
+    bool found = false;
+    for (const RunMetrics& got : report.result.runs(Protocol::kAodv, 5)) {
+      if (got.seed != want.seed) continue;
+      found = true;
+      EXPECT_EQ(got.attempts, 2u);
+      EXPECT_EQ(got.run_status, RunStatus::kOk);
+      EXPECT_EQ(got.segments_delivered, want.segments_delivered);
+      EXPECT_EQ(got.events_executed, want.events_executed);
+      EXPECT_DOUBLE_EQ(got.avg_delay_s, want.avg_delay_s);
+    }
+    EXPECT_TRUE(found) << "seed " << want.seed << " missing after retry";
+  }
+}
+
+TEST_F(FabricTest, CrashedSweepResumesAndMergesByteIdentical) {
+  const CampaignConfig cfg = tiny();
+  const CampaignResult reference = run_campaign(cfg);
+
+  // Invocation 1 stands in for a host that died mid-sweep: unit 0's
+  // worker is SIGKILLed on every attempt and no retries are granted, so
+  // its shard ends up failed while unit 1 completes normally.
+  FabricConfig crash = quick_fabric();
+  crash.max_retries = 0;
+  crash.test_child_hook = [](const WorkUnit& u, std::uint32_t) {
+    if (u.index == 0) ::raise(SIGKILL);
+  };
+  const FabricReport first = run_campaign_fabric(cfg, crash);
+  EXPECT_EQ(first.units_failed, 1u);
+  EXPECT_EQ(first.units_ok, 1u);
+  EXPECT_TRUE(first.complete);  // degraded rows keep the grid complete
+  ASSERT_EQ(first.failures.size(), 1u);
+  EXPECT_EQ(first.failures[0].index, 0u);
+  // A degraded grid must NOT be promoted to the campaign cache.
+  EXPECT_FALSE(CampaignCache::load(cfg).has_value());
+
+  // Invocation 2: resume without the fault.  Only the failed unit is
+  // re-run; the intact shard is ingested from disk.
+  const FabricReport second = run_campaign_fabric(cfg, quick_fabric());
+  EXPECT_EQ(second.units_resumed, 1u);
+  EXPECT_EQ(second.units_run, 1u);
+  EXPECT_EQ(second.units_failed, 0u);
+  EXPECT_TRUE(second.complete);
+
+  // The merged result is byte-identical to an uninterrupted run (the
+  // re-run starts a fresh attempt budget, so even attempts match).
+  EXPECT_EQ(csv_of(cfg, second.result), csv_of(cfg, reference));
+  const auto cached = CampaignCache::load(cfg);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(csv_of(cfg, *cached), csv_of(cfg, reference));
+}
+
+TEST_F(FabricTest, TimeoutKillsTheHangingWorkerAndTheRetrySucceeds) {
+  const CampaignConfig cfg = tiny();
+  const CampaignResult reference = run_campaign(cfg);
+
+  // Env-forced hang: unit 0's worker spins forever on attempt 1 and
+  // behaves on attempt 2 — the supervisor must SIGKILL it at the
+  // deadline and the retry completes the unit.
+  setenv("MTS_FABRIC_TEST_HANG_UNIT", "0", 1);
+  setenv("MTS_FABRIC_TEST_HANG_ATTEMPTS", "1", 1);
+  FabricConfig fab = quick_fabric();
+  fab.unit_timeout_s = 2.0;
+  std::ostringstream log;
+  const FabricReport report = run_campaign_fabric(cfg, fab, &log);
+  EXPECT_EQ(report.units_failed, 0u);
+  EXPECT_EQ(report.units_ok, 2u);
+  EXPECT_TRUE(report.complete);
+  EXPECT_NE(log.str().find("timeout after"), std::string::npos) << log.str();
+  // Same results as in-process, modulo attempts=2 on the hung unit.
+  for (const RunMetrics& got : report.result.runs(Protocol::kAodv, 5)) {
+    EXPECT_EQ(got.run_status, RunStatus::kOk);
+    EXPECT_EQ(got.attempts, 2u);
+  }
+  EXPECT_EQ(report.result.summarize(
+                          Protocol::kAodv, 5,
+                          [](const RunMetrics& m) {
+                            return static_cast<double>(m.segments_delivered);
+                          })
+                .mean(),
+            reference.summarize(Protocol::kAodv, 5, [](const RunMetrics& m) {
+                       return static_cast<double>(m.segments_delivered);
+                     }).mean());
+}
+
+TEST_F(FabricTest, PermanentHangDegradesToFailedRowsAndStillCompletes) {
+  // A 1-cell grid whose only unit hangs on every attempt: after
+  // 1 + max_retries timeouts the fabric must give up, emit failed
+  // placeholder rows carrying the full cell identity, and return a
+  // complete report — graceful degradation, not a wedged sweep.
+  CampaignConfig cfg = tiny();
+  cfg.speeds = {5};
+  cfg.repetitions = 2;
+  setenv("MTS_FABRIC_TEST_HANG_UNIT", "0", 1);
+  FabricConfig fab = quick_fabric();
+  fab.unit_timeout_s = 0.4;
+  fab.max_retries = 1;
+  const FabricReport report = run_campaign_fabric(cfg, fab);
+  EXPECT_TRUE(report.complete);
+  EXPECT_EQ(report.units_failed, 1u);
+  EXPECT_EQ(report.units_ok, 0u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].attempts, 2u);
+  EXPECT_NE(report.failures[0].error.find("timeout"), std::string::npos);
+
+  const auto& rows = report.result.runs(Protocol::kAodv, 5);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const RunMetrics& m : rows) {
+    EXPECT_EQ(m.run_status, RunStatus::kFailed);
+    EXPECT_EQ(m.attempts, 2u);
+    EXPECT_NE(m.run_error.find("timeout"), std::string::npos);
+    EXPECT_EQ(m.protocol, Protocol::kAodv);
+    EXPECT_DOUBLE_EQ(m.max_speed, 5.0);
+  }
+  // Honest accounting: summarize must skip the failed placeholders —
+  // zeros averaged in would silently bias every figure.
+  const stats::Summary s = report.result.summarize(
+      Protocol::kAodv, 5,
+      [](const RunMetrics& m) { return static_cast<double>(m.seed); });
+  EXPECT_EQ(s.count(), 0u);
+  // And the degraded grid stays out of the campaign cache so the next
+  // resume retries it...
+  EXPECT_FALSE(CampaignCache::load(cfg).has_value());
+  // ...which it does: drop the fault and resume.
+  unsetenv("MTS_FABRIC_TEST_HANG_UNIT");
+  const FabricReport retry = run_campaign_fabric(cfg, quick_fabric());
+  EXPECT_EQ(retry.units_run, 1u);
+  EXPECT_EQ(retry.units_failed, 0u);
+  EXPECT_TRUE(CampaignCache::load(cfg).has_value());
+}
+
+TEST_F(FabricTest, ShardSlicesMergeAcrossInvocations) {
+  const CampaignConfig cfg = tiny();
+  const CampaignResult reference = run_campaign(cfg);
+
+  // Two hosts, one slice each.  The first finisher's grid is
+  // incomplete (its peer's shard is still pending), so nothing is
+  // promoted to the campaign cache yet.
+  FabricConfig shard0 = quick_fabric();
+  shard0.shard_index = 0;
+  shard0.shard_count = 2;
+  const FabricReport first = run_campaign_fabric(cfg, shard0);
+  EXPECT_EQ(first.units_owned, 1u);
+  EXPECT_EQ(first.units_run, 1u);
+  EXPECT_FALSE(first.complete);
+  EXPECT_FALSE(CampaignCache::load(cfg).has_value());
+
+  // The second shard runs its slice, ingests the first one's shard
+  // file, and merges the full grid byte-identical to in-process.
+  FabricConfig shard1 = quick_fabric();
+  shard1.shard_index = 1;
+  shard1.shard_count = 2;
+  const FabricReport second = run_campaign_fabric(cfg, shard1);
+  EXPECT_EQ(second.units_owned, 1u);
+  EXPECT_EQ(second.units_run, 1u);
+  EXPECT_TRUE(second.complete);
+  EXPECT_EQ(csv_of(cfg, second.result), csv_of(cfg, reference));
+  EXPECT_TRUE(CampaignCache::load(cfg).has_value());
+}
+
+}  // namespace
+}  // namespace mts::harness
