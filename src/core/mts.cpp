@@ -37,9 +37,12 @@ Mts::Mts(routing::RoutingContext ctx, MtsConfig cfg, sim::Rng rng)
       cfg_(cfg),
       rng_(rng),
       buffer_(cfg.buffer_capacity, cfg.buffer_max_age),
-      check_timer_(*ctx_.sched, [this] { check_tick(); }),
-      purge_timer_(*ctx_.sched, [this] { purge(); }),
-      probe_timer_(*ctx_.sched, [this] { probe_tick(); }) {
+      check_timer_(*ctx_.sched, [this] { check_tick(); },
+                   sim::EventCategory::kRouting),
+      purge_timer_(*ctx_.sched, [this] { purge(); },
+                   sim::EventCategory::kRouting),
+      probe_timer_(*ctx_.sched, [this] { probe_tick(); },
+                   sim::EventCategory::kRouting) {
   sim::require_config(cfg.max_paths >= 1, "MtsConfig: max_paths < 1");
   sim::require_config(cfg.check_period > sim::Time::zero(),
                       "MtsConfig: check_period <= 0");
@@ -154,7 +157,8 @@ void Mts::send_from_transport(Packet packet) {
 }
 
 void Mts::flush_buffer(NodeId dst) {
-  for (Packet& p : buffer_.take_for(dst)) {
+  buffer_.take_for(dst, take_scratch_);
+  for (Packet& p : take_scratch_) {
     send_from_transport(std::move(p));
   }
 }
@@ -195,7 +199,7 @@ void Mts::send_rreq(NodeId dst) {
   SourceState& ss = as_source_[dst];
   ss.rreq_timer = ctx_.sched->schedule_in(
       cfg_.rrep_wait * (std::int64_t{1} << ss.retries),
-      [this, dst] { discovery_timeout(dst); });
+      [this, dst] { discovery_timeout(dst); }, sim::EventCategory::kRouting);
 }
 
 void Mts::discovery_timeout(NodeId dst) {
@@ -213,7 +217,8 @@ void Mts::discovery_timeout(NodeId dst) {
   }
   if (ss.retries + 1 >= cfg_.rreq_retries) {
     ss.discovering = false;
-    for (Packet& p : buffer_.take_for(dst)) {
+    buffer_.take_for(dst, take_scratch_);
+    for (Packet& p : take_scratch_) {
       drop(p, net::DropReason::kNoRoute);
     }
     return;
@@ -455,13 +460,16 @@ void Mts::check_tick() {
     const net::NodeId source = src;
     for (std::uint16_t pid : order) {
       const sim::Time jitter = cfg_.check_jitter * rng_.uniform();
-      ctx_.sched->schedule_in(jitter, [this, source, pid] {
-        auto it = as_dest_.find(source);
-        if (it == as_dest_.end()) return;
-        DestState& state = it->second;
-        if (pid >= state.paths.size() || !state.alive[pid]) return;
-        send_check(source, state, pid);
-      });
+      ctx_.sched->schedule_in(
+          jitter,
+          [this, source, pid] {
+            auto it = as_dest_.find(source);
+            if (it == as_dest_.end()) return;
+            DestState& state = it->second;
+            if (pid >= state.paths.size() || !state.alive[pid]) return;
+            send_check(source, state, pid);
+          },
+          sim::EventCategory::kRouting);
     }
   }
 }

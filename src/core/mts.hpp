@@ -182,6 +182,7 @@ class Mts final : public routing::RoutingProtocol {
   /// copies of a suppressed generation must not re-drain the bucket.
   routing::FloodCache suppressed_gens_;
   routing::SendBuffer buffer_;
+  std::vector<net::Packet> take_scratch_;  ///< reused by flush paths
   sim::PeriodicTimer check_timer_;
   sim::PeriodicTimer purge_timer_;
   /// Acked-checking data-plane probes (armed only when the defense asks).

@@ -366,6 +366,18 @@ class Simulation {
     m.seed = cfg_.seed;
     m.events_executed = sched_.executed_count();
     m.heap_fallback_closures = sched_.heap_fallback_count();
+    for (std::size_t c = 0; c < sim::kEventCategoryCount; ++c) {
+      m.events_by_category[c] =
+          sched_.executed_count(static_cast<sim::EventCategory>(c));
+    }
+    const mobility::MobilityStats mob = channel_->mobility_stats();
+    m.mobility_legs_generated = mob.generated;
+    m.mobility_legs_pruned = mob.pruned;
+    m.mobility_peak_live_legs = mob.peak_live;
+    if (const phy::NeighborIndex* idx = channel_->index(); idx != nullptr) {
+      m.neighbor_rebuilds = idx->rebuild_count();
+      m.neighbor_rebuild_allocs = idx->alloc_count();
+    }
 
     // Relay census over intermediate nodes (flow endpoints excluded —
     // they originate/terminate, they don't "participate" as relays).

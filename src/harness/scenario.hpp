@@ -249,6 +249,25 @@ struct RunMetrics {
   /// inline storage onto the heap.  The whole stack is written to keep
   /// this at zero; the integration suite pins that invariant.
   std::uint64_t heap_fallback_closures = 0;
+  /// Executed events attributed per subsystem (indexed by EventCategory)
+  /// — the raw material for the per-layer profiling in bench/macro_scale.
+  std::array<std::uint64_t, sim::kEventCategoryCount> events_by_category{};
+  [[nodiscard]] std::uint64_t executed(sim::EventCategory c) const {
+    return events_by_category[static_cast<std::size_t>(c)];
+  }
+
+  // --- scale (10k-node arena bookkeeping) ---------------------------------
+  /// Mobility trajectory entries created / pruned across all nodes; the
+  /// steady-state residency is `mobility_legs_generated -
+  /// mobility_legs_pruned`, which the snapshot-hook trimming keeps flat.
+  std::uint64_t mobility_legs_generated = 0;
+  std::uint64_t mobility_legs_pruned = 0;
+  /// Largest per-node trajectory history ever held (high-water mark).
+  std::uint64_t mobility_peak_live_legs = 0;
+  /// NeighborIndex refreshes, and how many of them grew a buffer (the
+  /// CSR arrays are reused, so this settles after warm-up).
+  std::uint64_t neighbor_rebuilds = 0;
+  std::uint64_t neighbor_rebuild_allocs = 0;
 };
 
 /// Builds the scenario, runs it to `sim_time`, and reports the metrics.

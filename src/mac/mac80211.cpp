@@ -18,15 +18,22 @@ Mac80211::Mac80211(sim::Scheduler& sched, phy::Radio& radio, MacConfig cfg,
       counters_(counters),
       queue_(cfg.queue_capacity),
       cw_(cfg.cw_min),
-      access_timer_(sched, [this] { access_timer_fired(); }),
-      response_timer_(sched, [this] {
-        if (state_ == State::kWaitAck) ack_timeout();
-        else if (state_ == State::kWaitCts) cts_timeout();
-      }),
-      tx_defer_timer_(sched, [this] {
-        if (!current_.has_value() || radio_->transmitting()) return;
-        send_data_frame();
-      }) {
+      access_timer_(sched, [this] { access_timer_fired(); },
+                    sim::EventCategory::kMac),
+      response_timer_(
+          sched,
+          [this] {
+            if (state_ == State::kWaitAck) ack_timeout();
+            else if (state_ == State::kWaitCts) cts_timeout();
+          },
+          sim::EventCategory::kMac),
+      tx_defer_timer_(
+          sched,
+          [this] {
+            if (!current_.has_value() || radio_->transmitting()) return;
+            send_data_frame();
+          },
+          sim::EventCategory::kMac) {
   sim::require_config(cfg.cw_min > 0 && cfg.cw_max >= cfg.cw_min,
                       "MacConfig: bad contention window");
   sim::require_config(cfg.data_rate_bps > 0 && cfg.basic_rate_bps > 0,
@@ -354,9 +361,9 @@ void Mac80211::response_due(const Frame& request) {
     nav = request.nav - cfg_.sifs - cts_airtime();
     if (nav < sim::Time::zero()) nav = sim::Time::zero();
   }
-  sched_->schedule_in(cfg_.sifs, [this, type, to, nav] {
-    send_response(type, to, nav);
-  });
+  sched_->schedule_in(
+      cfg_.sifs, [this, type, to, nav] { send_response(type, to, nav); },
+      sim::EventCategory::kMac);
 }
 
 void Mac80211::send_response(FrameType type, net::NodeId to, sim::Time nav) {

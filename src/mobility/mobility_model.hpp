@@ -1,15 +1,37 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 #include "mobility/vec2.hpp"
 #include "sim/time.hpp"
 
 namespace mts::mobility {
+
+/// History bookkeeping for lazily-extended trajectory models.  `live`
+/// is the number of trajectory entries currently held; `generated` and
+/// `pruned` count entries ever created / dropped, so
+/// `live == generated - pruned` at all times.
+struct MobilityStats {
+  std::uint64_t generated = 0;
+  std::uint64_t pruned = 0;
+  std::size_t live = 0;
+  std::size_t peak_live = 0;  ///< high-water mark of `live`
+};
 
 /// Per-node trajectory, expressed as position-as-a-function-of-time.
 ///
 /// Models are *pure*: position_at(t) is deterministic given the model's
 /// seed, and may be queried for any t >= 0 in any order (the channel
 /// queries at transmit instants; metrics and tests query arbitrarily).
+///
+/// Lazily-extended models accumulate history; callers that know a
+/// low-water mark below which no query will ever come again (e.g. the
+/// channel, whose queries are bounded below by the previous neighbour
+/// snapshot time) may call trim_history_before() to release it.  The
+/// entry *covering* the mark is always retained, so any t >= mark keeps
+/// answering identically — pruning never alters positions or the RNG
+/// draw sequence.
 class MobilityModel {
  public:
   virtual ~MobilityModel() = default;
@@ -19,6 +41,14 @@ class MobilityModel {
   /// Upper bound on instantaneous speed (m/s); the neighbour cache uses
   /// it to size its staleness margin.
   [[nodiscard]] virtual double max_speed() const = 0;
+
+  /// Promise that no future position_at(t) call will have t < mark;
+  /// history strictly before the entry covering `mark` may be freed.
+  /// Default: no-op (models with O(1) state have nothing to trim).
+  virtual void trim_history_before(sim::Time /*mark*/) const {}
+
+  /// History counters; zeros for O(1)-state models.
+  [[nodiscard]] virtual MobilityStats stats() const { return {}; }
 };
 
 /// A node that never moves (baselines, unit-test topologies).

@@ -27,7 +27,20 @@ RandomWaypoint::RandomWaypoint(const RandomWaypointConfig& cfg, sim::Rng rng)
   const double dist = distance(first.from, first.to);
   first.arrive = first.start + sim::Time::seconds(dist / first.speed);
   first.depart = first.arrive + cfg_.pause;
-  legs_.push_back(first);
+  push_leg(first);
+}
+
+void RandomWaypoint::push_leg(Leg leg) const {
+  // A degenerate config (0x0 field, zero pause) draws identical
+  // waypoints, making depart == start; without a floor, extend_until
+  // would append legs forever without advancing.  The clamp is
+  // unreachable for any field with positive area, so it never perturbs
+  // the RNG draw sequence of real scenarios.
+  if (leg.depart <= leg.start) leg.depart = leg.start + sim::Time::ms(1);
+  legs_.push_back(leg);
+  ++stats_.generated;
+  stats_.live = legs_.size();
+  stats_.peak_live = std::max(stats_.peak_live, stats_.live);
 }
 
 void RandomWaypoint::extend_until(sim::Time t) const {
@@ -42,28 +55,56 @@ void RandomWaypoint::extend_until(sim::Time t) const {
     const double dist = distance(next.from, next.to);
     next.arrive = next.start + sim::Time::seconds(dist / next.speed);
     next.depart = next.arrive + cfg_.pause;
-    legs_.push_back(next);
+    push_leg(next);
   }
 }
 
 Vec2 RandomWaypoint::position_at(sim::Time t) const {
   extend_until(t);
-  // Find the last leg with start <= t (legs are sorted by start).
-  auto it = std::upper_bound(
-      legs_.begin(), legs_.end(), t,
-      [](sim::Time tt, const Leg& leg) { return tt < leg.start; });
-  if (it == legs_.begin()) return legs_.front().from;  // initial pause
-  const Leg& leg = *(it - 1);
+  // The channel queries at non-decreasing sim times, so the covering leg
+  // is at or just past the cursor; arbitrary (test/metric) queries fall
+  // back to binary search.
+  std::size_t i;
+  if (cursor_ < legs_.size() && legs_[cursor_].start <= t) {
+    i = cursor_;
+    while (i + 1 < legs_.size() && legs_[i + 1].start <= t) ++i;
+  } else {
+    auto it = std::upper_bound(
+        legs_.begin(), legs_.end(), t,
+        [](sim::Time tt, const Leg& leg) { return tt < leg.start; });
+    if (it == legs_.begin()) return legs_.front().from;  // initial pause
+    i = static_cast<std::size_t>(it - legs_.begin()) - 1;
+  }
+  cursor_ = i;
+  const Leg& leg = legs_[i];
   if (t >= leg.arrive) return leg.to;  // paused at the waypoint
   const double frac = (t - leg.start) / (leg.arrive - leg.start);
   return leg.from + (leg.to - leg.from) * frac;
 }
+
+void RandomWaypoint::trim_history_before(sim::Time mark) const {
+  // Keep the leg covering `mark` (last start <= mark) so every query at
+  // t >= mark still resolves; drop everything older.
+  std::size_t drop = 0;
+  while (drop + 1 < legs_.size() && legs_[drop + 1].start <= mark) ++drop;
+  if (drop == 0) return;
+  legs_.erase(legs_.begin(),
+              legs_.begin() + static_cast<std::ptrdiff_t>(drop));
+  cursor_ = cursor_ > drop ? cursor_ - drop : 0;
+  stats_.pruned += drop;
+  stats_.live = legs_.size();
+}
+
+MobilityStats RandomWaypoint::stats() const { return stats_; }
 
 // ---------------------------------------------------------------------------
 
 RandomWalk::RandomWalk(const RandomWalkConfig& cfg, sim::Rng rng)
     : cfg_(cfg), rng_(rng) {
   sim::require_config(cfg.max_speed > 0, "RandomWalk: max_speed must be > 0");
+  sim::require_config(cfg.min_speed >= 0, "RandomWalk: negative min_speed");
+  sim::require_config(cfg.min_speed <= cfg.max_speed,
+                      "RandomWalk: min_speed > max_speed");
   sim::require_config(cfg.step > sim::Time::zero(), "RandomWalk: step <= 0");
   Segment s;
   s.start = sim::Time::zero();
@@ -72,7 +113,7 @@ RandomWalk::RandomWalk(const RandomWalkConfig& cfg, sim::Rng rng)
   const double speed = rng_.uniform(cfg_.min_speed, cfg_.max_speed);
   const double theta = rng_.uniform(0.0, 2.0 * 3.141592653589793);
   s.velocity = Vec2{speed * std::cos(theta), speed * std::sin(theta)};
-  segs_.push_back(s);
+  push_seg(s);
 }
 
 namespace {
@@ -98,7 +139,16 @@ Vec2 reflect_advance(Vec2 p, Vec2& v, double dt, const Field& f) {
 
 }  // namespace
 
+void RandomWalk::push_seg(Segment seg) const {
+  segs_.push_back(seg);
+  ++stats_.generated;
+  stats_.live = segs_.size();
+  stats_.peak_live = std::max(stats_.peak_live, stats_.live);
+}
+
 void RandomWalk::extend_until(sim::Time t) const {
+  // `step > 0` (enforced at construction) guarantees each segment
+  // strictly advances, so this loop always terminates.
   while (segs_.back().start + cfg_.step < t) {
     const Segment& prev = segs_.back();
     Segment next;
@@ -108,18 +158,40 @@ void RandomWalk::extend_until(sim::Time t) const {
     const double speed = rng_.uniform(cfg_.min_speed, cfg_.max_speed);
     const double theta = rng_.uniform(0.0, 2.0 * 3.141592653589793);
     next.velocity = Vec2{speed * std::cos(theta), speed * std::sin(theta)};
-    segs_.push_back(next);
+    push_seg(next);
   }
 }
 
 Vec2 RandomWalk::position_at(sim::Time t) const {
   extend_until(t);
-  auto it = std::upper_bound(
-      segs_.begin(), segs_.end(), t,
-      [](sim::Time tt, const Segment& s) { return tt < s.start; });
-  const Segment& seg = *(it - 1);
+  std::size_t i;
+  if (cursor_ < segs_.size() && segs_[cursor_].start <= t) {
+    i = cursor_;
+    while (i + 1 < segs_.size() && segs_[i + 1].start <= t) ++i;
+  } else {
+    auto it = std::upper_bound(
+        segs_.begin(), segs_.end(), t,
+        [](sim::Time tt, const Segment& s) { return tt < s.start; });
+    if (it == segs_.begin()) return segs_.front().from;
+    i = static_cast<std::size_t>(it - segs_.begin()) - 1;
+  }
+  cursor_ = i;
+  const Segment& seg = segs_[i];
   Vec2 v = seg.velocity;
   return reflect_advance(seg.from, v, (t - seg.start).to_seconds(), cfg_.field);
 }
+
+void RandomWalk::trim_history_before(sim::Time mark) const {
+  std::size_t drop = 0;
+  while (drop + 1 < segs_.size() && segs_[drop + 1].start <= mark) ++drop;
+  if (drop == 0) return;
+  segs_.erase(segs_.begin(),
+              segs_.begin() + static_cast<std::ptrdiff_t>(drop));
+  cursor_ = cursor_ > drop ? cursor_ - drop : 0;
+  stats_.pruned += drop;
+  stats_.live = segs_.size();
+}
+
+MobilityStats RandomWalk::stats() const { return stats_; }
 
 }  // namespace mts::mobility

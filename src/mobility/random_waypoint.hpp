@@ -30,6 +30,8 @@ class RandomWaypoint final : public MobilityModel {
 
   [[nodiscard]] Vec2 position_at(sim::Time t) const override;
   [[nodiscard]] double max_speed() const override { return cfg_.max_speed; }
+  void trim_history_before(sim::Time mark) const override;
+  [[nodiscard]] MobilityStats stats() const override;
 
   /// Trajectory introspection for tests: one entry per movement leg.
   struct Leg {
@@ -41,15 +43,19 @@ class RandomWaypoint final : public MobilityModel {
     double speed = 0.0;   ///< m/s
   };
 
-  /// Legs generated so far (grows lazily as later times are queried).
+  /// Live legs (grows lazily as later times are queried; the front is
+  /// dropped by trim_history_before).
   [[nodiscard]] const std::vector<Leg>& legs_generated() const { return legs_; }
 
  private:
   void extend_until(sim::Time t) const;
+  void push_leg(Leg leg) const;
 
   RandomWaypointConfig cfg_;
   mutable sim::Rng rng_;
   mutable std::vector<Leg> legs_;
+  mutable std::size_t cursor_ = 0;  ///< covering-leg hint for monotone queries
+  mutable MobilityStats stats_;
 };
 
 /// Extension (not in the paper): bounded random walk with reflection,
@@ -68,6 +74,8 @@ class RandomWalk final : public MobilityModel {
 
   [[nodiscard]] Vec2 position_at(sim::Time t) const override;
   [[nodiscard]] double max_speed() const override { return cfg_.max_speed; }
+  void trim_history_before(sim::Time mark) const override;
+  [[nodiscard]] MobilityStats stats() const override;
 
  private:
   struct Segment {
@@ -76,10 +84,13 @@ class RandomWalk final : public MobilityModel {
     Vec2 velocity;  ///< m/s components after boundary reflection
   };
   void extend_until(sim::Time t) const;
+  void push_seg(Segment seg) const;
 
   RandomWalkConfig cfg_;
   mutable sim::Rng rng_;
   mutable std::vector<Segment> segs_;
+  mutable std::size_t cursor_ = 0;
+  mutable MobilityStats stats_;
 };
 
 }  // namespace mts::mobility

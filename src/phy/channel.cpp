@@ -33,6 +33,27 @@ void Channel::finalize() {
       [this](std::uint32_t id, sim::Time t) {
         return entries_[id].mobility->position_at(t);
       });
+  // Every live query — radiate/neighbors_of at scheduler-now, the next
+  // snapshot itself — happens at or after the previous snapshot time, so
+  // each rebuild retires the trajectory history behind the one before it
+  // (one rebuild period of slack).  This is what keeps mobility memory
+  // flat over long runs: without it every model's leg list grows
+  // O(sim-time).
+  index_->set_snapshot_hook([this](sim::Time prev, sim::Time /*now*/) {
+    for (const Entry& e : entries_) e.mobility->trim_history_before(prev);
+  });
+}
+
+mobility::MobilityStats Channel::mobility_stats() const {
+  mobility::MobilityStats total;
+  for (const Entry& e : entries_) {
+    const mobility::MobilityStats s = e.mobility->stats();
+    total.generated += s.generated;
+    total.pruned += s.pruned;
+    total.live += s.live;
+    total.peak_live = std::max(total.peak_live, s.peak_live);
+  }
+  return total;
 }
 
 void Channel::transmit(net::NodeId sender, const Frame& frame,
@@ -77,7 +98,8 @@ void Channel::radiate(net::NodeId sender, const mobility::Vec2& sp,
     pr.airtime = airtime;
     pr.decodable = decodable;
     pr.power = p;
-    sched_->schedule_in(delay, [this, slot] { deliver_rx(slot); });
+    sched_->schedule_in(delay, [this, slot] { deliver_rx(slot); },
+                        sim::EventCategory::kChannel);
   };
 
   if (index_ != nullptr) {

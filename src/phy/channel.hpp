@@ -84,6 +84,12 @@ class Channel {
   /// then re-checked against live positions.
   void neighbors_of(net::NodeId id, sim::Time t, NeighborVec& out) const;
 
+  /// The spatial index, or nullptr when disabled / not yet finalized.
+  [[nodiscard]] const NeighborIndex* index() const { return index_.get(); }
+
+  /// Aggregate trajectory-history counters over all attached models.
+  [[nodiscard]] mobility::MobilityStats mobility_stats() const;
+
  private:
   struct Entry {
     Radio* radio;

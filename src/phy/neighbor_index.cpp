@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <limits>
 
 #include "sim/error.hpp"
 
@@ -22,35 +24,115 @@ NeighborIndex::NeighborIndex(std::uint32_t node_count, double cell_size,
 }
 
 void NeighborIndex::rebuild(sim::Time now) {
+  const std::size_t caps_before[] = {
+      snapshot_.capacity(), offsets_.capacity(), ids_.capacity(),
+      keys_.capacity(),     cell_lin_.capacity(), keyed_.capacity()};
+
   snapshot_.resize(n_);
-  buckets_.clear();
   for (std::uint32_t i = 0; i < n_; ++i) {
     snapshot_[i] = positions_(i, now);
   }
-  // Bucket by cell; sort-based build keeps memory contiguous.
-  keyed_.clear();
-  keyed_.reserve(n_);
+
+  std::int64_t cx_min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t cx_max = std::numeric_limits<std::int64_t>::min();
+  std::int64_t cy_min = cx_min, cy_max = cx_max;
   for (std::uint32_t i = 0; i < n_; ++i) {
-    keyed_.emplace_back(key_of(cell_of(snapshot_[i].x), cell_of(snapshot_[i].y)), i);
+    const std::int64_t cx = cell_of(snapshot_[i].x);
+    const std::int64_t cy = cell_of(snapshot_[i].y);
+    cx_min = std::min(cx_min, cx);
+    cx_max = std::max(cx_max, cx);
+    cy_min = std::min(cy_min, cy);
+    cy_max = std::max(cy_max, cy);
   }
-  std::sort(keyed_.begin(), keyed_.end());
-  for (const auto& [key, id] : keyed_) {
-    if (buckets_.empty() || buckets_.back().key != key) {
-      buckets_.push_back(Bucket{key, {}});
+
+  const std::size_t cells =
+      n_ == 0 ? 0
+              : static_cast<std::size_t>(cx_max - cx_min + 1) *
+                    static_cast<std::size_t>(cy_max - cy_min + 1);
+  dense_ = cells <= dense_cell_cap();
+  if (dense_) {
+    cx_min_ = cx_min;
+    cy_min_ = cy_min;
+    grid_w_ = n_ == 0 ? 0 : cx_max - cx_min + 1;
+    grid_h_ = n_ == 0 ? 0 : cy_max - cy_min + 1;
+    // Counting sort into the CSR arrays.  After the scatter the cursor
+    // positions have advanced to each cell's END, so offsets_[lin] holds
+    // the end of cell `lin` and the start is offsets_[lin - 1] (0 for
+    // the first cell); cell_span() reads it back that way.
+    offsets_.assign(cells + 1, 0);
+    cell_lin_.resize(n_);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      const std::int64_t cx = cell_of(snapshot_[i].x);
+      const std::int64_t cy = cell_of(snapshot_[i].y);
+      const std::uint32_t lin = static_cast<std::uint32_t>(
+          (cx - cx_min_) * grid_h_ + (cy - cy_min_));
+      cell_lin_[i] = lin;
+      ++offsets_[lin + 1];
     }
-    buckets_.back().ids.push_back(id);
+    for (std::size_t c = 1; c <= cells; ++c) offsets_[c] += offsets_[c - 1];
+    ids_.resize(n_);
+    // Ascending i keeps ids ascending within each cell — the same order
+    // the old sorted-bucket build produced.
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      ids_[offsets_[cell_lin_[i]]++] = i;
+    }
+  } else {
+    keyed_.clear();
+    keyed_.reserve(n_);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      keyed_.emplace_back(
+          key_of(cell_of(snapshot_[i].x), cell_of(snapshot_[i].y)), i);
+    }
+    std::sort(keyed_.begin(), keyed_.end());
+    keys_.clear();
+    offsets_.clear();
+    ids_.resize(n_);
+    for (std::uint32_t idx = 0; idx < n_; ++idx) {
+      const auto& [key, id] = keyed_[idx];
+      if (keys_.empty() || keys_.back() != key) {
+        keys_.push_back(key);
+        offsets_.push_back(idx);
+      }
+      ids_[idx] = id;
+    }
+    offsets_.push_back(n_);
   }
+
+  const std::size_t caps_after[] = {
+      snapshot_.capacity(), offsets_.capacity(), ids_.capacity(),
+      keys_.capacity(),     cell_lin_.capacity(), keyed_.capacity()};
+  for (std::size_t i = 0; i < std::size(caps_before); ++i) {
+    if (caps_before[i] != caps_after[i]) {
+      ++allocs_;
+      break;
+    }
+  }
+
+  const sim::Time prev = snapshot_at_;
   snapshot_at_ = now;
   ++rebuilds_;
+  if (hook_ && prev >= sim::Time::zero()) hook_(prev, now);
 }
 
-const std::vector<std::uint32_t>* NeighborIndex::find_bucket(
-    std::int64_t key) const {
-  auto it = std::lower_bound(
-      buckets_.begin(), buckets_.end(), key,
-      [](const Bucket& b, std::int64_t k) { return b.key < k; });
-  if (it != buckets_.end() && it->key == key) return &it->ids;
-  return nullptr;
+std::pair<const std::uint32_t*, const std::uint32_t*> NeighborIndex::cell_span(
+    std::int64_t cx, std::int64_t cy) const {
+  if (dense_) {
+    if (cx < cx_min_ || cx >= cx_min_ + grid_w_ || cy < cy_min_ ||
+        cy >= cy_min_ + grid_h_) {
+      return {nullptr, nullptr};
+    }
+    const std::size_t lin =
+        static_cast<std::size_t>((cx - cx_min_) * grid_h_ + (cy - cy_min_));
+    const std::uint32_t begin = lin == 0 ? 0 : offsets_[lin - 1];
+    const std::uint32_t end = offsets_[lin];
+    if (begin == end) return {nullptr, nullptr};
+    return {ids_.data() + begin, ids_.data() + end};
+  }
+  const std::int64_t key = key_of(cx, cy);
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return {nullptr, nullptr};
+  const std::size_t j = static_cast<std::size_t>(it - keys_.begin());
+  return {ids_.data() + offsets_[j], ids_.data() + offsets_[j + 1]};
 }
 
 const std::vector<std::uint32_t>& NeighborIndex::candidates(
@@ -65,11 +147,10 @@ const std::vector<std::uint32_t>& NeighborIndex::candidates(
   const std::int64_t cy0 = cell_of(center.y - r), cy1 = cell_of(center.y + r);
   for (std::int64_t cx = cx0; cx <= cx1; ++cx) {
     for (std::int64_t cy = cy0; cy <= cy1; ++cy) {
-      const auto* ids = find_bucket(key_of(cx, cy));
-      if (ids == nullptr) continue;
-      for (std::uint32_t id : *ids) {
-        if (mobility::distance_sq(snapshot_[id], center) <= r2) {
-          scratch_.push_back(id);
+      const auto [begin, end] = cell_span(cx, cy);
+      for (const std::uint32_t* p = begin; p != end; ++p) {
+        if (mobility::distance_sq(snapshot_[*p], center) <= r2) {
+          scratch_.push_back(*p);
         }
       }
     }

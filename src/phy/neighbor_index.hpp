@@ -17,9 +17,24 @@ namespace mts::phy {
 /// nodes can have approached since the snapshot (both endpoints moving
 /// at max speed).  Candidates are a superset; callers re-filter with
 /// exact positions.
+///
+/// The grid is stored CSR-style: one flat offset array over the cells of
+/// the snapshot's bounding box plus one flat id array, both reused
+/// across rebuilds, so a steady-state rebuild allocates nothing even at
+/// 10k nodes.  When the bounding box would need more cells than
+/// `dense_cell_cap()` (pathological cell_size / field combinations), the
+/// index falls back to a sorted sparse-key CSR with the same reuse
+/// discipline.  Either layout yields candidates in the identical order
+/// to a per-cell bucket map — cells scanned x-major, ids ascending
+/// within a cell — so fixed-seed runs are bit-identical across layouts.
 class NeighborIndex {
  public:
   using PositionFn = std::function<mobility::Vec2(std::uint32_t, sim::Time)>;
+  /// Called at the end of every rebuild after the first, with the
+  /// previous snapshot time and the new one.  The previous snapshot time
+  /// is a low-water mark: no future index or caller query looks at
+  /// positions before it, so mobility history behind it can be freed.
+  using SnapshotHook = std::function<void(sim::Time prev, sim::Time now)>;
 
   NeighborIndex(std::uint32_t node_count, double cell_size, double max_speed,
                 sim::Time rebuild_period, PositionFn positions);
@@ -33,42 +48,59 @@ class NeighborIndex {
   [[nodiscard]] const std::vector<std::uint32_t>& candidates(
       mobility::Vec2 center, double radius, sim::Time now);
 
+  void set_snapshot_hook(SnapshotHook hook) { hook_ = std::move(hook); }
+
   [[nodiscard]] double staleness_margin() const {
     return 2.0 * max_speed_ * rebuild_period_.to_seconds();
   }
   [[nodiscard]] std::uint32_t rebuild_count() const { return rebuilds_; }
+  /// Rebuilds that grew any reused buffer.  Settles after warm-up: the
+  /// steady-state rebuild path performs zero heap allocations.
+  [[nodiscard]] std::uint32_t alloc_count() const { return allocs_; }
+  /// Cell budget above which the dense bounding-box layout gives way to
+  /// the sparse sorted-key fallback.
+  [[nodiscard]] std::size_t dense_cell_cap() const {
+    return std::size_t{4} * n_ + 64;
+  }
 
  private:
   void rebuild(sim::Time now);
   [[nodiscard]] std::int64_t cell_of(double coord) const {
     return static_cast<std::int64_t>(coord / cell_);
   }
+  [[nodiscard]] static std::int64_t key_of(std::int64_t cx, std::int64_t cy) {
+    return (cx << 32) ^ (cy & 0xffffffff);
+  }
+  /// Ids in cell (cx, cy), ascending; (nullptr, nullptr) when empty.
+  [[nodiscard]] std::pair<const std::uint32_t*, const std::uint32_t*>
+  cell_span(std::int64_t cx, std::int64_t cy) const;
 
   std::uint32_t n_;
   double cell_;
   double max_speed_;
   sim::Time rebuild_period_;
   PositionFn positions_;
+  SnapshotHook hook_;
 
   sim::Time snapshot_at_ = sim::Time::ns(-1);
   std::vector<mobility::Vec2> snapshot_;
-  // Grid as a sorted bucket list: (cell key -> node ids).  Cell keys are
-  // hashed into a flat hash map rebuilt wholesale each refresh.
-  struct Bucket {
-    std::int64_t key;
-    std::vector<std::uint32_t> ids;
-  };
-  std::vector<Bucket> buckets_;
-  std::uint32_t rebuilds_ = 0;
-  /// Reused across calls: query results and the rebuild's sort area.
-  std::vector<std::uint32_t> scratch_;
-  std::vector<std::pair<std::int64_t, std::uint32_t>> keyed_;
 
-  [[nodiscard]] static std::int64_t key_of(std::int64_t cx, std::int64_t cy) {
-    return (cx << 32) ^ (cy & 0xffffffff);
-  }
-  [[nodiscard]] const std::vector<std::uint32_t>* find_bucket(
-      std::int64_t key) const;
+  // CSR grid.  Dense: cells of the snapshot bounding box laid out
+  // x-major (`lin = (cx - cx_min_) * grid_h_ + (cy - cy_min_)`);
+  // offsets_[lin]..offsets_[lin+1] indexes ids_.  Sparse: keys_ holds
+  // the sorted non-empty cell keys and offsets_ runs parallel to it.
+  bool dense_ = true;
+  std::int64_t cx_min_ = 0, cy_min_ = 0;
+  std::int64_t grid_w_ = 0, grid_h_ = 0;
+  std::vector<std::uint32_t> offsets_;
+  std::vector<std::uint32_t> ids_;
+  std::vector<std::int64_t> keys_;            // sparse layout only
+  std::vector<std::uint32_t> cell_lin_;       // per-node cell, rebuild scratch
+  std::vector<std::pair<std::int64_t, std::uint32_t>> keyed_;  // sparse scratch
+
+  std::uint32_t rebuilds_ = 0;
+  std::uint32_t allocs_ = 0;
+  std::vector<std::uint32_t> scratch_;  ///< query results, reused
 };
 
 }  // namespace mts::phy

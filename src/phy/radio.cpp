@@ -65,7 +65,8 @@ void Radio::begin_reception(const Frame& frame, sim::Time airtime,
   slots_[slot] =
       Reception{frame, sched_->now() + airtime, corrupt, decodable, rx_power};
   active_.push_back(slot);
-  sched_->schedule_in(airtime, [this, slot] { end_reception(slot); });
+  sched_->schedule_in(airtime, [this, slot] { end_reception(slot); },
+                      sim::EventCategory::kPhy);
   if (!was_busy) medium_edge(false);
 }
 

@@ -39,7 +39,8 @@ class Radio {
       : sched_(&sched),
         id_(id),
         counters_(counters),
-        tx_done_timer_(sched, [this] { tx_done(); }) {}
+        tx_done_timer_(sched, [this] { tx_done(); },
+                       sim::EventCategory::kPhy) {}
 
   Radio(const Radio&) = delete;
   Radio& operator=(const Radio&) = delete;

@@ -16,7 +16,8 @@ Aodv::Aodv(RoutingContext ctx, AodvConfig cfg, sim::Rng rng)
       cfg_(cfg),
       rng_(rng),
       buffer_(cfg.buffer_capacity, cfg.buffer_max_age),
-      purge_timer_(*ctx_.sched, [this] { purge_expired(); }) {}
+      purge_timer_(*ctx_.sched, [this] { purge_expired(); },
+                   sim::EventCategory::kRouting) {}
 
 void Aodv::start() {
   // Small desync so all nodes don't purge on the same tick.
@@ -147,7 +148,8 @@ void Aodv::send_rreq(NodeId dst) {
 
   auto& pd = pending_[dst];
   pd.timer = ctx_.sched->schedule_in(cfg_.rrep_wait * (std::int64_t{1} << pd.retries),
-                                     [this, dst] { discovery_timeout(dst); });
+                                     [this, dst] { discovery_timeout(dst); },
+                                     sim::EventCategory::kRouting);
 }
 
 void Aodv::discovery_timeout(NodeId dst) {
@@ -155,7 +157,8 @@ void Aodv::discovery_timeout(NodeId dst) {
   if (it == pending_.end()) return;
   if (it->second.retries + 1 >= cfg_.rreq_retries) {
     pending_.erase(it);
-    for (Packet& p : buffer_.take_for(dst)) {
+    buffer_.take_for(dst, take_scratch_);
+    for (Packet& p : take_scratch_) {
       drop(p, net::DropReason::kNoRoute);
     }
     return;
@@ -171,7 +174,8 @@ void Aodv::flush_buffer(NodeId dst) {
   }
   RouteEntry* e = find_valid(dst);
   if (e == nullptr) return;
-  for (Packet& p : buffer_.take_for(dst)) {
+  buffer_.take_for(dst, take_scratch_);
+  for (Packet& p : take_scratch_) {
     refresh(dst);
     ctx_.mac->enqueue(std::move(p), e->next_hop);
   }

@@ -98,6 +98,7 @@ class Aodv final : public RoutingProtocol {
   std::unordered_map<net::NodeId, PendingDiscovery> pending_;
   FloodCache rreq_seen_;
   SendBuffer buffer_;
+  std::vector<net::Packet> take_scratch_;  ///< reused by flush paths
   sim::PeriodicTimer purge_timer_;
 };
 

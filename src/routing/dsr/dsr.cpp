@@ -33,7 +33,8 @@ Dsr::Dsr(RoutingContext ctx, DsrConfig cfg, sim::Rng rng)
       rng_(rng),
       cache_(cfg.cache_capacity, cfg.cache_expiry),
       buffer_(cfg.buffer_capacity, cfg.buffer_max_age),
-      purge_timer_(*ctx_.sched, [this] { purge(); }) {}
+      purge_timer_(*ctx_.sched, [this] { purge(); },
+                   sim::EventCategory::kRouting) {}
 
 void Dsr::start() {
   purge_timer_.start(cfg_.purge_period,
@@ -108,7 +109,8 @@ void Dsr::send_rreq(NodeId dst) {
   sim::Time wait = cfg_.rreq_initial_wait * (std::int64_t{1} << pd.attempts);
   wait = std::min(wait, cfg_.rreq_max_wait);
   pd.timer =
-      ctx_.sched->schedule_in(wait, [this, dst] { discovery_timeout(dst); });
+      ctx_.sched->schedule_in(wait, [this, dst] { discovery_timeout(dst); },
+                              sim::EventCategory::kRouting);
 }
 
 void Dsr::discovery_timeout(NodeId dst) {
@@ -130,7 +132,8 @@ void Dsr::flush_buffer(NodeId dst) {
     ctx_.sched->cancel(it->second.timer);
     pending_.erase(it);
   }
-  for (Packet& p : buffer_.take_for(dst)) {
+  buffer_.take_for(dst, take_scratch_);
+  for (Packet& p : take_scratch_) {
     if (!route_and_send(std::move(p), /*originated_here=*/true)) {
       drop(p, net::DropReason::kNoRoute);
     }

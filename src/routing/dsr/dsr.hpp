@@ -81,6 +81,7 @@ class Dsr final : public RoutingProtocol {
   RouteCache cache_;
   FloodCache rreq_seen_;
   SendBuffer buffer_;
+  std::vector<net::Packet> take_scratch_;  ///< reused by flush_buffer
   std::unordered_map<net::NodeId, PendingDiscovery> pending_;
   sim::PeriodicTimer purge_timer_;
 };

@@ -106,11 +106,15 @@ class RoutingProtocol {
       rebroadcast_free_.pop_back();
     }
     rebroadcast_pool_[slot] = std::move(packet);
-    ctx_.sched->schedule_in(jitter, [this, slot] {
-      net::Packet p = std::move(rebroadcast_pool_[slot]);
-      rebroadcast_free_.push_back(slot);
-      send_to_mac(std::move(p), net::kBroadcastId, /*originated_here=*/false);
-    });
+    ctx_.sched->schedule_in(
+        jitter,
+        [this, slot] {
+          net::Packet p = std::move(rebroadcast_pool_[slot]);
+          rebroadcast_free_.push_back(slot);
+          send_to_mac(std::move(p), net::kBroadcastId,
+                      /*originated_here=*/false);
+        },
+        sim::EventCategory::kRouting);
   }
 
   void drop(const net::Packet& packet, net::DropReason reason) {

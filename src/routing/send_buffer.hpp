@@ -32,9 +32,12 @@ class SendBuffer {
     return evicted;
   }
 
-  /// Removes and returns every buffered packet destined to `dst`.
-  std::vector<net::Packet> take_for(net::NodeId dst) {
-    std::vector<net::Packet> out;
+  /// Moves every buffered packet destined to `dst` into `out` (previous
+  /// contents are discarded).  Caller-owned scratch, like
+  /// Channel::neighbors_of: route discovery resolves once per flow, and
+  /// returning a fresh vector each time would allocate on that path.
+  void take_for(net::NodeId dst, std::vector<net::Packet>& out) {
+    out.clear();
     for (auto it = entries_.begin(); it != entries_.end();) {
       if (it->packet.common().dst == dst) {
         out.push_back(std::move(it->packet));
@@ -43,7 +46,6 @@ class SendBuffer {
         ++it;
       }
     }
-    return out;
   }
 
   /// Drops packets older than the age limit, reporting each.

@@ -45,11 +45,14 @@ Smr::Smr(RoutingContext ctx, SmrConfig cfg, sim::Rng rng)
       cfg_(cfg),
       rng_(rng),
       buffer_(cfg.buffer_capacity, cfg.buffer_max_age),
-      purge_timer_(*ctx_.sched, [this] {
-        buffer_.expire(now(), [this](const Packet& p) {
-          drop(p, net::DropReason::kSendBufferTimeout);
-        });
-      }) {
+      purge_timer_(
+          *ctx_.sched,
+          [this] {
+            buffer_.expire(now(), [this](const Packet& p) {
+              drop(p, net::DropReason::kSendBufferTimeout);
+            });
+          },
+          sim::EventCategory::kRouting) {
   sim::require_config(cfg.route_count >= 1, "SmrConfig: route_count < 1");
 }
 
@@ -131,7 +134,8 @@ void Smr::send_rreq(NodeId dst) {
   sim::Time wait = cfg_.rreq_initial_wait * (std::int64_t{1} << fr.attempts);
   wait = std::min(wait, cfg_.rreq_max_wait);
   fr.rreq_timer =
-      ctx_.sched->schedule_in(wait, [this, dst] { discovery_timeout(dst); });
+      ctx_.sched->schedule_in(wait, [this, dst] { discovery_timeout(dst); },
+                              sim::EventCategory::kRouting);
 }
 
 void Smr::discovery_timeout(NodeId dst) {
@@ -156,7 +160,8 @@ void Smr::flush_buffer(NodeId dst) {
     ctx_.sched->cancel(it->second.rreq_timer);
     it->second.discovering = false;
   }
-  for (Packet& p : buffer_.take_for(dst)) {
+  buffer_.take_for(dst, take_scratch_);
+  for (Packet& p : take_scratch_) {
     if (!stripe_and_send(std::move(p))) {
       drop(p, net::DropReason::kNoRoute);
     }
@@ -229,7 +234,8 @@ void Smr::handle_rreq(Packet&& p, NodeId from) {
         sel.timer = old_timer;
       } else {
         sel.timer = ctx_.sched->schedule_at(
-            window_end, [this, orig] { select_second_route(orig); });
+            window_end, [this, orig] { select_second_route(orig); },
+            sim::EventCategory::kRouting);
       }
       send_rrep_for(std::move(full));
     } else {

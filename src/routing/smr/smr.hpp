@@ -103,6 +103,7 @@ class Smr final : public RoutingProtocol {
   std::unordered_map<std::uint64_t, net::NodeId> first_link_;
   dsr::RouteCache reverse_cache_;  ///< for replying to the peer's data
   SendBuffer buffer_;
+  std::vector<net::Packet> take_scratch_;  ///< reused by flush_buffer
   sim::PeriodicTimer purge_timer_;
 };
 

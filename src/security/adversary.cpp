@@ -282,7 +282,8 @@ void WormholeAttacker::tunnel_to(std::size_t far_end, const Transmission& tx,
   ++tunneled_;
   // Zero simulated delay: the replay fires after the in-flight dispatch
   // finishes, in deterministic insertion order.
-  sched_->schedule_in(sim::Time::zero(), [this, slot] { fire(slot); });
+  sched_->schedule_in(sim::Time::zero(), [this, slot] { fire(slot); },
+                      sim::EventCategory::kSecurity);
 }
 
 void WormholeAttacker::fire(std::uint32_t slot) {
@@ -454,14 +455,16 @@ RreqFlooder::RreqFlooder(
 void RreqFlooder::on_start(sim::Time sim_end) {
   sim_end_ = sim_end;
   if (start_ > sim_end_) return;
-  sched_->schedule_in(start_ - sched_->now(), [this] { tick(); });
+  sched_->schedule_in(start_ - sched_->now(), [this] { tick(); },
+                      sim::EventCategory::kSecurity);
 }
 
 void RreqFlooder::tick() {
   for (net::NodeId m : members_) inject_one(m);
   injected_ += members_.size();
   if (sched_->now() + interval_ <= sim_end_) {
-    sched_->schedule_in(interval_, [this] { tick(); });
+    sched_->schedule_in(interval_, [this] { tick(); },
+                        sim::EventCategory::kSecurity);
   }
 }
 

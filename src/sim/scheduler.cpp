@@ -16,6 +16,20 @@ constexpr std::size_t kDisplacementLimit = 32;
 
 Scheduler::Scheduler() : buckets_(kMinBucketCount) {}
 
+const char* event_category_name(EventCategory c) {
+  switch (c) {
+    case EventCategory::kOther: return "other";
+    case EventCategory::kChannel: return "channel";
+    case EventCategory::kPhy: return "phy";
+    case EventCategory::kMac: return "mac";
+    case EventCategory::kRouting: return "routing";
+    case EventCategory::kTransport: return "transport";
+    case EventCategory::kSecurity: return "security";
+    case EventCategory::kCount: break;
+  }
+  return "?";
+}
+
 // ---------------------------------------------------------------------------
 // Slot pool.
 // ---------------------------------------------------------------------------
@@ -48,7 +62,7 @@ void Scheduler::release_slot(std::uint32_t s) {
 // Node arena.
 // ---------------------------------------------------------------------------
 
-std::uint32_t Scheduler::node_alloc() {
+std::uint32_t Scheduler::node_alloc() const {
   if (node_free_ != kNullIndex) {
     const std::uint32_t n = node_free_;
     node_free_ = node_at(n).next;
@@ -70,6 +84,21 @@ void Scheduler::node_free(std::uint32_t n) const {
 // ---------------------------------------------------------------------------
 
 void Scheduler::insert(Entry e) {
+  ++ops_since_rebuild_;
+  max_t_ns_ = std::max(max_t_ns_, e.t.nanoseconds());
+  if (vt_of(e.t) >= horizon_vt()) {
+    // Beyond the wheel's coverage: park in the overflow heap until the
+    // window reaches it.  Keeps the one-lap invariant that makes the
+    // drain walk short (see the class comment).
+    far_.push_back(e);
+    std::push_heap(far_.begin(), far_.end(), far_after);
+    if (far_.size() >= far_compact_at_) far_compact();
+    return;
+  }
+  wheel_insert(e);
+}
+
+void Scheduler::wheel_insert(Entry e) const {
   const std::int64_t vt = vt_of(e.t);
   Bucket& bk = buckets_[static_cast<std::size_t>(vt) & (buckets_.size() - 1)];
   const std::uint32_t n = node_alloc();
@@ -104,10 +133,47 @@ void Scheduler::insert(Entry e) {
     if (walked > kDisplacementLimit) resize_requested_ = true;
   }
   ++bucket_entries_;
-  ++ops_since_rebuild_;
-  max_t_ns_ = std::max(max_t_ns_, e.t.nanoseconds());
   // An event landing behind the drain point re-anchors the walk.
   if (vt < cur_vt_) cur_vt_ = vt;
+}
+
+void Scheduler::migrate_far() const {
+  if (far_.empty()) return;
+  std::int64_t horizon = horizon_vt();
+  for (;;) {
+    if (far_.empty()) return;
+    const Entry top = far_.front();
+    if (entry_dead(top) || vt_of(top.t) < horizon) {
+      std::pop_heap(far_.begin(), far_.end(), far_after);
+      far_.pop_back();
+      if (entry_dead(top)) {
+        --tombstones_;  // cancelled or re-armed while parked
+      } else {
+        wheel_insert(top);
+      }
+      continue;
+    }
+    if (bucket_entries_ != 0) return;
+    // The wheel ran dry and everything pending is far: re-base the
+    // coverage window (and the drain) at the earliest far event, so a
+    // quiet stretch costs one heap pop instead of a lap walk.
+    horizon = vt_of(top.t) + static_cast<std::int64_t>(buckets_.size());
+    cur_vt_ = vt_of(top.t);
+  }
+}
+
+void Scheduler::far_compact() {
+  std::size_t kept = 0;
+  for (const Entry& e : far_) {
+    if (entry_dead(e)) {
+      --tombstones_;
+      continue;
+    }
+    far_[kept++] = e;
+  }
+  far_.resize(kept);
+  std::make_heap(far_.begin(), far_.end(), far_after);
+  far_compact_at_ = std::max<std::size_t>(64, far_.size() * 2);
 }
 
 void Scheduler::pop_head(Bucket& bk) const {
@@ -118,27 +184,42 @@ void Scheduler::pop_head(Bucket& bk) const {
 }
 
 bool Scheduler::peek_live() const {
-  if (bucket_entries_ == 0) return false;
-  const std::size_t mask = buckets_.size() - 1;
-  std::size_t empty_steps = 0;
   for (;;) {
-    Bucket& bk = buckets_[static_cast<std::size_t>(cur_vt_) & mask];
-    while (bk.head != kNullIndex) {
-      const Entry& e = node_at(bk.head).e;
-      if (entry_dead(e)) {  // tombstone: cancelled, re-armed, or recycled
-        pop_head(bk);
-        --tombstones_;
-        if (--bucket_entries_ == 0) return false;
-        continue;
+    // After migration the wheel is non-empty unless nothing is pending
+    // at all (an empty wheel makes migrate_far re-base onto the earliest
+    // far event, so it only leaves both empty together).
+    migrate_far();
+    if (bucket_entries_ == 0) return false;
+    const std::size_t mask = buckets_.size() - 1;
+    std::size_t empty_steps = 0;
+    bool wheel_dry = false;
+    while (!wheel_dry) {
+      Bucket& bk = buckets_[static_cast<std::size_t>(cur_vt_) & mask];
+      while (bk.head != kNullIndex) {
+        const Entry& e = node_at(bk.head).e;
+        if (entry_dead(e)) {  // tombstone: cancelled, re-armed, or recycled
+          pop_head(bk);
+          --tombstones_;
+          if (--bucket_entries_ == 0) {
+            // All that was stored were tombstones; far_ may still hold
+            // live events — go back around and migrate.
+            wheel_dry = true;
+            break;
+          }
+          continue;
+        }
+        if (vt_of(e.t) == cur_vt_) return true;  // the global minimum
+        break;  // bucket's min belongs to a later lap of the calendar
       }
-      if (vt_of(e.t) == cur_vt_) return true;  // the global minimum
-      break;  // bucket's min belongs to a later lap of the calendar
-    }
-    ++cur_vt_;
-    if (++empty_steps > buckets_.size()) {
-      // A whole lap without a hit: jump straight to the minimum.
-      direct_search();
-      empty_steps = 0;
+      if (wheel_dry) break;
+      ++cur_vt_;
+      if (++empty_steps > buckets_.size()) {
+        // A whole lap without a hit: jump straight to the minimum.
+        direct_search();
+        // The scan may have drained the last tombstones itself.
+        wheel_dry = bucket_entries_ == 0;
+        empty_steps = 0;
+      }
     }
   }
 }
@@ -173,6 +254,7 @@ EventFn Scheduler::take_top() {
   const auto s = static_cast<std::uint32_t>(e.key & kSlotMask);
   now_ = e.t;
   EventFn fn = std::move(slot_at(s).fn);
+  ++executed_by_[static_cast<std::size_t>(slot_at(s).cat)];
   release_slot(s);  // the event's id dies before its callback runs
   --live_count_;
   ++executed_;
@@ -194,6 +276,10 @@ void Scheduler::rebuild(std::size_t new_bucket_count, int new_shift) {
       if (!entry_dead(node_at(n).e)) live.push_back(node_at(n).e);
     }
   }
+  for (const Entry& e : far_) {
+    if (!entry_dead(e)) live.push_back(e);
+  }
+  far_.clear();
   // Every node sits in some bucket, so the arena resets wholesale.
   node_free_ = kNullIndex;
   node_count_ = 0;
@@ -202,12 +288,21 @@ void Scheduler::rebuild(std::size_t new_bucket_count, int new_shift) {
   buckets_.assign(new_bucket_count, Bucket{});
   shift_ = new_shift;
   tombstones_ = 0;
-  bucket_entries_ = live.size();
+  bucket_entries_ = 0;
   ops_since_rebuild_ = 0;
-  // Globally sorted input makes every relink a tail append.
+  cur_vt_ = vt_of(now_);
+  // Split by the new coverage window; within it, globally sorted input
+  // makes every relink a tail append.  If the wheel gets anything, the
+  // first entry it gets is the global minimum (the split is by time).
+  const std::int64_t horizon = horizon_vt();
   const std::size_t mask = buckets_.size() - 1;
   for (const Entry& e : live) {
-    Bucket& bk = buckets_[static_cast<std::size_t>(vt_of(e.t)) & mask];
+    const std::int64_t vt = vt_of(e.t);
+    if (vt >= horizon) {
+      far_.push_back(e);
+      continue;
+    }
+    Bucket& bk = buckets_[static_cast<std::size_t>(vt) & mask];
     const std::uint32_t n = node_alloc();
     Node& node = node_at(n);
     node.e = e;
@@ -219,8 +314,12 @@ void Scheduler::rebuild(std::size_t new_bucket_count, int new_shift) {
       bk.tail = n;
     }
     bk.tail_e = e;
+    if (bucket_entries_++ == 0) cur_vt_ = vt;
   }
-  cur_vt_ = live.empty() ? vt_of(now_) : vt_of(live.front().t);
+  // Sorted append order already satisfies the heap property (front is
+  // the minimum under far_after), but make it explicit and cheap.
+  std::make_heap(far_.begin(), far_.end(), far_after);
+  far_compact_at_ = std::max<std::size_t>(64, far_.size() * 2);
 }
 
 void Scheduler::rebuild_fit() {

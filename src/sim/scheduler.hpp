@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -9,6 +10,27 @@
 #include "sim/time.hpp"
 
 namespace mts::sim {
+
+/// Coarse subsystem attribution for executed events.  Call sites tag
+/// their schedules so scale studies can see where a protocol's cycles
+/// go (the 10k-node push needs to know whether AODV/MTS runs are
+/// medium-bound or timer-bound before optimizing either).  Untagged
+/// schedules land in kOther.
+enum class EventCategory : std::uint8_t {
+  kOther = 0,   ///< untagged (tests, harness glue)
+  kChannel,     ///< per-receiver propagation deliveries
+  kPhy,         ///< radio tx-done / reception-end
+  kMac,         ///< 802.11 access / backoff / response / SIFS timers
+  kRouting,     ///< discovery timers, jittered rebroadcasts, purges
+  kTransport,   ///< TCP RTO / start timers
+  kSecurity,    ///< adversary/defense self-scheduled events
+  kCount
+};
+
+inline constexpr std::size_t kEventCategoryCount =
+    static_cast<std::size_t>(EventCategory::kCount);
+
+const char* event_category_name(EventCategory c);
 
 /// Identifies a scheduled event; usable to cancel it before it fires.
 /// Encodes a slot index (low 32 bits, biased by one so 0 stays invalid)
@@ -48,6 +70,18 @@ inline constexpr EventId kInvalidEvent = 0;
 ///    key is reset and the stale calendar node is discarded when the
 ///    drain reaches it (the lazy deletion the old core also used, minus
 ///    the hash map).
+///
+///    Large arenas make the pending set bimodal: microsecond-spaced
+///    receptions set the bucket width, while thousands of per-node
+///    timers sit seconds out — far past the wheel's one-lap coverage.
+///    Mapped modulo, those far entries used to alias into near buckets
+///    and the drain walked whole laps hunting the minimum (O(buckets)
+///    per quiet gap, the dominant cost at 1k+ nodes).  Events beyond
+///    the wheel's horizon therefore wait in an overflow min-heap and
+///    migrate into the wheel as time advances, restoring the invariant
+///    that every wheel entry lies within one lap of now: pop order is
+///    decided purely by (time, sequence), so residency never affects
+///    behaviour, only cost.
 class Scheduler {
  public:
   Scheduler();
@@ -58,14 +92,17 @@ class Scheduler {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedules `fn` at absolute time `t` (must be >= now()).  Inline:
-  /// the closure is built straight into its pool slot.
-  EventId schedule_at(Time t, EventFn fn) {
+  /// the closure is built straight into its pool slot.  `cat` attributes
+  /// the execution to a subsystem (kept across reschedule()).
+  EventId schedule_at(Time t, EventFn fn,
+                      EventCategory cat = EventCategory::kOther) {
     require(t >= now_, "Scheduler: cannot schedule into the past");
     require(static_cast<bool>(fn), "Scheduler: empty callback");
     if (!fn.is_inline()) ++heap_fallbacks_;
     const std::uint32_t s = acquire_slot();
     Slot& slot = slot_at(s);
     slot.fn = std::move(fn);
+    slot.cat = cat;
     slot.live_key = next_key(s);
     insert(Entry{t, slot.live_key});
     ++live_count_;
@@ -74,8 +111,9 @@ class Scheduler {
   }
 
   /// Schedules `fn` after `delay` (must be >= 0).
-  EventId schedule_in(Time delay, EventFn fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  EventId schedule_in(Time delay, EventFn fn,
+                      EventCategory cat = EventCategory::kOther) {
+    return schedule_at(now_ + delay, std::move(fn), cat);
   }
 
   /// Moves a pending event to absolute time `t` (>= now()), keeping its
@@ -112,6 +150,11 @@ class Scheduler {
   [[nodiscard]] std::size_t pending_count() const { return live_count_; }
   [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
 
+  /// Executed events attributed to `cat` (see EventCategory).
+  [[nodiscard]] std::uint64_t executed_count(EventCategory cat) const {
+    return executed_by_[static_cast<std::size_t>(cat)];
+  }
+
   /// Timestamp of the earliest pending event, or Time::max() when empty.
   Time next_event_time() const;
 
@@ -139,6 +182,7 @@ class Scheduler {
     std::uint64_t live_key = kDeadKey;
     std::uint32_t gen = 1;   ///< bumped on release; validates EventIds
     std::uint32_t next_free = kNullIndex;
+    EventCategory cat = EventCategory::kOther;
   };
 
   /// Keyed (t, seq): ordering compares are two integer compares.  seq is
@@ -208,6 +252,13 @@ class Scheduler {
     return (next_seq_++ << kSlotBits) | s;
   }
 
+  /// Heap predicate for far_: std::push_heap et al. build a max-heap
+  /// with respect to the comparator, so inverting before() keeps the
+  /// earliest entry at front().
+  [[nodiscard]] static bool far_after(const Entry& a, const Entry& b) {
+    return b.before(a);
+  }
+
   [[nodiscard]] bool entry_dead(const Entry& e) const {
     return slot_at(static_cast<std::uint32_t>(e.key & kSlotMask)).live_key !=
            e.key;
@@ -223,10 +274,24 @@ class Scheduler {
   [[nodiscard]] Node& node_at(std::uint32_t n) const {
     return node_chunks_[n >> kChunkBits][n & (kChunkSize - 1)];
   }
-  std::uint32_t node_alloc();
+  std::uint32_t node_alloc() const;
   void node_free(std::uint32_t n) const;
 
   void insert(Entry e);
+  /// Links `e` into its wheel bucket (must be within the horizon).
+  /// Const for the same reason the drain is: storage bookkeeping only.
+  void wheel_insert(Entry e) const;
+  /// The first bucket-window index past the wheel's coverage; entries
+  /// at or beyond it go to the overflow heap.
+  [[nodiscard]] std::int64_t horizon_vt() const {
+    return vt_of(now_) + static_cast<std::int64_t>(buckets_.size());
+  }
+  /// Admits overflow entries that now fall inside the wheel's coverage;
+  /// when the wheel is empty, re-bases the window at the earliest
+  /// overflow entry so a quiet stretch costs one migration, not a scan.
+  void migrate_far() const;
+  /// Drops tombstoned overflow entries once they dominate the heap.
+  void far_compact();
   /// Positions the drain on the minimum live entry.  Returns false when
   /// the calendar is empty.  Logically const: only the drain point
   /// advances and tombstones drop (observable state is unchanged).
@@ -270,6 +335,7 @@ class Scheduler {
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  std::array<std::uint64_t, kEventCategoryCount> executed_by_{};
   std::uint64_t heap_fallbacks_ = 0;
   std::size_t live_count_ = 0;
   bool stopped_ = false;
@@ -284,6 +350,9 @@ class Scheduler {
   mutable std::uint32_t node_count_ = 0;
   mutable std::uint32_t node_free_ = kNullIndex;
   mutable std::vector<Bucket> buckets_;   ///< size is a power of two
+  /// Overflow min-heap (by Entry::before) of events past the wheel's
+  /// horizon; migrated into the wheel as now() approaches them.
+  mutable std::vector<Entry> far_;
   int shift_ = 10;                        ///< bucket width = 2^shift_ ns
   mutable std::int64_t cur_vt_ = 0;       ///< bucket window being drained
   mutable std::size_t bucket_entries_ = 0;  ///< live + tombstones stored
@@ -293,7 +362,12 @@ class Scheduler {
   std::int64_t last_pop_ns_ = 0;
   std::int64_t max_t_ns_ = 0;  ///< latest timestamp ever scheduled
   std::size_t ops_since_rebuild_ = 0;
-  bool resize_requested_ = false;  ///< an insert found its bucket mis-sized
+  /// far_ size that triggers a tombstone sweep; doubles after each sweep
+  /// so compaction stays amortised O(1) per insert.
+  std::size_t far_compact_at_ = 64;
+  /// An insert found its bucket mis-sized (mutable: migration inserts
+  /// run under the drain's const paths).
+  mutable bool resize_requested_ = false;
   /// Scratch for rebuild(): persists so re-fits don't re-allocate.
   std::vector<Entry> rebuild_scratch_;
 };

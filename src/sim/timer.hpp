@@ -20,8 +20,9 @@ namespace mts::sim {
 /// once per arming cycle and stored inline in the event slot.
 class Timer {
  public:
-  Timer(Scheduler& sched, EventFn on_expire)
-      : sched_(&sched), on_expire_(std::move(on_expire)) {}
+  Timer(Scheduler& sched, EventFn on_expire,
+        EventCategory cat = EventCategory::kOther)
+      : sched_(&sched), on_expire_(std::move(on_expire)), cat_(cat) {}
 
   ~Timer() { cancel(); }
   Timer(const Timer&) = delete;
@@ -35,7 +36,7 @@ class Timer {
   /// schedule (it draws a new sequence number).
   void schedule_at(Time t) {
     if (id_ != kInvalidEvent && sched_->reschedule(id_, t)) return;
-    id_ = sched_->schedule_at(t, [this] { fire(); });
+    id_ = sched_->schedule_at(t, [this] { fire(); }, cat_);
   }
 
   /// Disarms; no-op if not pending.
@@ -57,14 +58,16 @@ class Timer {
   Scheduler* sched_;
   EventFn on_expire_;
   EventId id_ = kInvalidEvent;
+  EventCategory cat_;
 };
 
 /// Periodic timer: fires every `period` until cancelled.  The first
 /// firing is one period after start() (plus optional initial jitter).
 class PeriodicTimer {
  public:
-  PeriodicTimer(Scheduler& sched, EventFn on_tick)
-      : timer_(sched, [this] { tick(); }), on_tick_(std::move(on_tick)) {}
+  PeriodicTimer(Scheduler& sched, EventFn on_tick,
+                EventCategory cat = EventCategory::kOther)
+      : timer_(sched, [this] { tick(); }, cat), on_tick_(std::move(on_tick)) {}
 
   void start(Time period, Time initial_delay) {
     require(period > Time::zero(), "PeriodicTimer: period must be positive");

@@ -117,6 +117,117 @@ TEST(RandomWaypointTest, RejectsBadConfig) {
   EXPECT_THROW(RandomWaypoint(c, sim::Rng(1)), sim::ConfigError);
 }
 
+TEST(RandomWaypointTest, DegenerateZeroAreaFieldWithZeroPauseTerminates) {
+  // A 0x0 field with pause 0 generates zero-duration legs (from == to,
+  // arrive == start, depart == arrive).  Without the depart floor,
+  // extend_until would append forever without advancing.
+  RandomWaypointConfig c;
+  c.field = Field{0, 0};
+  c.min_speed = 0.5;
+  c.max_speed = 1.0;
+  c.pause = sim::Time::zero();
+  RandomWaypoint rwp(c, sim::Rng(1));
+  const Vec2 p = rwp.position_at(sim::Time::sec(10));
+  EXPECT_EQ(p, (Vec2{0, 0}));
+  // The floor also bounds the number of legs a degenerate config emits.
+  EXPECT_LE(rwp.stats().generated, 10'001u);
+}
+
+TEST(RandomWaypointTest, TrimKeepsAnswersIdenticalAtAndAfterMark) {
+  RandomWaypointConfig c = cfg(20.0);
+  c.pause = sim::Time::ms(100);
+  RandomWaypoint trimmed(c, sim::Rng(17));
+  RandomWaypoint intact(c, sim::Rng(17));
+  for (int t = 0; t <= 400; ++t) {
+    const sim::Time now = sim::Time::ms(t * 250);
+    const Vec2 a = trimmed.position_at(now);
+    const Vec2 b = intact.position_at(now);
+    EXPECT_DOUBLE_EQ(a.x, b.x);
+    EXPECT_DOUBLE_EQ(a.y, b.y);
+    // Prune with half a second of slack, as the channel's snapshot hook
+    // does; future queries must be unaffected.
+    trimmed.trim_history_before(now - sim::Time::ms(500));
+  }
+  EXPECT_GT(trimmed.stats().pruned, 0u);
+  EXPECT_EQ(trimmed.stats().generated, intact.stats().generated);
+  EXPECT_LT(trimmed.stats().live, intact.stats().live);
+}
+
+TEST(RandomWaypointTest, TrimBoundsLiveHistory) {
+  RandomWaypointConfig c = cfg(25.0);
+  c.min_speed = 5.0;
+  c.field = Field{200, 200};
+  c.pause = sim::Time::ms(100);
+  RandomWaypoint rwp(c, sim::Rng(19));
+  for (int t = 0; t <= 4000; ++t) {
+    const sim::Time now = sim::Time::ms(t * 250);
+    (void)rwp.position_at(now);
+    rwp.trim_history_before(now - sim::Time::ms(500));
+    const MobilityStats s = rwp.stats();
+    EXPECT_EQ(s.live, s.generated - s.pruned);
+  }
+  // ~17-minute run on short legs: history stays a handful of entries,
+  // not hundreds.
+  const MobilityStats s = rwp.stats();
+  EXPECT_GT(s.generated, 100u);
+  EXPECT_LE(s.live, 8u);
+  EXPECT_LE(s.peak_live, 8u);
+}
+
+TEST(RandomWaypointTest, TrimRetainsTheCoveringLeg) {
+  RandomWaypoint rwp(cfg(), sim::Rng(23));
+  (void)rwp.position_at(sim::Time::sec(500));
+  const sim::Time mark = sim::Time::sec(300);
+  const Vec2 before = rwp.position_at(mark);
+  rwp.trim_history_before(mark);
+  const Vec2 after = rwp.position_at(mark);
+  EXPECT_DOUBLE_EQ(before.x, after.x);
+  EXPECT_DOUBLE_EQ(before.y, after.y);
+  EXPECT_LE(rwp.legs_generated().front().start, mark);
+}
+
+TEST(RandomWalkTest, TrimKeepsAnswersIdentical) {
+  RandomWalkConfig c;
+  c.max_speed = 15.0;
+  c.step = sim::Time::ms(500);
+  RandomWalk trimmed(c, sim::Rng(29));
+  RandomWalk intact(c, sim::Rng(29));
+  for (int t = 0; t <= 300; ++t) {
+    const sim::Time now = sim::Time::ms(t * 200);
+    const Vec2 a = trimmed.position_at(now);
+    const Vec2 b = intact.position_at(now);
+    EXPECT_DOUBLE_EQ(a.x, b.x);
+    EXPECT_DOUBLE_EQ(a.y, b.y);
+    trimmed.trim_history_before(now - sim::Time::ms(500));
+  }
+  EXPECT_GT(trimmed.stats().pruned, 0u);
+  EXPECT_LT(trimmed.stats().live, intact.stats().live);
+}
+
+TEST(RandomWalkTest, RejectsBadConfig) {
+  RandomWalkConfig c;
+  c.max_speed = 0.0;
+  EXPECT_THROW(RandomWalk(c, sim::Rng(1)), sim::ConfigError);
+  c = RandomWalkConfig{};
+  c.min_speed = -1.0;
+  EXPECT_THROW(RandomWalk(c, sim::Rng(1)), sim::ConfigError);
+  c = RandomWalkConfig{};
+  c.min_speed = 5.0;
+  c.max_speed = 2.0;
+  EXPECT_THROW(RandomWalk(c, sim::Rng(1)), sim::ConfigError);
+  c = RandomWalkConfig{};
+  c.step = sim::Time::zero();
+  EXPECT_THROW(RandomWalk(c, sim::Rng(1)), sim::ConfigError);
+}
+
+TEST(StaticMobilityTest, TrimAndStatsAreNoOps) {
+  StaticMobility m(Vec2{1, 2});
+  m.trim_history_before(sim::Time::sec(100));
+  EXPECT_EQ(m.position_at(sim::Time::sec(200)), (Vec2{1, 2}));
+  EXPECT_EQ(m.stats().generated, 0u);
+  EXPECT_EQ(m.stats().live, 0u);
+}
+
 TEST(RandomWalkTest, StaysInsideField) {
   RandomWalkConfig c;
   c.field = Field{500, 500};

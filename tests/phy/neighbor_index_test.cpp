@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/error.hpp"
 #include "sim/rng.hpp"
@@ -95,6 +96,83 @@ TEST(NeighborIndexTest, NegativeCoordinatesSupported) {
   auto c = idx.candidates({0, 0}, 100, sim::Time::zero());
   EXPECT_EQ(c.size(), 1u);
   EXPECT_EQ(c[0], 0u);
+}
+
+TEST(NeighborIndexTest, SteadyStateRebuildsAllocateNothing) {
+  // CSR buffers are reused across rebuilds: after the first few builds
+  // size the arrays, further rebuilds must not grow any of them.
+  sim::Rng rng(7);
+  const std::uint32_t n = 500;
+  std::vector<mobility::Vec2> base(n);
+  std::vector<mobility::Vec2> vel(n);
+  for (auto& p : base) p = {rng.uniform(0, 5000), rng.uniform(0, 5000)};
+  for (auto& v : vel) v = {rng.uniform(-10, 10), rng.uniform(-10, 10)};
+  // Reflect drift back into the field so the snapshot bounding box (and
+  // with it the dense cell count) stays put, as any real field does.
+  auto fold = [](double x) {
+    x = std::fmod(std::fabs(x), 10000.0);
+    return x > 5000.0 ? 10000.0 - x : x;
+  };
+  auto pos = [&](std::uint32_t id, sim::Time t) {
+    return mobility::Vec2{fold(base[id].x + vel[id].x * t.to_seconds()),
+                          fold(base[id].y + vel[id].y * t.to_seconds())};
+  };
+  NeighborIndex idx(n, 250.0, 10.0, sim::Time::ms(500), pos);
+  for (int i = 0; i < 5; ++i) {  // warm-up
+    (void)idx.candidates({2500, 2500}, 250.0, sim::Time::ms(600 * i));
+  }
+  const std::uint32_t allocs_after_warmup = idx.alloc_count();
+  for (int i = 5; i < 60; ++i) {
+    (void)idx.candidates({2500, 2500}, 250.0, sim::Time::ms(600 * i));
+  }
+  EXPECT_EQ(idx.rebuild_count(), 60u);
+  EXPECT_EQ(idx.alloc_count(), allocs_after_warmup)
+      << "steady-state rebuilds grew a reused buffer";
+}
+
+TEST(NeighborIndexTest, SnapshotHookReportsPreviousSnapshotTime) {
+  std::vector<mobility::Vec2> pos{{0, 0}, {10, 10}};
+  NeighborIndex idx(2, 100.0, 0.0, sim::Time::ms(500),
+                    [&](std::uint32_t id, sim::Time) { return pos[id]; });
+  std::vector<std::pair<sim::Time, sim::Time>> fired;
+  idx.set_snapshot_hook(
+      [&](sim::Time prev, sim::Time now) { fired.emplace_back(prev, now); });
+  (void)idx.candidates({0, 0}, 50, sim::Time::zero());
+  EXPECT_TRUE(fired.empty());  // first build: no previous snapshot
+  (void)idx.candidates({0, 0}, 50, sim::Time::ms(600));
+  (void)idx.candidates({0, 0}, 50, sim::Time::ms(1200));
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], std::make_pair(sim::Time::zero(), sim::Time::ms(600)));
+  EXPECT_EQ(fired[1],
+            std::make_pair(sim::Time::ms(600), sim::Time::ms(1200)));
+}
+
+TEST(NeighborIndexTest, SparseFallbackMatchesBruteForce) {
+  // A 1 m cell over a 100 km spread needs ~1e10 bounding-box cells, far
+  // past the dense cap, forcing the sorted-key fallback.
+  std::vector<mobility::Vec2> pos{
+      {0, 0}, {0.4, 0.2}, {3, 0}, {100000, 100000}, {2.5, 0.5}};
+  NeighborIndex idx(5, 1.0, 0.0, sim::Time::ms(500),
+                    [&](std::uint32_t id, sim::Time) { return pos[id]; });
+  auto got = idx.candidates({0, 0}, 1.0, sim::Time::zero());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{0, 1}));
+  auto far = idx.candidates({100000, 100000}, 1.0, sim::Time::ms(100));
+  EXPECT_EQ(far, (std::vector<std::uint32_t>{3}));
+}
+
+TEST(NeighborIndexTest, CandidateOrderIsCellMajorThenAscendingId) {
+  // The radiate() offer order is part of the fingerprint contract:
+  // query cells scan x-major and ids ascend within a cell, regardless
+  // of layout.  Nodes 0..3 share cell (0,0) interleaved with node 4 in
+  // cell (1,0); a query centred between them must yield the (0,0) ids
+  // ascending, then the (1,0) id.
+  std::vector<mobility::Vec2> pos{
+      {90, 50}, {10, 50}, {50, 50}, {70, 50}, {150, 50}};
+  NeighborIndex idx(5, 100.0, 0.0, sim::Time::ms(500),
+                    [&](std::uint32_t id, sim::Time) { return pos[id]; });
+  auto got = idx.candidates({100, 50}, 99.0, sim::Time::zero());
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{0, 1, 2, 3, 4}));
 }
 
 }  // namespace

@@ -17,7 +17,8 @@ TEST(SendBufferTest, TakeForReturnsOnlyMatchingDst) {
   b.push(to(1, 10), sim::Time::zero());
   b.push(to(2, 20), sim::Time::zero());
   b.push(to(1, 11), sim::Time::zero());
-  auto got = b.take_for(1);
+  std::vector<net::Packet> got;
+  b.take_for(1, got);
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0].common().uid, 10u);
   EXPECT_EQ(got[1].common().uid, 11u);
@@ -56,8 +57,33 @@ TEST(SendBufferTest, ExpireOnEmptyIsSafe) {
 TEST(SendBufferTest, TakeForPreservesOrder) {
   SendBuffer b;
   for (std::uint32_t i = 1; i <= 5; ++i) b.push(to(9, i), sim::Time::zero());
-  auto got = b.take_for(9);
+  std::vector<net::Packet> got;
+  b.take_for(9, got);
   for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(got[i].common().uid, i + 1);
+}
+
+TEST(SendBufferTest, TakeForReusesCallerScratchWithoutReallocating) {
+  SendBuffer b;
+  std::vector<net::Packet> scratch;
+  b.push(to(1, 1), sim::Time::zero());
+  b.push(to(1, 2), sim::Time::zero());
+  b.take_for(1, scratch);
+  ASSERT_EQ(scratch.size(), 2u);
+  const std::size_t cap = scratch.capacity();
+  const net::Packet* data = scratch.data();
+  // A second drain of the same size must reuse the buffer: contents are
+  // discarded, capacity and storage stay put.
+  b.push(to(1, 3), sim::Time::zero());
+  b.push(to(1, 4), sim::Time::zero());
+  b.take_for(1, scratch);
+  ASSERT_EQ(scratch.size(), 2u);
+  EXPECT_EQ(scratch[0].common().uid, 3u);
+  EXPECT_EQ(scratch[1].common().uid, 4u);
+  EXPECT_EQ(scratch.capacity(), cap);
+  EXPECT_EQ(scratch.data(), data);
+  // Draining a dst with nothing buffered clears the scratch.
+  b.take_for(7, scratch);
+  EXPECT_TRUE(scratch.empty());
 }
 
 }  // namespace

@@ -334,6 +334,50 @@ TEST(SchedulerTest, WidelySpreadTimersStayOrdered) {
   EXPECT_TRUE(std::is_sorted(fired_ns.begin(), fired_ns.end()));
 }
 
+TEST(SchedulerTest, BimodalNearAndFarEventsInterleaveCorrectly) {
+  // The 10k-node shape: dense microsecond-spaced events next to timers
+  // parked seconds out (the overflow heap).  Every far event must fire
+  // in global (time, insertion) order as the wheel's window reaches it,
+  // including far events scheduled from inside near callbacks.
+  Scheduler s;
+  std::vector<std::int64_t> fired_ns;
+  const auto record = [&s, &fired_ns] {
+    fired_ns.push_back(s.now().nanoseconds());
+  };
+  for (int i = 0; i < 200; ++i) {
+    s.schedule_at(Time::ns(10 + i * 3), record);          // near burst
+    s.schedule_at(Time::ms(50 + i * 7), record);          // far timers
+  }
+  s.schedule_at(Time::ns(100), [&s, record] {
+    s.schedule_at(Time::seconds(2), record);              // far from near
+  });
+  s.run();
+  EXPECT_EQ(fired_ns.size(), 401u);
+  EXPECT_TRUE(std::is_sorted(fired_ns.begin(), fired_ns.end()));
+  EXPECT_EQ(fired_ns.back(), Time::seconds(2).nanoseconds());
+}
+
+TEST(SchedulerTest, CancelAndRearmWhileParkedFar) {
+  // Events cancelled or re-armed while waiting in the overflow heap
+  // must neither fire at their stale time nor linger: the heap sweeps
+  // its tombstones and the survivors fire in order.
+  Scheduler s;
+  std::vector<int> fired;
+  std::vector<EventId> parked;
+  for (int i = 0; i < 300; ++i) {
+    parked.push_back(
+        s.schedule_at(Time::ms(100 + i), [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 300; i += 2) EXPECT_TRUE(s.cancel(parked[i]));
+  // Re-arm a survivor to the very end: it must fire last, once.
+  EXPECT_TRUE(s.reschedule(parked[1], Time::seconds(5)));
+  s.run();
+  ASSERT_EQ(fired.size(), 150u);
+  EXPECT_EQ(fired.back(), 1);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end() - 1));
+  EXPECT_EQ(s.pending_count(), 0u);
+}
+
 TEST(SchedulerTest, DifferentialStressAgainstReferenceModel) {
   // Randomised schedule/cancel/reschedule mix, mirrored into an ordered
   // std::map reference keyed (time, op-sequence): the scheduler must
