@@ -72,7 +72,14 @@ Vec2 RandomWaypoint::position_at(sim::Time t) const {
     auto it = std::upper_bound(
         legs_.begin(), legs_.end(), t,
         [](sim::Time tt, const Leg& leg) { return tt < leg.start; });
-    if (it == legs_.begin()) return legs_.front().from;  // initial pause
+    if (it == legs_.begin()) {
+      // Once history has been pruned, a query below the retained front
+      // leg would silently resolve to that leg's origin — wrong data.
+      // Only the un-pruned initial pause legitimately lands here.
+      sim::require(stats_.pruned == 0,
+                   "RandomWaypoint: position_at precedes pruned history");
+      return legs_.front().from;  // initial pause
+    }
     i = static_cast<std::size_t>(it - legs_.begin()) - 1;
   }
   cursor_ = i;
@@ -172,7 +179,11 @@ Vec2 RandomWalk::position_at(sim::Time t) const {
     auto it = std::upper_bound(
         segs_.begin(), segs_.end(), t,
         [](sim::Time tt, const Segment& s) { return tt < s.start; });
-    if (it == segs_.begin()) return segs_.front().from;
+    if (it == segs_.begin()) {
+      sim::require(stats_.pruned == 0,
+                   "RandomWalk: position_at precedes pruned history");
+      return segs_.front().from;
+    }
     i = static_cast<std::size_t>(it - segs_.begin()) - 1;
   }
   cursor_ = i;

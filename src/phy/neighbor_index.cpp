@@ -45,16 +45,28 @@ void NeighborIndex::rebuild(sim::Time now) {
     cy_max = std::max(cy_max, cy);
   }
 
-  const std::size_t cells =
+  // Runaway (or non-finite) positions can make the span product wrap
+  // the 64-bit multiply and sneak a truncated cell count past the dense
+  // cap, so each factor is bounded before the product is formed (the
+  // division form cannot overflow).  Overflow falls through to the
+  // sparse layout, which never materialises the bounding box.
+  const std::uint64_t span_x =
       n_ == 0 ? 0
-              : static_cast<std::size_t>(cx_max - cx_min + 1) *
-                    static_cast<std::size_t>(cy_max - cy_min + 1);
-  dense_ = cells <= dense_cell_cap();
+              : static_cast<std::uint64_t>(cx_max) -
+                    static_cast<std::uint64_t>(cx_min) + 1;
+  const std::uint64_t span_y =
+      n_ == 0 ? 0
+              : static_cast<std::uint64_t>(cy_max) -
+                    static_cast<std::uint64_t>(cy_min) + 1;
+  const std::uint64_t cap = dense_cell_cap();
+  dense_ = n_ == 0 || (span_x <= cap && span_y <= cap &&
+                       span_x <= cap / span_y);
   if (dense_) {
+    const std::size_t cells = static_cast<std::size_t>(span_x * span_y);
     cx_min_ = cx_min;
     cy_min_ = cy_min;
-    grid_w_ = n_ == 0 ? 0 : cx_max - cx_min + 1;
-    grid_h_ = n_ == 0 ? 0 : cy_max - cy_min + 1;
+    grid_w_ = static_cast<std::int64_t>(span_x);
+    grid_h_ = static_cast<std::int64_t>(span_y);
     // Counting sort into the CSR arrays.  After the scatter the cursor
     // positions have advanced to each cell's END, so offsets_[lin] holds
     // the end of cell `lin` and the start is offsets_[lin - 1] (0 for

@@ -86,6 +86,15 @@ void Scheduler::node_free(std::uint32_t n) const {
 void Scheduler::insert(Entry e) {
   ++ops_since_rebuild_;
   max_t_ns_ = std::max(max_t_ns_, e.t.nanoseconds());
+  if (vt_of(e.t) < base_vt_) {
+    // A quiet-stretch re-base (migrate_far) slid the coverage window up
+    // to the earliest far event, and this event — scheduled after a
+    // peek, legally >= now_ — lands below it.  Redistribute everything
+    // from a window re-anchored at now_ so the far/near split below
+    // matches the wheel's contents again; otherwise this event could
+    // park in far_ past the wheel minimum and pop out of order.
+    rebuild(buckets_.size(), shift_);
+  }
   if (vt_of(e.t) >= horizon_vt()) {
     // Beyond the wheel's coverage: park in the overflow heap until the
     // window reaches it.  Keeps the one-lap invariant that makes the
@@ -138,6 +147,9 @@ void Scheduler::wheel_insert(Entry e) const {
 }
 
 void Scheduler::migrate_far() const {
+  // Slide the coverage window forward with time (a re-base may already
+  // have pushed it further; never pull it back here).
+  base_vt_ = std::max(base_vt_, vt_of(now_));
   if (far_.empty()) return;
   std::int64_t horizon = horizon_vt();
   for (;;) {
@@ -157,8 +169,9 @@ void Scheduler::migrate_far() const {
     // The wheel ran dry and everything pending is far: re-base the
     // coverage window (and the drain) at the earliest far event, so a
     // quiet stretch costs one heap pop instead of a lap walk.
-    horizon = vt_of(top.t) + static_cast<std::int64_t>(buckets_.size());
-    cur_vt_ = vt_of(top.t);
+    base_vt_ = vt_of(top.t);
+    horizon = horizon_vt();
+    cur_vt_ = base_vt_;
   }
 }
 
@@ -253,6 +266,7 @@ EventFn Scheduler::take_top() {
   }
   const auto s = static_cast<std::uint32_t>(e.key & kSlotMask);
   now_ = e.t;
+  base_vt_ = std::max(base_vt_, vt_of(now_));
   EventFn fn = std::move(slot_at(s).fn);
   ++executed_by_[static_cast<std::size_t>(slot_at(s).cat)];
   release_slot(s);  // the event's id dies before its callback runs
@@ -290,7 +304,8 @@ void Scheduler::rebuild(std::size_t new_bucket_count, int new_shift) {
   tombstones_ = 0;
   bucket_entries_ = 0;
   ops_since_rebuild_ = 0;
-  cur_vt_ = vt_of(now_);
+  base_vt_ = vt_of(now_);
+  cur_vt_ = base_vt_;
   // Split by the new coverage window; within it, globally sorted input
   // makes every relink a tail append.  If the wheel gets anything, the
   // first entry it gets is the global minimum (the split is by time).
@@ -359,10 +374,12 @@ bool Scheduler::reschedule(EventId id, Time t) {
   if (s == kNullIndex) return false;
   Slot& slot = slot_at(s);
   // Re-keying with a fresh seq orders the re-armed event exactly like a
-  // new schedule; the old calendar entry becomes a tombstone.
+  // new schedule; the old calendar entry becomes a tombstone.  Count it
+  // before insert(): a below-base insert rebuilds, which drops the dead
+  // entry and zeroes the tombstone count.
   slot.live_key = next_key(s);
-  insert(Entry{t, slot.live_key});
   ++tombstones_;
+  insert(Entry{t, slot.live_key});
   maybe_resize();
   return true;
 }

@@ -282,9 +282,13 @@ class Scheduler {
   /// Const for the same reason the drain is: storage bookkeeping only.
   void wheel_insert(Entry e) const;
   /// The first bucket-window index past the wheel's coverage; entries
-  /// at or beyond it go to the overflow heap.
+  /// at or beyond it go to the overflow heap.  Coverage starts at
+  /// base_vt_, not vt_of(now_): an empty-wheel re-base (migrate_far)
+  /// can slide the window ahead of now_, and the far/near split must
+  /// use the same base the wheel's contents were routed by or a far
+  /// event earlier than the wheel minimum gets stranded past its turn.
   [[nodiscard]] std::int64_t horizon_vt() const {
-    return vt_of(now_) + static_cast<std::int64_t>(buckets_.size());
+    return base_vt_ + static_cast<std::int64_t>(buckets_.size());
   }
   /// Admits overflow entries that now fall inside the wheel's coverage;
   /// when the wheel is empty, re-bases the window at the earliest
@@ -354,6 +358,13 @@ class Scheduler {
   /// horizon; migrated into the wheel as now() approaches them.
   mutable std::vector<Entry> far_;
   int shift_ = 10;                        ///< bucket width = 2^shift_ ns
+  /// First bucket window the wheel covers.  Tracks vt_of(now_) as time
+  /// advances, but jumps ahead of it when migrate_far re-bases an empty
+  /// wheel onto the earliest far event.  Invariant: every wheel entry
+  /// lies in [base_vt_, horizon_vt()) and every far_ entry at or beyond
+  /// horizon_vt() stays parked — insert() restores this by rebuilding
+  /// when a new event lands below the base.
+  mutable std::int64_t base_vt_ = 0;
   mutable std::int64_t cur_vt_ = 0;       ///< bucket window being drained
   mutable std::size_t bucket_entries_ = 0;  ///< live + tombstones stored
   mutable std::size_t tombstones_ = 0;

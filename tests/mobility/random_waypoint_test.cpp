@@ -186,6 +186,31 @@ TEST(RandomWaypointTest, TrimRetainsTheCoveringLeg) {
   EXPECT_LE(rwp.legs_generated().front().start, mark);
 }
 
+TEST(RandomWaypointTest, QueryBelowPrunedHistoryFailsLoudly) {
+  // Before any pruning, a query in the initial pause is legitimate;
+  // after pruning, a query below the retained front leg would silently
+  // return the wrong position, so it must throw instead.
+  RandomWaypoint rwp(cfg(), sim::Rng(31));
+  EXPECT_NO_THROW(rwp.position_at(sim::Time::zero()));
+  (void)rwp.position_at(sim::Time::sec(500));
+  rwp.trim_history_before(sim::Time::sec(300));
+  ASSERT_GT(rwp.stats().pruned, 0u);
+  EXPECT_NO_THROW(rwp.position_at(sim::Time::sec(300)));  // at the mark
+  EXPECT_THROW(rwp.position_at(sim::Time::zero()), sim::SimError);
+}
+
+TEST(RandomWalkTest, QueryBelowPrunedHistoryFailsLoudly) {
+  RandomWalkConfig c;
+  c.max_speed = 15.0;
+  c.step = sim::Time::ms(500);
+  RandomWalk rw(c, sim::Rng(37));
+  (void)rw.position_at(sim::Time::sec(100));
+  rw.trim_history_before(sim::Time::sec(50));
+  ASSERT_GT(rw.stats().pruned, 0u);
+  EXPECT_NO_THROW(rw.position_at(sim::Time::sec(50)));
+  EXPECT_THROW(rw.position_at(sim::Time::zero()), sim::SimError);
+}
+
 TEST(RandomWalkTest, TrimKeepsAnswersIdentical) {
   RandomWalkConfig c;
   c.max_speed = 15.0;

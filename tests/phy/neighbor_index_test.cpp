@@ -161,6 +161,23 @@ TEST(NeighborIndexTest, SparseFallbackMatchesBruteForce) {
   EXPECT_EQ(far, (std::vector<std::uint32_t>{3}));
 }
 
+TEST(NeighborIndexTest, CellCountOverflowFallsBackToSparse) {
+  // Regression: a runaway position can make the bounding-box spans so
+  // large that their product wraps the 64-bit cell count — here exactly
+  // 2^32 * 2^32 == 0 mod 2^64 — which used to pass the dense cap and
+  // index the offset array far out of bounds.  The guard must route
+  // such spans to the sparse layout and still answer correctly.
+  const double runaway = 4294967295.0;  // cell 2^32 - 1 at 1 m cells
+  std::vector<mobility::Vec2> pos{{0, 0}, {0.5, 0.5}, {runaway, runaway}};
+  NeighborIndex idx(3, 1.0, 0.0, sim::Time::ms(500),
+                    [&](std::uint32_t id, sim::Time) { return pos[id]; });
+  auto got = idx.candidates({0, 0}, 2.0, sim::Time::zero());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<std::uint32_t>{0, 1}));
+  auto far = idx.candidates({runaway, runaway}, 1.0, sim::Time::ms(100));
+  EXPECT_EQ(far, (std::vector<std::uint32_t>{2}));
+}
+
 TEST(NeighborIndexTest, CandidateOrderIsCellMajorThenAscendingId) {
   // The radiate() offer order is part of the fingerprint contract:
   // query cells scan x-major and ids ascend within a cell, regardless

@@ -165,6 +165,37 @@ TEST(SchedulerTest, NextEventTimeOnEmptyIsMax) {
   EXPECT_EQ(s.next_event_time(), Time::max());
 }
 
+TEST(SchedulerTest, PeekThenEarlierScheduleKeepsPopOrder) {
+  // Regression: peeking an otherwise-empty queue whose only event is
+  // far in the future re-bases the calendar wheel onto it.  An event
+  // scheduled afterwards at an earlier time (but beyond the original
+  // wheel horizon) used to park in the overflow heap and pop AFTER the
+  // later wheel event, moving now() backwards.
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(Time::sec(10), [&] { order.push_back(10); });
+  EXPECT_EQ(s.next_event_time(), Time::sec(10));  // re-bases the wheel
+  s.schedule_at(Time::sec(1), [&] { order.push_back(1); });
+  EXPECT_EQ(s.next_event_time(), Time::sec(1));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 10}));
+  EXPECT_EQ(s.now(), Time::sec(10));
+}
+
+TEST(SchedulerTest, RunUntilThenEarlierScheduleKeepsPopOrder) {
+  // Same pattern through the co-sim boundary: run_until peeks past its
+  // end time, then the driver schedules earlier than everything pending.
+  Scheduler s;
+  std::vector<Time> fired;
+  s.schedule_at(Time::sec(30), [&] { fired.push_back(s.now()); });
+  s.run_until(Time::ms(1));  // peeks (re-bases), pops nothing
+  s.schedule_at(Time::sec(2), [&] { fired.push_back(s.now()); });
+  s.run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], Time::sec(2));
+  EXPECT_EQ(fired[1], Time::sec(30));
+}
+
 TEST(SchedulerTest, ZeroDelayEventRunsAtCurrentTime) {
   Scheduler s;
   Time fired = Time::max();
