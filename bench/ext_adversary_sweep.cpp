@@ -31,7 +31,11 @@
 // --resume ingests complete shards from a previous (possibly killed)
 // invocation and runs only what is missing or failed; --timeout,
 // --max-retries, --workers and --cells-per-unit tune the supervisor;
-// --csv-out PATH exports the merged v9 CSV for diffing/archiving.
+// --csv-out PATH exports the merged v10 CSV for diffing/archiving.
+//
+// --traffic adds the user-plane axis: every cell runs once with the
+// session workload off and once with it on, and the per-class delivery
+// delay p99 table is printed for the on half of the grid.
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -46,6 +50,7 @@ namespace {
 
 struct CliOptions {
   bool fabric = false;
+  bool traffic = false;
   mts::harness::FabricConfig fab;
   std::string csv_out;
 };
@@ -108,6 +113,8 @@ bool parse_cli(int argc, char** argv, CliOptions& opt) {
         if (v == nullptr) return false;
         opt.fabric = true;
         opt.fab.cells_per_unit = std::stoul(v);
+      } else if (arg == "--traffic") {
+        opt.traffic = true;
       } else if (arg == "--csv-out") {
         const char* v = next_value("--csv-out");
         if (v == nullptr) return false;
@@ -117,7 +124,7 @@ bool parse_cli(int argc, char** argv, CliOptions& opt) {
             << "usage: ext_adversary_sweep [--fabric] [--shard i/n] "
                "[--resume|--no-resume]\n"
                "         [--timeout S] [--max-retries N] [--workers N]\n"
-               "         [--cells-per-unit K] [--csv-out PATH]\n";
+               "         [--cells-per-unit K] [--csv-out PATH] [--traffic]\n";
         std::exit(0);
       } else {
         std::cerr << "error: unknown flag '" << arg << "' (try --help)\n";
@@ -214,12 +221,23 @@ int main(int argc, char** argv) {
     cfg.defenses = {security::DefenseSpec{}, suite};
   }
 
+  // The optional user-plane axis: index 0 keeps every cell's workload
+  // identical to the pre-traffic sweep (and its cache entries), index 1
+  // layers the session generator on top so adversary exposure can be
+  // read per user class.
+  if (opt.traffic) {
+    traffic::TrafficSpec on;
+    on.enabled = true;
+    cfg.traffics = {traffic::TrafficSpec{}, on};
+  }
+
   std::cout << "Extension: adversary sweep (colluding coalitions, mobile "
                "sniffers, insider blackhole, wormhole, grayhole, "
                "traffic analysis, RREQ flood) x {undefended, defense suite}\n";
   std::cout << "sweep: " << cfg.protocols.size() << " protocols x "
             << cfg.speeds.size() << " speeds x " << cfg.adversaries.size()
             << " adversaries x " << cfg.defenses.size() << " defenses x "
+            << cfg.traffics.size() << " traffics x "
             << cfg.repetitions << " reps, "
             << cfg.base.sim_time.to_seconds() << "s each\n";
 
@@ -361,6 +379,59 @@ int main(int argc, char** argv) {
                          return static_cast<double>(m.flood_suppressed);
                        })
                 << "\n";
+    }
+  }
+
+  // --- user-plane axis: per-class delivery delay p99 and exposure ------
+  if (opt.traffic) {
+    const auto traffic_mean =
+        [&](harness::Protocol p, std::uint32_t a,
+            const std::function<double(const harness::RunMetrics&)>& metric) {
+          double sum = 0.0;
+          std::size_t n = 0;
+          for (double speed : cfg.speeds) {
+            const auto s = result.summarize(p, speed, a, 0, 1, metric);
+            sum += s.mean() * static_cast<double>(s.count());
+            n += s.count();
+          }
+          return n == 0 ? 0.0 : sum / static_cast<double>(n);
+        };
+    std::cout << "\n=== User-plane delivery delay p99 / key exposure ("
+              << harness::traffic_label(cfg.traffics[1])
+              << ", undefended, means over all speeds) ===\n";
+    for (harness::Protocol p : cfg.protocols) {
+      std::cout << "\n--- " << harness::protocol_name(p) << " ---\n";
+      for (std::uint32_t a = 0;
+           a < static_cast<std::uint32_t>(cfg.adversaries.size()); ++a) {
+        std::cout << "  " << harness::adversary_label(cfg.adversaries[a])
+                  << ": msg p99 "
+                  << traffic_mean(p, a,
+                                  [](const harness::RunMetrics& m) {
+                                    return m.traffic_classes[0].delay_p99_ms;
+                                  })
+                  << " ms (exposure "
+                  << traffic_mean(p, a,
+                                  [](const harness::RunMetrics& m) {
+                                    return m.traffic_classes[0].key_exposure;
+                                  })
+                  << "); bulk p99 "
+                  << traffic_mean(p, a,
+                                  [](const harness::RunMetrics& m) {
+                                    return m.traffic_classes[1].delay_p99_ms;
+                                  })
+                  << " ms (exposure "
+                  << traffic_mean(p, a,
+                                  [](const harness::RunMetrics& m) {
+                                    return m.traffic_classes[1].key_exposure;
+                                  })
+                  << "); sessions "
+                  << traffic_mean(p, a,
+                                  [](const harness::RunMetrics& m) {
+                                    return static_cast<double>(
+                                        m.sessions_completed);
+                                  })
+                  << "\n";
+      }
     }
   }
   return 0;

@@ -11,6 +11,11 @@
 //   MTS_BENCH_NODES     comma list of node counts   (default 1000,5000,10000)
 //   MTS_BENCH_REPS      wall-clock repetitions      (default 1; median)
 //   MTS_BENCH_FLOWS     TCP flows per run           (default 10)
+//   MTS_BENCH_SESSIONS  aggregate user sessions to push through the
+//                       traffic plane per run (default 0 = plane off).
+//                       When set, per-class delivery-delay percentiles
+//                       are printed and the run fails unless the arena
+//                       sustains the full session count.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -79,7 +84,8 @@ double peak_rss_mib() {
 /// Paper density: 50 nodes per 1000 m x 1000 m, so the arena grows as
 /// sqrt(n/50) and per-node neighbourhood size stays constant.
 harness::ScenarioConfig scenario(std::uint32_t nodes, double sim_time,
-                                 std::uint32_t flows) {
+                                 std::uint32_t flows,
+                                 std::uint64_t sessions) {
   harness::ScenarioConfig cfg;
   cfg.protocol = harness::Protocol::kMts;
   cfg.node_count = nodes;
@@ -89,6 +95,16 @@ harness::ScenarioConfig scenario(std::uint32_t nodes, double sim_time,
   cfg.sim_time = sim::Time::seconds(sim_time);
   cfg.flow_count = flows;
   cfg.seed = 42;
+  if (sessions > 0) {
+    cfg.traffic.enabled = true;
+    cfg.traffic.gateway_count = 8;
+    cfg.traffic.user_pool = 64;
+    // 3% Poisson headroom so the realized arrival count clears the
+    // target (stddev at 100k arrivals is ~316, far under the margin).
+    cfg.traffic.session_rate =
+        static_cast<double>(sessions) / sim_time * 1.03;
+    cfg.traffic.max_concurrent_flows = 16384;
+  }
   return cfg;
 }
 
@@ -98,11 +114,21 @@ int main() {
   const double sim_time = env_double("MTS_BENCH_SIM_TIME", 60.0);
   const auto reps = static_cast<int>(env_double("MTS_BENCH_REPS", 1.0));
   const auto flows = static_cast<std::uint32_t>(env_double("MTS_BENCH_FLOWS", 10.0));
+  const std::uint64_t sessions =
+      std::getenv("MTS_BENCH_SESSIONS") == nullptr
+          ? 0
+          : static_cast<std::uint64_t>(
+                env_double("MTS_BENCH_SESSIONS", 0.0));
   const std::vector<std::uint32_t> node_counts = env_node_counts();
 
   std::printf("macro_scale: MTS, %.0fs simulated, %u flows, seed 42, "
               "density 50/km^2, median of %d reps\n",
               sim_time, flows, reps);
+  if (sessions > 0) {
+    std::printf("user plane: >=%llu sessions over %.0fs, 8 gateways, "
+                "64 attachment nodes\n",
+                static_cast<unsigned long long>(sessions), sim_time);
+  }
   std::printf("%-6s %12s %10s %12s %9s %9s %7s %7s %8s\n", "nodes", "events",
               "wall_ms", "events_per_s", "legs_gen", "legs_live", "rebuilds",
               "allocs", "rss_mib");
@@ -111,7 +137,7 @@ int main() {
     harness::RunMetrics m;
     for (int r = 0; r < reps; ++r) {
       const auto t0 = std::chrono::steady_clock::now();
-      m = harness::run_scenario(scenario(nodes, sim_time, flows));
+      m = harness::run_scenario(scenario(nodes, sim_time, flows, sessions));
       const auto t1 = std::chrono::steady_clock::now();
       wall_ms.push_back(
           std::chrono::duration<double, std::milli>(t1 - t0).count());
@@ -136,6 +162,36 @@ int main() {
     }
     std::printf("  delivered=%llu\n",
                 static_cast<unsigned long long>(m.segments_delivered));
+    if (sessions > 0) {
+      std::printf("       sessions: started=%llu completed=%llu "
+                  "rejected=%llu\n",
+                  static_cast<unsigned long long>(m.sessions_started),
+                  static_cast<unsigned long long>(m.sessions_completed),
+                  static_cast<unsigned long long>(m.sessions_rejected));
+      for (std::size_t c = 0; c < traffic::kUserClassCount; ++c) {
+        const auto& tc = m.traffic_classes[c];
+        std::printf("       class %-4s: flows=%llu delay p50=%.2fms "
+                    "p95=%.2fms p99=%.2fms goodput_p50=%.1f seg/s\n",
+                    traffic::user_class_name(
+                        static_cast<traffic::UserClass>(c)),
+                    static_cast<unsigned long long>(tc.flows_completed),
+                    tc.delay_p50_ms, tc.delay_p95_ms, tc.delay_p99_ms,
+                    tc.goodput_p50_seg_s);
+      }
+      if (m.sessions_started < sessions) {
+        std::fprintf(stderr,
+                     "FAIL: %llu sessions started, target %llu\n",
+                     static_cast<unsigned long long>(m.sessions_started),
+                     static_cast<unsigned long long>(sessions));
+        return 1;
+      }
+      if (m.traffic_classes[0].delay_p99_ms <= 0.0 ||
+          m.traffic_classes[1].delay_p99_ms <= 0.0) {
+        std::fprintf(stderr, "FAIL: a user class reported no delivery-"
+                             "delay percentiles\n");
+        return 1;
+      }
+    }
 
     // The whole point of the PR: per-node trajectory history must not
     // grow with sim-time, and steady-state rebuilds must not allocate.

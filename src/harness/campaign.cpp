@@ -53,31 +53,40 @@ std::string defense_label(const security::DefenseSpec& spec) {
   return os.str();
 }
 
+std::string traffic_label(const traffic::TrafficSpec& spec) {
+  if (!spec.enabled) return "off";
+  std::ostringstream os;
+  os << spec.session_rate << "/s x" << spec.gateway_count << "gw";
+  if (!spec.diurnal.empty()) os << " diurnal" << spec.diurnal.size();
+  return os.str();
+}
+
 void CampaignResult::add(RunMetrics m) {
   cells_[{static_cast<int>(m.protocol), speed_key(m.max_speed),
-          m.adversary_index, m.defense_index}]
+          m.adversary_index, m.defense_index, m.traffic_index}]
       .push_back(std::move(m));
   ++count_;
 }
 
 const std::vector<RunMetrics>& CampaignResult::runs(
-    Protocol p, double speed, std::uint32_t adversary,
-    std::uint32_t defense) const {
+    Protocol p, double speed, std::uint32_t adversary, std::uint32_t defense,
+    std::uint32_t traffic) const {
   static const std::vector<RunMetrics> kEmpty;
-  auto it =
-      cells_.find({static_cast<int>(p), speed_key(speed), adversary, defense});
+  auto it = cells_.find(
+      {static_cast<int>(p), speed_key(speed), adversary, defense, traffic});
   return it == cells_.end() ? kEmpty : it->second;
 }
 
 stats::Summary CampaignResult::summarize(
     Protocol p, double speed, std::uint32_t adversary, std::uint32_t defense,
+    std::uint32_t traffic,
     const std::function<double(const RunMetrics&)>& metric) const {
   // Honest accounting: `failed` placeholder rows from the fabric carry
   // zeros for every metric — averaging them in would silently bias
   // false_positive_rate, paired-seed deltas and every figure toward 0.
   // Only ok rows contribute; a fully failed cell reports count() == 0.
   stats::Summary s;
-  for (const RunMetrics& m : runs(p, speed, adversary, defense)) {
+  for (const RunMetrics& m : runs(p, speed, adversary, defense, traffic)) {
     if (m.run_status != RunStatus::kOk) continue;
     s.add(metric(m));
   }
@@ -91,12 +100,15 @@ CampaignResult run_campaign(const CampaignConfig& cfg,
     double speed;
     std::uint32_t adversary;
     std::uint32_t defense;
+    std::uint32_t traffic;
     std::uint64_t seed;
   };
   sim::require_config(!cfg.adversaries.empty(),
                       "Campaign: adversaries list empty (use a kNone spec)");
   sim::require_config(!cfg.defenses.empty(),
                       "Campaign: defenses list empty (use a kNone spec)");
+  sim::require_config(!cfg.traffics.empty(),
+                      "Campaign: traffics list empty (use a disabled spec)");
   std::vector<Cell> work;
   for (Protocol p : cfg.protocols) {
     for (double speed : cfg.speeds) {
@@ -104,13 +116,16 @@ CampaignResult run_campaign(const CampaignConfig& cfg,
            a < static_cast<std::uint32_t>(cfg.adversaries.size()); ++a) {
         for (std::uint32_t d = 0;
              d < static_cast<std::uint32_t>(cfg.defenses.size()); ++d) {
-          for (std::uint32_t r = 0; r < cfg.repetitions; ++r) {
-            // Same seed across protocols, adversaries and defenses for a
-            // given (speed, rep): paired comparisons see identical
-            // mobility and flow placement (passive adversaries don't
-            // perturb runs at all, so their cells differ only in what
-            // was observed).
-            work.push_back(Cell{p, speed, a, d, cfg.seed_base + r});
+          for (std::uint32_t t = 0;
+               t < static_cast<std::uint32_t>(cfg.traffics.size()); ++t) {
+            for (std::uint32_t r = 0; r < cfg.repetitions; ++r) {
+              // Same seed across protocols, adversaries, defenses and
+              // traffic specs for a given (speed, rep): paired
+              // comparisons see identical mobility and flow placement
+              // (passive adversaries don't perturb runs at all, so
+              // their cells differ only in what was observed).
+              work.push_back(Cell{p, speed, a, d, t, cfg.seed_base + r});
+            }
           }
         }
       }
@@ -135,17 +150,22 @@ CampaignResult run_campaign(const CampaignConfig& cfg,
       sc.seed = work[i].seed;
       sc.adversary = cfg.adversaries[work[i].adversary];
       sc.defense = cfg.defenses[work[i].defense];
+      sc.traffic = cfg.traffics[work[i].traffic];
       results[i] = run_scenario(sc);
       results[i].adversary_index = work[i].adversary;
       results[i].defense_index = work[i].defense;
+      results[i].traffic_index = work[i].traffic;
       const std::size_t d = done.fetch_add(1) + 1;
       if (sink.enabled()) {
         std::ostringstream os;
         os << "  [" << d << "/" << work.size() << "] "
            << protocol_name(work[i].protocol) << " speed=" << work[i].speed
            << " adversary=" << adversary_label(cfg.adversaries[work[i].adversary])
-           << " defense=" << defense_label(cfg.defenses[work[i].defense])
-           << " seed=" << work[i].seed;
+           << " defense=" << defense_label(cfg.defenses[work[i].defense]);
+        if (cfg.traffics.size() > 1) {
+          os << " traffic=" << traffic_label(cfg.traffics[work[i].traffic]);
+        }
+        os << " seed=" << work[i].seed;
         sink.line(os.str());
       }
     }

@@ -24,6 +24,10 @@ struct CampaignConfig {
                                   Protocol::kMts};
   std::vector<security::AdversarySpec> adversaries{security::AdversarySpec{}};
   std::vector<security::DefenseSpec> defenses{security::DefenseSpec{}};
+  /// Traffic axis: user-plane workloads to sweep.  The default single
+  /// disabled spec keeps the grid (and every cached CSV key) the
+  /// pre-traffic one-cell product.
+  std::vector<traffic::TrafficSpec> traffics{traffic::TrafficSpec{}};
   std::uint32_t repetitions = 5;  ///< paper: "repeated for 5 times"
   std::uint64_t seed_base = 1;
   unsigned threads = 0;  ///< 0 = hardware concurrency
@@ -34,6 +38,9 @@ std::string adversary_label(const security::AdversarySpec& spec);
 
 /// Short human label for a defense spec ("none", "suite", ...).
 std::string defense_label(const security::DefenseSpec& spec);
+
+/// Short human label for a traffic spec ("off", "20/s x4gw", ...).
+std::string traffic_label(const traffic::TrafficSpec& spec);
 
 /// All runs, indexable by (protocol, speed[, adversary[, defense]]).
 class CampaignResult {
@@ -51,7 +58,12 @@ class CampaignResult {
   }
   [[nodiscard]] const std::vector<RunMetrics>& runs(
       Protocol p, double speed, std::uint32_t adversary,
-      std::uint32_t defense) const;
+      std::uint32_t defense) const {
+    return runs(p, speed, adversary, defense, 0);
+  }
+  [[nodiscard]] const std::vector<RunMetrics>& runs(
+      Protocol p, double speed, std::uint32_t adversary,
+      std::uint32_t defense, std::uint32_t traffic) const;
 
   /// Aggregates one metric across the repetitions of a cell.
   [[nodiscard]] stats::Summary summarize(
@@ -67,6 +79,12 @@ class CampaignResult {
   [[nodiscard]] stats::Summary summarize(
       Protocol p, double speed, std::uint32_t adversary,
       std::uint32_t defense,
+      const std::function<double(const RunMetrics&)>& metric) const {
+    return summarize(p, speed, adversary, defense, 0, metric);
+  }
+  [[nodiscard]] stats::Summary summarize(
+      Protocol p, double speed, std::uint32_t adversary,
+      std::uint32_t defense, std::uint32_t traffic,
       const std::function<double(const RunMetrics&)>& metric) const;
 
   [[nodiscard]] std::size_t total_runs() const { return count_; }
@@ -75,7 +93,8 @@ class CampaignResult {
   static std::int64_t speed_key(double speed) {
     return static_cast<std::int64_t>(speed * 1000.0 + 0.5);
   }
-  std::map<std::tuple<int, std::int64_t, std::uint32_t, std::uint32_t>,
+  std::map<std::tuple<int, std::int64_t, std::uint32_t, std::uint32_t,
+                      std::uint32_t>,
            std::vector<RunMetrics>>
       cells_;
   std::size_t count_ = 0;

@@ -70,6 +70,19 @@ std::string CampaignCache::key_of(const CampaignConfig& cfg) {
        << d.demote_threshold << ',' << d.min_probes << ',' << d.leash_slack
        << ',' << d.rreq_rate << ',' << d.rreq_burst << ';';
   }
+  os << '|';
+  for (const traffic::TrafficSpec& t : cfg.traffics) {
+    os << t.enabled << ',' << t.gateway_count << ',' << t.user_pool << ','
+       << t.session_rate << ',' << t.diurnal_bucket.nanoseconds() << ','
+       << t.bulk_fraction << ',' << t.max_concurrent_flows << ',';
+    for (double w : t.diurnal) os << w << '.';
+    for (const traffic::ClassSpec* c : {&t.messaging, &t.bulk}) {
+      os << ',' << c->min_flows << '-' << c->max_flows << '-'
+         << c->min_segments << '-' << c->max_segments << '-' << c->think_min_s
+         << '-' << c->think_max_s << '-' << c->uplink;
+    }
+    os << ';';
+  }
   const std::uint64_t h = sim::splitmix64(sim::fnv1a(os.str()));
   std::ostringstream name;
   name << std::hex << h;
@@ -110,7 +123,7 @@ std::optional<CampaignResult> CampaignCache::load(const CampaignConfig& cfg) {
   }
   const std::size_t expected = cfg.protocols.size() * cfg.speeds.size() *
                                cfg.adversaries.size() * cfg.defenses.size() *
-                               cfg.repetitions;
+                               cfg.traffics.size() * cfg.repetitions;
   if (rows != expected) return std::nullopt;
   return result;
 }

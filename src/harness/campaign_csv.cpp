@@ -7,7 +7,8 @@
 namespace mts::harness::csv {
 
 std::optional<std::size_t> header_cells(const std::string& header) {
-  if (header == kHeader) return kCellsV9;
+  if (header == kHeader) return kCellsV10;
+  if (header == kHeaderV9) return kCellsV9;
   if (header == kHeaderV8) return kCellsV8;
   if (header == kHeaderV7) return kCellsV7;
   if (header == kHeaderV6) return kCellsV6;
@@ -50,8 +51,15 @@ void write_row(std::ostream& os, const RunMetrics& m) {
      << m.flood_suppressed << ',' << m.probes_sent << ','
      << m.secrecy_shares << ',' << m.secrecy_threshold << ','
      << m.shares_captured << ',' << m.keys_recovered << ','
-     << m.key_recovery_rate << ',' << run_status_name(m.run_status) << ','
-     << m.attempts << ',' << sanitize_error(m.run_error) << ',';
+     << m.key_recovery_rate << ',' << m.traffic_index << ','
+     << m.sessions_started << ',' << m.sessions_completed;
+  for (const auto& c : m.traffic_classes) {
+    os << ',' << c.flows_completed << ',' << c.delay_p50_ms << ','
+       << c.delay_p95_ms << ',' << c.delay_p99_ms << ','
+       << c.goodput_p50_seg_s << ',' << c.key_exposure;
+  }
+  os << ',' << run_status_name(m.run_status) << ',' << m.attempts << ','
+     << sanitize_error(m.run_error) << ',';
   // '-' sentinel keeps the empty-members cell from being eaten by the
   // trailing-delimiter behaviour of getline-based parsing.
   if (m.adversary_members.empty()) {
@@ -130,6 +138,19 @@ std::optional<RunMetrics> parse_row(const std::string& line,
       m.keys_recovered = std::stoull(cells[i++]);
       m.key_recovery_rate = std::stod(cells[i++]);
     }  // v5/v6/v7 rows: the secrecy game did not exist — metrics stay zero
+    if (cells.size() >= kCellsV10) {
+      m.traffic_index = static_cast<std::uint32_t>(std::stoul(cells[i++]));
+      m.sessions_started = std::stoull(cells[i++]);
+      m.sessions_completed = std::stoull(cells[i++]);
+      for (auto& c : m.traffic_classes) {
+        c.flows_completed = std::stoull(cells[i++]);
+        c.delay_p50_ms = std::stod(cells[i++]);
+        c.delay_p95_ms = std::stod(cells[i++]);
+        c.delay_p99_ms = std::stod(cells[i++]);
+        c.goodput_p50_seg_s = std::stod(cells[i++]);
+        c.key_exposure = std::stod(cells[i++]);
+      }
+    }  // v5..v9 rows predate the user plane — per-class columns stay zero
     if (cells.size() >= kCellsV9) {
       const std::string& status = cells[i++];
       if (status == "ok") {
@@ -169,8 +190,11 @@ void write_campaign(std::ostream& os, const CampaignConfig& cfg,
            a < static_cast<std::uint32_t>(cfg.adversaries.size()); ++a) {
         for (std::uint32_t d = 0;
              d < static_cast<std::uint32_t>(cfg.defenses.size()); ++d) {
-          for (const RunMetrics& m : result.runs(p, s, a, d)) {
-            write_row(os, m);
+          for (std::uint32_t t = 0;
+               t < static_cast<std::uint32_t>(cfg.traffics.size()); ++t) {
+            for (const RunMetrics& m : result.runs(p, s, a, d, t)) {
+              write_row(os, m);
+            }
           }
         }
       }

@@ -11,17 +11,34 @@ namespace mts::harness::csv {
 
 /// The campaign CSV column machinery, shared by the disk cache
 /// (`CampaignCache`), the fabric's per-unit shard files and the
-/// `--csv-out` export: one row per run, columns versioned v5..v9.
+/// `--csv-out` export: one row per run, columns versioned v5..v10.
 ///
-/// v9 (current) appends the three fabric columns
-/// `run_status,run_attempts,run_error` after the secrecy block; the
-/// members list stays last so getline-based parsing never eats a
-/// trailing empty cell.  Older headers/widths are still parsed with the
-/// later metrics zeroed — the compatibility story `docs/metrics.md`
-/// documents and `tests/integration/campaign_cache_test.cpp` pins.
-inline constexpr int kVersion = 9;
+/// v10 (current) inserts the user-traffic block — `tra_index`, session
+/// counts and the per-class percentile/exposure columns — between the
+/// secrecy block and the v9 fabric columns
+/// (`run_status,run_attempts,run_error`); the members list stays last
+/// so getline-based parsing never eats a trailing empty cell.  Older
+/// headers/widths are still parsed with the later metrics zeroed — the
+/// compatibility story `docs/metrics.md` documents and
+/// `tests/integration/campaign_cache_test.cpp` pins.
+inline constexpr int kVersion = 10;
 
 inline constexpr const char* kHeader =
+    "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
+    "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
+    "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
+    "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
+    "adv_ri,adv_missing,adv_absorbed,adv_tunneled,adv_gray_absorbed,"
+    "adv_endpoint_acc,adv_flood_injected,def_index,def_kind,def_detect_s,"
+    "def_quarantined,def_recovery_s,def_fpr,def_suppressed,def_probes,"
+    "sec_shares,sec_threshold,sec_captured,sec_keys,sec_recovery,"
+    "tra_index,tra_sessions,tra_completed,tra_msg_flows,tra_msg_p50_ms,"
+    "tra_msg_p95_ms,tra_msg_p99_ms,tra_msg_goodput,tra_msg_exposure,"
+    "tra_bulk_flows,tra_bulk_p50_ms,tra_bulk_p95_ms,tra_bulk_p99_ms,"
+    "tra_bulk_goodput,tra_bulk_exposure,"
+    "run_status,run_attempts,run_error,adv_members";
+
+inline constexpr const char* kHeaderV9 =
     "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
     "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
     "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
@@ -68,6 +85,7 @@ inline constexpr const char* kHeaderV5 =
     "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
     "adv_ri,adv_missing,adv_absorbed,adv_members";
 
+inline constexpr std::size_t kCellsV10 = 69;
 inline constexpr std::size_t kCellsV9 = 54;
 inline constexpr std::size_t kCellsV8 = 51;
 inline constexpr std::size_t kCellsV7 = 46;
@@ -77,7 +95,7 @@ inline constexpr std::size_t kCellsV5 = 34;
 /// Cell count for a recognized header line; nullopt for anything else.
 std::optional<std::size_t> header_cells(const std::string& header);
 
-/// Writes one v9 row (doubles at max_digits10 so a round-trip is exact).
+/// Writes one v10 row (doubles at max_digits10 so a round-trip is exact).
 void write_row(std::ostream& os, const RunMetrics& m);
 
 /// Parses one row of exactly `expected_cells` cells (one of the kCells*
@@ -91,9 +109,9 @@ std::optional<RunMetrics> parse_row(const std::string& line,
 /// newlines and CRs become spaces, empty becomes the '-' sentinel.
 std::string sanitize_error(const std::string& msg);
 
-/// Writes the whole campaign (v9 header + one row per run, grid order:
-/// protocol-major, then speed, adversary, defense, repetition) — the
-/// cache store format, doubling as the `--csv-out` user export.
+/// Writes the whole campaign (v10 header + one row per run, grid order:
+/// protocol-major, then speed, adversary, defense, traffic, repetition)
+/// — the cache store format, doubling as the `--csv-out` user export.
 void write_campaign(std::ostream& os, const CampaignConfig& cfg,
                     const CampaignResult& result);
 

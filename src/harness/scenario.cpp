@@ -67,6 +67,7 @@ class Simulation {
     pick_eavesdropper();
     build_secrecy();   // before the adversary: capture pools hold the plane
     build_adversary();
+    build_traffic();   // after secrecy: fresh lanes register with the plane
     wire();
   }
 
@@ -74,6 +75,7 @@ class Simulation {
     for (auto& n : nodes_) n.routing->start();
     for (auto& f : flows_) f->source->start(f->spec.start);
     if (adversary_ != nullptr) adversary_->on_start(cfg_.sim_time);
+    if (traffic_ != nullptr) traffic_->start(cfg_.sim_time);
     sched_.run_until(cfg_.sim_time);
     return collect();
   }
@@ -319,6 +321,33 @@ class Simulation {
     }
   }
 
+  void build_traffic() {
+    if (!cfg_.traffic.enabled) return;
+    traffic::TrafficContext ctx;
+    ctx.sched = &sched_;
+    ctx.uids = &uids_;
+    ctx.node_count = cfg_.node_count;
+    // Static flows own ids 1..flows_.size(); traffic lanes live above.
+    ctx.first_flow_id = static_cast<std::uint16_t>(flows_.size() + 1);
+    ctx.tcp = cfg_.tcp;
+    ctx.send = [this](net::NodeId node, net::Packet&& p) {
+      nodes_[node].routing->send_from_transport(std::move(p));
+    };
+    ctx.counters_of = [this](net::NodeId node) {
+      return &nodes_[node].counters;
+    };
+    if (secrecy_ != nullptr) {
+      const auto n = cfg_.protocol == Protocol::kMts
+                         ? static_cast<std::uint32_t>(cfg_.mts.max_paths)
+                         : 1U;
+      ctx.on_new_lane = [this, n](std::uint16_t id) {
+        secrecy_->register_flow(id, n);
+      };
+    }
+    traffic_ = std::make_unique<traffic::TrafficPlane>(
+        cfg_.traffic, std::move(ctx), master_.substream("traffic"));
+  }
+
   void wire() {
     for (net::NodeId i = 0; i < cfg_.node_count; ++i) {
       Node& n = nodes_[i];
@@ -351,6 +380,7 @@ class Simulation {
 
   void deliver_to_transport(net::NodeId node, net::Packet&& p,
                             net::NodeId /*from*/) {
+    if (traffic_ != nullptr && traffic_->deliver(node, p)) return;
     Node& n = nodes_[node];
     if (p.common().kind == net::PacketKind::kTcpData) {
       for (tcp::TcpSink* s : n.sinks) s->on_data(p);
@@ -480,6 +510,35 @@ class Simulation {
       m.secrecy_shares = secrecy_->shares_per_flow();
       m.secrecy_threshold = secrecy_->threshold_per_flow();
     }
+    if (traffic_ != nullptr) {
+      const traffic::TrafficReport tr = traffic_->report();
+      m.sessions_started = tr.sessions_started;
+      m.sessions_completed = tr.sessions_completed;
+      m.sessions_rejected = tr.sessions_rejected;
+      const security::KeyRecoveryPool* pool =
+          adversary_ != nullptr ? adversary_->key_recovery() : nullptr;
+      for (std::size_t c = 0; c < traffic::kUserClassCount; ++c) {
+        const traffic::ClassReport& cr = tr.classes[c];
+        auto& out = m.traffic_classes[c];
+        out.flows_completed = cr.flows_completed;
+        out.delay_p50_ms = cr.delay_p50_ms;
+        out.delay_p95_ms = cr.delay_p95_ms;
+        out.delay_p99_ms = cr.delay_p99_ms;
+        out.goodput_p50_seg_s = cr.goodput_p50_seg_s;
+        if (secrecy_ != nullptr && pool != nullptr) {
+          const auto& lanes =
+              traffic_->lanes(static_cast<traffic::UserClass>(c));
+          if (!lanes.empty()) {
+            std::uint64_t recovered = 0;
+            for (const std::uint16_t lane : lanes) {
+              if (secrecy_->key_recovered(lane, *pool)) ++recovered;
+            }
+            out.key_exposure = static_cast<double>(recovered) /
+                               static_cast<double>(lanes.size());
+          }
+        }
+      }
+    }
     if (defense_ != nullptr) {
       m.defense_kind = defense_->kind();
       m.paths_quarantined = defense_->paths_quarantined();
@@ -543,6 +602,9 @@ class Simulation {
   std::unique_ptr<security::DefenseModel> defense_;
   std::vector<Node> nodes_;
   std::vector<std::unique_ptr<Flow>> flows_;
+  /// Declared after nodes_: the plane's timers and agents call back into
+  /// routing, so it must be torn down first (reverse destruction).
+  std::unique_ptr<traffic::TrafficPlane> traffic_;
   std::unique_ptr<security::Eavesdropper> eavesdropper_;
   /// Declared before adversary_: pooled adversaries' capture pools hold
   /// the plane pointer, so the plane must outlive them.

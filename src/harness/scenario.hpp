@@ -18,6 +18,7 @@
 #include "security/keyshare.hpp"
 #include "tcp/flow_stats.hpp"
 #include "tcp/tcp_config.hpp"
+#include "traffic/traffic.hpp"
 
 namespace mts::harness {
 
@@ -91,6 +92,12 @@ struct ScenarioConfig {
   /// Disabled (the default) adds no state at all — every pre-existing
   /// fingerprint runs with no plane.
   security::SecrecySpec secrecy;
+
+  /// Optional user-traffic plane (`src/traffic`): session-level workload
+  /// on gateway/attachment nodes with per-class percentile metrics.
+  /// Disabled (the default) constructs nothing and draws nothing — every
+  /// pre-existing fingerprint replays bit-identical.
+  traffic::TrafficSpec traffic;
 
   /// Fixed node placement instead of random waypoint (tests, examples).
   /// Non-empty => static topology; must have node_count entries.
@@ -213,6 +220,28 @@ struct RunMetrics {
   /// Why the cell failed ("signal 9", "timeout after 30s", a trap
   /// message); empty on `kOk` rows.  Sanitized to one CSV cell.
   std::string run_error;
+
+  // --- user-traffic plane (traffic axis, CSV v10) -------------------------
+  /// Index into `CampaignConfig::traffics` (0 outside campaigns).
+  std::uint32_t traffic_index = 0;
+  std::uint64_t sessions_started = 0;
+  std::uint64_t sessions_completed = 0;
+  std::uint64_t sessions_rejected = 0;
+  /// Per-user-class percentile metrics out of the traffic plane's
+  /// mergeable digests, plus the secrecy exposure of the class's lanes.
+  struct TrafficClassMetrics {
+    std::uint64_t flows_completed = 0;
+    double delay_p50_ms = 0.0;
+    double delay_p95_ms = 0.0;
+    double delay_p99_ms = 0.0;
+    double goodput_p50_seg_s = 0.0;
+    /// Fraction of the class's flow-id lanes whose session key the
+    /// adversary pool reconstructed (secrecy game on, else 0).  Lanes
+    /// recycled across classes count toward each class that used them.
+    double key_exposure = 0.0;
+  };
+  std::array<TrafficClassMetrics, traffic::kUserClassCount>
+      traffic_classes{};
 
   // --- TCP (paper Figs. 8-10) ------------------------------------------
   double avg_delay_s = 0.0;              ///< Fig. 8

@@ -81,7 +81,7 @@ ShardStore::State ShardStore::read(const WorkUnit& unit,
     valid = std::getline(lines, line) && line == csv::kHeader;
     while (valid && std::getline(lines, line)) {
       if (line.empty()) continue;
-      auto m = csv::parse_row(line, csv::kCellsV9);
+      auto m = csv::parse_row(line, csv::kCellsV10);
       if (!m.has_value()) {
         valid = false;
         break;

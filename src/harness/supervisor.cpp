@@ -91,6 +91,7 @@ std::vector<RunMetrics> run_unit_cells(const CampaignConfig& cfg,
       RunMetrics m = run_scenario(sc);
       m.adversary_index = c.adversary;
       m.defense_index = c.defense;
+      m.traffic_index = c.traffic;
       m.attempts = attempt;
       rows.push_back(std::move(m));
     }
@@ -103,7 +104,8 @@ std::string short_unit_desc(const CampaignConfig& cfg, const WorkUnit& u) {
   std::ostringstream os;
   os << protocol_name(cfg.protocols[c.protocol])
      << " speed=" << cfg.speeds[c.speed] << " adversary=" << c.adversary
-     << " defense=" << c.defense << " reps=" << c.runs();
+     << " defense=" << c.defense << " traffic=" << c.traffic
+     << " reps=" << c.runs();
   if (u.cells.size() > 1) os << " (+" << (u.cells.size() - 1) << " cells)";
   return os.str();
 }

@@ -15,6 +15,8 @@ std::vector<WorkUnit> partition_campaign(const CampaignConfig& cfg,
   sim::require_config(!cfg.adversaries.empty() && !cfg.defenses.empty(),
                       "Fabric: adversaries/defenses list empty "
                       "(use a kNone spec)");
+  sim::require_config(!cfg.traffics.empty(),
+                      "Fabric: traffics list empty (use a disabled spec)");
   if (cells_per_unit == 0) cells_per_unit = 1;
   // The id namespace is the campaign itself: units of different
   // campaigns can never be confused even if a shard directory is
@@ -39,11 +41,13 @@ std::vector<WorkUnit> partition_campaign(const CampaignConfig& cfg,
     for (std::uint32_t s = 0; s < cfg.speeds.size(); ++s) {
       for (std::uint32_t a = 0; a < cfg.adversaries.size(); ++a) {
         for (std::uint32_t d = 0; d < cfg.defenses.size(); ++d) {
-          if (current.cells.empty()) batch_first = ordinal;
-          current.cells.push_back(
-              WorkCell{p, s, a, d, 0, cfg.repetitions});
-          if (current.cells.size() >= cells_per_unit) flush(batch_first);
-          ++ordinal;
+          for (std::uint32_t t = 0; t < cfg.traffics.size(); ++t) {
+            if (current.cells.empty()) batch_first = ordinal;
+            current.cells.push_back(
+                WorkCell{p, s, a, d, t, 0, cfg.repetitions});
+            if (current.cells.size() >= cells_per_unit) flush(batch_first);
+            ++ordinal;
+          }
         }
       }
     }
@@ -59,18 +63,19 @@ std::string work_unit_label(const CampaignConfig& cfg, const WorkUnit& unit,
   for (const WorkCell& c : unit.cells) {
     os << ' ' << protocol_name(cfg.protocols[c.protocol])
        << " speed=" << cfg.speeds[c.speed] << " adversary=" << c.adversary
-       << " defense=" << c.defense << " reps " << c.rep_begin << ".."
-       << (c.rep_end == 0 ? 0 : c.rep_end - 1) << ';';
+       << " defense=" << c.defense << " traffic=" << c.traffic << " reps "
+       << c.rep_begin << ".." << (c.rep_end == 0 ? 0 : c.rep_end - 1) << ';';
   }
   return os.str();
 }
 
 std::string encode_work_unit(const WorkUnit& unit) {
   std::ostringstream os;
-  os << "wu1|" << std::hex << unit.id << std::dec << '|' << unit.index << '|';
+  os << "wu2|" << std::hex << unit.id << std::dec << '|' << unit.index << '|';
   for (const WorkCell& c : unit.cells) {
     os << c.protocol << ':' << c.speed << ':' << c.adversary << ':'
-       << c.defense << ':' << c.rep_begin << ':' << c.rep_end << ';';
+       << c.defense << ':' << c.traffic << ':' << c.rep_begin << ':'
+       << c.rep_end << ';';
   }
   return os.str();
 }
@@ -78,7 +83,7 @@ std::string encode_work_unit(const WorkUnit& unit) {
 std::optional<WorkUnit> decode_work_unit(const std::string& text) {
   std::istringstream is(text);
   std::string field;
-  if (!std::getline(is, field, '|') || field != "wu1") return std::nullopt;
+  if (!std::getline(is, field, '|') || field != "wu2") return std::nullopt;
   WorkUnit unit;
   try {
     if (!std::getline(is, field, '|')) return std::nullopt;
@@ -92,14 +97,14 @@ std::optional<WorkUnit> decode_work_unit(const std::string& text) {
       if (cell.empty()) continue;
       std::istringstream cs(cell);
       std::string n;
-      std::uint32_t v[6];
+      std::uint32_t v[7];
       for (std::uint32_t& slot : v) {
         if (!std::getline(cs, n, ':')) return std::nullopt;
         slot = static_cast<std::uint32_t>(std::stoul(n));
       }
       if (std::getline(cs, n, ':')) return std::nullopt;  // trailing junk
-      if (v[5] < v[4]) return std::nullopt;
-      unit.cells.push_back(WorkCell{v[0], v[1], v[2], v[3], v[4], v[5]});
+      if (v[6] < v[5]) return std::nullopt;
+      unit.cells.push_back(WorkCell{v[0], v[1], v[2], v[3], v[4], v[5], v[6]});
     }
   } catch (const std::exception&) {
     return std::nullopt;
@@ -113,18 +118,20 @@ ScenarioConfig cell_scenario(const CampaignConfig& cfg, const WorkCell& cell,
   sim::require_config(cell.protocol < cfg.protocols.size() &&
                           cell.speed < cfg.speeds.size() &&
                           cell.adversary < cfg.adversaries.size() &&
-                          cell.defense < cfg.defenses.size(),
+                          cell.defense < cfg.defenses.size() &&
+                          cell.traffic < cfg.traffics.size(),
                       "Fabric: work cell indexes outside the campaign grid "
                       "(stale unit spec for a different config?)");
   ScenarioConfig sc = cfg.base;
   sc.protocol = cfg.protocols[cell.protocol];
   sc.max_speed = cfg.speeds[cell.speed];
-  // Same seed across protocols/adversaries/defenses for a given
+  // Same seed across protocols/adversaries/defenses/traffics for a given
   // (speed, rep): paired comparisons see identical mobility and flow
   // placement, exactly like the in-process pool.
   sc.seed = cfg.seed_base + rep;
   sc.adversary = cfg.adversaries[cell.adversary];
   sc.defense = cfg.defenses[cell.defense];
+  sc.traffic = cfg.traffics[cell.traffic];
   return sc;
 }
 
@@ -140,6 +147,7 @@ RunMetrics failed_run_metrics(const CampaignConfig& cfg, const WorkCell& cell,
   m.adversary_count = cfg.adversaries[cell.adversary].count;
   m.defense_index = cell.defense;
   m.defense_kind = cfg.defenses[cell.defense].kind;
+  m.traffic_index = cell.traffic;
   m.run_status = RunStatus::kFailed;
   m.attempts = attempts;
   m.run_error = error;

@@ -19,6 +19,7 @@ struct WorkCell {
   std::uint32_t speed = 0;      ///< index into cfg.speeds
   std::uint32_t adversary = 0;  ///< index into cfg.adversaries
   std::uint32_t defense = 0;    ///< index into cfg.defenses
+  std::uint32_t traffic = 0;    ///< index into cfg.traffics
   std::uint32_t rep_begin = 0;  ///< first repetition (seed = seed_base + rep)
   std::uint32_t rep_end = 0;    ///< one past the last repetition
 
@@ -48,8 +49,8 @@ struct WorkUnit {
   }
 };
 
-/// Splits the campaign grid (protocol x speed x adversary x defense,
-/// row-major in that order, full repetition range per cell) into units
+/// Splits the campaign grid (protocol x speed x adversary x defense x
+/// traffic, row-major in that order, full repetition range per cell) into units
 /// of `cells_per_unit` consecutive cells (0 acts as 1).  Pure function
 /// of its inputs: any two runs partition identically.
 std::vector<WorkUnit> partition_campaign(const CampaignConfig& cfg,
@@ -60,7 +61,9 @@ std::string work_unit_label(const CampaignConfig& cfg, const WorkUnit& unit,
                             std::size_t unit_count);
 
 /// Wire form for handing a unit to a worker (`--work-unit` style):
-/// "wu1|<id hex>|<index>|p:s:a:d:rb:re;...".
+/// "wu2|<id hex>|<index>|p:s:a:d:t:rb:re;...".  (wu1, the pre-traffic
+/// 6-field form, is rejected: a stale unit spec must not silently run
+/// with a defaulted traffic axis.)
 std::string encode_work_unit(const WorkUnit& unit);
 std::optional<WorkUnit> decode_work_unit(const std::string& text);
 

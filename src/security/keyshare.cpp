@@ -236,22 +236,41 @@ const std::vector<std::uint8_t>* SecrecyPlane::true_key(
   return f == nullptr ? nullptr : &f->key;
 }
 
+namespace {
+
+bool recovers(SecrecyPlane::Score* tally, std::uint32_t t,
+              const std::vector<std::uint8_t>& true_key,
+              const std::map<std::uint8_t, std::vector<std::uint8_t>>*
+                  captured) {
+  if (captured == nullptr) return false;
+  if (tally != nullptr) tally->shares_captured += captured->size();
+  if (captured->size() < t) return false;
+  std::vector<Share> attempt;
+  attempt.reserve(t);
+  for (const auto& [x, bytes] : *captured) {
+    if (attempt.size() == t) break;
+    attempt.push_back(Share{x, bytes});
+  }
+  const auto key = shamir_reconstruct(attempt, t);
+  return key.has_value() && *key == true_key;
+}
+
+}  // namespace
+
+bool SecrecyPlane::key_recovered(std::uint16_t flow_id,
+                                 const KeyRecoveryPool& pool) const {
+  const FlowSecret* f = find(flow_id);
+  if (f == nullptr) return false;
+  return recovers(nullptr, f->t, f->key, pool.shares_for(flow_id));
+}
+
 SecrecyPlane::Score SecrecyPlane::score(const KeyRecoveryPool& pool) const {
   Score s;
   s.flows = flows_.size();
   for (const FlowSecret& f : flows_) {
-    const auto* captured = pool.shares_for(f.flow_id);
-    if (captured == nullptr) continue;
-    s.shares_captured += captured->size();
-    if (captured->size() < f.t) continue;
-    std::vector<Share> attempt;
-    attempt.reserve(f.t);
-    for (const auto& [x, bytes] : *captured) {
-      if (attempt.size() == f.t) break;
-      attempt.push_back(Share{x, bytes});
+    if (recovers(&s, f.t, f.key, pool.shares_for(f.flow_id))) {
+      ++s.keys_recovered;
     }
-    const auto key = shamir_reconstruct(attempt, f.t);
-    if (key.has_value() && *key == f.key) ++s.keys_recovered;
   }
   s.recovery_rate = s.flows == 0 ? 0.0
                                  : static_cast<double>(s.keys_recovered) /

@@ -116,6 +116,13 @@ class SecrecyPlane {
   /// equals the real key.
   [[nodiscard]] Score score(const KeyRecoveryPool& pool) const;
 
+  /// Single-flow verdict of the same game — whether `pool`'s captured
+  /// shares reconstruct flow `flow_id`'s true key.  False for
+  /// unregistered flows.  The per-user-class exposure metric walks the
+  /// traffic plane's lanes through this.
+  [[nodiscard]] bool key_recovered(std::uint16_t flow_id,
+                                   const KeyRecoveryPool& pool) const;
+
   [[nodiscard]] const SecrecySpec& spec() const { return spec_; }
   [[nodiscard]] std::size_t flow_count() const { return flows_.size(); }
   /// Shares/threshold of the first registered flow (the harness

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+
+#include "sim/error.hpp"
+
+namespace mts::stats {
+
+/// Mergeable streaming percentile sketch over non-negative samples, in
+/// the mould of DDSketch: geometric buckets with ratio gamma = (1 + a) /
+/// (1 - a), so every reported quantile is within relative error `a` of
+/// the exact-sort answer at the same rank.
+///
+/// Chosen over t-digest deliberately: bucket *counts* are plain
+/// integers keyed by a value-determined index, so `merge` is exactly
+/// associative and commutative — shard A + (B + C) and (A + B) + C give
+/// bit-identical quantiles, which is the property the campaign fabric's
+/// shard merging and the per-gateway roll-up in the traffic plane rely
+/// on.  A t-digest's centroid compression is merge-order *sensitive*;
+/// it would break byte-identical resume diffs.
+///
+/// Samples below `kMinTrackable` (including zero) land in a dedicated
+/// underflow bucket reported as 0.0 — delay and goodput samples are
+/// physically bounded away from it.
+class PercentileDigest {
+ public:
+  static constexpr double kMinTrackable = 1e-9;
+
+  explicit PercentileDigest(double relative_error = 0.01)
+      : alpha_(relative_error),
+        gamma_((1.0 + relative_error) / (1.0 - relative_error)),
+        log_gamma_(std::log(gamma_)) {
+    sim::require_config(relative_error > 0.0 && relative_error < 1.0,
+                        "PercentileDigest: relative_error outside (0, 1)");
+  }
+
+  void add(double x) {
+    ++total_;
+    if (!(x >= kMinTrackable)) {  // also catches NaN
+      ++underflow_;
+      return;
+    }
+    ++bins_[index_of(x)];
+  }
+
+  /// Exact bucket-count addition: associative, commutative, lossless.
+  void merge(const PercentileDigest& other) {
+    sim::require(other.gamma_ == gamma_,
+                 "PercentileDigest: merging digests of different accuracy");
+    total_ += other.total_;
+    underflow_ += other.underflow_;
+    for (const auto& [idx, n] : other.bins_) bins_[idx] += n;
+  }
+
+  /// Value at quantile `q` in [0, 1]; 0.0 on an empty digest.  Matches
+  /// the exact-sort convention `sorted[floor(q * (n - 1))]` to within
+  /// the relative-error bound.
+  [[nodiscard]] double quantile(double q) const {
+    if (total_ == 0) return 0.0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(total_ - 1));
+    if (rank < underflow_) return 0.0;
+    std::uint64_t seen = underflow_;
+    for (const auto& [idx, n] : bins_) {
+      seen += n;
+      if (seen > rank) return value_of(idx);
+    }
+    return bins_.empty() ? 0.0 : value_of(bins_.rbegin()->first);
+  }
+
+  [[nodiscard]] double p50() const { return quantile(0.50); }
+  [[nodiscard]] double p95() const { return quantile(0.95); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t underflow_count() const { return underflow_; }
+  [[nodiscard]] std::size_t bucket_count() const { return bins_.size(); }
+  [[nodiscard]] double relative_error() const { return alpha_; }
+
+ private:
+  /// Bucket i holds (gamma^(i-1), gamma^i].
+  [[nodiscard]] std::int32_t index_of(double x) const {
+    return static_cast<std::int32_t>(std::ceil(std::log(x) / log_gamma_));
+  }
+  /// Midpoint estimate 2 gamma^i / (gamma + 1): at most `alpha_`
+  /// relative error from any sample in the bucket.
+  [[nodiscard]] double value_of(std::int32_t idx) const {
+    return 2.0 * std::exp(static_cast<double>(idx) * log_gamma_) /
+           (gamma_ + 1.0);
+  }
+
+  double alpha_;
+  double gamma_;
+  double log_gamma_;
+  std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  /// Ordered map: quantile walks ascend value order for free, and
+  /// iteration order is deterministic for bit-reproducible reports.
+  std::map<std::int32_t, std::uint64_t> bins_;
+};
+
+}  // namespace mts::stats

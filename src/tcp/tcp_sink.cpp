@@ -21,6 +21,7 @@ void TcpSink::on_data(const net::Packet& data) {
     stats_->first_delivery = std::min(stats_->first_delivery, sched_->now());
     stats_->last_delivery = std::max(stats_->last_delivery, sched_->now());
     stats_->record_delivery_second(sched_->now());
+    if (on_delivery_) on_delivery_(delay);
     ooo_.insert(seq);
     while (ooo_.contains(rcv_nxt_)) {
       ooo_.erase(rcv_nxt_);

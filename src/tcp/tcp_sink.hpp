@@ -34,6 +34,13 @@ class TcpSink {
   /// Handles a data packet routed to this node.
   void on_data(const net::Packet& data);
 
+  /// Observer invoked with the end-to-end delay of every *fresh*
+  /// delivery (duplicates excluded) — feeds the traffic plane's
+  /// percentile digests without widening FlowStats.
+  void set_delivery_observer(std::function<void(sim::Time)> fn) {
+    on_delivery_ = std::move(fn);
+  }
+
   [[nodiscard]] std::uint32_t rcv_nxt() const { return rcv_nxt_; }
   [[nodiscard]] std::size_t ooo_buffered() const { return ooo_.size(); }
 
@@ -51,6 +58,7 @@ class TcpSink {
 
   std::uint32_t rcv_nxt_ = 1;    ///< next expected segment
   std::set<std::uint32_t> ooo_;  ///< buffered out-of-order segments
+  std::function<void(sim::Time)> on_delivery_;
 };
 
 }  // namespace mts::tcp

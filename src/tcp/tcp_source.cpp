@@ -41,8 +41,16 @@ TcpSource::TcpSource(sim::Scheduler& sched, SendFn send, net::NodeId self,
 
 void TcpSource::start(sim::Time at) { start_timer_.schedule_at(at); }
 
+void TcpSource::set_transfer(std::uint32_t segments,
+                             std::function<void()> done) {
+  sim::require_config(segments >= 1, "TcpSource: zero-length transfer");
+  limit_ = segments;
+  on_done_ = std::move(done);
+}
+
 void TcpSource::send_window() {
-  while (snd_nxt_ < snd_una_ + window()) {
+  while (snd_nxt_ < snd_una_ + window() &&
+         (limit_ == 0 || snd_nxt_ <= limit_)) {
     transmit_segment(snd_nxt_);
     ++snd_nxt_;
   }
@@ -123,6 +131,16 @@ void TcpSource::on_new_ack(std::uint32_t ack, const net::TcpHeader& h) {
     arm_rto();
   }
   note_cwnd();
+  maybe_complete();
+}
+
+void TcpSource::maybe_complete() {
+  // A NewReno partial ACK can't complete the transfer (partial means
+  // ack <= recover_ < limit_ + 1), so checking here covers every path
+  // that advances snd_una_ past the limit.
+  if (limit_ == 0 || done_fired_ || snd_una_ <= limit_) return;
+  done_fired_ = true;
+  if (on_done_) on_done_();
 }
 
 void TcpSource::on_dup_ack() {

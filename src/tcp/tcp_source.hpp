@@ -34,6 +34,13 @@ class TcpSource {
   /// Begins transmitting at absolute time `at`.
   void start(sim::Time at);
 
+  /// Caps the backlog at `segments` (sequence numbers 1..segments) and
+  /// fires `done` exactly once, when the final segment is cumulatively
+  /// acknowledged.  Without it the source keeps its ns-2 infinite-FTP
+  /// behavior.  `done` runs from inside ACK processing: it must not
+  /// destroy this source synchronously.
+  void set_transfer(std::uint32_t segments, std::function<void()> done);
+
   /// Hands an ACK packet (routed to this node) to the sender.
   void on_ack(const net::Packet& ack);
 
@@ -61,6 +68,7 @@ class TcpSource {
   void enter_fast_retransmit();
   void on_rto();
   void arm_rto();
+  void maybe_complete();
   void note_cwnd() {
     if (cfg_.trace_cwnd) cwnd_trace_.emplace_back(sched_->now(), cwnd_);
   }
@@ -92,6 +100,9 @@ class TcpSource {
   std::uint32_t dupacks_ = 0;
   bool in_fr_ = false;
   std::uint32_t recover_ = 0;  ///< NewReno recovery point
+  std::uint32_t limit_ = 0;    ///< last segment of a finite transfer; 0 = FTP
+  bool done_fired_ = false;
+  std::function<void()> on_done_;
 
   RttEstimator rtt_;
   sim::Timer rto_timer_;

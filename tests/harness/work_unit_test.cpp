@@ -27,7 +27,8 @@ CampaignConfig tiny() {
 TEST(WorkUnitTest, PartitionCoversTheGridOnceInRowMajorOrder) {
   const CampaignConfig cfg = tiny();
   const auto units = partition_campaign(cfg, 1);
-  // 2 protocols x 2 speeds x 2 adversaries x 1 defense = 8 cells.
+  // 2 protocols x 2 speeds x 2 adversaries x 1 defense x 1 traffic
+  // = 8 cells.
   ASSERT_EQ(units.size(), 8u);
   std::uint32_t expect_p = 0, expect_s = 0, expect_a = 0;
   for (std::size_t i = 0; i < units.size(); ++i) {
@@ -38,6 +39,7 @@ TEST(WorkUnitTest, PartitionCoversTheGridOnceInRowMajorOrder) {
     EXPECT_EQ(c.speed, expect_s);
     EXPECT_EQ(c.adversary, expect_a);
     EXPECT_EQ(c.defense, 0u);
+    EXPECT_EQ(c.traffic, 0u);
     EXPECT_EQ(c.rep_begin, 0u);
     EXPECT_EQ(c.rep_end, cfg.repetitions);
     EXPECT_EQ(units[i].total_runs(), cfg.repetitions);
@@ -49,6 +51,24 @@ TEST(WorkUnitTest, PartitionCoversTheGridOnceInRowMajorOrder) {
       }
     }
   }
+}
+
+TEST(WorkUnitTest, TrafficAxisIsInnermostBeforeRepetitions) {
+  CampaignConfig cfg = tiny();
+  traffic::TrafficSpec on;
+  on.enabled = true;
+  cfg.traffics = {traffic::TrafficSpec{}, on};
+  const auto units = partition_campaign(cfg, 1);
+  ASSERT_EQ(units.size(), 16u);  // the 8-cell grid doubled by traffic
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    ASSERT_EQ(units[i].cells.size(), 1u);
+    EXPECT_EQ(units[i].cells[0].traffic, i % 2) << "unit " << i;
+  }
+  // The 7-field wire form round-trips the traffic index.
+  const auto back = decode_work_unit(encode_work_unit(units[3]));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->cells, units[3].cells);
+  EXPECT_EQ(back->cells[0].traffic, 1u);
 }
 
 TEST(WorkUnitTest, PartitionIsDeterministicAndKeyedByTheConfig) {
@@ -127,18 +147,21 @@ TEST(WorkUnitTest, EncodeDecodeRoundTrips) {
 
 TEST(WorkUnitTest, DecodeRejectsJunk) {
   EXPECT_FALSE(decode_work_unit("").has_value());
-  EXPECT_FALSE(decode_work_unit("wu2|0|0|0:0:0:0:0:1;").has_value());
-  EXPECT_FALSE(decode_work_unit("wu1|0|0|").has_value());  // no cells
-  EXPECT_FALSE(decode_work_unit("wu1|zz|x|0:0:0:0:0:1;").has_value());
-  EXPECT_FALSE(decode_work_unit("wu1|0|0|0:0:0:0:0;").has_value());
-  EXPECT_FALSE(decode_work_unit("wu1|0|0|0:0:0:0:0:1:9;").has_value());
-  EXPECT_FALSE(decode_work_unit("wu1|0|0|0:0:0:0:5:1;").has_value())
+  // The pre-traffic 6-field wu1 wire form is rejected outright: a stale
+  // unit spec must not silently run with a defaulted traffic axis.
+  EXPECT_FALSE(decode_work_unit("wu1|0|0|0:0:0:0:0:1;").has_value());
+  EXPECT_FALSE(decode_work_unit("wu2|0|0|").has_value());  // no cells
+  EXPECT_FALSE(decode_work_unit("wu2|zz|x|0:0:0:0:0:0:1;").has_value());
+  EXPECT_FALSE(decode_work_unit("wu2|0|0|0:0:0:0:0:1;").has_value())
+      << "a 6-field cell is one axis short";
+  EXPECT_FALSE(decode_work_unit("wu2|0|0|0:0:0:0:0:0:1:9;").has_value());
+  EXPECT_FALSE(decode_work_unit("wu2|0|0|0:0:0:0:0:5:1;").has_value())
       << "rep_end < rep_begin must not decode";
 }
 
 TEST(WorkUnitTest, CellScenarioAppliesTheCellAndPairsSeeds) {
   const CampaignConfig cfg = tiny();
-  const WorkCell mts{1, 1, 1, 0, 0, 3};
+  const WorkCell mts{1, 1, 1, 0, 0, 0, 3};
   const ScenarioConfig sc = cell_scenario(cfg, mts, 2);
   EXPECT_EQ(sc.protocol, Protocol::kMts);
   EXPECT_DOUBLE_EQ(sc.max_speed, 10.0);
@@ -146,17 +169,20 @@ TEST(WorkUnitTest, CellScenarioAppliesTheCellAndPairsSeeds) {
   EXPECT_EQ(sc.seed, cfg.seed_base + 2);
   // Paired seeds: the same (speed, rep) under the other protocol and no
   // adversary sees the identical seed.
-  const WorkCell aodv{0, 1, 0, 0, 0, 3};
+  const WorkCell aodv{0, 1, 0, 0, 0, 0, 3};
   EXPECT_EQ(cell_scenario(cfg, aodv, 2).seed, sc.seed);
   // A stale cell for a different (smaller) grid must throw, not index
   // out of bounds.
-  EXPECT_THROW(cell_scenario(cfg, WorkCell{5, 0, 0, 0, 0, 1}, 0),
+  EXPECT_THROW(cell_scenario(cfg, WorkCell{5, 0, 0, 0, 0, 0, 1}, 0),
                std::exception);
+  EXPECT_THROW(cell_scenario(cfg, WorkCell{0, 0, 0, 0, 3, 0, 1}, 0),
+               std::exception)
+      << "traffic index outside the campaign grid must throw";
 }
 
 TEST(WorkUnitTest, FailedRunMetricsCarryCellIdentityAndRoundTripAsCsv) {
   const CampaignConfig cfg = tiny();
-  const WorkCell cell{1, 0, 1, 0, 0, 3};
+  const WorkCell cell{1, 0, 1, 0, 0, 0, 3};
   const RunMetrics m =
       failed_run_metrics(cfg, cell, 1, 3, "timeout after 2.5s");
   EXPECT_EQ(m.protocol, Protocol::kMts);
@@ -168,13 +194,13 @@ TEST(WorkUnitTest, FailedRunMetricsCarryCellIdentityAndRoundTripAsCsv) {
   EXPECT_EQ(m.run_status, RunStatus::kFailed);
   EXPECT_EQ(m.attempts, 3u);
 
-  // A failed placeholder survives the v9 CSV round trip.
+  // A failed placeholder survives the v10 CSV round trip.
   std::ostringstream os;
   csv::write_row(os, m);
   std::string line = os.str();
   ASSERT_FALSE(line.empty());
   line.pop_back();  // write_row appends the newline
-  const auto back = csv::parse_row(line, csv::kCellsV9);
+  const auto back = csv::parse_row(line, csv::kCellsV10);
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->run_status, RunStatus::kFailed);
   EXPECT_EQ(back->attempts, 3u);
@@ -187,14 +213,14 @@ TEST(WorkUnitTest, SanitizeErrorKeepsMessagesSingleCell) {
   EXPECT_EQ(csv::sanitize_error(""), "-");
   EXPECT_EQ(csv::sanitize_error("plain"), "plain");
   EXPECT_EQ(csv::sanitize_error("a,b\nc\rd"), "a b c d");
-  // An unknown status word must not parse as a v9 row.
+  // An unknown status word must not parse as a row.
   std::ostringstream os;
   csv::write_row(os, RunMetrics{});
   std::string line = os.str();
   line.pop_back();
   ASSERT_NE(line.find(",ok,"), std::string::npos);
   line.replace(line.find(",ok,"), 4, ",maybe,");
-  EXPECT_FALSE(csv::parse_row(line, csv::kCellsV9).has_value());
+  EXPECT_FALSE(csv::parse_row(line, csv::kCellsV10).has_value());
 }
 
 }  // namespace

@@ -499,13 +499,13 @@ TEST_F(CampaignCacheTest, V8RowsStillParseWithFabricColumnsDefaulted) {
   EXPECT_EQ(reloaded->runs(Protocol::kAodv, 5)[0].shares_captured, 3u);
 }
 
-TEST_F(CampaignCacheTest, FailedRowsRoundTripInV9Columns) {
+TEST_F(CampaignCacheTest, FailedRowsRoundTripInV10Columns) {
   CampaignConfig cfg = tiny();
   cfg.repetitions = 1;
   CampaignResult result;
   // A degraded fabric row: status/attempts/error must survive a store
   // + load, with the error message collapsed to a single CSV cell.
-  RunMetrics m = failed_run_metrics(cfg, WorkCell{0, 0, 0, 0, 0, 1}, 0, 3,
+  RunMetrics m = failed_run_metrics(cfg, WorkCell{0, 0, 0, 0, 0, 0, 1}, 0, 3,
                                     "timeout, then crash");
   result.add(std::move(m));
   CampaignCache::store(cfg, result);
@@ -517,6 +517,138 @@ TEST_F(CampaignCacheTest, FailedRowsRoundTripInV9Columns) {
   EXPECT_EQ(runs[0].attempts, 3u);
   EXPECT_EQ(runs[0].run_error, "timeout  then crash");
   EXPECT_EQ(runs[0].seed, cfg.seed_base);
+}
+
+TEST_F(CampaignCacheTest, TrafficAxisRoundTripsAndChangesTheKey) {
+  CampaignConfig cfg = tiny();
+  cfg.base.field = {400.0, 400.0};
+  cfg.base.sim_time = sim::Time::sec(5);
+  traffic::TrafficSpec on;
+  on.enabled = true;
+  on.gateway_count = 2;
+  on.user_pool = 6;
+  on.session_rate = 5.0;
+  cfg.traffics = {traffic::TrafficSpec{}, on};
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(tiny()));
+
+  const CampaignResult fresh = CampaignCache::run(cfg);
+  const auto cached = CampaignCache::load(cfg);
+  ASSERT_TRUE(cached.has_value());
+  EXPECT_EQ(cached->total_runs(), fresh.total_runs());
+  for (std::uint32_t t = 0; t < 2; ++t) {
+    const auto& want = fresh.runs(Protocol::kAodv, 5, 0, 0, t);
+    const auto& got = cached->runs(Protocol::kAodv, 5, 0, 0, t);
+    ASSERT_EQ(want.size(), got.size());
+    ASSERT_FALSE(want.empty());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].traffic_index, t);
+      EXPECT_EQ(got[i].sessions_started, want[i].sessions_started);
+      EXPECT_EQ(got[i].sessions_completed, want[i].sessions_completed);
+      EXPECT_EQ(got[i].sessions_rejected, want[i].sessions_rejected);
+      if (t == 0) EXPECT_EQ(want[i].sessions_started, 0u);
+      for (std::size_t c = 0; c < traffic::kUserClassCount; ++c) {
+        EXPECT_EQ(got[i].traffic_classes[c].flows_completed,
+                  want[i].traffic_classes[c].flows_completed);
+        // Exact: the CSV stores doubles at max_digits10.
+        EXPECT_DOUBLE_EQ(got[i].traffic_classes[c].delay_p50_ms,
+                         want[i].traffic_classes[c].delay_p50_ms);
+        EXPECT_DOUBLE_EQ(got[i].traffic_classes[c].delay_p95_ms,
+                         want[i].traffic_classes[c].delay_p95_ms);
+        EXPECT_DOUBLE_EQ(got[i].traffic_classes[c].delay_p99_ms,
+                         want[i].traffic_classes[c].delay_p99_ms);
+        EXPECT_DOUBLE_EQ(got[i].traffic_classes[c].goodput_p50_seg_s,
+                         want[i].traffic_classes[c].goodput_p50_seg_s);
+        EXPECT_DOUBLE_EQ(got[i].traffic_classes[c].key_exposure,
+                         want[i].traffic_classes[c].key_exposure);
+      }
+    }
+  }
+  // Non-vacuous: the enabled half of the grid actually ran sessions.
+  std::uint64_t sessions = 0;
+  for (const RunMetrics& r : fresh.runs(Protocol::kAodv, 5, 0, 0, 1)) {
+    sessions += r.sessions_started;
+  }
+  EXPECT_GT(sessions, 0u) << "traffic-on cells started no session; vacuous";
+
+  // The workload knobs are result-affecting, so they must key the cache.
+  CampaignConfig other = cfg;
+  other.traffics[1].session_rate = 9.0;
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+  other = cfg;
+  other.traffics[1].bulk_fraction = 0.9;
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+  other = cfg;
+  other.traffics[1].diurnal = {1.0, 2.0};
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+  other = cfg;
+  other.traffics[1].bulk.max_segments = 99;
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+  other = cfg;
+  other.traffics.pop_back();
+  EXPECT_NE(CampaignCache::key_of(cfg), CampaignCache::key_of(other));
+}
+
+TEST_F(CampaignCacheTest, V9RowsStillParseWithTrafficColumnsDefaulted) {
+  // Forward compatibility: a cache file written before the v10 traffic
+  // columns (54 cells, v9 header) must load with the fifteen user-plane
+  // metrics defaulting to zero.  This is the exact v9 header and a row
+  // as the previous binary wrote them.
+  CampaignConfig cfg = tiny();
+  cfg.speeds = {5};
+  cfg.protocols = {Protocol::kAodv};
+  cfg.repetitions = 1;
+
+  const char* v9_header =
+      "protocol,speed,seed,participating,relay_stddev,alpha,max_beta,"
+      "highest_ri,pe,pr,ri,delay_s,thr_seg_s,thr_kbps,delivery,delivered,"
+      "data_sent,retx,timeouts,acks_sent,acks_recv,eavesdropper,ctrl,"
+      "switches,checks,events,adv_index,adv_kind,adv_count,adv_captured,"
+      "adv_ri,adv_missing,adv_absorbed,adv_tunneled,adv_gray_absorbed,"
+      "adv_endpoint_acc,adv_flood_injected,def_index,def_kind,def_detect_s,"
+      "def_quarantined,def_recovery_s,def_fpr,def_suppressed,def_probes,"
+      "sec_shares,sec_threshold,sec_captured,sec_keys,sec_recovery,"
+      "run_status,run_attempts,run_error,adv_members";
+  const char* v9_row =
+      "1,5,1,7,0.25,120,30,0.125,4,80,0.05,0.033,26.5,217.1,0.93,80,86,3,1,"
+      "80,78,12,45,0,0,123456,0,4,2,10,0.1,70,5,17,3,0.5,40,0,1,2.5,3,4.5,"
+      "0.25,6,7,5,5,3,2,0.66,ok,2,-,2.5.";
+
+  std::filesystem::create_directories(dir_);
+  const auto path = dir_ / (CampaignCache::key_of(cfg) + ".csv");
+  {
+    std::ofstream out(path);
+    out << v9_header << '\n' << v9_row << '\n';
+  }
+  const auto loaded = CampaignCache::load(cfg);
+  ASSERT_TRUE(loaded.has_value()) << "v9 cache file rejected";
+  const auto& runs = loaded->runs(Protocol::kAodv, 5);
+  ASSERT_EQ(runs.size(), 1u);
+  const RunMetrics& m = runs[0];
+  EXPECT_EQ(m.seed, 1u);
+  // The v9 secrecy + fabric columns parse...
+  EXPECT_EQ(m.shares_captured, 3u);
+  EXPECT_DOUBLE_EQ(m.key_recovery_rate, 0.66);
+  EXPECT_EQ(m.run_status, RunStatus::kOk);
+  EXPECT_EQ(m.attempts, 2u);
+  EXPECT_EQ(m.adversary_members, (std::vector<net::NodeId>{2, 5}));
+  // ...and the v10-only user-plane metrics default: the row predates
+  // the traffic plane, so it can only mean "workload off".
+  EXPECT_EQ(m.traffic_index, 0u);
+  EXPECT_EQ(m.sessions_started, 0u);
+  EXPECT_EQ(m.sessions_completed, 0u);
+  EXPECT_EQ(m.sessions_rejected, 0u);
+  for (const auto& c : m.traffic_classes) {
+    EXPECT_EQ(c.flows_completed, 0u);
+    EXPECT_DOUBLE_EQ(c.delay_p50_ms, 0.0);
+    EXPECT_DOUBLE_EQ(c.delay_p99_ms, 0.0);
+    EXPECT_DOUBLE_EQ(c.key_exposure, 0.0);
+  }
+
+  // Storing refreshes the file to the v10 column set, which round-trips.
+  CampaignCache::store(cfg, *loaded);
+  const auto reloaded = CampaignCache::load(cfg);
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(reloaded->runs(Protocol::kAodv, 5)[0].shares_captured, 3u);
 }
 
 TEST_F(CampaignCacheTest, TruncationAtEveryByteOfTheLastRowIsAFullMiss) {

@@ -1,0 +1,165 @@
+#include "stats/digest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/error.hpp"
+#include "sim/rng.hpp"
+
+namespace mts::stats {
+namespace {
+
+/// Exact-sort reference the digest documents itself against:
+/// sorted[floor(q * (n - 1))].
+double exact_quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1));
+  return v[rank];
+}
+
+/// Asserts every probed quantile of `samples` is within the digest's
+/// advertised relative-error bound of the exact-sort answer.  A hair of
+/// slack (1.05x) covers the rank-vs-bucket-boundary interaction at the
+/// exact bound.
+void expect_within_bound(const std::vector<double>& samples, double alpha) {
+  PercentileDigest d(alpha);
+  for (double x : samples) d.add(x);
+  ASSERT_EQ(d.count(), samples.size());
+  for (double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double exact = exact_quantile(samples, q);
+    const double est = d.quantile(q);
+    EXPECT_NEAR(est, exact, std::abs(exact) * alpha * 1.05)
+        << "q=" << q << " alpha=" << alpha;
+  }
+}
+
+TEST(PercentileDigestTest, EmptyReportsZero) {
+  PercentileDigest d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_EQ(d.quantile(0.5), 0.0);
+  EXPECT_EQ(d.p99(), 0.0);
+}
+
+TEST(PercentileDigestTest, RejectsBadRelativeError) {
+  EXPECT_THROW(PercentileDigest(0.0), sim::ConfigError);
+  EXPECT_THROW(PercentileDigest(1.0), sim::ConfigError);
+  EXPECT_THROW(PercentileDigest(-0.1), sim::ConfigError);
+}
+
+TEST(PercentileDigestTest, SingleSampleEveryQuantile) {
+  PercentileDigest d(0.01);
+  d.add(42.0);
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_NEAR(d.quantile(q), 42.0, 42.0 * 0.01) << "q=" << q;
+  }
+}
+
+TEST(PercentileDigestTest, UniformWithinBound) {
+  sim::Rng rng(7);
+  std::vector<double> samples;
+  samples.reserve(20000);
+  for (int i = 0; i < 20000; ++i) samples.push_back(1.0 + 999.0 * rng.uniform());
+  expect_within_bound(samples, 0.01);
+  expect_within_bound(samples, 0.05);
+}
+
+TEST(PercentileDigestTest, ClusteredWithinBound) {
+  // Bimodal delay-like distribution: a tight fast mode and a sparse
+  // slow tail five orders of magnitude apart — the shape that defeats
+  // fixed-width histograms.
+  sim::Rng rng(11);
+  std::vector<double> samples;
+  for (int i = 0; i < 9000; ++i) samples.push_back(0.001 + 0.0002 * rng.uniform());
+  for (int i = 0; i < 1000; ++i) samples.push_back(90.0 + 20.0 * rng.uniform());
+  expect_within_bound(samples, 0.01);
+}
+
+TEST(PercentileDigestTest, AdversarialGeometricWithinBound) {
+  // Samples placed at successive powers of (1 + 3 alpha): every sample
+  // near a bucket boundary of its own, maximizing midpoint error.
+  const double alpha = 0.02;
+  std::vector<double> samples;
+  double x = 1e-6;
+  for (int i = 0; i < 2000; ++i) {
+    samples.push_back(x);
+    x *= 1.0 + 3.0 * alpha;
+  }
+  expect_within_bound(samples, alpha);
+}
+
+TEST(PercentileDigestTest, UnderflowBucketReportsZero) {
+  PercentileDigest d(0.01);
+  for (int i = 0; i < 10; ++i) d.add(0.0);
+  d.add(5.0);
+  EXPECT_EQ(d.underflow_count(), 10u);
+  EXPECT_EQ(d.quantile(0.5), 0.0);   // rank 5 of 11 is underflow
+  EXPECT_GT(d.quantile(1.0), 4.9);   // the one real sample
+}
+
+TEST(PercentileDigestTest, MergeMatchesSingleDigest) {
+  sim::Rng rng(3);
+  PercentileDigest whole(0.01), a(0.01), b(0.01);
+  for (int i = 0; i < 5000; ++i) {
+    const double x = std::exp(6.0 * rng.uniform());
+    whole.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.bucket_count(), whole.bucket_count());
+  for (double q : {0.1, 0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), whole.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(PercentileDigestTest, MergeOrderInvariantBitIdentical) {
+  // The property the shard merge relies on: A+(B+C) == (A+B)+C == C+B+A,
+  // to the last bit of every quantile.
+  sim::Rng rng(9);
+  std::vector<std::vector<double>> shards(3);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 1000 + 137 * s; ++i) {
+      shards[static_cast<std::size_t>(s)].push_back(
+          0.5 + 200.0 * rng.uniform());
+    }
+  }
+  auto build = [&](std::initializer_list<int> order) {
+    PercentileDigest acc(0.01);
+    for (int s : order) {
+      PercentileDigest d(0.01);
+      for (double x : shards[static_cast<std::size_t>(s)]) d.add(x);
+      acc.merge(d);
+    }
+    return acc;
+  };
+  const PercentileDigest abc = build({0, 1, 2});
+  const PercentileDigest cba = build({2, 1, 0});
+  PercentileDigest bc(0.01);
+  {
+    PercentileDigest b(0.01), c(0.01);
+    for (double x : shards[1]) b.add(x);
+    for (double x : shards[2]) c.add(x);
+    bc.merge(b);
+    bc.merge(c);
+  }
+  PercentileDigest a_bc(0.01);
+  for (double x : shards[0]) a_bc.add(x);
+  a_bc.merge(bc);
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double ref = abc.quantile(q);
+    EXPECT_DOUBLE_EQ(cba.quantile(q), ref) << "q=" << q;
+    EXPECT_DOUBLE_EQ(a_bc.quantile(q), ref) << "q=" << q;
+  }
+}
+
+TEST(PercentileDigestTest, MergeRejectsMismatchedAccuracy) {
+  PercentileDigest a(0.01), b(0.02);
+  EXPECT_THROW(a.merge(b), sim::SimError);
+}
+
+}  // namespace
+}  // namespace mts::stats
